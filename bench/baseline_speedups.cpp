@@ -1,0 +1,89 @@
+// §III.B text: speedups of the baseline (thread-mapped, no load balancing)
+// GPU implementations over serial CPU code — SSSP 8.2x, BC 2.5x, PageRank
+// 15.8x, SpMV 2.4x — plus the flat-GPU-vs-recursive-CPU BFS factor (11-14x).
+// These anchor the absolute scale of the model; the template comparisons in
+// the other benches are ratios on top of these baselines.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/apps/bc.h"
+#include "src/apps/bfs.h"
+#include "src/apps/pagerank.h"
+#include "src/apps/spmv.h"
+#include "src/apps/sssp.h"
+#include "src/graph/generators.h"
+#include "src/matrix/csr_matrix.h"
+
+using namespace nestpar;
+using nested::LoopTemplate;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv,
+                         "baseline_speedups [--scale=0.1] [--sources=32]");
+  const double scale = args.get_double("scale", 0.1);
+  const auto sources = static_cast<std::uint32_t>(args.get_int("sources", 32));
+
+  bench::banner(
+      "Baseline GPU vs serial CPU speedups (section III.B text)",
+      "SSSP 8.2x, BC 2.5x, PageRank 15.8x, SpMV 2.4x; flat BFS 11-14x over "
+      "recursive CPU");
+
+  const graph::Csr cs = bench::citeseer(scale, /*weighted=*/true);
+  const graph::Csr wv = bench::wikivote(1.0);
+
+  bench::table_header({"app", "cpu-us", "gpu-us", "speedup", "paper"});
+
+  {
+    simt::CpuTimer cpu;
+    apps::sssp_serial(cs, 0, &cpu);
+    simt::Device dev;
+    apps::run_sssp(dev, cs, 0, LoopTemplate::kBaseline);
+    const double gpu = dev.report().total_us;
+    bench::table_row({"SSSP", bench::fmt(cpu.us(), 0), bench::fmt(gpu, 0),
+                      bench::fmt(cpu.us() / gpu) + "x", "8.2x"});
+  }
+  {
+    simt::CpuTimer cpu;
+    apps::BcOptions opt;
+    opt.num_sources = sources;
+    apps::bc_serial(wv, opt, &cpu);
+    simt::Device dev;
+    apps::run_bc(dev, wv, LoopTemplate::kBaseline, {}, opt);
+    const double gpu = dev.report().total_us;
+    bench::table_row({"BC", bench::fmt(cpu.us(), 0), bench::fmt(gpu, 0),
+                      bench::fmt(cpu.us() / gpu) + "x", "2.5x"});
+  }
+  {
+    simt::CpuTimer cpu;
+    apps::pagerank_serial(cs, {}, &cpu);
+    simt::Device dev;
+    apps::run_pagerank(dev, cs, LoopTemplate::kBaseline);
+    const double gpu = dev.report().total_us;
+    bench::table_row({"PageRank", bench::fmt(cpu.us(), 0), bench::fmt(gpu, 0),
+                      bench::fmt(cpu.us() / gpu) + "x", "15.8x"});
+  }
+  {
+    const auto mat = matrix::CsrMatrix::from_graph(cs);
+    const auto x = matrix::make_dense_vector(mat.cols, 7);
+    simt::CpuTimer cpu;
+    matrix::spmv_serial(mat, x, &cpu);
+    simt::Device dev;
+    apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
+    const double gpu = dev.report().total_us;
+    bench::table_row({"SpMV", bench::fmt(cpu.us(), 0), bench::fmt(gpu, 0),
+                      bench::fmt(cpu.us() / gpu) + "x", "2.4x"});
+  }
+  {
+    const graph::Csr rnd = graph::generate_uniform_random(
+        static_cast<std::uint32_t>(50000 * scale * 2.5), 0, 256, 20150707);
+    simt::CpuTimer cpu;
+    apps::bfs_serial_recursive(rnd, 0, &cpu);
+    simt::Device dev;
+    apps::bfs_flat_gpu(dev, rnd, 0);
+    const double gpu = dev.report().total_us;
+    bench::table_row({"BFS(flat)", bench::fmt(cpu.us(), 0),
+                      bench::fmt(gpu, 0), bench::fmt(cpu.us() / gpu) + "x",
+                      "11-14x"});
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/graph/generators.h"
+
+namespace nestpar::bench {
+
+Args::Args(int argc, char** argv, const std::string& usage) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s\n", usage.c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unknown argument '%s'\n%s\n", arg.c_str(),
+                   usage.c_str());
+      std::exit(2);
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "1";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  if (usage.empty()) return;
+  for (const auto& [k, v] : values_) {
+    if (usage.find("--" + k) == std::string::npos) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s\n", k.c_str(),
+                   usage.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+double Args::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::stoll(it->second);
+}
+
+bool Args::get_flag(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+void banner(const std::string& title, const std::string& paper_expectation) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_expectation.c_str());
+  std::printf("==================================================================\n");
+}
+
+namespace {
+void print_cells(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) {
+    std::printf("%-14s", c.c_str());
+  }
+  std::printf("\n");
+}
+}  // namespace
+
+void table_header(const std::vector<std::string>& columns) {
+  print_cells(columns);
+  std::string rule(columns.size() * 14, '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+void table_row(const std::vector<std::string>& cells) { print_cells(cells); }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+std::uint32_t first_active_source(const graph::Csr& g) {
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0) return v;
+  }
+  return 0;
+}
+
+graph::Csr citeseer(double scale, bool weighted) {
+  return graph::generate_citeseer_like(scale, /*seed=*/20150707, weighted);
+}
+
+graph::Csr wikivote(double scale) {
+  return graph::generate_wikivote_like(scale, /*seed=*/20150707);
+}
+
+}  // namespace nestpar::bench

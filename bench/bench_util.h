@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace nestpar::bench {
+
+/// Minimal flag parser shared by every bench binary. Flags look like
+/// `--scale=0.25` or `--full`. Unknown flags abort with a usage message so a
+/// typo cannot silently run the wrong experiment.
+class Args {
+ public:
+  Args(int argc, char** argv, const std::string& usage);
+
+  double get_double(const std::string& name, double def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  bool get_flag(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Print the experiment banner: what the paper's figure/table showed and what
+/// shape we expect to reproduce.
+void banner(const std::string& title, const std::string& paper_expectation);
+
+/// Fixed-width table helpers (plain text so output diffs cleanly).
+void table_header(const std::vector<std::string>& columns);
+void table_row(const std::vector<std::string>& cells);
+
+std::string fmt(double v, int precision = 2);
+std::string fmt_pct(double ratio);  ///< 0.756 -> "75.6%"
+
+/// First node with at least one outgoing edge (BFS/SSSP source that is
+/// guaranteed to produce a traversal).
+std::uint32_t first_active_source(const graph::Csr& g);
+
+/// Paper-calibrated datasets at a scale factor (1.0 = published size).
+graph::Csr citeseer(double scale, bool weighted = false);
+graph::Csr wikivote(double scale);
+
+}  // namespace nestpar::bench

@@ -1,0 +1,58 @@
+// Device-sensitivity ablation: do the paper's conclusions hold across
+// device generations? Re-runs the SpMV template comparison on the K20 (the
+// paper's testbed), a K40-like part, and a tiny 2-SM Kepler. The template
+// *ranking* should be stable even though absolute times shift.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/apps/spmv.h"
+#include "src/matrix/csr_matrix.h"
+#include "src/nested/templates.h"
+
+using namespace nestpar;
+using nested::LoopTemplate;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv, "device_sensitivity [--scale=0.05]");
+  const double scale = args.get_double("scale", 0.05);
+
+  bench::banner(
+      "Device sensitivity - SpMV template speedups across device presets "
+      "(CiteSeer-like scale " + bench::fmt(scale) + ", lbTHRES=32)",
+      "the template ranking (dbuf-global/dpar-opt > dual-queue > baseline "
+      ">> dpar-naive) is a property of the workload, not of one device");
+
+  const graph::Csr g = bench::citeseer(scale, /*weighted=*/true);
+  const auto mat = matrix::CsrMatrix::from_graph(g);
+  const auto x = matrix::make_dense_vector(mat.cols, 7);
+
+  struct Preset {
+    const char* name;
+    simt::DeviceSpec spec;
+  };
+  const Preset presets[] = {
+      {"K20 (paper)", simt::DeviceSpec::k20()},
+      {"K40-like", simt::DeviceSpec::k40()},
+      {"2-SM Kepler", simt::DeviceSpec::small_kepler()},
+  };
+
+  bench::table_header({"device", "base-us", "dual-queue", "dbuf-shared",
+                       "dbuf-global", "dpar-opt"});
+  for (const Preset& preset : presets) {
+    simt::Device dev(preset.spec);
+    apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
+    const double base = dev.report().total_us;
+    std::vector<std::string> row{preset.name, bench::fmt(base, 0)};
+    for (const LoopTemplate t :
+         {LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
+          LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt}) {
+      simt::Device d(preset.spec);
+      nested::LoopParams p;
+      p.lb_threshold = 32;
+      apps::run_spmv(d, mat, x, t, p);
+      row.push_back(bench::fmt(base / d.report().total_us) + "x");
+    }
+    bench::table_row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 2: execution time of the sort implementations on random int arrays
+// (the paper's motivation study for dynamic parallelism): CDP Simple
+// QuickSort vs CDP Advanced QuickSort vs flat (non-recursive) MergeSort.
+// Expected shape: MergeSort < AdvancedQS < SimpleQS at every size — the flat
+// kernel beats both recursive codes despite their optimizations.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/sort/sort.h"
+
+using namespace nestpar;
+
+namespace {
+
+double run_ms(int algo, std::vector<int> keys) {
+  simt::Device dev;
+  switch (algo) {
+    case 0: sort::mergesort(dev, keys); break;
+    case 1: sort::advanced_quicksort(dev, keys); break;
+    default: sort::simple_quicksort(dev, keys); break;
+  }
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i - 1] > keys[i]) {
+      std::fprintf(stderr, "sort produced unsorted output!\n");
+      std::exit(1);
+    }
+  }
+  return dev.report().total_us / 1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv, "fig2_sort [--max-size=2000000] [--all-sizes]");
+  const auto max_size =
+      static_cast<std::size_t>(args.get_int("max-size", 2000000));
+
+  bench::banner(
+      "Figure 2 - execution time of sort implementations (model ms, "
+      "log-scale in the paper)",
+      "MergeSort fastest at every size; Advanced QuickSort beats Simple "
+      "QuickSort; both CDP sorts lose to the flat kernel");
+
+  std::vector<std::size_t> sizes;
+  if (args.get_flag("all-sizes")) {
+    sizes = {300000, 500000, 1000000, 1500000, 2000000};
+  } else {
+    sizes = {300000, 1000000, 2000000};
+  }
+
+  bench::table_header({"elements", "mergesort-ms", "advanced-qs-ms",
+                       "simple-qs-ms"});
+  for (const std::size_t n : sizes) {
+    if (n > max_size) continue;
+    const auto keys = sort::make_keys(n, 20150707);
+    bench::table_row({std::to_string(n), bench::fmt(run_ms(0, keys)),
+                      bench::fmt(run_ms(1, keys)),
+                      bench::fmt(run_ms(2, keys))});
+  }
+  return 0;
+}

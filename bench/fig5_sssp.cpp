@@ -1,0 +1,58 @@
+// Figure 5: SSSP speedup of the load-balancing templates over the basic
+// thread-mapped implementation on the CiteSeer-like network, for a sweep of
+// lbTHRES values; nested-kernel-call counts reported for the dynamic
+// parallelism variants (the numbers the paper prints on top of the bars).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/apps/sssp.h"
+#include "src/nested/templates.h"
+
+using namespace nestpar;
+using nested::LoopTemplate;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv,
+                         "fig5_sssp [--scale=0.1] [--skip-dpar-naive]");
+  const double scale = args.get_double("scale", 0.1);
+  const bool skip_naive = args.get_flag("skip-dpar-naive");
+
+  bench::banner(
+      "Figure 5 - SSSP: speedup of load-balancing templates over baseline "
+      "(CiteSeer-like, scale " + bench::fmt(scale) + ")",
+      "all LB templates > 1x except dpar-naive (much slower); speedup "
+      "decreases as lbTHRES grows; best ~2-3.5x at lbTHRES=32; dpar-opt "
+      "spawns far fewer nested kernels than dpar-naive");
+
+  const graph::Csr g = bench::citeseer(scale, /*weighted=*/true);
+  std::printf("graph: %u nodes, %llu edges\n\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  simt::Device dev;
+  apps::run_sssp(dev, g, 0, LoopTemplate::kBaseline);
+  const double base_us = dev.report().total_us;
+  std::printf("baseline (thread-mapped, no LB): %.0f us (model time)\n\n",
+              base_us);
+
+  std::vector<LoopTemplate> templates = {
+      LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
+      LoopTemplate::kDbufGlobal, LoopTemplate::kDparNaive,
+      LoopTemplate::kDparOpt};
+  if (skip_naive) templates.erase(templates.begin() + 3);
+
+  bench::table_header({"template", "lbTHRES", "speedup", "nested-calls"});
+  for (const LoopTemplate t : templates) {
+    for (const int lb : {32, 64, 128, 256, 512, 1024}) {
+      dev.reset();
+      nested::LoopParams p;
+      p.lb_threshold = lb;
+      apps::run_sssp(dev, g, 0, t, p);
+      const auto rep = dev.report();
+      bench::table_row({nested::to_string(t), std::to_string(lb),
+                        bench::fmt(base_us / rep.total_us) + "x",
+                        std::to_string(rep.device_grids)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 7: Tree Descendants on synthetic trees — speedup of the GPU code
+// variants (flat / rec-naive / rec-hier) over the better serial CPU code,
+// with (a) sparsity 0 and varying outdegree, (b) fixed outdegree and varying
+// sparsity, and (c) the profiling data (warp utilization, atomics, nested
+// kernel calls) folded into the same tables.
+//
+// Scale note (DESIGN.md): the paper's depth-4 trees at outdegree 512 have
+// ~134M nodes; the default sweep caps outdegree at 128 (~2.1M nodes) so the
+// bench runs in seconds. --max-outdegree and --depth raise it.
+#include "tree_sweep.h"
+
+int main(int argc, char** argv) {
+  return nestpar::bench::tree_figure_main(
+      argc, argv, nestpar::rec::TreeAlgo::kDescendants, "Figure 7",
+      "fig7_tree_descendants [--depth=3] [--max-outdegree=128]");
+}

@@ -1,0 +1,9 @@
+// Figure 8: Tree Heights — the same sweeps and profiling columns as
+// Figure 7, for the max-reduction traversal (see tree_sweep.h).
+#include "tree_sweep.h"
+
+int main(int argc, char** argv) {
+  return nestpar::bench::tree_figure_main(
+      argc, argv, nestpar::rec::TreeAlgo::kHeights, "Figure 8",
+      "fig8_tree_heights [--depth=3] [--max-outdegree=128]");
+}

@@ -1,0 +1,69 @@
+// Figure 9: recursive BFS — slowdown of the GPU code variants over the
+// recursive serial CPU code on random graphs with uniformly distributed
+// outdegree. The paper's findings: flat GPU is 11-14x FASTER than the
+// recursive CPU code (reported here as a slowdown < 1), while both recursive
+// GPU variants are orders of magnitude slower (700-14,000x on the paper's
+// testbed); one extra stream per block helps rec-naive and hurts rec-hier;
+// the recursive CPU beats the iterative CPU by 1.25-3.3x.
+//
+// Scale note (DESIGN.md): defaults use 12,500 nodes and outdegree ranges up
+// to [0,256] so the bench runs in tens of seconds; --nodes / --max-range
+// raise it toward the paper's 50,000 nodes and [0,~1088].
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/apps/bfs.h"
+#include "src/graph/generators.h"
+
+using namespace nestpar;
+using rec::RecTemplate;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv,
+                         "fig9_recursive_bfs [--nodes=12500] [--max-range=256]");
+  const auto nodes = static_cast<std::uint32_t>(args.get_int("nodes", 12500));
+  const auto max_range = static_cast<std::uint32_t>(
+      args.get_int("max-range", 256));
+
+  bench::banner(
+      "Figure 9 - recursive BFS: slowdown over recursive serial CPU "
+      "(random graphs, " + std::to_string(nodes) + " nodes)",
+      "flat GPU < 1 (i.e., faster than CPU); rec-naive and rec-hier >> 1 "
+      "(hundreds to thousands); +1 stream/block helps rec-naive, hurts "
+      "rec-hier; recursive CPU beats iterative CPU 1.25-3.3x");
+
+  bench::table_header({"outdeg-range", "edges", "cpu-rec/iter", "flat",
+                       "naive", "naive-str", "hier", "hier-str"});
+  for (std::uint32_t range = 32; range <= max_range; range *= 2) {
+    const graph::Csr g =
+        graph::generate_uniform_random(nodes, 0, range, 20150707);
+    const std::uint32_t src = bench::first_active_source(g);
+
+    simt::CpuTimer cpu_rec, cpu_iter;
+    apps::bfs_serial_recursive(g, src, &cpu_rec);
+    apps::bfs_serial_iterative(g, src, &cpu_iter);
+    const double ref_us = cpu_rec.us();
+
+    const auto slowdown = [&](RecTemplate t, int streams) {
+      simt::Device dev;
+      apps::BfsRecOptions opt;
+      opt.streams_per_block = streams;
+      apps::bfs_recursive_gpu(dev, g, src, t, opt);
+      return dev.report().total_us / ref_us;
+    };
+
+    simt::Device dev;
+    apps::bfs_flat_gpu(dev, g, src);
+    const double flat_slowdown = dev.report().total_us / ref_us;
+
+    bench::table_row({"[0," + std::to_string(range) + "]",
+                      std::to_string(g.num_edges()),
+                      bench::fmt(cpu_iter.us() / cpu_rec.us()) + "x",
+                      bench::fmt(flat_slowdown) + "x",
+                      bench::fmt(slowdown(RecTemplate::kRecNaive, 1), 0) + "x",
+                      bench::fmt(slowdown(RecTemplate::kRecNaive, 2), 0) + "x",
+                      bench::fmt(slowdown(RecTemplate::kRecHier, 1), 0) + "x",
+                      bench::fmt(slowdown(RecTemplate::kRecHier, 2), 0) + "x"});
+  }
+  return 0;
+}

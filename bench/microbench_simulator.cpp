@@ -1,0 +1,79 @@
+// Wall-clock microbenchmarks of the simulator itself (google-benchmark):
+// how fast the functional pass records and combines operations, and how the
+// timing pass scales with grid count. These guard the substrate's own
+// performance — every figure bench runs millions of modeled ops through it.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/simt/device.h"
+
+namespace {
+
+namespace simt = nestpar::simt;
+
+void BM_ComputeOps(benchmark::State& state) {
+  const int per_lane = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    simt::Device dev;
+    simt::LaunchConfig cfg;
+    cfg.grid_blocks = 64;
+    cfg.block_threads = 192;
+    cfg.name = "compute";
+    dev.launch_threads(cfg, [per_lane](simt::LaneCtx& t) {
+      for (int i = 0; i < per_lane; ++i) t.compute();
+    });
+    benchmark::DoNotOptimize(dev.report().total_cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 192 * per_lane);
+}
+BENCHMARK(BM_ComputeOps)->Arg(16)->Arg(64);
+
+void BM_CoalescedLoads(benchmark::State& state) {
+  std::vector<float> data(64 * 192);
+  for (auto _ : state) {
+    simt::Device dev;
+    simt::LaunchConfig cfg;
+    cfg.grid_blocks = 64;
+    cfg.block_threads = 192;
+    cfg.name = "loads";
+    dev.launch_threads(cfg, [&](simt::LaneCtx& t) {
+      for (int r = 0; r < 16; ++r) t.ld(&data[t.global_idx()]);
+    });
+    benchmark::DoNotOptimize(dev.report().total_cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 192 * 16);
+}
+BENCHMARK(BM_CoalescedLoads);
+
+void BM_TimingPassManyGrids(benchmark::State& state) {
+  const int grids = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    simt::Device dev;
+    simt::LaunchConfig cfg;
+    cfg.grid_blocks = 4;
+    cfg.block_threads = 64;
+    cfg.name = "grid";
+    for (int i = 0; i < grids; ++i) {
+      dev.launch_threads(cfg, [](simt::LaneCtx& t) { t.compute(8); });
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(dev.report().total_cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * grids);
+}
+BENCHMARK(BM_TimingPassManyGrids)->Arg(64)->Arg(512);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = nestpar::graph::generate_power_law(20000, 1, 500, 40.0, 7);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GraphGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

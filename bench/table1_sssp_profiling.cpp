@@ -1,0 +1,66 @@
+// Table I: profiling data collected on SSSP at lbTHRES=32 — warp execution
+// efficiency, global load efficiency, global store efficiency per template.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/apps/sssp.h"
+#include "src/nested/templates.h"
+
+using namespace nestpar;
+using nested::LoopTemplate;
+
+namespace {
+
+// The paper's Table I values, for side-by-side comparison.
+struct PaperRow {
+  const char* name;
+  double warp, gld, gst;
+};
+constexpr PaperRow kPaper[] = {
+    {"baseline", .356, .158, .032},   {"dual-queue", .749, .791, .048},
+    {"dbuf-shared", .757, .943, .504}, {"dbuf-global", .723, .891, .085},
+    {"dpar-naive", .253, .455, .163},  {"dpar-opt", .702, .632, .109},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv, "table1_sssp_profiling [--scale=0.1]");
+  const double scale = args.get_double("scale", 0.1);
+
+  bench::banner(
+      "Table I - SSSP profiling at lbTHRES=32 (CiteSeer-like, scale " +
+          bench::fmt(scale) + ")",
+      "all LB templates raise warp & memory efficiency over baseline; "
+      "dpar-naive lowers warp efficiency; dbuf-shared has the best gld/gst");
+
+  const graph::Csr g = bench::citeseer(scale, /*weighted=*/true);
+
+  const LoopTemplate templates[] = {
+      LoopTemplate::kBaseline,   LoopTemplate::kDualQueue,
+      LoopTemplate::kDbufShared, LoopTemplate::kDbufGlobal,
+      LoopTemplate::kDparNaive,  LoopTemplate::kDparOpt};
+
+  bench::table_header({"template", "warp-eff", "gld-eff", "gst-eff",
+                       "paper-warp", "paper-gld", "paper-gst"});
+  for (std::size_t i = 0; i < std::size(templates); ++i) {
+    simt::Device dev;
+    nested::LoopParams p;
+    p.lb_threshold = 32;
+    apps::run_sssp(dev, g, 0, templates[i], p);
+    // Profile the relaxation kernels only (as nvprof would be pointed at
+    // them); the update kernel is shared by all templates.
+    simt::Metrics m;
+    for (const auto& kr : dev.report().per_kernel) {
+      if (kr.name.rfind("sssp/update", 0) != 0) m += kr.metrics;
+    }
+    bench::table_row({nested::to_string(templates[i]),
+                      bench::fmt_pct(m.warp_execution_efficiency()),
+                      bench::fmt_pct(m.gld_efficiency()),
+                      bench::fmt_pct(m.gst_efficiency()),
+                      bench::fmt_pct(kPaper[i].warp),
+                      bench::fmt_pct(kPaper[i].gld),
+                      bench::fmt_pct(kPaper[i].gst)});
+  }
+  return 0;
+}

@@ -1,0 +1,242 @@
+#include "src/apps/bc.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "src/nested/workload.h"
+
+namespace nestpar::apps {
+
+namespace {
+
+using simt::LaneCtx;
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+/// Forward phase of [6] at BFS depth `level`: nodes on the current frontier
+/// discover neighbors and accumulate shortest-path counts (sigma). Scatter
+/// workload (atomics in `body`).
+class BcForwardWorkload final : public nested::NestedLoopWorkload {
+ public:
+  BcForwardWorkload(const graph::Csr& g, std::uint32_t* depth, double* sigma,
+                    std::uint32_t level, int* changed)
+      : g_(&g), depth_(depth), sigma_(sigma), level_(level),
+        changed_(changed) {}
+
+  std::int64_t size() const override { return g_->num_nodes(); }
+  std::uint32_t inner_size(std::int64_t i) const override {
+    return depth_[static_cast<std::size_t>(i)] == level_
+               ? g_->degree(static_cast<std::uint32_t>(i))
+               : 0;
+  }
+  void load_outer(LaneCtx& t, std::int64_t i) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    t.ld(&depth_[v]);
+    if (depth_[v] == level_) {
+      t.ld(&sigma_[v]);
+      t.ld(&g_->row_offsets[v]);
+      t.ld(&g_->row_offsets[v + 1]);
+    }
+  }
+  double body(LaneCtx& t, std::int64_t i, std::uint32_t j) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    const std::size_t e = g_->row_offsets[v] + j;
+    const std::uint32_t n = t.ld(&g_->col_indices[e]);
+    std::uint32_t dn = t.ld(&depth_[n]);
+    if (dn == kUnreached) {
+      t.atomic_cas(&depth_[n], kUnreached, level_ + 1);
+      dn = depth_[n];
+      t.st(changed_, 1);
+    }
+    if (dn == level_ + 1) {
+      t.atomic_add(&sigma_[n], sigma_[v]);
+    }
+    return 0.0;
+  }
+  void commit(LaneCtx&, std::int64_t, double) const override {}
+  const char* name() const override { return "bc-forward"; }
+
+ private:
+  const graph::Csr* g_;
+  std::uint32_t* depth_;
+  double* sigma_;
+  std::uint32_t level_;
+  int* changed_;
+};
+
+/// Backward phase of [6] at depth `level`: dependency accumulation — a
+/// reducing workload (delta[i] committed once per node).
+class BcBackwardWorkload final : public nested::NestedLoopWorkload {
+ public:
+  BcBackwardWorkload(const graph::Csr& g, const std::uint32_t* depth,
+                     const double* sigma, double* delta, std::uint32_t level)
+      : g_(&g), depth_(depth), sigma_(sigma), delta_(delta), level_(level) {}
+
+  std::int64_t size() const override { return g_->num_nodes(); }
+  std::uint32_t inner_size(std::int64_t i) const override {
+    return depth_[static_cast<std::size_t>(i)] == level_
+               ? g_->degree(static_cast<std::uint32_t>(i))
+               : 0;
+  }
+  void load_outer(LaneCtx& t, std::int64_t i) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    t.ld(&depth_[v]);
+    if (depth_[v] == level_) {
+      t.ld(&sigma_[v]);
+      t.ld(&g_->row_offsets[v]);
+      t.ld(&g_->row_offsets[v + 1]);
+    }
+  }
+  double body(LaneCtx& t, std::int64_t i, std::uint32_t j) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    const std::size_t e = g_->row_offsets[v] + j;
+    const std::uint32_t n = t.ld(&g_->col_indices[e]);
+    const std::uint32_t dn = t.ld(&depth_[n]);
+    if (dn != level_ + 1) return 0.0;
+    const double sn = t.ld(&sigma_[n]);
+    const double dln = t.ld(&delta_[n]);
+    t.compute(3);
+    return sn > 0.0 ? sigma_[v] / sn * (1.0 + dln) : 0.0;
+  }
+  void commit(LaneCtx& t, std::int64_t i, double value) const override {
+    if (depth_[static_cast<std::size_t>(i)] == level_) {
+      t.st(&delta_[static_cast<std::size_t>(i)], value);
+    }
+  }
+  const char* name() const override { return "bc-backward"; }
+
+ private:
+  const graph::Csr* g_;
+  const std::uint32_t* depth_;
+  const double* sigma_;
+  double* delta_;
+  std::uint32_t level_;
+};
+
+std::vector<std::uint32_t> pick_sources(std::uint32_t n,
+                                        std::uint32_t num_sources) {
+  std::vector<std::uint32_t> sources;
+  if (num_sources == 0 || num_sources >= n) {
+    sources.resize(n);
+    for (std::uint32_t v = 0; v < n; ++v) sources[v] = v;
+  } else {
+    const double stride = static_cast<double>(n) / num_sources;
+    for (std::uint32_t k = 0; k < num_sources; ++k) {
+      sources.push_back(static_cast<std::uint32_t>(k * stride));
+    }
+  }
+  return sources;
+}
+
+}  // namespace
+
+std::vector<double> run_bc(simt::Device& dev, const graph::Csr& g,
+                           nested::LoopTemplate tmpl,
+                           const nested::LoopParams& p, const BcOptions& opt) {
+  const std::uint32_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> bc(n, 0.0);
+  std::vector<std::uint32_t> depth(n);
+  std::vector<double> sigma(n), delta(n);
+  auto changed = std::make_shared<int>(0);
+
+  simt::LaunchConfig acc_cfg;
+  acc_cfg.block_threads = p.thread_block_size;
+  acc_cfg.grid_blocks =
+      simt::Device::blocks_for(n, p.thread_block_size, p.max_grid_blocks);
+  acc_cfg.name = "bc/accumulate";
+
+  for (const std::uint32_t s : pick_sources(n, opt.num_sources)) {
+    std::fill(depth.begin(), depth.end(), kUnreached);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    depth[s] = 0;
+    sigma[s] = 1.0;
+
+    // Forward: level-synchronous shortest-path counting.
+    std::uint32_t level = 0;
+    *changed = 1;
+    while (*changed != 0) {
+      *changed = 0;
+      BcForwardWorkload fw(g, depth.data(), sigma.data(), level, changed.get());
+      nested::run_nested_loop(dev, fw, tmpl, p);
+      ++level;
+    }
+
+    // Backward: dependency accumulation from the deepest level.
+    for (std::uint32_t l = level; l-- > 0;) {
+      BcBackwardWorkload bw(g, depth.data(), sigma.data(), delta.data(), l);
+      nested::run_nested_loop(dev, bw, tmpl, p);
+    }
+
+    dev.launch_threads(acc_cfg, [&, s, n](LaneCtx& t) {
+      for (std::int64_t v = t.global_idx(); v < n; v += t.grid_threads()) {
+        if (v == s) continue;
+        const double d = t.ld(&delta[static_cast<std::size_t>(v)]);
+        if (d != 0.0) {
+          const double cur = t.ld(&bc[static_cast<std::size_t>(v)]);
+          t.compute(1);
+          t.st(&bc[static_cast<std::size_t>(v)], cur + d);
+        }
+      }
+    });
+  }
+  return bc;
+}
+
+std::vector<double> bc_serial(const graph::Csr& g, const BcOptions& opt,
+                              simt::CpuTimer* timer) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  std::vector<std::uint32_t> depth(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+
+  for (const std::uint32_t s : pick_sources(n, opt.num_sources)) {
+    std::fill(depth.begin(), depth.end(), kUnreached);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    depth[s] = 0;
+    sigma[s] = 1.0;
+    order.push_back(s);
+
+    // BFS in visitation order (Brandes' stack is this order reversed).
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const std::uint32_t v = order[head];
+      for (std::uint32_t e = g.row_offsets[v]; e < g.row_offsets[v + 1]; ++e) {
+        const std::uint32_t u =
+            timer != nullptr ? timer->ld(&g.col_indices[e]) : g.col_indices[e];
+        if (timer != nullptr) timer->compute(1);
+        if (depth[u] == kUnreached) {
+          depth[u] = depth[v] + 1;
+          if (timer != nullptr) timer->st(&depth[u], depth[u]);
+          order.push_back(u);
+        }
+        if (depth[u] == depth[v] + 1) {
+          sigma[u] += sigma[v];
+          if (timer != nullptr) timer->st(&sigma[u], sigma[u]);
+        }
+      }
+    }
+    for (std::size_t k = order.size(); k-- > 0;) {
+      const std::uint32_t v = order[k];
+      for (std::uint32_t e = g.row_offsets[v]; e < g.row_offsets[v + 1]; ++e) {
+        const std::uint32_t u =
+            timer != nullptr ? timer->ld(&g.col_indices[e]) : g.col_indices[e];
+        if (depth[u] == depth[v] + 1 && sigma[u] > 0.0) {
+          if (timer != nullptr) timer->compute(3);
+          delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+        }
+      }
+      if (timer != nullptr) timer->st(&delta[v], delta[v]);
+      if (v != s) bc[v] += delta[v];
+    }
+  }
+  return bc;
+}
+
+}  // namespace nestpar::apps

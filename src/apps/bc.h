@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/nested/templates.h"
+#include "src/simt/cpu_model.h"
+#include "src/simt/device.h"
+
+namespace nestpar::apps {
+
+/// Betweenness-centrality options. The paper computes BC over all sources of
+/// the (small) Wiki-Vote graph; `num_sources == 0` means all sources, any
+/// other value samples that many evenly spaced sources (a standard
+/// approximation that keeps large runs tractable — see DESIGN.md).
+struct BcOptions {
+  std::uint32_t num_sources = 0;
+};
+
+/// GPU betweenness centrality after Sariyuce et al. [6]: per source, a
+/// level-synchronous shortest-path-counting BFS (forward) and a dependency
+/// accumulation sweep (backward). Both phases are irregular nested loops run
+/// through the chosen template (paper Fig. 6(a), Table II).
+std::vector<double> run_bc(simt::Device& dev, const graph::Csr& g,
+                           nested::LoopTemplate tmpl,
+                           const nested::LoopParams& p = {},
+                           const BcOptions& opt = {});
+
+/// Serial Brandes reference, charging `timer` if given.
+std::vector<double> bc_serial(const graph::Csr& g, const BcOptions& opt = {},
+                              simt::CpuTimer* timer = nullptr);
+
+}  // namespace nestpar::apps

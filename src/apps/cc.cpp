@@ -1,0 +1,146 @@
+#include "src/apps/cc.h"
+
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "src/nested/workload.h"
+
+namespace nestpar::apps {
+
+namespace {
+
+using simt::LaneCtx;
+
+/// One min-label propagation sweep: active nodes push their label to all
+/// neighbors with atomicMin. Scatter workload; `commit` clears the mask.
+class CcPropagateWorkload final : public nested::NestedLoopWorkload {
+ public:
+  CcPropagateWorkload(const graph::Csr& g, std::uint32_t* labels,
+                      std::uint8_t* mask, std::uint8_t* next_mask, int* changed)
+      : g_(&g), labels_(labels), mask_(mask), next_mask_(next_mask),
+        changed_(changed) {}
+
+  std::int64_t size() const override { return g_->num_nodes(); }
+  std::uint32_t inner_size(std::int64_t i) const override {
+    return mask_[static_cast<std::size_t>(i)] != 0
+               ? g_->degree(static_cast<std::uint32_t>(i))
+               : 0;
+  }
+  void load_outer(LaneCtx& t, std::int64_t i) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    t.ld(&mask_[v]);
+    if (mask_[v] != 0) {
+      t.ld(&labels_[v]);
+      t.ld(&g_->row_offsets[v]);
+      t.ld(&g_->row_offsets[v + 1]);
+    }
+  }
+  double body(LaneCtx& t, std::int64_t i, std::uint32_t j) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    const std::size_t e = g_->row_offsets[v] + j;
+    const std::uint32_t n = t.ld(&g_->col_indices[e]);
+    const std::uint32_t old = t.atomic_min(&labels_[n], labels_[v]);
+    if (old > labels_[v]) {
+      t.st(&next_mask_[n], std::uint8_t{1});
+      t.st(changed_, 1);
+    }
+    return 0.0;
+  }
+  void commit(LaneCtx& t, std::int64_t i, double) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    if (mask_[v] != 0) t.st(&mask_[v], std::uint8_t{0});
+  }
+  const char* name() const override { return "cc"; }
+
+ private:
+  const graph::Csr* g_;
+  std::uint32_t* labels_;
+  std::uint8_t* mask_;
+  std::uint8_t* next_mask_;
+  int* changed_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> run_cc(simt::Device& dev, const graph::Csr& g,
+                                  nested::LoopTemplate tmpl,
+                                  const nested::LoopParams& p) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<std::uint32_t> labels(n);
+  std::iota(labels.begin(), labels.end(), 0u);
+  std::vector<std::uint8_t> mask(n, 1), next_mask(n, 0);
+  auto changed = std::make_shared<int>(1);
+
+  CcPropagateWorkload w(g, labels.data(), mask.data(), next_mask.data(),
+                        changed.get());
+  simt::LaunchConfig swap_cfg;
+  swap_cfg.block_threads = p.thread_block_size;
+  swap_cfg.grid_blocks =
+      simt::Device::blocks_for(n, p.thread_block_size, p.max_grid_blocks);
+  swap_cfg.name = "cc/advance";
+
+  int guard = 0;
+  while (*changed != 0) {
+    *changed = 0;
+    nested::run_nested_loop(dev, w, tmpl, p);
+    // Promote the next frontier (nodes whose label improved this sweep).
+    dev.launch_threads(swap_cfg, [&, n](LaneCtx& t) {
+      for (std::int64_t v = t.global_idx(); v < n; v += t.grid_threads()) {
+        const std::uint8_t nm = t.ld(&next_mask[static_cast<std::size_t>(v)]);
+        if (nm != 0) {
+          t.st(&mask[static_cast<std::size_t>(v)], std::uint8_t{1});
+          t.st(&next_mask[static_cast<std::size_t>(v)], std::uint8_t{0});
+        }
+      }
+    });
+    if (++guard > static_cast<int>(n) + 2) {
+      throw std::logic_error("run_cc: failed to converge");
+    }
+  }
+  return labels;
+}
+
+std::vector<std::uint32_t> cc_serial(const graph::Csr& g,
+                                     simt::CpuTimer* timer) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+
+  const auto find = [&](std::uint32_t x) {
+    while (true) {
+      const std::uint32_t p = timer != nullptr ? timer->ld(&parent[x])
+                                               : parent[x];
+      if (p == x) return x;
+      const std::uint32_t gp =
+          timer != nullptr ? timer->ld(&parent[p]) : parent[p];
+      parent[x] = gp;  // Path halving.
+      if (timer != nullptr) timer->st(&parent[x], gp);
+      x = gp;
+    }
+  };
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t c : g.neighbors(v)) {
+      if (timer != nullptr) timer->ld(&c);
+      const std::uint32_t a = find(v);
+      const std::uint32_t b = find(c);
+      if (a != b) {
+        const std::uint32_t lo = std::min(a, b), hi = std::max(a, b);
+        parent[hi] = lo;  // Union by id keeps the min-id as root.
+        if (timer != nullptr) timer->st(&parent[hi], lo);
+      }
+    }
+  }
+  std::vector<std::uint32_t> labels(n);
+  for (std::uint32_t v = 0; v < n; ++v) labels[v] = find(v);
+  return labels;
+}
+
+std::uint32_t count_components(const std::vector<std::uint32_t>& labels) {
+  std::unordered_set<std::uint32_t> roots(labels.begin(), labels.end());
+  return static_cast<std::uint32_t>(roots.size());
+}
+
+}  // namespace nestpar::apps

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/nested/templates.h"
+#include "src/simt/cpu_model.h"
+#include "src/simt/device.h"
+
+namespace nestpar::apps {
+
+/// Connected components by min-label propagation — an extension application
+/// demonstrating the templates' generality beyond the paper's benchmark set
+/// (the propagation sweep is another irregular nested loop). The graph must
+/// be symmetric (see graph::symmetrize); labels converge to the minimum node
+/// id of each component.
+std::vector<std::uint32_t> run_cc(simt::Device& dev, const graph::Csr& g,
+                                  nested::LoopTemplate tmpl,
+                                  const nested::LoopParams& p = {});
+
+/// Serial union-find reference (path halving + union by id), charging
+/// `timer` if given.
+std::vector<std::uint32_t> cc_serial(const graph::Csr& g,
+                                     simt::CpuTimer* timer = nullptr);
+
+/// Number of distinct components in a label vector.
+std::uint32_t count_components(const std::vector<std::uint32_t>& labels);
+
+}  // namespace nestpar::apps

@@ -1,0 +1,167 @@
+#include "src/apps/kcore.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/nested/workload.h"
+
+namespace nestpar::apps {
+
+namespace {
+
+using simt::LaneCtx;
+
+/// One peel sweep at level k: nodes marked for peeling remove themselves and
+/// decrement their live neighbors' degrees. Scatter workload; the peel set
+/// is snapshotted by a separate kernel so inner_size is stable per sweep.
+class KcorePeelWorkload final : public nested::NestedLoopWorkload {
+ public:
+  KcorePeelWorkload(const graph::Csr& g, std::int32_t* deg,
+                    std::uint8_t* alive, std::uint8_t* peel,
+                    std::uint32_t* core, std::uint32_t k)
+      : g_(&g), deg_(deg), alive_(alive), peel_(peel), core_(core), k_(k) {}
+
+  std::int64_t size() const override { return g_->num_nodes(); }
+  std::uint32_t inner_size(std::int64_t i) const override {
+    return peel_[static_cast<std::size_t>(i)] != 0
+               ? g_->degree(static_cast<std::uint32_t>(i))
+               : 0;
+  }
+  void load_outer(LaneCtx& t, std::int64_t i) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    t.ld(&peel_[v]);
+    if (peel_[v] != 0) {
+      t.ld(&g_->row_offsets[v]);
+      t.ld(&g_->row_offsets[v + 1]);
+    }
+  }
+  double body(LaneCtx& t, std::int64_t i, std::uint32_t j) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    const std::size_t e = g_->row_offsets[v] + j;
+    const std::uint32_t u = t.ld(&g_->col_indices[e]);
+    if (t.ld(&alive_[u]) != 0 && peel_[u] == 0) {
+      t.atomic_add(&deg_[u], std::int32_t{-1});
+    }
+    return 0.0;
+  }
+  void commit(LaneCtx& t, std::int64_t i, double) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    if (peel_[v] != 0) {
+      t.st(&alive_[v], std::uint8_t{0});
+      t.st(&peel_[v], std::uint8_t{0});
+      t.st(&core_[v], k_ - 1);
+    }
+  }
+  const char* name() const override { return "kcore"; }
+
+ private:
+  const graph::Csr* g_;
+  std::int32_t* deg_;
+  std::uint8_t* alive_;
+  std::uint8_t* peel_;
+  std::uint32_t* core_;
+  std::uint32_t k_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> run_kcore(simt::Device& dev, const graph::Csr& g,
+                                     nested::LoopTemplate tmpl,
+                                     const nested::LoopParams& p) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<std::int32_t> deg(n);
+  std::vector<std::uint8_t> alive(n, 1), peel(n, 0);
+  std::vector<std::uint32_t> core(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::int32_t>(g.degree(v));
+  }
+  auto marked = std::make_shared<int>(0);
+  std::uint32_t remaining = n;
+
+  simt::LaunchConfig mark_cfg;
+  mark_cfg.block_threads = p.thread_block_size;
+  mark_cfg.grid_blocks =
+      simt::Device::blocks_for(n, p.thread_block_size, p.max_grid_blocks);
+  mark_cfg.name = "kcore/mark";
+
+  std::uint32_t k = 1;
+  while (remaining > 0) {
+    // Snapshot this sweep's peel set: live nodes whose degree fell below k.
+    *marked = 0;
+    dev.launch_threads(mark_cfg, [&, n, k](LaneCtx& t) {
+      for (std::int64_t v = t.global_idx(); v < n; v += t.grid_threads()) {
+        if (t.ld(&alive[static_cast<std::size_t>(v)]) == 0) continue;
+        const std::int32_t d = t.ld(&deg[static_cast<std::size_t>(v)]);
+        t.compute(1);
+        if (d < static_cast<std::int32_t>(k)) {
+          t.st(&peel[static_cast<std::size_t>(v)], std::uint8_t{1});
+          t.st(marked.get(), 1);
+        }
+      }
+    });
+    if (*marked == 0) {
+      ++k;
+      if (k > n + 1) throw std::logic_error("run_kcore: failed to converge");
+      continue;
+    }
+    std::uint32_t peeled = 0;
+    for (std::uint32_t v = 0; v < n; ++v) peeled += peel[v];
+    KcorePeelWorkload w(g, deg.data(), alive.data(), peel.data(), core.data(),
+                        k);
+    nested::run_nested_loop(dev, w, tmpl, p);
+    remaining -= peeled;
+  }
+  return core;
+}
+
+std::vector<std::uint32_t> kcore_serial(const graph::Csr& g,
+                                        simt::CpuTimer* timer) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<std::int32_t> deg(n);
+  std::vector<std::uint8_t> alive(n, 1);
+  std::vector<std::uint32_t> core(n, 0);
+  std::uint32_t max_deg = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::int32_t>(g.degree(v));
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  // Bucket peeling: repeatedly remove a minimum-degree node.
+  std::vector<std::vector<std::uint32_t>> buckets(max_deg + 1);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    buckets[static_cast<std::size_t>(deg[v])].push_back(v);
+  }
+  std::uint32_t processed = 0, cur = 0;
+  while (processed < n) {
+    while (cur <= max_deg && buckets[cur].empty()) ++cur;
+    if (cur > max_deg) break;
+    const std::uint32_t v = buckets[cur].back();
+    buckets[cur].pop_back();
+    if (timer != nullptr) timer->compute(2);
+    if (alive[v] == 0 ||
+        static_cast<std::uint32_t>(std::max(deg[v], 0)) != cur) {
+      continue;  // Stale bucket entry.
+    }
+    alive[v] = 0;
+    core[v] = cur;
+    if (timer != nullptr) {
+      timer->st(&alive[v], std::uint8_t{0});
+      timer->st(&core[v], cur);
+    }
+    ++processed;
+    for (const std::uint32_t u : g.neighbors(v)) {
+      if (timer != nullptr) timer->ld(&u);
+      if (alive[u] == 0) continue;
+      // Coreness of u is at least cur, so its effective degree never drops
+      // below cur (the standard clamp).
+      if (deg[u] > static_cast<std::int32_t>(cur)) {
+        --deg[u];
+        if (timer != nullptr) timer->st(&deg[u], deg[u]);
+        buckets[static_cast<std::size_t>(deg[u])].push_back(u);
+      }
+    }
+  }
+  return core;
+}
+
+}  // namespace nestpar::apps

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/nested/templates.h"
+#include "src/simt/cpu_model.h"
+#include "src/simt/device.h"
+
+namespace nestpar::apps {
+
+/// k-core decomposition (coreness of every node) by iterative peeling — a
+/// third extension application for the templates: every peeling sweep is an
+/// irregular nested loop whose active set shrinks over time, stressing the
+/// masked-iteration path the way SSSP does but with monotonically *falling*
+/// degrees. The graph must be symmetric (graph::symmetrize).
+std::vector<std::uint32_t> run_kcore(simt::Device& dev, const graph::Csr& g,
+                                     nested::LoopTemplate tmpl,
+                                     const nested::LoopParams& p = {});
+
+/// Serial peeling reference (bucket queue), charging `timer` if given.
+std::vector<std::uint32_t> kcore_serial(const graph::Csr& g,
+                                        simt::CpuTimer* timer = nullptr);
+
+}  // namespace nestpar::apps

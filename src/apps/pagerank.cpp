@@ -1,0 +1,121 @@
+#include "src/apps/pagerank.h"
+
+#include <stdexcept>
+
+#include "src/nested/workload.h"
+
+namespace nestpar::apps {
+
+namespace {
+
+using simt::LaneCtx;
+
+/// One power iteration's rank gather: for page i, sum rank/outdegree over its
+/// in-neighbors (inner loop over the transpose graph's row — irregular f(i)).
+class PageRankWorkload final : public nested::NestedLoopWorkload {
+ public:
+  PageRankWorkload(const graph::Csr& gt, const std::uint32_t* outdeg,
+                   const double* rank_old, double* rank_new, double damping)
+      : gt_(&gt),
+        outdeg_(outdeg),
+        rank_old_(rank_old),
+        rank_new_(rank_new),
+        damping_(damping),
+        base_((1.0 - damping) / gt.num_nodes()) {}
+
+  std::int64_t size() const override { return gt_->num_nodes(); }
+  std::uint32_t inner_size(std::int64_t i) const override {
+    return gt_->degree(static_cast<std::uint32_t>(i));
+  }
+  void load_outer(LaneCtx& t, std::int64_t i) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    t.ld(&gt_->row_offsets[v]);
+    t.ld(&gt_->row_offsets[v + 1]);
+  }
+  double body(LaneCtx& t, std::int64_t i, std::uint32_t j) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    const std::size_t e = gt_->row_offsets[v] + j;
+    const std::uint32_t u = t.ld(&gt_->col_indices[e]);
+    const double r = t.ld(&rank_old_[u]);
+    const std::uint32_t d = t.ld(&outdeg_[u]);
+    t.compute(2);
+    return d > 0 ? r / d : 0.0;
+  }
+  void commit(LaneCtx& t, std::int64_t i, double value) const override {
+    t.compute(2);
+    t.st(&rank_new_[static_cast<std::size_t>(i)], base_ + damping_ * value);
+  }
+  const char* name() const override { return "pagerank"; }
+
+ private:
+  const graph::Csr* gt_;
+  const std::uint32_t* outdeg_;
+  const double* rank_old_;
+  double* rank_new_;
+  double damping_;
+  double base_;
+};
+
+std::vector<std::uint32_t> out_degrees(const graph::Csr& g) {
+  std::vector<std::uint32_t> d(g.num_nodes());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) d[v] = g.degree(v);
+  return d;
+}
+
+}  // namespace
+
+std::vector<double> run_pagerank(simt::Device& dev, const graph::Csr& g,
+                                 nested::LoopTemplate tmpl,
+                                 const nested::LoopParams& p,
+                                 const PageRankOptions& opt) {
+  if (opt.iterations < 1) throw std::invalid_argument("pagerank iterations");
+  const std::uint32_t n = g.num_nodes();
+  const graph::Csr gt = graph::transpose(g);
+  const std::vector<std::uint32_t> outdeg = out_degrees(g);
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < opt.iterations; ++it) {
+    PageRankWorkload w(gt, outdeg.data(), rank.data(), next.data(),
+                       opt.damping);
+    nested::run_nested_loop(dev, w, tmpl, p);
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> pagerank_serial(const graph::Csr& g,
+                                    const PageRankOptions& opt,
+                                    simt::CpuTimer* timer) {
+  const std::uint32_t n = g.num_nodes();
+  const graph::Csr gt = graph::transpose(g);
+  const std::vector<std::uint32_t> outdeg = out_degrees(g);
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  const double base = (1.0 - opt.damping) / n;
+  for (int it = 0; it < opt.iterations; ++it) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (std::uint32_t e = gt.row_offsets[v]; e < gt.row_offsets[v + 1];
+           ++e) {
+        const std::uint32_t u =
+            timer != nullptr ? timer->ld(&gt.col_indices[e]) : gt.col_indices[e];
+        const double r = timer != nullptr ? timer->ld(&rank[u]) : rank[u];
+        const std::uint32_t d =
+            timer != nullptr ? timer->ld(&outdeg[u]) : outdeg[u];
+        if (timer != nullptr) timer->compute(2);
+        sum += d > 0 ? r / d : 0.0;
+      }
+      const double val = base + opt.damping * sum;
+      if (timer != nullptr) {
+        timer->compute(2);
+        timer->st(&next[v], val);
+      } else {
+        next[v] = val;
+      }
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace nestpar::apps

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/nested/templates.h"
+#include "src/simt/cpu_model.h"
+#include "src/simt/device.h"
+
+namespace nestpar::apps {
+
+/// PageRank options (pull-style GPU implementation after [7]).
+struct PageRankOptions {
+  int iterations = 10;      ///< Fixed power-iteration count.
+  double damping = 0.85;
+};
+
+/// GPU PageRank: each power iteration runs the rank-gather nested loop (outer
+/// loop over pages, inner loop over in-neighbors) through the chosen
+/// template (paper Fig. 6(b), Table II). Returns the final rank vector.
+std::vector<double> run_pagerank(simt::Device& dev, const graph::Csr& g,
+                                 nested::LoopTemplate tmpl,
+                                 const nested::LoopParams& p = {},
+                                 const PageRankOptions& opt = {});
+
+/// Serial CPU reference, charging `timer` if given.
+std::vector<double> pagerank_serial(const graph::Csr& g,
+                                    const PageRankOptions& opt = {},
+                                    simt::CpuTimer* timer = nullptr);
+
+}  // namespace nestpar::apps

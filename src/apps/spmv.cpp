@@ -1,0 +1,44 @@
+#include "src/apps/spmv.h"
+
+#include <stdexcept>
+
+namespace nestpar::apps {
+
+SpmvWorkload::SpmvWorkload(const matrix::CsrMatrix& a, const float* x,
+                           float* y)
+    : a_(&a), x_(x), y_(y) {}
+
+void SpmvWorkload::load_outer(simt::LaneCtx& t, std::int64_t i) const {
+  t.ld(&a_->row_offsets[static_cast<std::size_t>(i)]);
+  t.ld(&a_->row_offsets[static_cast<std::size_t>(i) + 1]);
+}
+
+double SpmvWorkload::body(simt::LaneCtx& t, std::int64_t i,
+                          std::uint32_t j) const {
+  const std::size_t e = a_->row_offsets[static_cast<std::size_t>(i)] + j;
+  const std::uint32_t c = t.ld(&a_->col_indices[e]);
+  const float v = t.ld(&a_->values[e]);
+  const float xv = t.ld(&x_[c]);
+  t.compute(2);  // multiply-add
+  return static_cast<double>(v) * xv;
+}
+
+void SpmvWorkload::commit(simt::LaneCtx& t, std::int64_t i,
+                          double value) const {
+  t.st(&y_[static_cast<std::size_t>(i)], static_cast<float>(value));
+}
+
+std::vector<float> run_spmv(simt::Device& dev, const matrix::CsrMatrix& a,
+                            std::span<const float> x,
+                            nested::LoopTemplate tmpl,
+                            const nested::LoopParams& p) {
+  if (x.size() != a.cols) {
+    throw std::invalid_argument("run_spmv: vector size mismatch");
+  }
+  std::vector<float> y(a.rows, 0.0f);
+  SpmvWorkload w(a, x.data(), y.data());
+  nested::run_nested_loop(dev, w, tmpl, p);
+  return y;
+}
+
+}  // namespace nestpar::apps

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/matrix/csr_matrix.h"
+#include "src/nested/templates.h"
+#include "src/nested/workload.h"
+#include "src/simt/device.h"
+
+namespace nestpar::apps {
+
+/// Sparse matrix-vector product y = A*x as an irregular nested loop: the
+/// outer loop walks rows, the inner loop walks the row's nonzeros, whose
+/// count is the irregular f(i) (paper application [8], Figs. 4/6, Table II).
+class SpmvWorkload final : public nested::NestedLoopWorkload {
+ public:
+  SpmvWorkload(const matrix::CsrMatrix& a, const float* x, float* y);
+
+  std::int64_t size() const override { return a_->rows; }
+  std::uint32_t inner_size(std::int64_t i) const override {
+    return a_->row_nnz(static_cast<std::uint32_t>(i));
+  }
+  void load_outer(simt::LaneCtx& t, std::int64_t i) const override;
+  double body(simt::LaneCtx& t, std::int64_t i,
+              std::uint32_t j) const override;
+  void commit(simt::LaneCtx& t, std::int64_t i, double value) const override;
+  const char* name() const override { return "spmv"; }
+
+ private:
+  const matrix::CsrMatrix* a_;
+  const float* x_;
+  float* y_;
+};
+
+/// Run SpMV on the simulated GPU with the chosen template; returns y.
+std::vector<float> run_spmv(simt::Device& dev, const matrix::CsrMatrix& a,
+                            std::span<const float> x,
+                            nested::LoopTemplate tmpl,
+                            const nested::LoopParams& p = {});
+
+}  // namespace nestpar::apps

@@ -1,0 +1,199 @@
+#include "src/apps/sssp.h"
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+
+#include "src/nested/workload.h"
+
+namespace nestpar::apps {
+
+namespace {
+
+using simt::LaneCtx;
+
+/// The relaxation sweep of [5]: active nodes relax all their edges with
+/// atomicMin into the "updating" distance array. Scatter-style workload: all
+/// work happens in `body`; `commit` clears the node's active mask.
+class SsspRelaxWorkload final : public nested::NestedLoopWorkload {
+ public:
+  SsspRelaxWorkload(const graph::Csr& g, const float* dist, float* updating,
+                    std::uint8_t* mask)
+      : g_(&g), dist_(dist), updating_(updating), mask_(mask) {}
+
+  std::int64_t size() const override { return g_->num_nodes(); }
+
+  std::uint32_t inner_size(std::int64_t i) const override {
+    return mask_[static_cast<std::size_t>(i)] != 0
+               ? g_->degree(static_cast<std::uint32_t>(i))
+               : 0;
+  }
+
+  void load_outer(LaneCtx& t, std::int64_t i) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    t.ld(&mask_[v]);
+    if (mask_[v] != 0) {
+      t.ld(&dist_[v]);
+      t.ld(&g_->row_offsets[v]);
+      t.ld(&g_->row_offsets[v + 1]);
+    }
+  }
+
+  double body(LaneCtx& t, std::int64_t i, std::uint32_t j) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    const std::size_t e = g_->row_offsets[v] + j;
+    const std::uint32_t n = t.ld(&g_->col_indices[e]);
+    const float w = g_->weighted() ? t.ld(&g_->weights[e]) : 1.0f;
+    t.compute(1);
+    t.atomic_min(&updating_[n], dist_[v] + w);
+    return 0.0;
+  }
+
+  void commit(LaneCtx& t, std::int64_t i, double) const override {
+    const auto v = static_cast<std::uint32_t>(i);
+    if (mask_[v] != 0) t.st(&mask_[v], std::uint8_t{0});
+  }
+
+  const char* name() const override { return "sssp"; }
+
+ private:
+  const graph::Csr* g_;
+  const float* dist_;
+  float* updating_;
+  std::uint8_t* mask_;
+};
+
+}  // namespace
+
+SsspResult run_sssp(simt::Device& dev, const graph::Csr& g, std::uint32_t src,
+                    nested::LoopTemplate tmpl, const nested::LoopParams& p) {
+  const std::uint32_t n = g.num_nodes();
+  if (src >= n) throw std::invalid_argument("run_sssp: source out of range");
+
+  SsspResult res;
+  res.dist.assign(n, kInfDistance);
+  std::vector<float> updating(n, kInfDistance);
+  std::vector<std::uint8_t> mask(n, 0);
+  res.dist[src] = 0.0f;
+  updating[src] = 0.0f;
+  mask[src] = 1;
+
+  SsspRelaxWorkload w(g, res.dist.data(), updating.data(), mask.data());
+
+  auto changed = std::make_shared<int>(1);
+  simt::LaunchConfig update_cfg;
+  update_cfg.block_threads = p.thread_block_size;
+  update_cfg.grid_blocks =
+      simt::Device::blocks_for(n, p.thread_block_size, p.max_grid_blocks);
+  update_cfg.name = "sssp/update";
+
+  while (*changed != 0) {
+    *changed = 0;
+    nested::run_nested_loop(dev, w, tmpl, p);
+    // Update kernel of [5]: promote improved tentative distances and
+    // re-activate their nodes. Identical for every template.
+    dev.launch_threads(update_cfg, [&, n](LaneCtx& t) {
+      for (std::int64_t v = t.global_idx(); v < n; v += t.grid_threads()) {
+        const float u = t.ld(&updating[static_cast<std::size_t>(v)]);
+        const float c = t.ld(&res.dist[static_cast<std::size_t>(v)]);
+        if (u < c) {
+          t.st(&res.dist[static_cast<std::size_t>(v)], u);
+          t.st(&mask[static_cast<std::size_t>(v)], std::uint8_t{1});
+          t.st(changed.get(), 1);
+        } else if (u != c) {
+          t.st(&updating[static_cast<std::size_t>(v)], c);
+        }
+      }
+    });
+    ++res.iterations;
+    if (res.iterations > static_cast<int>(n) + 1) {
+      throw std::logic_error("run_sssp: failed to converge");
+    }
+  }
+  return res;
+}
+
+std::vector<float> sssp_serial(const graph::Csr& g, std::uint32_t src,
+                               simt::CpuTimer* timer) {
+  const std::uint32_t n = g.num_nodes();
+  if (src >= n) throw std::invalid_argument("sssp_serial: source oob");
+  std::vector<float> dist(n, kInfDistance);
+  std::vector<std::uint8_t> queued(n, 0);
+  std::deque<std::uint32_t> work;
+  dist[src] = 0.0f;
+  queued[src] = 1;
+  work.push_back(src);
+  while (!work.empty()) {
+    const std::uint32_t v = work.front();
+    work.pop_front();
+    queued[v] = 0;
+    const float dv = timer != nullptr ? timer->ld(&dist[v]) : dist[v];
+    if (timer != nullptr) timer->compute(2);  // worklist bookkeeping
+    for (std::uint32_t e = g.row_offsets[v]; e < g.row_offsets[v + 1]; ++e) {
+      const std::uint32_t u =
+          timer != nullptr ? timer->ld(&g.col_indices[e]) : g.col_indices[e];
+      const float w = g.weighted()
+                          ? (timer != nullptr ? timer->ld(&g.weights[e])
+                                              : g.weights[e])
+                          : 1.0f;
+      const float nd = dv + w;
+      const float old = timer != nullptr ? timer->ld(&dist[u]) : dist[u];
+      if (timer != nullptr) timer->compute(2);
+      if (nd < old) {
+        if (timer != nullptr) {
+          timer->st(&dist[u], nd);
+        } else {
+          dist[u] = nd;
+        }
+        if (queued[u] == 0) {
+          queued[u] = 1;
+          work.push_back(u);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<float> sssp_serial_dijkstra(const graph::Csr& g, std::uint32_t src,
+                                        simt::CpuTimer* timer) {
+  const std::uint32_t n = g.num_nodes();
+  if (src >= n) throw std::invalid_argument("sssp_serial: source oob");
+  std::vector<float> dist(n, kInfDistance);
+  dist[src] = 0.0f;
+  using Entry = std::pair<float, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0f, src);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (timer != nullptr) timer->compute(4);  // heap pop bookkeeping
+    if (d > dist[v]) continue;
+    const std::uint32_t begin = g.row_offsets[v];
+    const std::uint32_t end = g.row_offsets[v + 1];
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const std::uint32_t u =
+          timer != nullptr ? timer->ld(&g.col_indices[e]) : g.col_indices[e];
+      const float w = g.weighted()
+                          ? (timer != nullptr ? timer->ld(&g.weights[e])
+                                              : g.weights[e])
+                          : 1.0f;
+      const float nd = d + w;
+      const float old = timer != nullptr ? timer->ld(&dist[u]) : dist[u];
+      if (timer != nullptr) timer->compute(2);
+      if (nd < old) {
+        if (timer != nullptr) {
+          timer->st(&dist[u], nd);
+          timer->compute(6);  // heap push
+        } else {
+          dist[u] = nd;
+        }
+        heap.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace nestpar::apps

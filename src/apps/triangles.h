@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/csr.h"
+#include "src/nested/templates.h"
+#include "src/simt/cpu_model.h"
+#include "src/simt/device.h"
+
+namespace nestpar::apps {
+
+/// Triangle counting — a *reducing* irregular nested loop extension app:
+/// the outer loop walks nodes, the inner loop walks neighbors, and each
+/// inner iteration intersects two sorted adjacency lists (so per-inner-
+/// iteration work is itself irregular — a stress case for the templates).
+///
+/// The graph must be symmetric with sorted adjacency lists
+/// (graph::symmetrize produces both). Each triangle {a<b<c} is counted once
+/// at its smallest vertex.
+std::uint64_t run_triangle_count(simt::Device& dev, const graph::Csr& g,
+                                 nested::LoopTemplate tmpl,
+                                 const nested::LoopParams& p = {});
+
+/// Serial reference (same orientation), charging `timer` if given.
+std::uint64_t triangle_count_serial(const graph::Csr& g,
+                                    simt::CpuTimer* timer = nullptr);
+
+}  // namespace nestpar::apps

@@ -1,0 +1,156 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace nestpar::graph {
+
+void Csr::validate() const {
+  if (row_offsets.empty()) {
+    throw std::invalid_argument("csr: row_offsets must have >= 1 entry");
+  }
+  if (row_offsets.front() != 0) {
+    throw std::invalid_argument("csr: row_offsets[0] must be 0");
+  }
+  for (std::size_t i = 1; i < row_offsets.size(); ++i) {
+    if (row_offsets[i] < row_offsets[i - 1]) {
+      throw std::invalid_argument("csr: row_offsets not monotone at " +
+                                  std::to_string(i));
+    }
+  }
+  if (row_offsets.back() != col_indices.size()) {
+    throw std::invalid_argument("csr: row_offsets.back() != num_edges");
+  }
+  const std::uint32_t n = num_nodes();
+  for (std::uint32_t c : col_indices) {
+    if (c >= n) {
+      throw std::invalid_argument("csr: column index out of range");
+    }
+  }
+  if (!weights.empty() && weights.size() != col_indices.size()) {
+    throw std::invalid_argument("csr: weights size mismatch");
+  }
+}
+
+Csr build_csr(std::uint32_t num_nodes, std::span<const Edge> edges,
+              bool keep_weights) {
+  Csr g;
+  g.row_offsets.assign(num_nodes + 1, 0);
+  for (const Edge& e : edges) {
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      throw std::invalid_argument("build_csr: edge endpoint out of range");
+    }
+    ++g.row_offsets[e.src + 1];
+  }
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    g.row_offsets[v + 1] += g.row_offsets[v];
+  }
+  g.col_indices.resize(edges.size());
+  if (keep_weights) g.weights.resize(edges.size());
+  std::vector<std::uint32_t> cursor(g.row_offsets.begin(),
+                                    g.row_offsets.end() - 1);
+  for (const Edge& e : edges) {
+    const std::uint32_t slot = cursor[e.src]++;
+    g.col_indices[slot] = e.dst;
+    if (keep_weights) g.weights[slot] = e.weight;
+  }
+  return g;
+}
+
+Csr transpose(const Csr& g) {
+  Csr t;
+  const std::uint32_t n = g.num_nodes();
+  t.row_offsets.assign(n + 1, 0);
+  for (std::uint32_t c : g.col_indices) ++t.row_offsets[c + 1];
+  for (std::uint32_t v = 0; v < n; ++v) {
+    t.row_offsets[v + 1] += t.row_offsets[v];
+  }
+  t.col_indices.resize(g.col_indices.size());
+  const bool weighted = g.weighted();
+  if (weighted) t.weights.resize(g.weights.size());
+  std::vector<std::uint32_t> cursor(t.row_offsets.begin(),
+                                    t.row_offsets.end() - 1);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t e = g.row_offsets[v]; e < g.row_offsets[v + 1]; ++e) {
+      const std::uint32_t slot = cursor[g.col_indices[e]]++;
+      t.col_indices[slot] = v;
+      if (weighted) t.weights[slot] = g.weights[e];
+    }
+  }
+  return t;
+}
+
+Csr symmetrize(const Csr& g) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges() * 2);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t c : g.neighbors(v)) {
+      edges.push_back(Edge{v, c, 1.0f});
+      edges.push_back(Edge{c, v, 1.0f});
+    }
+  }
+  Csr s = build_csr(n, edges);
+  sort_neighbors(s);
+  // Deduplicate within each (sorted) row.
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  std::vector<std::uint32_t> cols;
+  cols.reserve(s.col_indices.size());
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const auto nb = s.neighbors(v);
+    for (std::size_t k = 0; k < nb.size(); ++k) {
+      if (k == 0 || nb[k] != nb[k - 1]) cols.push_back(nb[k]);
+    }
+    offsets[v + 1] = static_cast<std::uint32_t>(cols.size());
+  }
+  s.row_offsets = std::move(offsets);
+  s.col_indices = std::move(cols);
+  s.weights.clear();
+  return s;
+}
+
+void sort_neighbors(Csr& g) {
+  const std::uint32_t n = g.num_nodes();
+  if (g.weighted()) {
+    std::vector<std::pair<std::uint32_t, float>> row;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t begin = g.row_offsets[v], end = g.row_offsets[v + 1];
+      row.clear();
+      for (std::uint32_t e = begin; e < end; ++e) {
+        row.emplace_back(g.col_indices[e], g.weights[e]);
+      }
+      std::sort(row.begin(), row.end());
+      for (std::uint32_t e = begin; e < end; ++e) {
+        g.col_indices[e] = row[e - begin].first;
+        g.weights[e] = row[e - begin].second;
+      }
+    }
+  } else {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      std::sort(g.col_indices.begin() + g.row_offsets[v],
+                g.col_indices.begin() + g.row_offsets[v + 1]);
+    }
+  }
+}
+
+DegreeStats degree_stats(const Csr& g) {
+  DegreeStats s;
+  const std::uint32_t n = g.num_nodes();
+  if (n == 0) return s;
+  s.min_degree = g.degree(0);
+  double sum = 0.0, sum2 = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t d = g.degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    sum += d;
+    sum2 += static_cast<double>(d) * d;
+  }
+  s.mean_degree = sum / n;
+  s.stddev_degree = std::sqrt(std::max(0.0, sum2 / n - s.mean_degree * s.mean_degree));
+  return s;
+}
+
+}  // namespace nestpar::graph

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nestpar::graph {
+
+/// Directed graph in Compressed Sparse Row format — the representation used
+/// by the paper's baselines ([5] Harish & Narayanan) and by every nested-loop
+/// workload here: the outer loop iterates nodes, the inner loop iterates
+/// `neighbors(v)`, whose length is the irregular `f(i)` of Figure 1(a).
+struct Csr {
+  std::vector<std::uint32_t> row_offsets;  ///< Size num_nodes()+1.
+  std::vector<std::uint32_t> col_indices;  ///< Size num_edges().
+  std::vector<float> weights;              ///< Empty, or size num_edges().
+
+  std::uint32_t num_nodes() const {
+    return row_offsets.empty()
+               ? 0
+               : static_cast<std::uint32_t>(row_offsets.size() - 1);
+  }
+  std::uint64_t num_edges() const { return col_indices.size(); }
+
+  std::uint32_t degree(std::uint32_t v) const {
+    return row_offsets[v + 1] - row_offsets[v];
+  }
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const {
+    return {col_indices.data() + row_offsets[v], degree(v)};
+  }
+  bool weighted() const { return !weights.empty(); }
+
+  /// Structural invariants: monotone offsets, in-range column indices,
+  /// weight array either empty or edge-sized. Throws std::invalid_argument.
+  void validate() const;
+};
+
+/// One directed edge (builder input).
+struct Edge {
+  std::uint32_t src;
+  std::uint32_t dst;
+  float weight = 1.0f;
+};
+
+/// Build a CSR graph from an edge list. Edges are bucketed by source; input
+/// order within a source is preserved. `num_nodes` must exceed every endpoint.
+Csr build_csr(std::uint32_t num_nodes, std::span<const Edge> edges,
+              bool keep_weights = false);
+
+/// Reverse every edge (used by pull-style algorithms such as PageRank).
+Csr transpose(const Csr& g);
+
+/// Make the graph symmetric: for every edge (u,v) ensure (v,u) exists
+/// (duplicates are removed). Weights are dropped. Used by undirected
+/// algorithms (connected components, triangle counting).
+Csr symmetrize(const Csr& g);
+
+/// Sort every adjacency list ascending (weights are permuted along).
+/// Required by algorithms that intersect neighbor lists.
+void sort_neighbors(Csr& g);
+
+/// Degree summary used to check generator calibration.
+struct DegreeStats {
+  std::uint32_t min_degree = 0;
+  std::uint32_t max_degree = 0;
+  double mean_degree = 0.0;
+  double stddev_degree = 0.0;
+};
+DegreeStats degree_stats(const Csr& g);
+
+}  // namespace nestpar::graph

@@ -1,0 +1,280 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace nestpar::graph {
+
+namespace {
+
+/// Deterministic 64-bit RNG (mt19937_64 keeps results identical across
+/// standard libraries, unlike the distributions, which we avoid).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : eng_(seed) {}
+  std::uint64_t next() { return eng_(); }
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+  /// Uniform double in (0, 1].
+  double unit() {
+    return (static_cast<double>(next() >> 11) + 1.0) / 9007199254740992.0;
+  }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+Csr assemble(std::uint32_t n, const std::vector<std::uint32_t>& degrees,
+             Rng& rng, bool weighted, bool degree_biased_targets = false) {
+  Csr g;
+  g.row_offsets.resize(n + 1);
+  g.row_offsets[0] = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    g.row_offsets[v + 1] = g.row_offsets[v] + degrees[v];
+  }
+  const std::uint64_t m = g.row_offsets[n];
+  g.col_indices.resize(m);
+  if (weighted) g.weights.resize(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint32_t target;
+    if (degree_biased_targets && m > 0) {
+      // Preferential-attachment-style: a node is cited proportionally to
+      // how much it cites — real citation networks have skewed in-degrees,
+      // and pull-style workloads (PageRank) depend on that skew.
+      const std::uint64_t slot = rng.below(m);
+      target = static_cast<std::uint32_t>(
+          std::upper_bound(g.row_offsets.begin(), g.row_offsets.end(), slot) -
+          g.row_offsets.begin() - 1);
+    } else {
+      target = static_cast<std::uint32_t>(rng.below(n));
+    }
+    g.col_indices[e] = target;
+    if (weighted) {
+      g.weights[e] = 1.0f + static_cast<float>(rng.below(99));
+    }
+  }
+  return g;
+}
+
+/// Inverse-CDF sample of a Pareto(gamma) truncated to [lo, hi].
+double truncated_pareto(double u, double lo, double hi, double gamma) {
+  // CDF on [lo, hi]: F(x) = (1 - (lo/x)^g) / (1 - (lo/hi)^g).
+  const double tail = 1.0 - std::pow(lo / hi, gamma);
+  const double x = lo / std::pow(1.0 - u * tail, 1.0 / gamma);
+  return std::min(x, hi);
+}
+
+/// Mean of the truncated Pareto via fixed quadrature (deterministic).
+double truncated_pareto_mean(double lo, double hi, double gamma) {
+  constexpr int kSamples = 4096;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = (i + 0.5) / kSamples;
+    sum += truncated_pareto(u, lo, hi, gamma);
+  }
+  return sum / kSamples;
+}
+
+}  // namespace
+
+double calibrate_pareto_gamma(std::uint32_t min_degree,
+                              std::uint32_t max_degree, double mean_degree) {
+  const double lo = std::max<double>(min_degree, 0.5);
+  const double hi = max_degree;
+  if (mean_degree <= lo || mean_degree >= hi) {
+    throw std::invalid_argument("mean_degree must lie inside (min, max)");
+  }
+  // Mean decreases monotonically in gamma; bisect.
+  double g_lo = 0.01, g_hi = 16.0;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (g_lo + g_hi);
+    if (truncated_pareto_mean(lo, hi, mid) > mean_degree) {
+      g_lo = mid;
+    } else {
+      g_hi = mid;
+    }
+  }
+  return 0.5 * (g_lo + g_hi);
+}
+
+Csr generate_uniform_random(std::uint32_t num_nodes, std::uint32_t min_degree,
+                            std::uint32_t max_degree, std::uint64_t seed,
+                            bool weighted) {
+  if (num_nodes == 0) throw std::invalid_argument("num_nodes must be > 0");
+  if (min_degree > max_degree) {
+    throw std::invalid_argument("min_degree > max_degree");
+  }
+  Rng rng(seed);
+  std::vector<std::uint32_t> degrees(num_nodes);
+  const std::uint64_t span = max_degree - min_degree + 1;
+  for (auto& d : degrees) {
+    d = min_degree + static_cast<std::uint32_t>(rng.below(span));
+  }
+  return assemble(num_nodes, degrees, rng, weighted);
+}
+
+Csr generate_power_law(std::uint32_t num_nodes, std::uint32_t min_degree,
+                       std::uint32_t max_degree, double mean_degree,
+                       std::uint64_t seed, bool weighted) {
+  if (num_nodes == 0) throw std::invalid_argument("num_nodes must be > 0");
+  const double gamma =
+      calibrate_pareto_gamma(min_degree, max_degree, mean_degree);
+  const double lo = std::max<double>(min_degree, 0.5);
+  Rng rng(seed);
+  std::vector<std::uint32_t> degrees(num_nodes);
+  for (auto& d : degrees) {
+    const double x = truncated_pareto(rng.unit(), lo, max_degree, gamma);
+    d = std::clamp(static_cast<std::uint32_t>(std::lround(x)), min_degree,
+                   max_degree);
+  }
+  return assemble(num_nodes, degrees, rng, weighted,
+                  /*degree_biased_targets=*/true);
+}
+
+namespace {
+
+/// Quantile of the standard normal via Acklam's rational approximation
+/// (deterministic; good to ~1e-9, far beyond what a degree draw needs).
+double normal_quantile(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425, phigh = 1 - plow;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5, r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+double clamped_lognormal(double u, double mu, double sigma, double lo,
+                         double hi) {
+  const double x = std::exp(mu + sigma * normal_quantile(u));
+  return std::clamp(x, lo, hi);
+}
+
+double clamped_lognormal_mean(double mu, double sigma, double lo, double hi) {
+  constexpr int kSamples = 4096;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += clamped_lognormal((i + 0.5) / kSamples, mu, sigma, lo, hi);
+  }
+  return sum / kSamples;
+}
+
+}  // namespace
+
+Csr generate_lognormal(std::uint32_t num_nodes, std::uint32_t min_degree,
+                       std::uint32_t max_degree, double mean_degree,
+                       double sigma, std::uint64_t seed, bool weighted) {
+  if (num_nodes == 0) throw std::invalid_argument("num_nodes must be > 0");
+  if (sigma <= 0.0) throw std::invalid_argument("sigma must be positive");
+  const double lo = min_degree;
+  const double hi = max_degree;
+  if (mean_degree <= lo || mean_degree >= hi) {
+    throw std::invalid_argument("mean_degree must lie inside (min, max)");
+  }
+  // Mean increases monotonically in mu; bisect.
+  double m_lo = -4.0, m_hi = std::log(hi) + 2.0;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (m_lo + m_hi);
+    if (clamped_lognormal_mean(mid, sigma, lo, hi) < mean_degree) {
+      m_lo = mid;
+    } else {
+      m_hi = mid;
+    }
+  }
+  const double mu = 0.5 * (m_lo + m_hi);
+  Rng rng(seed);
+  std::vector<std::uint32_t> degrees(num_nodes);
+  for (auto& d : degrees) {
+    d = static_cast<std::uint32_t>(
+        std::lround(clamped_lognormal(rng.unit(), mu, sigma, lo, hi)));
+  }
+  return assemble(num_nodes, degrees, rng, weighted,
+                  /*degree_biased_targets=*/true);
+}
+
+Csr generate_regular(std::uint32_t num_nodes, std::uint32_t degree,
+                     std::uint64_t seed, bool weighted) {
+  if (num_nodes == 0) throw std::invalid_argument("num_nodes must be > 0");
+  Rng rng(seed);
+  std::vector<std::uint32_t> degrees(num_nodes, degree);
+  return assemble(num_nodes, degrees, rng, weighted);
+}
+
+Csr generate_rmat(int scale, int edges_per_node, std::uint64_t seed,
+                  double a, double b, double c, bool weighted) {
+  if (scale < 1 || scale > 30) throw std::invalid_argument("rmat: bad scale");
+  if (edges_per_node < 1) throw std::invalid_argument("rmat: bad edge count");
+  if (a <= 0 || b <= 0 || c <= 0 || a + b + c >= 1.0) {
+    throw std::invalid_argument("rmat: bad quadrant probabilities");
+  }
+  const std::uint32_t n = 1u << scale;
+  const std::uint64_t m =
+      static_cast<std::uint64_t>(edges_per_node) * n;
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint32_t src = 0, dst = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double u = rng.unit();
+      src <<= 1;
+      dst <<= 1;
+      if (u < a) {
+        // top-left quadrant
+      } else if (u < a + b) {
+        dst |= 1;
+      } else if (u < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.push_back(Edge{src, dst,
+                         weighted ? 1.0f + static_cast<float>(rng.below(99))
+                                  : 1.0f});
+  }
+  return build_csr(n, edges, weighted);
+}
+
+Csr generate_citeseer_like(double scale, std::uint64_t seed, bool weighted) {
+  const auto n = static_cast<std::uint32_t>(434000 * scale);
+  if (n < 2) throw std::invalid_argument("scale too small");
+  // Lognormal tail: CiteSeer's occasional 1,188-degree hubs sit over a bulk
+  // near the median, unlike a Pareto whose extreme tail would dominate every
+  // warp (sigma calibrated against the paper's baseline warp efficiency).
+  return generate_lognormal(n, 1, 1188, 73.9, 0.7, seed, weighted);
+}
+
+Csr generate_wikivote_like(double scale, std::uint64_t seed, bool weighted) {
+  const auto n = static_cast<std::uint32_t>(7115 * scale);
+  if (n < 2) throw std::invalid_argument("scale too small");
+  return generate_power_law(n, 0, 893, 14.7, seed, weighted);
+}
+
+}  // namespace nestpar::graph

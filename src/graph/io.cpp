@@ -1,0 +1,154 @@
+#include "src/graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nestpar::graph {
+
+namespace {
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  return in;
+}
+
+}  // namespace
+
+Csr load_dimacs(std::istream& in) {
+  std::string line;
+  std::uint32_t n = 0;
+  std::uint64_t declared_arcs = 0;
+  bool have_problem = false;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      ls >> kind >> n >> declared_arcs;
+      if (!ls || kind != "sp") {
+        throw std::runtime_error("dimacs: bad problem line: " + line);
+      }
+      have_problem = true;
+      edges.reserve(declared_arcs);
+    } else if (tag == 'a') {
+      if (!have_problem) {
+        throw std::runtime_error("dimacs: arc before problem line");
+      }
+      std::uint32_t u = 0, v = 0;
+      double w = 1.0;
+      ls >> u >> v >> w;
+      if (!ls || u < 1 || v < 1 || u > n || v > n) {
+        throw std::runtime_error("dimacs: bad arc line: " + line);
+      }
+      edges.push_back(Edge{u - 1, v - 1, static_cast<float>(w)});
+    } else {
+      throw std::runtime_error("dimacs: unknown line tag: " + line);
+    }
+  }
+  if (!have_problem) throw std::runtime_error("dimacs: missing problem line");
+  return build_csr(n, edges, /*keep_weights=*/true);
+}
+
+void write_dimacs(std::ostream& out, const Csr& g) {
+  out << "c nestpar graph\n";
+  out << "p sp " << g.num_nodes() << " " << g.num_edges() << "\n";
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t e = g.row_offsets[v]; e < g.row_offsets[v + 1]; ++e) {
+      const float w = g.weighted() ? g.weights[e] : 1.0f;
+      out << "a " << (v + 1) << " " << (g.col_indices[e] + 1) << " " << w
+          << "\n";
+    }
+  }
+}
+
+Csr load_edge_list(std::istream& in) {
+  std::string line;
+  std::vector<Edge> edges;
+  std::uint32_t max_node = 0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint32_t u = 0, v = 0;
+    ls >> u >> v;
+    if (!ls) throw std::runtime_error("edge list: bad line: " + line);
+    edges.push_back(Edge{u, v, 1.0f});
+    max_node = std::max({max_node, u, v});
+    any = true;
+  }
+  return build_csr(any ? max_node + 1 : 0, edges);
+}
+
+void write_edge_list(std::ostream& out, const Csr& g) {
+  out << "# nestpar edge list\n";
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t c : g.neighbors(v)) {
+      out << v << "\t" << c << "\n";
+    }
+  }
+}
+
+Csr load_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("matrix market: missing header");
+  }
+  const bool pattern = line.find("pattern") != std::string::npos;
+  if (line.find("coordinate") == std::string::npos) {
+    throw std::runtime_error("matrix market: only coordinate supported");
+  }
+  const bool symmetric = line.find("symmetric") != std::string::npos;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream hs(line);
+  std::uint32_t rows = 0, cols = 0;
+  std::uint64_t nnz = 0;
+  hs >> rows >> cols >> nnz;
+  if (!hs) throw std::runtime_error("matrix market: bad size line");
+  const std::uint32_t n = std::max(rows, cols);
+  std::vector<Edge> edges;
+  edges.reserve(nnz * (symmetric ? 2 : 1));
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("matrix market: truncated entries");
+    }
+    std::istringstream ls(line);
+    std::uint32_t r = 0, c = 0;
+    double v = 1.0;
+    ls >> r >> c;
+    if (!pattern) ls >> v;
+    if (!ls || r < 1 || c < 1 || r > rows || c > cols) {
+      throw std::runtime_error("matrix market: bad entry: " + line);
+    }
+    edges.push_back(Edge{r - 1, c - 1, static_cast<float>(v)});
+    if (symmetric && r != c) {
+      edges.push_back(Edge{c - 1, r - 1, static_cast<float>(v)});
+    }
+  }
+  return build_csr(n, edges, /*keep_weights=*/true);
+}
+
+Csr load_dimacs_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return load_dimacs(in);
+}
+Csr load_edge_list_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return load_edge_list(in);
+}
+Csr load_matrix_market_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return load_matrix_market(in);
+}
+
+}  // namespace nestpar::graph

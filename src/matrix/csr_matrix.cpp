@@ -1,0 +1,85 @@
+#include "src/matrix/csr_matrix.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace nestpar::matrix {
+
+CsrMatrix CsrMatrix::from_graph(const nestpar::graph::Csr& g) {
+  CsrMatrix m;
+  m.rows = g.num_nodes();
+  m.cols = g.num_nodes();
+  m.row_offsets = g.row_offsets;
+  m.col_indices = g.col_indices;
+  if (g.weighted()) {
+    m.values = g.weights;
+  } else {
+    m.values.assign(g.num_edges(), 1.0f);
+  }
+  return m;
+}
+
+void CsrMatrix::validate() const {
+  if (row_offsets.size() != static_cast<std::size_t>(rows) + 1) {
+    throw std::invalid_argument("csr matrix: row_offsets size mismatch");
+  }
+  if (!row_offsets.empty() && row_offsets.front() != 0) {
+    throw std::invalid_argument("csr matrix: row_offsets[0] != 0");
+  }
+  for (std::size_t i = 1; i < row_offsets.size(); ++i) {
+    if (row_offsets[i] < row_offsets[i - 1]) {
+      throw std::invalid_argument("csr matrix: offsets not monotone");
+    }
+  }
+  if (!row_offsets.empty() && row_offsets.back() != col_indices.size()) {
+    throw std::invalid_argument("csr matrix: nnz mismatch");
+  }
+  if (values.size() != col_indices.size()) {
+    throw std::invalid_argument("csr matrix: values size mismatch");
+  }
+  for (std::uint32_t c : col_indices) {
+    if (c >= cols) throw std::invalid_argument("csr matrix: column oob");
+  }
+}
+
+std::vector<float> spmv_serial(const CsrMatrix& a, std::span<const float> x,
+                               nestpar::simt::CpuTimer* timer) {
+  if (x.size() != a.cols) {
+    throw std::invalid_argument("spmv: vector size mismatch");
+  }
+  std::vector<float> y(a.rows, 0.0f);
+  for (std::uint32_t r = 0; r < a.rows; ++r) {
+    float acc = 0.0f;
+    const std::uint32_t begin = a.row_offsets[r];
+    const std::uint32_t end = a.row_offsets[r + 1];
+    for (std::uint32_t e = begin; e < end; ++e) {
+      if (timer != nullptr) {
+        const std::uint32_t c = timer->ld(&a.col_indices[e]);
+        const float v = timer->ld(&a.values[e]);
+        const float xv = timer->ld(&x[c]);
+        timer->compute(2);  // multiply-add
+        acc += v * xv;
+      } else {
+        acc += a.values[e] * x[a.col_indices[e]];
+      }
+    }
+    if (timer != nullptr) {
+      timer->st(&y[r], acc);
+    } else {
+      y[r] = acc;
+    }
+  }
+  return y;
+}
+
+std::vector<float> make_dense_vector(std::uint32_t size, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<float> v(size);
+  for (auto& f : v) {
+    f = 0.5f + static_cast<float>(rng() >> 40) /
+                   static_cast<float>(std::uint64_t{1} << 24);
+  }
+  return v;
+}
+
+}  // namespace nestpar::matrix

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/simt/cpu_model.h"
+
+namespace nestpar::matrix {
+
+/// Sparse matrix in CSR format (the paper's SpMV input representation [8]).
+struct CsrMatrix {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint32_t> row_offsets;  ///< Size rows+1.
+  std::vector<std::uint32_t> col_indices;
+  std::vector<float> values;
+
+  std::uint64_t nnz() const { return col_indices.size(); }
+  std::uint32_t row_nnz(std::uint32_t r) const {
+    return row_offsets[r + 1] - row_offsets[r];
+  }
+
+  /// Adjacency matrix of a graph; edge weights if present, else 1.0.
+  static CsrMatrix from_graph(const nestpar::graph::Csr& g);
+
+  /// Structural invariants; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Serial reference y = A*x. If `timer` is given, charges the CPU cost model
+/// (this is the CPU side of the paper's SpMV speedup baseline).
+std::vector<float> spmv_serial(const CsrMatrix& a, std::span<const float> x,
+                               nestpar::simt::CpuTimer* timer = nullptr);
+
+/// Deterministic dense vector of the given size in [0.5, 1.5).
+std::vector<float> make_dense_vector(std::uint32_t size, std::uint64_t seed);
+
+}  // namespace nestpar::matrix

@@ -1,0 +1,65 @@
+#include "src/nested/autotune.h"
+
+#include <algorithm>
+
+#include "src/nested/flatten.h"
+
+namespace nestpar::nested {
+
+std::string TuneCandidate::label() const {
+  if (flattened) return "flattened";
+  std::string s = to_string(tmpl);
+  if (tmpl != LoopTemplate::kBaseline && tmpl != LoopTemplate::kBlockMapped) {
+    s += "/lb" + std::to_string(lb_threshold);
+  }
+  return s;
+}
+
+AutotuneResult autotune_nested_loop(const NestedLoopWorkload& w,
+                                    const AutotuneOptions& opt,
+                                    simt::DeviceSpec spec) {
+  AutotuneResult res;
+
+  const auto evaluate = [&](TuneCandidate c) {
+    simt::Device dev(spec);
+    if (c.flattened) {
+      FlattenParams fp;
+      fp.block_size = opt.base_params.thread_block_size;
+      fp.max_grid_blocks = opt.base_params.max_grid_blocks;
+      run_flattened(dev, w, fp);
+    } else {
+      LoopParams p = opt.base_params;
+      p.lb_threshold = c.lb_threshold;
+      run_nested_loop(dev, w, c.tmpl, p);
+    }
+    c.model_us = dev.report().total_us;
+    res.all.push_back(c);
+    return c.model_us;
+  };
+
+  res.baseline_us = evaluate(TuneCandidate{LoopTemplate::kBaseline});
+  for (const LoopTemplate t : opt.templates) {
+    if (t == LoopTemplate::kBaseline) continue;
+    if (t == LoopTemplate::kBlockMapped) {
+      evaluate(TuneCandidate{t});
+      continue;
+    }
+    for (const int lb : opt.thresholds) {
+      evaluate(TuneCandidate{t, false, lb});
+    }
+  }
+  if (opt.include_flattened) {
+    TuneCandidate c;
+    c.flattened = true;
+    evaluate(c);
+  }
+
+  std::stable_sort(res.all.begin(), res.all.end(),
+                   [](const TuneCandidate& a, const TuneCandidate& b) {
+                     return a.model_us < b.model_us;
+                   });
+  res.best = res.all.front();
+  return res;
+}
+
+}  // namespace nestpar::nested

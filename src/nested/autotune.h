@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/nested/templates.h"
+#include "src/nested/workload.h"
+#include "src/simt/device.h"
+
+namespace nestpar::nested {
+
+/// One evaluated configuration: a template (or the flattened transform) at a
+/// given lbTHRES, with its modeled time.
+struct TuneCandidate {
+  LoopTemplate tmpl = LoopTemplate::kBaseline;
+  bool flattened = false;  ///< When true, `tmpl`/`lb_threshold` are unused.
+  int lb_threshold = 32;
+  double model_us = 0.0;
+
+  std::string label() const;
+};
+
+struct AutotuneOptions {
+  /// Templates to consider (baseline is always evaluated as the reference).
+  std::vector<LoopTemplate> templates = {
+      LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
+      LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt};
+  std::vector<int> thresholds = {16, 32, 64, 128, 256};
+  bool include_flattened = true;
+  LoopParams base_params;  ///< Block sizes etc. shared by all candidates.
+};
+
+/// Result of a tuning sweep, best-first.
+struct AutotuneResult {
+  TuneCandidate best;
+  double baseline_us = 0.0;
+  std::vector<TuneCandidate> all;  ///< Sorted ascending by model time.
+
+  double best_speedup() const {
+    return best.model_us > 0 ? baseline_us / best.model_us : 0.0;
+  }
+};
+
+/// Model-driven autotuner: runs the workload under every candidate
+/// configuration on the simulated device and ranks them — the decision
+/// procedure the paper suggests a compiler/runtime should apply ("the
+/// optimal load balancing threshold will depend on the underlying dataset
+/// and algorithm", §II.B).
+///
+/// The workload is executed once per candidate, so its `body`/`commit` must
+/// be idempotent across repeated runs (true for all pure workloads; for
+/// stateful ones like SSSP sweeps, tune on a representative snapshot).
+AutotuneResult autotune_nested_loop(const NestedLoopWorkload& w,
+                                    const AutotuneOptions& opt = {},
+                                    simt::DeviceSpec spec =
+                                        simt::DeviceSpec::k20());
+
+}  // namespace nestpar::nested

@@ -1,0 +1,194 @@
+#include "src/nested/flatten.h"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace nestpar::nested {
+
+using simt::BlockCtx;
+using simt::Device;
+using simt::LaneCtx;
+using simt::LaunchConfig;
+
+namespace {
+
+/// Device state shared by the flattening pipeline's kernels.
+struct FlatState {
+  std::vector<std::uint32_t> sizes;      ///< f(i), materialized.
+  std::vector<std::uint64_t> offsets;    ///< Exclusive scan of sizes, n+1.
+  std::vector<std::uint64_t> chunk_sum;  ///< Per-scan-chunk totals.
+  std::vector<double> partial;           ///< Per-segment reduction value.
+};
+
+LaunchConfig cfg_for(std::int64_t items, int block_size, int max_blocks,
+                     const char* name) {
+  LaunchConfig c;
+  c.block_threads = block_size;
+  c.grid_blocks = Device::blocks_for(items, block_size, max_blocks);
+  c.name = name;
+  return c;
+}
+
+/// Greatest i with offsets[i] <= e, charging one load per probe — the
+/// per-edge segment search every flattened code pays.
+std::int64_t charged_segment_search(LaneCtx& t,
+                                    const std::vector<std::uint64_t>& offsets,
+                                    std::uint64_t e) {
+  std::size_t lo = 0, hi = offsets.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    t.compute(1);
+    if (t.ld(&offsets[mid]) <= e) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<std::int64_t>(lo);
+}
+
+}  // namespace
+
+void run_flattened(Device& dev, const NestedLoopWorkload& w,
+                   const FlattenParams& p) {
+  if (p.block_size < 1) {
+    throw std::invalid_argument("run_flattened: bad block size");
+  }
+  const std::int64_t n = w.size();
+  auto st = std::make_shared<FlatState>();
+  st->sizes.assign(static_cast<std::size_t>(std::max<std::int64_t>(n, 1)), 0);
+  st->offsets.assign(st->sizes.size() + 1, 0);
+  st->partial.assign(st->sizes.size(), 0.0);
+
+  // 1. Materialize f(i) (and clear the partial array).
+  dev.launch_threads(
+      cfg_for(n, p.block_size, p.max_grid_blocks, "flatten/sizes"),
+      [&w, st, n](LaneCtx& t) {
+        for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
+          w.load_outer(t, i);
+          t.st(&st->sizes[static_cast<std::size_t>(i)], w.inner_size(i));
+          t.st(&st->partial[static_cast<std::size_t>(i)], 0.0);
+        }
+      });
+
+  // 2. Two-level exclusive scan: per-chunk block scan, then a single-block
+  // scan of the chunk totals, then the add-offsets pass.
+  const std::size_t un = st->sizes.size();
+  const std::size_t chunk =
+      std::max<std::size_t>(2048, (un + 1023) / 1024);
+  const std::size_t nchunks = (un + chunk - 1) / chunk;
+  st->chunk_sum.assign(nchunks, 0);
+  const int scan_cost = std::bit_width(static_cast<unsigned>(chunk));
+
+  {
+    LaunchConfig c;
+    c.block_threads = p.block_size;
+    c.grid_blocks = static_cast<int>(std::min<std::size_t>(nchunks, 65535));
+    c.name = "flatten/scan-chunks";
+    dev.launch(c, [st, un, chunk, nchunks, scan_cost](BlockCtx& blk) {
+      for (std::size_t cidx = static_cast<std::size_t>(blk.block_idx());
+           cidx < nchunks; cidx += static_cast<std::size_t>(blk.grid_dim())) {
+        const std::size_t begin = cidx * chunk;
+        const std::size_t end = std::min(un, begin + chunk);
+        blk.each_thread([&](LaneCtx& t) {
+          // Hillis-Steele-style cost: each lane touches its strided
+          // elements once per scan level.
+          for (std::size_t k = begin + static_cast<std::size_t>(t.thread_idx());
+               k < end; k += static_cast<std::size_t>(t.block_dim())) {
+            t.ld(&st->sizes[k]);
+            t.compute(static_cast<std::uint32_t>(scan_cost));
+            t.st(&st->offsets[k], std::uint64_t{0});  // rewritten below
+          }
+        });
+        // Functional scan (values must be exact; cost charged above).
+        std::uint64_t acc = 0;
+        for (std::size_t k = begin; k < end; ++k) {
+          st->offsets[k] = acc;
+          acc += st->sizes[k];
+        }
+        st->chunk_sum[cidx] = acc;
+      }
+    });
+  }
+  {
+    LaunchConfig c;
+    c.block_threads = p.block_size;
+    c.grid_blocks = 1;
+    c.name = "flatten/scan-totals";
+    dev.launch(c, [st, nchunks, scan_cost](BlockCtx& blk) {
+      blk.each_thread([&](LaneCtx& t) {
+        for (std::size_t k = static_cast<std::size_t>(t.thread_idx());
+             k < nchunks; k += static_cast<std::size_t>(t.block_dim())) {
+          t.ld(&st->chunk_sum[k]);
+          t.compute(static_cast<std::uint32_t>(scan_cost));
+          t.st(&st->chunk_sum[k], std::uint64_t{st->chunk_sum[k]});
+        }
+      });
+      std::uint64_t acc = 0;
+      for (std::size_t k = 0; k < nchunks; ++k) {
+        const std::uint64_t v = st->chunk_sum[k];
+        st->chunk_sum[k] = acc;
+        acc += v;
+      }
+    });
+  }
+  dev.launch_threads(
+      cfg_for(static_cast<std::int64_t>(un), p.block_size, p.max_grid_blocks,
+              "flatten/scan-apply"),
+      [st, un, chunk](LaneCtx& t) {
+        for (std::size_t k = static_cast<std::size_t>(t.global_idx()); k < un;
+             k += static_cast<std::size_t>(t.grid_threads())) {
+          const std::uint64_t base = t.ld(&st->chunk_sum[k / chunk]);
+          t.compute(1);
+          t.st(&st->offsets[k], st->offsets[k] + base);
+        }
+      });
+  // offsets[n] = E (host-visible bookkeeping).
+  st->offsets[un] = st->offsets[un - 1] + st->sizes[un - 1];
+  const std::uint64_t total_edges = st->offsets[un];
+
+  // 3. Edge-parallel kernel: one lane per (i, j); per-lane run accumulation
+  // with an atomic flush at every segment change.
+  if (total_edges > 0) {
+    dev.launch_threads(
+        cfg_for(static_cast<std::int64_t>(total_edges), p.block_size,
+                p.max_grid_blocks, "flatten/edges"),
+        [&w, st, total_edges](LaneCtx& t) {
+          std::int64_t cur = -1;
+          double acc = 0.0;
+          for (std::uint64_t e = static_cast<std::uint64_t>(t.global_idx());
+               e < total_edges;
+               e += static_cast<std::uint64_t>(t.grid_threads())) {
+            const std::int64_t i = charged_segment_search(t, st->offsets, e);
+            const auto j =
+                static_cast<std::uint32_t>(e - st->offsets[static_cast<std::size_t>(i)]);
+            if (i != cur) {
+              if (cur >= 0 && acc != 0.0) {
+                t.atomic_add(&st->partial[static_cast<std::size_t>(cur)], acc);
+              }
+              cur = i;
+              acc = 0.0;
+            }
+            acc += w.body(t, i, j);
+          }
+          if (cur >= 0 && acc != 0.0) {
+            t.atomic_add(&st->partial[static_cast<std::size_t>(cur)], acc);
+          }
+        });
+  }
+
+  // 4. Fixup: exactly one commit per outer iteration.
+  dev.launch_threads(
+      cfg_for(n, p.block_size, p.max_grid_blocks, "flatten/fixup"),
+      [&w, st, n](LaneCtx& t) {
+        for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
+          const double v = t.ld(&st->partial[static_cast<std::size_t>(i)]);
+          w.commit(t, i, v);
+        }
+      });
+}
+
+}  // namespace nestpar::nested

@@ -1,0 +1,490 @@
+#include "src/nested/templates.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace nestpar::nested {
+
+using simt::BlockCtx;
+using simt::Device;
+using simt::Kernel;
+using simt::LaneCtx;
+using simt::LaunchConfig;
+
+const char* to_string(LoopTemplate t) {
+  switch (t) {
+    case LoopTemplate::kBaseline: return "baseline";
+    case LoopTemplate::kBlockMapped: return "block-mapped";
+    case LoopTemplate::kWarpMapped: return "warp-mapped";
+    case LoopTemplate::kDualQueue: return "dual-queue";
+    case LoopTemplate::kDbufShared: return "dbuf-shared";
+    case LoopTemplate::kDbufGlobal: return "dbuf-global";
+    case LoopTemplate::kDparNaive: return "dpar-naive";
+    case LoopTemplate::kDparOpt: return "dpar-opt";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Thread-mapped processing of one outer iteration: the whole inner loop and
+/// the commit run in one lane (the source of warp divergence the templates
+/// are designed to remove).
+void process_thread_mapped(const NestedLoopWorkload& w, LaneCtx& t,
+                           std::int64_t i) {
+  w.load_outer(t, i);
+  const std::uint32_t f = w.inner_size(i);
+  double acc = 0.0;
+  for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+  w.commit(t, i, acc);
+}
+
+/// Work list handed to block-mapped kernels. Either an explicit list of
+/// outer-iteration indices (queue / delayed buffer) or the identity range
+/// [0, count) for pure block mapping.
+struct WorkList {
+  std::shared_ptr<const std::vector<std::int64_t>> items;  ///< null = identity
+  std::int64_t count = 0;
+
+  std::int64_t get(LaneCtx& t, std::int64_t k) const {
+    if (items == nullptr) return k;
+    return t.ld(&(*items)[static_cast<std::size_t>(k)]);
+  }
+};
+
+/// Block-mapped kernel: block b processes work items b, b+gridDim, ... with
+/// the inner loop split across the block's threads and the reduction done in
+/// shared memory (one commit per iteration, from thread 0).
+Kernel make_block_mapped_kernel(const NestedLoopWorkload& w, WorkList list) {
+  return [&w, list = std::move(list)](BlockCtx& blk) {
+    auto partial = blk.shared_array<double>(1);
+    auto item = blk.shared_array<std::int64_t>(1);
+    for (std::int64_t k = blk.block_idx(); k < list.count;
+         k += blk.grid_dim()) {
+      blk.each_thread([&](LaneCtx& t) {
+        const std::int64_t i = list.get(t, k);
+        if (t.thread_idx() == 0) t.sh_st(&item[0], i);
+        w.load_outer(t, i);
+        const std::uint32_t f = w.inner_size(i);
+        double acc = 0.0;
+        for (std::uint32_t j = static_cast<std::uint32_t>(t.thread_idx());
+             j < f; j += static_cast<std::uint32_t>(t.block_dim())) {
+          acc += w.body(t, i, j);
+        }
+        if (acc != 0.0) t.sh_atomic_add(&partial[0], acc);
+      });
+      blk.each_thread([&](LaneCtx& t) {
+        if (t.thread_idx() != 0) return;
+        const std::int64_t i = t.sh_ld(&item[0]);
+        w.commit(t, i, t.sh_ld(&partial[0]));
+        t.sh_st(&partial[0], 0.0);
+      });
+    }
+  };
+}
+
+/// Single-iteration block kernel used by dpar-naive child launches.
+Kernel make_single_iteration_kernel(const NestedLoopWorkload& w,
+                                    std::int64_t i) {
+  return [&w, i](BlockCtx& blk) {
+    auto partial = blk.shared_array<double>(1);
+    blk.each_thread([&](LaneCtx& t) {
+      w.load_outer(t, i);
+      const std::uint32_t f = w.inner_size(i);
+      double acc = 0.0;
+      for (std::uint32_t j = static_cast<std::uint32_t>(t.thread_idx()); j < f;
+           j += static_cast<std::uint32_t>(t.block_dim())) {
+        acc += w.body(t, i, j);
+      }
+      if (acc != 0.0) t.sh_atomic_add(&partial[0], acc);
+    });
+    blk.each_thread([&](LaneCtx& t) {
+      if (t.thread_idx() == 0) w.commit(t, i, t.sh_ld(&partial[0]));
+    });
+  };
+}
+
+std::string kname(const NestedLoopWorkload& w, LoopTemplate tmpl,
+                  const char* phase) {
+  return std::string(w.name()) + "/" + to_string(tmpl) + "/" + phase;
+}
+
+LaunchConfig thread_cfg(const NestedLoopWorkload& w, LoopTemplate tmpl,
+                        const char* phase, std::int64_t items,
+                        const LoopParams& p) {
+  LaunchConfig c;
+  c.block_threads = p.thread_block_size;
+  c.grid_blocks = Device::blocks_for(items, p.thread_block_size,
+                                     p.max_grid_blocks);
+  c.name = kname(w, tmpl, phase);
+  return c;
+}
+
+LaunchConfig block_cfg(const NestedLoopWorkload& w, LoopTemplate tmpl,
+                       const char* phase, std::int64_t items,
+                       const LoopParams& p) {
+  LaunchConfig c;
+  c.block_threads = p.block_block_size;
+  c.grid_blocks = static_cast<int>(std::clamp<std::int64_t>(
+      items, 1, p.max_grid_blocks));
+  c.name = kname(w, tmpl, phase);
+  return c;
+}
+
+void run_baseline(Device& dev, const NestedLoopWorkload& w,
+                  const LoopParams& p) {
+  const std::int64_t n = w.size();
+  dev.launch_threads(
+      thread_cfg(w, LoopTemplate::kBaseline, "main", n, p),
+      [&w, n](LaneCtx& t) {
+        for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
+          process_thread_mapped(w, t, i);
+        }
+      });
+}
+
+void run_block_mapped(Device& dev, const NestedLoopWorkload& w,
+                      const LoopParams& p) {
+  WorkList list;
+  list.count = w.size();
+  dev.launch(block_cfg(w, LoopTemplate::kBlockMapped, "main", list.count, p),
+             make_block_mapped_kernel(w, std::move(list)));
+}
+
+/// Virtual warp-centric mapping: warp k processes outer iterations
+/// k, k+warps, ...; lanes stride the inner loop and reduce through a
+/// per-warp shared slot (warp-synchronous, no barrier needed on hardware;
+/// expressed with an explicit phase here).
+void run_warp_mapped(Device& dev, const NestedLoopWorkload& w,
+                     const LoopParams& p) {
+  const std::int64_t n = w.size();
+  LaunchConfig cfg = thread_cfg(w, LoopTemplate::kWarpMapped, "main",
+                                n * 32, p);
+  cfg.smem_bytes = static_cast<std::size_t>(
+      (p.thread_block_size + 31) / 32 * sizeof(double));
+  dev.launch(cfg, [&w, n](BlockCtx& blk) {
+    const int warps_per_block = (blk.block_dim() + 31) / 32;
+    auto partial = blk.shared_array<double>(
+        static_cast<std::size_t>(warps_per_block));
+    const std::int64_t total_warps =
+        static_cast<std::int64_t>(blk.grid_dim()) * warps_per_block;
+    // Each warp may own several outer iterations (grid-stride by warp);
+    // phases alternate accumulate / commit once per stride round.
+    const std::int64_t first_warp =
+        static_cast<std::int64_t>(blk.block_idx()) * warps_per_block;
+    // All warps of the block must run the same number of phases.
+    std::int64_t max_rounds = 0;
+    for (int wp = 0; wp < warps_per_block; ++wp) {
+      std::int64_t r = 0;
+      for (std::int64_t i = first_warp + wp; i < n; i += total_warps) ++r;
+      max_rounds = std::max(max_rounds, r);
+    }
+    for (std::int64_t round = 0; round < max_rounds; ++round) {
+      blk.each_thread([&](LaneCtx& t) {
+        const std::int64_t i = first_warp + t.warp() + round * total_warps;
+        if (i >= n) return;
+        w.load_outer(t, i);
+        const std::uint32_t f = w.inner_size(i);
+        double acc = 0.0;
+        for (std::uint32_t j = static_cast<std::uint32_t>(t.lane()); j < f;
+             j += 32) {
+          acc += w.body(t, i, j);
+        }
+        if (acc != 0.0) t.sh_atomic_add(&partial[t.warp()], acc);
+      });
+      blk.each_thread([&](LaneCtx& t) {
+        const std::int64_t i = first_warp + t.warp() + round * total_warps;
+        if (i >= n || t.lane() != 0) return;
+        w.commit(t, i, t.sh_ld(&partial[t.warp()]));
+        t.sh_st(&partial[t.warp()], 0.0);
+      });
+    }
+  });
+}
+
+void run_dual_queue(Device& dev, const NestedLoopWorkload& w,
+                    const LoopParams& p) {
+  const std::int64_t n = w.size();
+  auto small_q = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(std::max<std::int64_t>(n, 1)));
+  auto big_q = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(std::max<std::int64_t>(n, 1)));
+  auto counts = std::make_shared<std::pair<std::int64_t, std::int64_t>>(0, 0);
+
+  // Phase 1: classify every outer iteration into one of the two queues.
+  // This full extra pass is the dual-queue overhead the paper calls out.
+  dev.launch_threads(
+      thread_cfg(w, LoopTemplate::kDualQueue, "build", n, p),
+      [&w, n, small_q, big_q, counts, thres = p.lb_threshold](LaneCtx& t) {
+        for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
+          w.load_outer(t, i);
+          const std::uint32_t f = w.inner_size(i);
+          if (f > static_cast<std::uint32_t>(thres)) {
+            const std::int64_t idx = t.atomic_add(&counts->second, \
+                std::int64_t{1});
+            t.st(&(*big_q)[static_cast<std::size_t>(idx)], i);
+          } else {
+            const std::int64_t idx =
+                t.atomic_add(&counts->first, std::int64_t{1});
+            t.st(&(*small_q)[static_cast<std::size_t>(idx)], i);
+          }
+        }
+      });
+
+  // Phase 2: the two queues are independent, so their kernels run in
+  // separate streams gated on the build kernel's event (the natural CUDA
+  // implementation: record after build, wait in both worker streams).
+  const simt::StreamHandle small_stream{1}, big_stream{2};
+  const simt::EventHandle after_build = dev.record_event({});
+  dev.stream_wait(small_stream, after_build);
+  dev.stream_wait(big_stream, after_build);
+
+  // 2a: small iterations, thread-mapped (low divergence by design).
+  dev.launch_threads(
+      thread_cfg(w, LoopTemplate::kDualQueue, "small", counts->first, p),
+      [&w, small_q, c = counts->first](LaneCtx& t) {
+        for (std::int64_t k = t.global_idx(); k < c; k += t.grid_threads()) {
+          const std::int64_t i =
+              t.ld(&(*small_q)[static_cast<std::size_t>(k)]);
+          process_thread_mapped(w, t, i);
+        }
+      },
+      small_stream);
+
+  // 2b: large iterations, block-mapped.
+  if (counts->second > 0) {
+    WorkList list;
+    list.items = big_q;
+    list.count = counts->second;
+    dev.launch(
+        block_cfg(w, LoopTemplate::kDualQueue, "big", counts->second, p),
+        make_block_mapped_kernel(w, std::move(list)), big_stream);
+  }
+
+  // Later default-stream work (e.g. the next SSSP sweep) must wait for both
+  // queue kernels.
+  dev.stream_wait({}, dev.record_event(small_stream));
+  dev.stream_wait({}, dev.record_event(big_stream));
+}
+
+void run_dbuf_global(Device& dev, const NestedLoopWorkload& w,
+                     const LoopParams& p) {
+  const std::int64_t n = w.size();
+  auto buffer = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(std::max<std::int64_t>(n, 1)));
+  auto count = std::make_shared<std::int64_t>(0);
+
+  // Phase 1: thread-mapped; large iterations are delayed to a global buffer.
+  dev.launch_threads(
+      thread_cfg(w, LoopTemplate::kDbufGlobal, "main", n, p),
+      [&w, n, buffer, count, thres = p.lb_threshold](LaneCtx& t) {
+        for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
+          w.load_outer(t, i);
+          const std::uint32_t f = w.inner_size(i);
+          if (f > static_cast<std::uint32_t>(thres)) {
+            const std::int64_t idx = t.atomic_add(count.get(), std::int64_t{1});
+            t.st(&(*buffer)[static_cast<std::size_t>(idx)], i);
+          } else {
+            double acc = 0.0;
+            for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+            w.commit(t, i, acc);
+          }
+        }
+      });
+
+  // Phase 2: the buffer is partitioned fairly across a fresh grid of blocks
+  // (the inter-block redistribution dbuf-shared cannot do).
+  if (*count > 0) {
+    WorkList list;
+    list.items = buffer;
+    list.count = *count;
+    dev.launch(block_cfg(w, LoopTemplate::kDbufGlobal, "buffer", *count, p),
+               make_block_mapped_kernel(w, std::move(list)));
+  }
+}
+
+/// Shared-memory bytes the dbuf-shared/dpar-opt kernels reserve: the delayed
+/// buffer (int32 indices), per-entry accumulators, and the counter.
+std::size_t shared_buffer_bytes(const LoopParams& p, bool with_accumulators) {
+  const auto entries = static_cast<std::size_t>(p.shared_buffer_entries);
+  return entries * sizeof(std::int32_t) +
+         (with_accumulators ? entries * sizeof(double) : 0) + sizeof(std::int32_t);
+}
+
+void run_dbuf_shared(Device& dev, const NestedLoopWorkload& w,
+                     const LoopParams& p) {
+  const std::int64_t n = w.size();
+  LaunchConfig cfg = thread_cfg(w, LoopTemplate::kDbufShared, "main", n, p);
+  cfg.smem_bytes = shared_buffer_bytes(p, /*with_accumulators=*/true);
+  const int cap = p.shared_buffer_entries;
+  const auto thres = static_cast<std::uint32_t>(p.lb_threshold);
+
+  dev.launch(cfg, [&w, n, cap, thres](BlockCtx& blk) {
+    auto buf = blk.shared_array<std::int32_t>(static_cast<std::size_t>(cap));
+    auto accs = blk.shared_array<double>(static_cast<std::size_t>(cap));
+    auto count = blk.shared_array<std::int32_t>(1);
+    const std::int64_t grid_threads =
+        static_cast<std::int64_t>(blk.grid_dim()) * blk.block_dim();
+
+    // Phase 1: process small iterations inline; delay large ones into the
+    // per-block shared buffer (overflow falls back to inline processing).
+    blk.each_thread([&](LaneCtx& t) {
+      for (std::int64_t i = t.global_idx(); i < n; i += grid_threads) {
+        w.load_outer(t, i);
+        const std::uint32_t f = w.inner_size(i);
+        bool deferred = false;
+        if (f > thres) {
+          const std::int32_t idx = t.sh_atomic_add(&count[0], 1);
+          if (idx < cap) {
+            t.sh_st(&buf[idx], static_cast<std::int32_t>(i));
+            deferred = true;
+          }
+        }
+        if (!deferred) {
+          double acc = 0.0;
+          for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+          w.commit(t, i, acc);
+        }
+      }
+    });
+
+    // Phase 2: the whole block cooperates on each buffered iteration.
+    blk.each_thread([&](LaneCtx& t) {
+      const std::int32_t c =
+          std::min(t.sh_ld(&count[0]), static_cast<std::int32_t>(cap));
+      for (std::int32_t k = 0; k < c; ++k) {
+        const std::int64_t i = t.sh_ld(&buf[k]);
+        w.load_outer(t, i);
+        const std::uint32_t f = w.inner_size(i);
+        double acc = 0.0;
+        for (std::uint32_t j = static_cast<std::uint32_t>(t.thread_idx());
+             j < f; j += static_cast<std::uint32_t>(t.block_dim())) {
+          acc += w.body(t, i, j);
+        }
+        if (acc != 0.0) t.sh_atomic_add(&accs[k], acc);
+      }
+    });
+
+    // Phase 3: one commit per buffered iteration.
+    blk.each_thread([&](LaneCtx& t) {
+      const std::int32_t c =
+          std::min(t.sh_ld(&count[0]), static_cast<std::int32_t>(cap));
+      for (std::int32_t k = t.thread_idx(); k < c; k += t.block_dim()) {
+        const std::int64_t i = t.sh_ld(&buf[k]);
+        w.commit(t, i, t.sh_ld(&accs[k]));
+      }
+    });
+  });
+}
+
+void run_dpar_naive(Device& dev, const NestedLoopWorkload& w,
+                    const LoopParams& p) {
+  const std::int64_t n = w.size();
+  dev.launch_threads(
+      thread_cfg(w, LoopTemplate::kDparNaive, "main", n, p),
+      [&w, n, &p](LaneCtx& t) {
+        for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
+          w.load_outer(t, i);
+          const std::uint32_t f = w.inner_size(i);
+          if (f > static_cast<std::uint32_t>(p.lb_threshold)) {
+            // One nested launch per large iteration — the paper's overhead
+            // cautionary tale.
+            LaunchConfig child;
+            child.grid_blocks = 1;
+            child.block_threads = p.block_block_size;
+            child.name = kname(w, LoopTemplate::kDparNaive, "child");
+            t.launch(child, make_single_iteration_kernel(w, i));
+          } else {
+            double acc = 0.0;
+            for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+            w.commit(t, i, acc);
+          }
+        }
+      });
+}
+
+void run_dpar_opt(Device& dev, const NestedLoopWorkload& w,
+                  const LoopParams& p) {
+  const std::int64_t n = w.size();
+  LaunchConfig cfg = thread_cfg(w, LoopTemplate::kDparOpt, "main", n, p);
+  cfg.smem_bytes = shared_buffer_bytes(p, /*with_accumulators=*/false);
+  const int cap = p.shared_buffer_entries;
+  const auto thres = static_cast<std::uint32_t>(p.lb_threshold);
+
+  dev.launch(cfg, [&w, n, cap, thres, &p](BlockCtx& blk) {
+    auto buf = blk.shared_array<std::int32_t>(static_cast<std::size_t>(cap));
+    auto count = blk.shared_array<std::int32_t>(1);
+    const std::int64_t grid_threads =
+        static_cast<std::int64_t>(blk.grid_dim()) * blk.block_dim();
+
+    // Phase 1: identical deferral to dbuf-shared.
+    blk.each_thread([&](LaneCtx& t) {
+      for (std::int64_t i = t.global_idx(); i < n; i += grid_threads) {
+        w.load_outer(t, i);
+        const std::uint32_t f = w.inner_size(i);
+        bool deferred = false;
+        if (f > thres) {
+          const std::int32_t idx = t.sh_atomic_add(&count[0], 1);
+          if (idx < cap) {
+            t.sh_st(&buf[idx], static_cast<std::int32_t>(i));
+            deferred = true;
+          }
+        }
+        if (!deferred) {
+          double acc = 0.0;
+          for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+          w.commit(t, i, acc);
+        }
+      }
+    });
+
+    // Phase 2: one nested launch per block covering all deferred iterations
+    // (fewer, larger grids than dpar-naive).
+    blk.each_thread([&](LaneCtx& t) {
+      if (t.thread_idx() != 0) return;
+      const std::int32_t c =
+          std::min(t.sh_ld(&count[0]), static_cast<std::int32_t>(cap));
+      if (c == 0) return;
+      auto items = std::make_shared<std::vector<std::int64_t>>();
+      items->reserve(static_cast<std::size_t>(c));
+      for (std::int32_t k = 0; k < c; ++k) {
+        items->push_back(t.sh_ld(&buf[k]));
+        // The child grid reads the work list from global memory; the parent
+        // must stage it there first.
+        t.st(&(*items)[static_cast<std::size_t>(k)], (*items)[k]);
+      }
+      WorkList list;
+      list.count = c;
+      list.items = std::move(items);
+      LaunchConfig child;
+      child.grid_blocks = c;
+      child.block_threads = p.block_block_size;
+      child.name = kname(w, LoopTemplate::kDparOpt, "child");
+      t.launch(child, make_block_mapped_kernel(w, std::move(list)));
+    });
+  });
+}
+
+}  // namespace
+
+void run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
+                     LoopTemplate tmpl, const LoopParams& p) {
+  if (p.lb_threshold < 0 || p.thread_block_size < 1 ||
+      p.block_block_size < 1 || p.shared_buffer_entries < 1) {
+    throw std::invalid_argument("run_nested_loop: bad LoopParams");
+  }
+  switch (tmpl) {
+    case LoopTemplate::kBaseline: return run_baseline(dev, w, p);
+    case LoopTemplate::kBlockMapped: return run_block_mapped(dev, w, p);
+    case LoopTemplate::kWarpMapped: return run_warp_mapped(dev, w, p);
+    case LoopTemplate::kDualQueue: return run_dual_queue(dev, w, p);
+    case LoopTemplate::kDbufShared: return run_dbuf_shared(dev, w, p);
+    case LoopTemplate::kDbufGlobal: return run_dbuf_global(dev, w, p);
+    case LoopTemplate::kDparNaive: return run_dpar_naive(dev, w, p);
+    case LoopTemplate::kDparOpt: return run_dpar_opt(dev, w, p);
+  }
+  throw std::invalid_argument("unknown template");
+}
+
+}  // namespace nestpar::nested

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/nested/workload.h"
+#include "src/simt/device.h"
+
+namespace nestpar::nested {
+
+/// The parallelization templates of Figure 1. `kBaseline` is the paper's
+/// comparison point (thread-mapped outer loop, no load balancing);
+/// `kBlockMapped` is the other naive mapping (included for ablations).
+enum class LoopTemplate {
+  kBaseline,    ///< Fig. 1(a) thread-mapped, no load balancing.
+  kBlockMapped, ///< Outer iterations to blocks, inner iterations to threads.
+  kWarpMapped,  ///< Virtual warp-centric mapping (Hong et al. [20]): one
+                ///< warp per outer iteration, lanes split the inner loop.
+  kDualQueue,   ///< Fig. 1(b): small-work queue + big-work queue.
+  kDbufShared,  ///< Fig. 1(c): delayed buffer in shared memory, one kernel.
+  kDbufGlobal,  ///< Fig. 1(c): delayed buffer in global memory, two kernels.
+  kDparNaive,   ///< Fig. 1(d): one nested launch per large iteration.
+  kDparOpt,     ///< Fig. 1(e): one nested launch per block, second phase.
+};
+
+/// All seven, in presentation order.
+inline constexpr LoopTemplate kAllLoopTemplates[] = {
+    LoopTemplate::kBaseline,   LoopTemplate::kBlockMapped,
+    LoopTemplate::kWarpMapped, LoopTemplate::kDualQueue,
+    LoopTemplate::kDbufShared, LoopTemplate::kDbufGlobal,
+    LoopTemplate::kDparNaive,  LoopTemplate::kDparOpt,
+};
+
+/// The five load-balancing templates compared against the baseline in
+/// Figs. 5/6 (dual-queue, dbuf-shared, dbuf-global, dpar-naive, dpar-opt).
+inline constexpr LoopTemplate kLoadBalancingTemplates[] = {
+    LoopTemplate::kDualQueue,  LoopTemplate::kDbufShared,
+    LoopTemplate::kDbufGlobal, LoopTemplate::kDparNaive,
+    LoopTemplate::kDparOpt,
+};
+
+const char* to_string(LoopTemplate t);
+
+/// Tuning knobs shared by all templates (paper §III.B):
+///  - lb_threshold: iterations with inner_size > lb_threshold are "large" and
+///    are processed block-mapped (or via nested kernels).
+///  - thread_block_size: block size of thread-mapped phases; 192 matches the
+///    cores-per-SM figure the paper derives from the occupancy calculator.
+///  - block_block_size: block size of block-mapped phases; the paper settles
+///    on 64 after the Figure 4 sweep.
+struct LoopParams {
+  int lb_threshold = 32;
+  int thread_block_size = 192;
+  int block_block_size = 64;
+  int max_grid_blocks = 65535;
+  /// Capacity of the per-block shared-memory delayed buffer (entries) used
+  /// by dbuf-shared and dpar-opt.
+  int shared_buffer_entries = 256;
+};
+
+/// Execute the workload once on `dev` with the chosen template. Functional
+/// results land in the workload's arrays immediately; model time and metrics
+/// come from `dev.report()` (which times everything launched since the last
+/// `dev.reset()`, so callers typically reset, run, then report).
+void run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
+                     LoopTemplate tmpl, const LoopParams& p = {});
+
+}  // namespace nestpar::nested

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/simt/ctx.h"
+
+namespace nestpar::nested {
+
+/// An irregular nested loop in the shape of the paper's Figure 1(a):
+///
+///   for (i = 0; i < size(); i++)        // parallelizable outer loop
+///     for (j = 0; j < inner_size(i); j++)
+///       value += body(i, j);            // parallelizable inner loop
+///   commit(i, value);
+///
+/// The parallelization templates decide how outer and inner iterations map to
+/// threads and blocks; the workload only describes the computation. The
+/// reduction protocol: `body` returns a partial value; the template
+/// accumulates partials (in registers or shared memory) and calls `commit`
+/// exactly once per outer iteration from a single lane. Scatter-style
+/// workloads (e.g. SSSP's atomicMin relaxations) do their writes inside
+/// `body` and use an empty `commit`.
+///
+/// Every method takes the executing LaneCtx so the workload charges its own
+/// memory traffic — the templates charge only what the template itself adds
+/// (queues, buffers, nested launches).
+class NestedLoopWorkload {
+ public:
+  virtual ~NestedLoopWorkload() = default;
+
+  /// Number of outer-loop iterations.
+  virtual std::int64_t size() const = 0;
+
+  /// Inner trip count f(i). May depend on mutable algorithm state (e.g. the
+  /// SSSP active mask), in which case it must be consistent within one
+  /// template run.
+  virtual std::uint32_t inner_size(std::int64_t i) const = 0;
+
+  /// Read the outer iteration's descriptor (row offsets, per-node state...).
+  /// Called once per lane that participates in iteration i.
+  virtual void load_outer(simt::LaneCtx& t, std::int64_t i) const = 0;
+
+  /// One inner iteration; returns a partial reduction value (0 for scatter).
+  virtual double body(simt::LaneCtx& t, std::int64_t i,
+                      std::uint32_t j) const = 0;
+
+  /// Commit the reduced value for outer iteration i (single lane).
+  virtual void commit(simt::LaneCtx& t, std::int64_t i, double value) const = 0;
+
+  /// Label used in kernel names / reports.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace nestpar::nested

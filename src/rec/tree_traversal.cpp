@@ -1,0 +1,421 @@
+#include "src/rec/tree_traversal.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace nestpar::rec {
+
+using simt::BlockCtx;
+using simt::Device;
+using simt::Kernel;
+using simt::LaneCtx;
+using simt::LaunchConfig;
+using tree::Tree;
+
+const char* to_string(RecTemplate t) {
+  switch (t) {
+    case RecTemplate::kFlat: return "flat";
+    case RecTemplate::kRecNaive: return "rec-naive";
+    case RecTemplate::kRecHier: return "rec-hier";
+    case RecTemplate::kAutoropes: return "autoropes";
+  }
+  return "?";
+}
+
+const char* to_string(TreeAlgo a) {
+  switch (a) {
+    case TreeAlgo::kDescendants: return "descendants";
+    case TreeAlgo::kHeights: return "heights";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Reduction semantics of the two traversals, shared by every template.
+struct TraversalOps {
+  TreeAlgo algo;
+
+  /// Value of a node whose `nc` children are all leaves (or nc == 0).
+  std::uint32_t two_level(std::uint32_t nc) const {
+    if (algo == TreeAlgo::kDescendants) return 1 + nc;
+    return nc > 0 ? 2 : 1;
+  }
+  /// Flat kernel: a node at distance `dist` below ancestor `cell`.
+  void flat_update(LaneCtx& t, std::uint32_t* cell, std::uint32_t dist) const {
+    if (algo == TreeAlgo::kDescendants) {
+      t.atomic_add(cell, 1u);
+    } else {
+      t.atomic_max(cell, dist + 1);
+    }
+  }
+  /// Recursive kernels: fold a finished child value into its parent.
+  void combine(LaneCtx& t, std::uint32_t* parent,
+               std::uint32_t child_value) const {
+    if (algo == TreeAlgo::kDescendants) {
+      t.atomic_add(parent, child_value);
+    } else {
+      t.atomic_max(parent, child_value + 1);
+    }
+  }
+};
+
+struct RecCtx {
+  const Tree* tree;
+  std::uint32_t* values;
+  TraversalOps ops;
+  RecOptions opt;
+  std::string base_name;
+};
+
+bool is_internal(const Tree& t, std::uint32_t v) {
+  return t.num_children(v) > 0;
+}
+
+/// Charge the loads a kernel performs to test whether `v` has children.
+bool charged_is_internal(LaneCtx& t, const Tree& tr, std::uint32_t v) {
+  const std::uint32_t off = t.ld(&tr.child_offsets[v]);
+  const std::uint32_t end = t.ld(&tr.child_offsets[v + 1]);
+  return end > off;
+}
+
+void launch_init_kernel(Device& dev, std::uint32_t* values, std::uint32_t n,
+                        const std::string& base, const RecOptions& opt) {
+  LaunchConfig cfg;
+  cfg.block_threads = opt.flat_block_size;
+  cfg.grid_blocks = Device::blocks_for(n, opt.flat_block_size,
+                                       opt.max_grid_blocks);
+  cfg.name = base + "/init";
+  dev.launch_threads(cfg, [values, n](LaneCtx& t) {
+    for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
+      t.st(&values[i], 1u);
+    }
+  });
+}
+
+// --- Flat template (Figure 3(c)) --------------------------------------------
+
+void run_flat(Device& dev, const Tree& tr, std::uint32_t* values,
+              const TraversalOps& ops, const RecOptions& opt,
+              const std::string& base) {
+  const std::uint32_t n = tr.num_nodes();
+  LaunchConfig cfg;
+  cfg.block_threads = opt.flat_block_size;
+  cfg.grid_blocks = Device::blocks_for(n, opt.flat_block_size,
+                                       opt.max_grid_blocks);
+  cfg.name = base + "/flat";
+  dev.launch_threads(cfg, [&tr, values, ops, n](LaneCtx& t) {
+    for (std::int64_t v = t.global_idx(); v < n; v += t.grid_threads()) {
+      // Walk to the root, updating every ancestor (the atomic pressure the
+      // paper's Figs. 7/8 profiling columns count).
+      std::uint32_t p = t.ld(&tr.parent[v]);
+      std::uint32_t dist = 1;
+      while (p != Tree::kNoParent) {
+        ops.flat_update(t, &values[p], dist);
+        p = t.ld(&tr.parent[p]);
+        ++dist;
+      }
+    }
+  });
+}
+
+// --- Naive recursion (Figure 3(d)) -------------------------------------------
+
+Kernel make_naive_kernel(std::shared_ptr<const RecCtx> ctx, std::uint32_t node);
+
+Kernel make_naive_kernel(std::shared_ptr<const RecCtx> ctx,
+                         std::uint32_t node) {
+  return [ctx, node](BlockCtx& blk) {
+    const Tree& tr = *ctx->tree;
+    blk.each_thread([&](LaneCtx& t) {
+      const std::uint32_t off = t.ld(&tr.child_offsets[node]);
+      const std::uint32_t end = t.ld(&tr.child_offsets[node + 1]);
+      for (std::uint32_t j = off + static_cast<std::uint32_t>(t.thread_idx());
+           j < end; j += static_cast<std::uint32_t>(t.block_dim())) {
+        const std::uint32_t c = t.ld(&tr.children[j]);
+        if (charged_is_internal(t, tr, c)) {
+          // Thread-level recursion: a single-block child kernel per internal
+          // child; completed (synchronized) before the combine below.
+          LaunchConfig cc;
+          cc.grid_blocks = 1;
+          cc.block_threads = ctx->opt.rec_block_size;
+          cc.name = ctx->base_name + "/rec-naive";
+          const int slot =
+              static_cast<int>(j % static_cast<std::uint32_t>(
+                                       ctx->opt.streams_per_block)) -
+              1;
+          t.launch(cc, make_naive_kernel(ctx, c), slot);
+        }
+        const std::uint32_t cv = t.ld(&ctx->values[c]);
+        ctx->ops.combine(t, &ctx->values[node], cv);
+      }
+    });
+  };
+}
+
+// --- Hierarchical recursion (Figure 3(e)) ------------------------------------
+
+Kernel make_hier_kernel(std::shared_ptr<const RecCtx> ctx, std::uint32_t node);
+
+Kernel make_hier_kernel(std::shared_ptr<const RecCtx> ctx,
+                        std::uint32_t node) {
+  return [ctx, node](BlockCtx& blk) {
+    const Tree& tr = *ctx->tree;
+    auto deep = blk.shared_array<std::int32_t>(1);
+    auto child_slot = blk.shared_array<std::uint32_t>(1);
+
+    // Block-based mapping over the node's children; thread-based mapping
+    // over the block's child's children (the node's grandchildren).
+    blk.each_thread([&](LaneCtx& t) {
+      const std::uint32_t off = t.ld(&tr.child_offsets[node]);
+      const std::uint32_t c =
+          t.ld(&tr.children[off + static_cast<std::uint32_t>(blk.block_idx())]);
+      if (t.thread_idx() == 0) t.sh_st(&child_slot[0], c);
+      const std::uint32_t coff = t.ld(&tr.child_offsets[c]);
+      const std::uint32_t cend = t.ld(&tr.child_offsets[c + 1]);
+      for (std::uint32_t j = coff + static_cast<std::uint32_t>(t.thread_idx());
+           j < cend; j += static_cast<std::uint32_t>(t.block_dim())) {
+        const std::uint32_t g = t.ld(&tr.children[j]);
+        if (charged_is_internal(t, tr, g)) t.sh_st(&deep[0], 1);
+      }
+    });
+
+    blk.each_thread([&](LaneCtx& t) {
+      if (t.thread_idx() != 0) return;
+      const std::uint32_t c = t.sh_ld(&child_slot[0]);
+      const std::uint32_t nc = tr.num_children(c);
+      if (t.sh_ld(&deep[0]) != 0) {
+        // Some grandchild is internal: recurse on the child. One nested
+        // launch per block — the "fewer, larger grids" property.
+        LaunchConfig cc;
+        cc.grid_blocks = static_cast<int>(nc);
+        cc.block_threads = ctx->opt.rec_block_size;
+        cc.name = ctx->base_name + "/rec-hier";
+        const int slot =
+            blk.block_idx() % ctx->opt.streams_per_block == 0 ? -1 : 0;
+        t.launch(cc, make_hier_kernel(ctx, c), slot);
+      } else if (nc > 0) {
+        // All grandchildren are leaves: the block computed the child's value
+        // without recursion (thread-parallel pass above).
+        t.st(&ctx->values[c], ctx->ops.two_level(nc));
+      }
+      const std::uint32_t cv = t.ld(&ctx->values[c]);
+      ctx->ops.combine(t, &ctx->values[node], cv);
+    });
+  };
+}
+
+// --- Autoropes-style iterative traversal ([4]) -------------------------------
+
+/// Pick the shallowest level with enough subtree roots to fill the device;
+/// falls back to the deepest level for small trees.
+std::uint32_t choose_split_level(const Tree& tr, int want_threads) {
+  const std::uint32_t max_l = tr.max_level();
+  for (std::uint32_t l = 1; l <= max_l; ++l) {
+    const auto [first, last] = tr.level_range(l);
+    if (last - first >= static_cast<std::uint32_t>(want_threads)) return l;
+  }
+  return max_l;
+}
+
+void run_autoropes(Device& dev, const Tree& tr, std::uint32_t* values,
+                   const TraversalOps& ops, const RecOptions& opt,
+                   const std::string& base) {
+  const std::uint32_t split =
+      choose_split_level(tr, 2 * dev.spec().num_sms * dev.spec().cores_per_sm);
+  const auto [first, last] = tr.level_range(split);
+  const std::uint32_t roots = last - first;
+
+  // Kernel 1: one thread per split-level subtree; explicit-stack post-order
+  // DFS writing each node's final value on pop — no atomics anywhere.
+  if (roots > 0 && split > 0) {
+    LaunchConfig cfg;
+    cfg.block_threads = opt.flat_block_size;
+    cfg.grid_blocks = Device::blocks_for(roots, opt.flat_block_size,
+                                         opt.max_grid_blocks);
+    cfg.name = base + "/subtrees";
+    dev.launch_threads(cfg, [&tr, values, ops, first, roots](LaneCtx& t) {
+      struct Frame {
+        std::uint32_t node;
+        std::uint32_t next_child;  // index into child_offsets range
+        std::uint32_t acc;
+      };
+      std::vector<Frame> stack;  // thread-local rope stack
+      for (std::int64_t r = t.global_idx(); r < roots;
+           r += t.grid_threads()) {
+        stack.clear();
+        stack.push_back(Frame{first + static_cast<std::uint32_t>(r), 0, 1});
+        while (!stack.empty()) {
+          Frame& f = stack.back();
+          const std::uint32_t off = t.ld(&tr.child_offsets[f.node]);
+          const std::uint32_t end = t.ld(&tr.child_offsets[f.node + 1]);
+          if (off + f.next_child < end) {
+            const std::uint32_t c = t.ld(&tr.children[off + f.next_child]);
+            ++f.next_child;
+            stack.push_back(Frame{c, 0, 1});
+          } else {
+            // Post-order: fold the finished value into the parent frame.
+            const Frame done = f;
+            t.st(&values[done.node], done.acc);
+            stack.pop_back();
+            if (!stack.empty()) {
+              t.compute(1);
+              stack.back().acc =
+                  ops.algo == TreeAlgo::kDescendants
+                      ? stack.back().acc + done.acc
+                      : std::max(stack.back().acc, done.acc + 1);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // Kernel 2..: fold the crown above the split level, one (tiny) kernel per
+  // level — children at level l+1 are final when level l runs.
+  for (std::uint32_t l = split; l-- > 0;) {
+    const auto [cf, cl] = tr.level_range(l);
+    const std::uint32_t count = cl - cf;
+    if (count == 0) continue;
+    LaunchConfig cfg;
+    cfg.block_threads = opt.flat_block_size;
+    cfg.grid_blocks = Device::blocks_for(count, opt.flat_block_size,
+                                         opt.max_grid_blocks);
+    cfg.name = base + "/crown";
+    dev.launch_threads(cfg, [&tr, values, ops, cf, count](LaneCtx& t) {
+      for (std::int64_t k = t.global_idx(); k < count;
+           k += t.grid_threads()) {
+        const std::uint32_t v = cf + static_cast<std::uint32_t>(k);
+        const std::uint32_t off = t.ld(&tr.child_offsets[v]);
+        const std::uint32_t end = t.ld(&tr.child_offsets[v + 1]);
+        std::uint32_t acc = 1;
+        for (std::uint32_t e = off; e < end; ++e) {
+          const std::uint32_t c = t.ld(&tr.children[e]);
+          const std::uint32_t cv = t.ld(&values[c]);
+          t.compute(1);
+          acc = ops.algo == TreeAlgo::kDescendants ? acc + cv
+                                                   : std::max(acc, cv + 1);
+        }
+        t.st(&values[v], acc);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> run_tree_traversal(Device& dev, const Tree& tr,
+                                              TreeAlgo algo, RecTemplate tmpl,
+                                              const RecOptions& opt) {
+  tr.validate();
+  if (opt.streams_per_block < 1 || opt.rec_block_size < 1 ||
+      opt.flat_block_size < 1) {
+    throw std::invalid_argument("run_tree_traversal: bad options");
+  }
+  const std::uint32_t n = tr.num_nodes();
+  std::vector<std::uint32_t> values(n, 0);
+  const std::string base =
+      std::string(to_string(algo)) + "/" + to_string(tmpl);
+  launch_init_kernel(dev, values.data(), n, base, opt);
+
+  const TraversalOps ops{algo};
+  switch (tmpl) {
+    case RecTemplate::kFlat:
+      run_flat(dev, tr, values.data(), ops, opt, base);
+      break;
+    case RecTemplate::kRecNaive: {
+      auto ctx = std::make_shared<RecCtx>(
+          RecCtx{&tr, values.data(), ops, opt, base});
+      if (is_internal(tr, 0)) {
+        LaunchConfig cfg;
+        cfg.grid_blocks = 1;
+        cfg.block_threads = opt.rec_block_size;
+        cfg.name = base + "/rec-naive";
+        dev.launch(cfg, make_naive_kernel(ctx, 0));
+      }
+      break;
+    }
+    case RecTemplate::kRecHier: {
+      auto ctx = std::make_shared<RecCtx>(
+          RecCtx{&tr, values.data(), ops, opt, base});
+      const std::uint32_t nc = tr.num_children(0);
+      if (nc > static_cast<std::uint32_t>(opt.max_grid_blocks)) {
+        throw std::invalid_argument("root outdegree exceeds max grid size");
+      }
+      if (nc > 0) {
+        LaunchConfig cfg;
+        cfg.grid_blocks = static_cast<int>(nc);
+        cfg.block_threads = opt.rec_block_size;
+        cfg.name = base + "/rec-hier";
+        dev.launch(cfg, make_hier_kernel(ctx, 0));
+      }
+      break;
+    }
+    case RecTemplate::kAutoropes:
+      run_autoropes(dev, tr, values.data(), ops, opt, base);
+      break;
+  }
+  return values;
+}
+
+std::vector<std::uint32_t> tree_traversal_serial_recursive(
+    const Tree& tr, TreeAlgo algo, simt::CpuTimer* timer) {
+  tr.validate();
+  const std::uint32_t n = tr.num_nodes();
+  std::vector<std::uint32_t> values(n, 1);
+  const bool desc = algo == TreeAlgo::kDescendants;
+
+  // Figure 3(a): plain post-order recursion.
+  auto rec = [&](auto&& self, std::uint32_t v) -> std::uint32_t {
+    if (timer != nullptr) timer->call();
+    std::uint32_t val = 1;
+    const std::uint32_t off = tr.child_offsets[v];
+    const std::uint32_t end = tr.child_offsets[v + 1];
+    for (std::uint32_t j = off; j < end; ++j) {
+      const std::uint32_t c =
+          timer != nullptr ? timer->ld(&tr.children[j]) : tr.children[j];
+      const std::uint32_t cv = self(self, c);
+      if (timer != nullptr) timer->compute(1);
+      val = desc ? val + cv : std::max(val, cv + 1);
+    }
+    if (timer != nullptr) {
+      timer->st(&values[v], val);
+    } else {
+      values[v] = val;
+    }
+    return val;
+  };
+  rec(rec, 0);
+  return values;
+}
+
+std::vector<std::uint32_t> tree_traversal_serial_iterative(
+    const Tree& tr, TreeAlgo algo, simt::CpuTimer* timer) {
+  tr.validate();
+  const std::uint32_t n = tr.num_nodes();
+  std::vector<std::uint32_t> values(n, 1);
+  const bool desc = algo == TreeAlgo::kDescendants;
+
+  // Figure 3(b): recursion eliminated. Nodes are stored in BFS order, so a
+  // reverse sweep sees every child before its parent.
+  for (std::uint32_t v = n - 1; v >= 1; --v) {
+    const std::uint32_t p =
+        timer != nullptr ? timer->ld(&tr.parent[v]) : tr.parent[v];
+    const std::uint32_t vv =
+        timer != nullptr ? timer->ld(&values[v]) : values[v];
+    const std::uint32_t pv =
+        timer != nullptr ? timer->ld(&values[p]) : values[p];
+    const std::uint32_t nv = desc ? pv + vv : std::max(pv, vv + 1);
+    if (timer != nullptr) {
+      timer->compute(1);
+      timer->st(&values[p], nv);
+    } else {
+      values[p] = nv;
+    }
+  }
+  return values;
+}
+
+}  // namespace nestpar::rec

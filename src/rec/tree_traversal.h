@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/simt/cpu_model.h"
+#include "src/simt/device.h"
+#include "src/tree/tree.h"
+
+namespace nestpar::rec {
+
+/// The paper's three parallelization templates for recursive computations
+/// (Figure 3): flat (recursion-eliminated, thread-mapped), naive recursion
+/// (thread-based: every thread may spawn a single-block child kernel), and
+/// hierarchical recursion (block-based over children, thread-based over
+/// grandchildren; one nested launch per block).
+enum class RecTemplate {
+  kFlat,
+  kRecNaive,
+  kRecHier,
+  /// Autoropes-style iterative traversal (Goldfarb et al. [4], the
+  /// transformation the paper names for extracting iterative tree code):
+  /// one thread per subtree at a split level runs an explicit-stack DFS
+  /// (no atomics at all); the small crown above the split level is folded
+  /// level by level afterwards.
+  kAutoropes,
+};
+const char* to_string(RecTemplate t);
+
+/// The two tree traversal algorithms evaluated in §III.C. Both produce one
+/// uint32 per node, initialized to 1:
+///  - kDescendants: value[v] = size of the subtree rooted at v (self included).
+///  - kHeights:     value[v] = 1 for leaves, 1 + max(children) otherwise.
+enum class TreeAlgo {
+  kDescendants,
+  kHeights,
+};
+const char* to_string(TreeAlgo a);
+
+/// Tuning knobs for the recursive templates.
+struct RecOptions {
+  int flat_block_size = 192;  ///< Thread-mapped (flat) kernel block size.
+  int rec_block_size = 64;    ///< Block size of nested/recursive kernels.
+  /// Streams used for nested launches from one block: 1 = default child
+  /// stream only; 2 adds one extra stream per block (the paper's "stream"
+  /// variants; more than 2 only added overhead in the paper).
+  int streams_per_block = 1;
+  int max_grid_blocks = 65535;
+};
+
+/// Run a traversal on the simulated GPU; returns the per-node values.
+/// Launches land in `dev`'s current session (reset before, report after).
+std::vector<std::uint32_t> run_tree_traversal(simt::Device& dev,
+                                              const tree::Tree& t,
+                                              TreeAlgo algo, RecTemplate tmpl,
+                                              const RecOptions& opt = {});
+
+/// Serial CPU references (charging `timer` if given). The recursive form is
+/// the paper's Figure 3(a); the iterative form is the recursion-eliminated
+/// Figure 3(b) (a reverse-BFS sweep over the node array).
+std::vector<std::uint32_t> tree_traversal_serial_recursive(
+    const tree::Tree& t, TreeAlgo algo, simt::CpuTimer* timer = nullptr);
+std::vector<std::uint32_t> tree_traversal_serial_iterative(
+    const tree::Tree& t, TreeAlgo algo, simt::CpuTimer* timer = nullptr);
+
+}  // namespace nestpar::rec

@@ -1,0 +1,73 @@
+#include "src/simt/cpu_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace nestpar::simt {
+
+CacheSim::CacheSim(std::size_t bytes, int line_bytes, int ways) : ways_(ways) {
+  if (line_bytes <= 0 || (line_bytes & (line_bytes - 1)) != 0) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (ways <= 0) throw std::invalid_argument("cache ways must be positive");
+  line_shift_ = std::countr_zero(static_cast<unsigned>(line_bytes));
+  num_sets_ = bytes / (static_cast<std::size_t>(line_bytes) * ways);
+  if (num_sets_ == 0) num_sets_ = 1;
+  tags_.assign(num_sets_ * static_cast<std::size_t>(ways_), 0);
+  stamps_.assign(tags_.size(), 0);
+}
+
+void CacheSim::clear() {
+  tags_.assign(tags_.size(), 0);
+  stamps_.assign(stamps_.size(), 0);
+  clock_ = 0;
+}
+
+bool CacheSim::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t tag = line + 1;  // +1 so 0 means "empty".
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::size_t base = set * static_cast<std::size_t>(ways_);
+  ++clock_;
+  std::size_t lru = base;
+  for (std::size_t i = base; i < base + static_cast<std::size_t>(ways_); ++i) {
+    if (tags_[i] == tag) {
+      stamps_[i] = clock_;
+      return true;
+    }
+    if (stamps_[i] < stamps_[lru]) lru = i;
+  }
+  tags_[lru] = tag;
+  stamps_[lru] = clock_;
+  return false;
+}
+
+CpuTimer::CpuTimer(CpuSpec spec)
+    : spec_(spec),
+      cache_(spec.cache_bytes, spec.cache_line_bytes, spec.cache_ways),
+      streams_(static_cast<std::size_t>(spec.prefetch_streams), 0) {}
+
+bool CpuTimer::prefetched(std::uint64_t line) {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const std::uint64_t prev = streams_[i];
+    if (prev != 0 && (line == prev + 1 || line == prev + 2 || line == prev)) {
+      streams_[i] = line;
+      return true;
+    }
+  }
+  streams_[stream_cursor_] = line;
+  stream_cursor_ = (stream_cursor_ + 1) % streams_.size();
+  return false;
+}
+
+void CpuTimer::reset() {
+  cycles_ = 0.0;
+  accesses_ = 0;
+  misses_ = 0;
+  cache_.clear();
+  std::fill(streams_.begin(), streams_.end(), 0);
+  stream_cursor_ = 0;
+}
+
+}  // namespace nestpar::simt

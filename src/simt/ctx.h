@@ -1,0 +1,241 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "src/simt/device_spec.h"
+#include "src/simt/kernel.h"
+#include "src/simt/op.h"
+
+namespace nestpar::simt {
+
+class Recorder;
+class BlockCtx;
+
+/// Per-lane execution context handed to kernel bodies by the functional pass.
+///
+/// Every method both *performs* the operation on host memory (so results are
+/// real and testable) and *records* a lane op that the warp combiner reduces
+/// into cost and nvprof-like metrics. Addresses are real host addresses;
+/// coalescing is computed from their relative layout, which matches the data
+/// layout a CUDA kernel would see.
+class LaneCtx {
+ public:
+  int thread_idx() const { return thread_idx_; }
+  int block_idx() const { return block_idx_; }
+  int block_dim() const { return block_dim_; }
+  int grid_dim() const { return grid_dim_; }
+  int global_idx() const { return block_idx_ * block_dim_ + thread_idx_; }
+  int lane() const { return thread_idx_ % 32; }
+  int warp() const { return thread_idx_ / 32; }
+  /// Total threads in the grid (for grid-stride loops).
+  int grid_threads() const { return grid_dim_ * block_dim_; }
+
+  /// `n` arithmetic instructions.
+  void compute(std::uint32_t n = 1) {
+    trace_->push_back(Op{OpKind::kCompute, n, 0, 0});
+  }
+
+  /// Global-memory load: returns `*p` and records the access.
+  template <class T>
+  T ld(const T* p) {
+    trace_->push_back(Op{OpKind::kGlobalLoad, 1, sizeof(T),
+                         reinterpret_cast<std::uint64_t>(p)});
+    return *p;
+  }
+  template <class T>
+    requires(!std::is_pointer_v<T>)
+  T ld(const T& r) {
+    return ld(&r);
+  }
+
+  /// Global-memory store.
+  template <class T>
+  void st(T* p, T v) {
+    trace_->push_back(Op{OpKind::kGlobalStore, 1, sizeof(T),
+                         reinterpret_cast<std::uint64_t>(p)});
+    *p = v;
+  }
+
+  /// Raw charge of a global load/store covering `bytes` at `p`, without
+  /// touching memory — for aggregate accounting of long scans whose
+  /// per-element trace would be wastefully large.
+  void charge_load(const void* p, std::uint32_t bytes) {
+    trace_->push_back(Op{OpKind::kGlobalLoad, 1, bytes,
+                         reinterpret_cast<std::uint64_t>(p)});
+  }
+  void charge_store(const void* p, std::uint32_t bytes) {
+    trace_->push_back(Op{OpKind::kGlobalStore, 1, bytes,
+                         reinterpret_cast<std::uint64_t>(p)});
+  }
+
+  /// Shared-memory load (use with spans from BlockCtx::shared_array).
+  template <class T>
+  T sh_ld(const T* p) {
+    trace_->push_back(Op{OpKind::kSharedLoad, 1, sizeof(T),
+                         reinterpret_cast<std::uint64_t>(p)});
+    return *p;
+  }
+  template <class T>
+  void sh_st(T* p, T v) {
+    trace_->push_back(Op{OpKind::kSharedStore, 1, sizeof(T),
+                         reinterpret_cast<std::uint64_t>(p)});
+    *p = v;
+  }
+
+  /// Atomic read-modify-writes on global memory. Return the old value, as in
+  /// CUDA. Lanes executing atomics to the same address serialize in the model.
+  template <class T>
+  T atomic_add(T* p, T v) {
+    record_atomic(p);
+    T old = *p;
+    *p = static_cast<T>(old + v);
+    return old;
+  }
+  template <class T>
+  T atomic_min(T* p, T v) {
+    record_atomic(p);
+    T old = *p;
+    if (v < old) *p = v;
+    return old;
+  }
+  template <class T>
+  T atomic_max(T* p, T v) {
+    record_atomic(p);
+    T old = *p;
+    if (old < v) *p = v;
+    return old;
+  }
+  template <class T>
+  T atomic_exch(T* p, T v) {
+    record_atomic(p);
+    T old = *p;
+    *p = v;
+    return old;
+  }
+  template <class T>
+  T atomic_cas(T* p, T expected, T val) {
+    record_atomic(p);
+    T old = *p;
+    if (old == expected) *p = val;
+    return old;
+  }
+
+  /// Shared-memory atomic (cheap; does not hit the global atomic units).
+  template <class T>
+  T sh_atomic_add(T* p, T v) {
+    trace_->push_back(Op{OpKind::kSharedStore, 1, sizeof(T),
+                         reinterpret_cast<std::uint64_t>(p)});
+    T old = *p;
+    *p = static_cast<T>(old + v);
+    return old;
+  }
+
+  /// Device-side (nested) kernel launch into this block's default child
+  /// stream. Launches from the same block serialize; launches from different
+  /// blocks may run concurrently — CUDA dynamic-parallelism semantics.
+  ///
+  /// This is the *synchronizing* form: the child grid executes before the
+  /// call returns, so the parent sees its writes — equivalent to CUDA's
+  /// launch followed by device-side synchronization on the child (the idiom
+  /// the paper-era CDP tree traversals rely on to combine child results).
+  void launch(const LaunchConfig& cfg, Kernel k);
+  /// Launch into one of this block's extra streams (`slot >= 0`); used by the
+  /// paper's multi-stream recursive variants.
+  void launch(const LaunchConfig& cfg, Kernel k, int extra_stream_slot);
+  /// Convenience: nested launch of a single-phase per-lane kernel.
+  void launch_threads(const LaunchConfig& cfg, ThreadKernel k);
+  void launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                      int extra_stream_slot);
+
+  /// Fire-and-forget nested launch: the child is queued and executes after
+  /// the current host-launched grid completes (breadth-first drain), so the
+  /// parent never observes its writes — plain CDP launch semantics without
+  /// parent synchronization. Used by the recursive BFS templates.
+  void launch_async(const LaunchConfig& cfg, Kernel k,
+                    int extra_stream_slot = -1);
+  void launch_threads_async(const LaunchConfig& cfg, ThreadKernel k,
+                            int extra_stream_slot = -1);
+
+ private:
+  friend class BlockCtx;
+  LaneCtx(BlockCtx* blk, std::vector<Op>* trace, int thread_idx);
+
+  template <class T>
+  void record_atomic(T* p) {
+    trace_->push_back(Op{OpKind::kAtomic, 1, sizeof(T),
+                         reinterpret_cast<std::uint64_t>(p)});
+  }
+
+  BlockCtx* blk_;
+  std::vector<Op>* trace_;
+  int thread_idx_;
+  int block_idx_;
+  int block_dim_;
+  int grid_dim_;
+};
+
+/// Internal: a child launch noted during warp combining, with the issue
+/// offset in block cycles (converted to a fraction when the block ends).
+struct ChildLaunchRecord {
+  std::uint32_t child_kernel;
+  double offset_cycles;
+};
+
+/// Per-block execution context. A kernel body structures its work as one or
+/// more `each_thread` phases; consecutive phases are separated by an implicit
+/// block-wide barrier, which is how `__syncthreads()`-delimited CUDA code is
+/// expressed here (the functional pass runs lanes sequentially, so a phase
+/// boundary is the only correct way to order cross-thread communication).
+class BlockCtx {
+ public:
+  int block_idx() const { return block_idx_; }
+  int block_dim() const { return block_dim_; }
+  int grid_dim() const { return grid_dim_; }
+  const DeviceSpec& spec() const;
+
+  /// Run one per-lane phase over all threads of the block.
+  void each_thread(const std::function<void(LaneCtx&)>& fn);
+
+  /// Allocate a zero-initialized shared-memory array for this block. Counts
+  /// against the 48KB shared-memory budget (checked).
+  template <class T>
+  std::span<T> shared_array(std::size_t n) {
+    void* p = shared_alloc(n * sizeof(T), alignof(T));
+    return std::span<T>(static_cast<T*>(p), n);
+  }
+
+  BlockCtx(const BlockCtx&) = delete;
+  BlockCtx& operator=(const BlockCtx&) = delete;
+
+ private:
+  friend class Recorder;
+  friend class LaneCtx;
+  BlockCtx(Recorder* rec, std::uint32_t node_id, int block_idx,
+           int block_dim, int grid_dim);
+  ~BlockCtx();
+
+  void* shared_alloc(std::size_t bytes, std::size_t align);
+  /// Combine and flush the per-lane traces of the warp starting at `first`.
+  void flush_warp(int first_thread, int lanes);
+  /// Move the accumulated cost into the kernel node's BlockCost entry.
+  void finalize();
+
+  Recorder* rec_;
+  std::uint32_t node_id_;
+  int block_idx_;
+  int block_dim_;
+  int grid_dim_;
+  int phase_ = 0;
+  std::vector<std::vector<Op>> lane_traces_;  ///< 32 reusable trace buffers.
+  std::vector<std::vector<char>> shared_chunks_;
+  std::size_t shared_used_ = 0;
+  // Accumulated block cost; moved into the kernel node when the block ends.
+  double issue_cycles_ = 0.0;
+  std::vector<ChildLaunchRecord> pending_children_;
+};
+
+}  // namespace nestpar::simt

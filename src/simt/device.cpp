@@ -1,0 +1,62 @@
+#include "src/simt/device.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nestpar::simt {
+
+const KernelReport& RunReport::kernel(const std::string& name) const {
+  for (const KernelReport& k : per_kernel) {
+    if (k.name == name) return k;
+  }
+  throw std::out_of_range("no kernel named '" + name + "' in report");
+}
+
+Device::Device(DeviceSpec spec, int max_nesting_depth)
+    : recorder_(spec, max_nesting_depth) {}
+
+void Device::launch(const LaunchConfig& cfg, Kernel k, StreamHandle stream) {
+  recorder_.launch_host(cfg, k, stream);
+}
+
+void Device::launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                            StreamHandle stream) {
+  recorder_.launch_host(cfg, as_kernel(std::move(k)), stream);
+}
+
+void Device::reset() { recorder_.reset(); }
+
+int Device::blocks_for(std::int64_t items, int block_threads, int max_blocks) {
+  if (items <= 0) return 1;
+  const std::int64_t blocks = (items + block_threads - 1) / block_threads;
+  return static_cast<int>(std::min<std::int64_t>(blocks, max_blocks));
+}
+
+RunReport Device::report() {
+  LaunchGraph& graph = recorder_.graph();
+  RunReport rep;
+  if (graph.nodes.empty()) return rep;
+
+  const ScheduleResult sched = schedule(recorder_.spec(), graph);
+  rep.total_cycles = sched.total_cycles;
+  rep.total_us = recorder_.spec().cycles_to_us(sched.total_cycles);
+  rep.grids = graph.nodes.size();
+
+  std::unordered_map<std::string, std::size_t> index;
+  for (const KernelNode& node : graph.nodes) {
+    if (node.origin == LaunchOrigin::kDevice) ++rep.device_grids;
+    auto [it, inserted] = index.emplace(node.name, rep.per_kernel.size());
+    if (inserted) {
+      rep.per_kernel.push_back(KernelReport{node.name, 0, 0.0, Metrics{}});
+    }
+    KernelReport& kr = rep.per_kernel[it->second];
+    kr.invocations += 1;
+    kr.busy_cycles += sched.node_end[node.id] - sched.node_start[node.id];
+    kr.metrics += node.metrics;
+    rep.aggregate += node.metrics;
+  }
+  return rep;
+}
+
+}  // namespace nestpar::simt

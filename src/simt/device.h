@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/simt/device_spec.h"
+#include "src/simt/kernel.h"
+#include "src/simt/launch_graph.h"
+#include "src/simt/metrics.h"
+#include "src/simt/recorder.h"
+#include "src/simt/scheduler.h"
+
+namespace nestpar::simt {
+
+/// Per-kernel-name summary in a run report.
+struct KernelReport {
+  std::string name;
+  std::uint64_t invocations = 0;
+  double busy_cycles = 0.0;  ///< Sum of (end - start) over invocations.
+  Metrics metrics;
+};
+
+/// Result of timing one recorded session.
+struct RunReport {
+  double total_cycles = 0.0;
+  double total_us = 0.0;
+  Metrics aggregate;
+  std::vector<KernelReport> per_kernel;
+  std::uint64_t grids = 0;
+  std::uint64_t device_grids = 0;
+
+  /// Lookup a kernel summary by name; throws if absent.
+  const KernelReport& kernel(const std::string& name) const;
+};
+
+/// The simulated GPU: the substrate every parallelization template runs on.
+///
+/// Usage mirrors a minimal CUDA host API:
+///   Device dev;                                  // K20-like device
+///   dev.launch(cfg, kernel);                     // eager functional execution
+///   dev.launch_threads(cfg, [&](LaneCtx& t) {...});
+///   RunReport r = dev.report();                  // timing pass over the session
+///   dev.reset();                                 // new session
+///
+/// Kernels execute functionally at launch time (results are immediately
+/// visible to host code, which iterative algorithms rely on to test
+/// convergence); the performance model replays the recorded session when
+/// `report()` is called.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::k20(),
+                  int max_nesting_depth = 24);
+
+  /// Launch a block-structured kernel from the host.
+  void launch(const LaunchConfig& cfg, Kernel k, StreamHandle stream = {});
+  /// Launch a single-phase per-lane kernel from the host.
+  void launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                      StreamHandle stream = {});
+
+  /// Host-side synchronization point. Functionally a no-op (execution is
+  /// eager); kept so ported host code reads like its CUDA original.
+  void synchronize() {}
+
+  /// cudaEventRecord / cudaStreamWaitEvent analogues: cross-stream ordering
+  /// for the timing model (functional execution is eager and already
+  /// ordered by launch sequence).
+  EventHandle record_event(StreamHandle stream = {}) {
+    return recorder_.record_event(stream);
+  }
+  void stream_wait(StreamHandle stream, EventHandle event) {
+    recorder_.stream_wait(stream, event);
+  }
+
+  /// Run the timing pass over everything launched since the last reset.
+  RunReport report();
+
+  /// Discard the recorded session.
+  void reset();
+
+  const DeviceSpec& spec() const { return recorder_.spec(); }
+  const LaunchGraph& graph() const { return recorder_.graph(); }
+
+  /// Grid size helper: blocks needed so that blocks*threads >= work items,
+  /// clamped to `max_blocks` (grid-stride loops handle the remainder).
+  static int blocks_for(std::int64_t items, int block_threads,
+                        int max_blocks = 65535);
+
+ private:
+  Recorder recorder_;
+};
+
+}  // namespace nestpar::simt

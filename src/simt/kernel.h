@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace nestpar::simt {
+
+class BlockCtx;
+class LaneCtx;
+
+/// A kernel is a per-block callable. Inside it, `BlockCtx::each_thread`
+/// runs a per-lane phase over every thread of the block; consecutive phases
+/// are separated by an implicit block-wide barrier (this is how
+/// `__syncthreads()`-structured CUDA code is expressed — see BlockCtx).
+using Kernel = std::function<void(BlockCtx&)>;
+
+/// Per-lane body for simple "flat" kernels with a single phase.
+using ThreadKernel = std::function<void(LaneCtx&)>;
+
+/// Identifies a CUDA stream for host-side launches. Stream 0 is the default
+/// (NULL) stream; distinct non-zero handles may execute concurrently.
+struct StreamHandle {
+  int id = 0;
+  friend bool operator==(StreamHandle a, StreamHandle b) { return a.id == b.id; }
+};
+
+/// Handle to a recorded stream event (cudaEvent_t analogue).
+struct EventHandle {
+  std::uint32_t id = 0;
+};
+
+/// Grid shape and resources for one kernel launch (1-D, as in the paper).
+struct LaunchConfig {
+  int grid_blocks = 1;
+  int block_threads = 128;
+  std::size_t smem_bytes = 0;     ///< Static+dynamic shared memory per block.
+  int regs_per_thread = 24;       ///< For the occupancy calculator.
+  std::string name = "kernel";    ///< Label used for per-kernel metrics.
+};
+
+/// Wrap a per-lane body as a (single-phase) block kernel.
+Kernel as_kernel(ThreadKernel body);
+
+}  // namespace nestpar::simt

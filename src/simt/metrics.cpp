@@ -1,0 +1,36 @@
+#include "src/simt/metrics.h"
+
+#include <sstream>
+
+namespace nestpar::simt {
+
+Metrics& Metrics::operator+=(const Metrics& o) {
+  warp_steps += o.warp_steps;
+  active_lane_ops += o.active_lane_ops;
+  gld_requested_bytes += o.gld_requested_bytes;
+  gld_transferred_bytes += o.gld_transferred_bytes;
+  gst_requested_bytes += o.gst_requested_bytes;
+  gst_transferred_bytes += o.gst_transferred_bytes;
+  atomic_ops += o.atomic_ops;
+  shared_ops += o.shared_ops;
+  compute_ops += o.compute_ops;
+  host_launches += o.host_launches;
+  device_launches += o.device_launches;
+  blocks += o.blocks;
+  warps += o.warps;
+  resident_warp_cycles += o.resident_warp_cycles;
+  sm_active_cycles += o.sm_active_cycles;
+  return *this;
+}
+
+std::string Metrics::to_string(int max_warps_per_sm) const {
+  std::ostringstream os;
+  os << "warp_exec_eff=" << warp_execution_efficiency()
+     << " gld_eff=" << gld_efficiency() << " gst_eff=" << gst_efficiency()
+     << " occupancy=" << warp_occupancy(max_warps_per_sm)
+     << " atomics=" << atomic_ops << " launches(h/d)=" << host_launches << "/"
+     << device_launches << " blocks=" << blocks << " warps=" << warps;
+  return os.str();
+}
+
+}  // namespace nestpar::simt

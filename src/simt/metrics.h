@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nestpar::simt {
+
+/// nvprof-like counters, accumulated per kernel and aggregated per run.
+///
+/// Derived ratios mirror the metrics the paper reports:
+///  - warp execution efficiency (Table I, Table II, Figs. 7/8 profiling)
+///  - gld/gst efficiency (Table I)
+///  - warp occupancy (dbuf-shared vs dbuf-global discussion)
+///  - atomic and kernel-launch counts (Figs. 5, 7, 8)
+struct Metrics {
+  // Warp execution efficiency inputs.
+  std::uint64_t warp_steps = 0;        ///< SIMT steps with >=1 active lane.
+  std::uint64_t active_lane_ops = 0;   ///< Sum of active lanes over those steps.
+
+  // Global memory efficiency inputs.
+  std::uint64_t gld_requested_bytes = 0;
+  std::uint64_t gld_transferred_bytes = 0;
+  std::uint64_t gst_requested_bytes = 0;
+  std::uint64_t gst_transferred_bytes = 0;
+
+  // Counters.
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t shared_ops = 0;
+  std::uint64_t compute_ops = 0;
+  std::uint64_t host_launches = 0;
+  std::uint64_t device_launches = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t warps = 0;
+
+  // Occupancy inputs, filled by the timing pass: integral over SM-active time
+  // of resident warps, and the corresponding active time (cycles x SMs).
+  double resident_warp_cycles = 0.0;
+  double sm_active_cycles = 0.0;
+
+  /// Ratio of average active lanes per step to the warp width.
+  double warp_execution_efficiency() const {
+    return warp_steps == 0 ? 0.0
+                           : static_cast<double>(active_lane_ops) /
+                                 (32.0 * static_cast<double>(warp_steps));
+  }
+  /// Requested / transferred global load bytes (1.0 = perfectly coalesced).
+  double gld_efficiency() const {
+    return gld_transferred_bytes == 0
+               ? 0.0
+               : static_cast<double>(gld_requested_bytes) /
+                     static_cast<double>(gld_transferred_bytes);
+  }
+  /// Requested / transferred global store bytes.
+  double gst_efficiency() const {
+    return gst_transferred_bytes == 0
+               ? 0.0
+               : static_cast<double>(gst_requested_bytes) /
+                     static_cast<double>(gst_transferred_bytes);
+  }
+  /// Average resident warps per active cycle over the SM warp capacity.
+  double warp_occupancy(int max_warps_per_sm) const {
+    return sm_active_cycles <= 0.0
+               ? 0.0
+               : resident_warp_cycles /
+                     (sm_active_cycles * static_cast<double>(max_warps_per_sm));
+  }
+  std::uint64_t total_launches() const { return host_launches + device_launches; }
+
+  Metrics& operator+=(const Metrics& o);
+
+  /// Multi-line human-readable dump (for debugging and examples).
+  std::string to_string(int max_warps_per_sm = 64) const;
+};
+
+}  // namespace nestpar::simt

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nestpar::simt {
+
+/// Kinds of lane-level operations the functional pass records. One `Op` is one
+/// SIMT "step"; lanes of a warp advance through their traces in lockstep.
+enum class OpKind : std::uint8_t {
+  kCompute,      ///< `count` arithmetic instructions.
+  kGlobalLoad,   ///< Global-memory read of `bytes` at `addr` (coalesced per warp).
+  kGlobalStore,  ///< Global-memory write of `bytes` at `addr`.
+  kSharedLoad,   ///< Shared-memory read (bank conflicts modeled per warp).
+  kSharedStore,  ///< Shared-memory write.
+  kAtomic,       ///< Read-modify-write on global `addr` (serializes per address).
+  kLaunch,       ///< Device-side kernel launch; `child` is the kernel node id.
+};
+
+/// A single recorded lane operation. Compact: the functional pass streams
+/// millions of these through per-warp buffers that are reduced immediately.
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  std::uint32_t count = 1;   ///< Instruction count (kCompute) or 1.
+  std::uint32_t bytes = 0;   ///< Access width for memory ops.
+  std::uint64_t addr = 0;    ///< Byte address (memory/atomic) or child id (kLaunch).
+};
+
+}  // namespace nestpar::simt

@@ -1,0 +1,465 @@
+#include "src/simt/recorder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace nestpar::simt {
+
+// ---------------------------------------------------------------------------
+// Kernel helpers
+// ---------------------------------------------------------------------------
+
+Kernel as_kernel(ThreadKernel body) {
+  return [body = std::move(body)](BlockCtx& blk) {
+    blk.each_thread([&](LaneCtx& t) { body(t); });
+  };
+}
+
+// ---------------------------------------------------------------------------
+// LaneCtx
+// ---------------------------------------------------------------------------
+
+LaneCtx::LaneCtx(BlockCtx* blk, std::vector<Op>* trace, int thread_idx)
+    : blk_(blk),
+      trace_(trace),
+      thread_idx_(thread_idx),
+      block_idx_(blk->block_idx_),
+      block_dim_(blk->block_dim_),
+      grid_dim_(blk->grid_dim_) {}
+
+void LaneCtx::launch(const LaunchConfig& cfg, Kernel k) {
+  launch(cfg, std::move(k), -1);
+}
+
+void LaneCtx::launch(const LaunchConfig& cfg, Kernel k, int extra_stream_slot) {
+  const std::uint32_t child =
+      blk_->rec_->launch_device(cfg, std::move(k), blk_->node_id_,
+                                blk_->block_idx_, extra_stream_slot,
+                                /*deferred=*/false);
+  trace_->push_back(Op{OpKind::kLaunch, 1, 0, child});
+}
+
+void LaneCtx::launch_async(const LaunchConfig& cfg, Kernel k,
+                           int extra_stream_slot) {
+  const std::uint32_t child =
+      blk_->rec_->launch_device(cfg, std::move(k), blk_->node_id_,
+                                blk_->block_idx_, extra_stream_slot,
+                                /*deferred=*/true);
+  trace_->push_back(Op{OpKind::kLaunch, 1, 0, child});
+}
+
+void LaneCtx::launch_threads(const LaunchConfig& cfg, ThreadKernel k) {
+  launch(cfg, as_kernel(std::move(k)), -1);
+}
+
+void LaneCtx::launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                             int extra_stream_slot) {
+  launch(cfg, as_kernel(std::move(k)), extra_stream_slot);
+}
+
+void LaneCtx::launch_threads_async(const LaunchConfig& cfg, ThreadKernel k,
+                                   int extra_stream_slot) {
+  launch_async(cfg, as_kernel(std::move(k)), extra_stream_slot);
+}
+
+// ---------------------------------------------------------------------------
+// BlockCtx
+// ---------------------------------------------------------------------------
+
+BlockCtx::BlockCtx(Recorder* rec, std::uint32_t node_id, int block_idx,
+                   int block_dim, int grid_dim)
+    : rec_(rec),
+      node_id_(node_id),
+      block_idx_(block_idx),
+      block_dim_(block_dim),
+      grid_dim_(grid_dim),
+      lane_traces_(32) {}
+
+BlockCtx::~BlockCtx() = default;
+
+const DeviceSpec& BlockCtx::spec() const { return rec_->spec(); }
+
+void* BlockCtx::shared_alloc(std::size_t bytes, std::size_t align) {
+  shared_used_ += bytes;
+  if (shared_used_ > rec_->spec().shared_mem_per_block) {
+    throw std::runtime_error("shared memory per block exceeded (" +
+                             std::to_string(shared_used_) + " bytes)");
+  }
+  shared_chunks_.emplace_back(bytes + align, 0);
+  auto* base = shared_chunks_.back().data();
+  auto misalign = reinterpret_cast<std::uintptr_t>(base) % align;
+  return base + (misalign == 0 ? 0 : align - misalign);
+}
+
+void BlockCtx::each_thread(const std::function<void(LaneCtx&)>& fn) {
+  const int warps = (block_dim_ + 31) / 32;
+  if (phase_ > 0) {
+    // Implicit __syncthreads() between phases.
+    issue_cycles_ += rec_->spec().sync_cycles * warps;
+  }
+  ++phase_;
+  for (int first = 0; first < block_dim_; first += 32) {
+    const int lanes = std::min(32, block_dim_ - first);
+    for (int l = 0; l < lanes; ++l) {
+      lane_traces_[l].clear();
+      LaneCtx lc(this, &lane_traces_[l], first + l);
+      fn(lc);
+    }
+    flush_warp(first, lanes);
+  }
+}
+
+void BlockCtx::flush_warp(int /*first_thread*/, int lanes) {
+  // Fetch the node reference fresh: nested launches during lane execution may
+  // have grown the node vector.
+  KernelNode& node = rec_->graph_.nodes[node_id_];
+  issue_cycles_ += rec_->combine_warp(node, lane_traces_, lanes, issue_cycles_,
+                                      pending_children_,
+                                      rec_->atomic_stack_.back());
+}
+
+void BlockCtx::finalize() {
+  KernelNode& node = rec_->graph_.nodes[node_id_];
+  BlockCost& bc = node.blocks[static_cast<std::size_t>(block_idx_)];
+  bc.issue_cycles = issue_cycles_;
+  bc.warps = static_cast<std::uint32_t>((block_dim_ + 31) / 32);
+  bc.children.reserve(pending_children_.size());
+  const double total = issue_cycles_ > 0 ? issue_cycles_ : 1.0;
+  for (const ChildLaunchRecord& c : pending_children_) {
+    bc.children.push_back(
+        ChildLaunch{c.child_kernel, std::clamp(c.offset_cycles / total, 0.0, 1.0)});
+  }
+  node.metrics.blocks += 1;
+  node.metrics.warps += bc.warps;
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+Recorder::Recorder(const DeviceSpec& spec, int max_nesting_depth)
+    : spec_(spec), max_depth_(max_nesting_depth) {}
+
+void Recorder::reset() {
+  graph_ = LaunchGraph{};
+  seq_ = 0;
+  stream_ids_.clear();
+  stream_tail_.clear();
+  events_.clear();
+  pending_waits_.clear();
+  atomic_stack_.clear();
+  deferred_.clear();
+  drain_rng_.seed(0x9e3779b97f4a7c15ull);
+}
+
+std::uint32_t Recorder::intern_stream(std::uint64_t key) {
+  auto [it, inserted] = stream_ids_.emplace(key, graph_.num_streams);
+  if (inserted) ++graph_.num_streams;
+  return it->second;
+}
+
+std::uint32_t Recorder::stream_id_for_host(int user_stream) {
+  if (user_stream == 0) return 0;  // Default stream is dense id 0.
+  return intern_stream((1ull << 63) | static_cast<std::uint32_t>(user_stream));
+}
+
+std::uint32_t Recorder::stream_id_for_device(std::uint32_t parent_node,
+                                             int parent_block, int slot) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(parent_node) << 32) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(parent_block))
+       << 8) |
+      static_cast<std::uint64_t>(static_cast<std::uint8_t>(slot + 1));
+  return intern_stream(key);
+}
+
+std::uint32_t Recorder::create_node(const LaunchConfig& cfg,
+                                    LaunchOrigin origin, std::uint32_t stream,
+                                    std::int64_t parent,
+                                    std::int32_t parent_block) {
+  if (cfg.grid_blocks < 1) throw std::invalid_argument("grid_blocks < 1");
+  if (cfg.block_threads < 1 ||
+      cfg.block_threads > spec_.max_threads_per_block) {
+    throw std::invalid_argument("block_threads out of range");
+  }
+  if (cfg.smem_bytes > spec_.shared_mem_per_block) {
+    throw std::invalid_argument("smem_bytes exceeds device limit");
+  }
+  KernelNode node;
+  node.id = static_cast<std::uint32_t>(graph_.nodes.size());
+  node.nest_depth =
+      parent < 0 ? 0
+                 : graph_.nodes[static_cast<std::size_t>(parent)].nest_depth + 1;
+  if (node.nest_depth > static_cast<std::uint32_t>(max_depth_)) {
+    throw std::runtime_error("nested launch depth exceeds limit (" +
+                             std::to_string(max_depth_) + ")");
+  }
+  node.name = cfg.name;
+  node.origin = origin;
+  node.grid_blocks = cfg.grid_blocks;
+  node.block_threads = cfg.block_threads;
+  node.smem_bytes = cfg.smem_bytes;
+  node.regs_per_thread = cfg.regs_per_thread;
+  node.stream = stream;
+  node.seq = seq_++;
+  node.parent_kernel = parent;
+  node.parent_block = parent_block;
+  graph_.nodes.push_back(std::move(node));
+  return graph_.nodes.back().id;
+}
+
+namespace {
+constexpr std::uint32_t kNoNode = 0xffffffffu;
+}  // namespace
+
+EventHandle Recorder::record_event(StreamHandle stream) {
+  const std::uint32_t sid = stream_id_for_host(stream.id);
+  const auto it = stream_tail_.find(sid);
+  events_.push_back(it == stream_tail_.end() ? kNoNode : it->second);
+  return EventHandle{static_cast<std::uint32_t>(events_.size() - 1)};
+}
+
+void Recorder::stream_wait(StreamHandle stream, EventHandle event) {
+  if (event.id >= events_.size()) {
+    throw std::invalid_argument("stream_wait: unknown event");
+  }
+  const std::uint32_t captured = events_[event.id];
+  if (captured == kNoNode) return;  // Event on an empty stream: complete.
+  pending_waits_[stream_id_for_host(stream.id)].push_back(captured);
+}
+
+std::uint32_t Recorder::launch_host(const LaunchConfig& cfg, const Kernel& k,
+                                    StreamHandle stream) {
+  const std::uint32_t sid = stream_id_for_host(stream.id);
+  const std::uint32_t id = create_node(cfg, LaunchOrigin::kHost, sid, -1, -1);
+  graph_.nodes[id].metrics.host_launches = 1;
+  // Attach (and consume) any cross-stream waits registered on this stream;
+  // stream FIFO order carries the dependency to later grids transitively.
+  if (const auto it = pending_waits_.find(sid); it != pending_waits_.end()) {
+    graph_.nodes[id].depends_on = std::move(it->second);
+    pending_waits_.erase(it);
+  }
+  stream_tail_[sid] = id;
+  run_grid(id, k);
+  // Drain fire-and-forget device launches. The hardware gives no ordering
+  // guarantee across blocks, so the drain picks pending grids pseudo-randomly
+  // (deterministically seeded): unordered algorithms see the re-traversal
+  // work a real nondeterministic schedule causes, not an idealized wavefront.
+  while (!deferred_.empty()) {
+    // Uniform-random pick: the hardware gives no cross-block ordering
+    // guarantee, so unordered algorithms see level-mixing and the resulting
+    // re-traversal work instead of an idealized breadth-first wavefront.
+    // (A depth-first order would exceed the CDP nesting limit, exactly as it
+    // would on silicon, so execution is never LIFO.)
+    const std::size_t pick = drain_rng_() % deferred_.size();
+    auto [child_id, child_kernel] = std::move(deferred_[pick]);
+    deferred_[pick] = std::move(deferred_.back());
+    deferred_.pop_back();
+    run_grid(child_id, child_kernel);
+  }
+  return id;
+}
+
+std::uint32_t Recorder::launch_device(const LaunchConfig& cfg, Kernel k,
+                                      std::uint32_t parent_node,
+                                      int parent_block, int extra_stream_slot,
+                                      bool deferred) {
+  const std::uint32_t stream =
+      stream_id_for_device(parent_node, parent_block, extra_stream_slot);
+  const std::uint32_t id = create_node(cfg, LaunchOrigin::kDevice, stream,
+                                       parent_node, parent_block);
+  if (deferred) {
+    deferred_.emplace_back(id, std::move(k));
+  } else {
+    run_grid(id, k);
+  }
+  return id;
+}
+
+void Recorder::run_grid(std::uint32_t node_id, const Kernel& k) {
+  atomic_stack_.emplace_back();
+  const int nblocks = graph_.nodes[node_id].grid_blocks;
+  const int nthreads = graph_.nodes[node_id].block_threads;
+  graph_.nodes[node_id].blocks.resize(static_cast<std::size_t>(nblocks));
+  for (int b = 0; b < nblocks; ++b) {
+    BlockCtx blk(this, node_id, b, nthreads, nblocks);
+    k(blk);
+    blk.finalize();
+  }
+  std::uint64_t hottest = 0;
+  for (const auto& [addr, count] : atomic_stack_.back()) {
+    hottest = std::max(hottest, count);
+  }
+  graph_.nodes[node_id].hottest_atomic_ops = hottest;
+  atomic_stack_.pop_back();
+}
+
+// ---------------------------------------------------------------------------
+// Warp combining
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Count unique values in the first `n` slots of `v` (sorts in place).
+int unique_count(std::uint64_t* v, int n) {
+  std::sort(v, v + n);
+  int u = 0;
+  for (int i = 0; i < n; ++i) {
+    if (i == 0 || v[i] != v[i - 1]) ++u;
+  }
+  return u;
+}
+
+}  // namespace
+
+double Recorder::combine_warp(
+    KernelNode& node, const std::vector<std::vector<Op>>& lanes,
+    int active_lanes, double issue_base,
+    std::vector<ChildLaunchRecord>& children,
+    std::unordered_map<std::uint64_t, std::uint64_t>& hist) {
+  std::size_t steps = 0;
+  for (int l = 0; l < active_lanes; ++l) {
+    steps = std::max(steps, lanes[l].size());
+  }
+  if (steps == 0) return 0.0;
+
+  Metrics& m = node.metrics;
+  const std::uint64_t seg = static_cast<std::uint64_t>(spec_.mem_segment_bytes);
+  const std::uint64_t aseg =
+      static_cast<std::uint64_t>(spec_.atomic_segment_bytes);
+  double cost = 0.0;
+
+  std::uint64_t ld_segs[64], st_segs[64], at_addrs[32], at_segs[64];
+  std::uint32_t bank_of[32];
+  std::uint32_t launch_children[32];
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::uint32_t comp_n = 0, comp_sum = 0, comp_max = 0;
+    int ld_n = 0, st_n = 0, sh_n = 0, at_n = 0, ln_n = 0;
+    int ld_seg_n = 0, st_seg_n = 0, at_seg_n = 0;
+    int ld_extra = 0, st_extra = 0;
+    std::uint64_t ld_req = 0, st_req = 0;
+
+    for (int l = 0; l < active_lanes; ++l) {
+      const auto& tr = lanes[l];
+      if (tr.size() <= t) continue;
+      const Op& op = tr[t];
+      switch (op.kind) {
+        case OpKind::kCompute:
+          ++comp_n;
+          comp_sum += op.count;
+          comp_max = std::max(comp_max, op.count);
+          break;
+        case OpKind::kGlobalLoad: {
+          ++ld_n;
+          ld_req += op.bytes;
+          const std::uint64_t s0 = op.addr / seg;
+          const std::uint64_t s1 = (op.addr + op.bytes - 1) / seg;
+          ld_segs[ld_seg_n++] = s0;
+          if (s1 != s0) ld_segs[ld_seg_n++] = s1;
+          // Long ranged charges (charge_load) span contiguous segments that
+          // cannot collide with other lanes' — count them directly.
+          if (s1 > s0 + 1) ld_extra += static_cast<int>(s1 - s0 - 1);
+          break;
+        }
+        case OpKind::kGlobalStore: {
+          ++st_n;
+          st_req += op.bytes;
+          const std::uint64_t s0 = op.addr / seg;
+          const std::uint64_t s1 = (op.addr + op.bytes - 1) / seg;
+          st_segs[st_seg_n++] = s0;
+          if (s1 != s0) st_segs[st_seg_n++] = s1;
+          if (s1 > s0 + 1) st_extra += static_cast<int>(s1 - s0 - 1);
+          break;
+        }
+        case OpKind::kSharedLoad:
+        case OpKind::kSharedStore:
+          bank_of[sh_n++] = static_cast<std::uint32_t>((op.addr / 4) % 32);
+          break;
+        case OpKind::kAtomic: {
+          at_addrs[at_n] = op.addr / aseg;
+          const std::uint64_t s0 = op.addr / seg;
+          at_segs[at_seg_n++] = s0;
+          ++at_n;
+          break;
+        }
+        case OpKind::kLaunch:
+          launch_children[ln_n++] = static_cast<std::uint32_t>(op.addr);
+          break;
+      }
+    }
+
+    // Each op-kind group at this step is a separately issued (serialized)
+    // instruction with only its lanes active — matching SIMT divergence.
+    if (comp_n > 0) {
+      cost += comp_max * spec_.compute_op_cycles;
+      m.warp_steps += comp_max;
+      m.active_lane_ops += comp_sum;
+      m.compute_ops += comp_sum;
+    }
+    if (ld_n > 0) {
+      const int k = unique_count(ld_segs, ld_seg_n) + ld_extra;
+      cost += spec_.mem_base_cycles + k * spec_.mem_transaction_cycles;
+      m.warp_steps += 1;
+      m.active_lane_ops += static_cast<std::uint64_t>(ld_n);
+      m.gld_requested_bytes += ld_req;
+      m.gld_transferred_bytes += static_cast<std::uint64_t>(k) * seg;
+    }
+    if (st_n > 0) {
+      const int k = unique_count(st_segs, st_seg_n) + st_extra;
+      cost += spec_.mem_base_cycles + k * spec_.mem_transaction_cycles;
+      m.warp_steps += 1;
+      m.active_lane_ops += static_cast<std::uint64_t>(st_n);
+      m.gst_requested_bytes += st_req;
+      m.gst_transferred_bytes += static_cast<std::uint64_t>(k) * seg;
+    }
+    if (sh_n > 0) {
+      // Bank-conflict ways: max lanes hitting the same 4-byte bank.
+      int ways = 1;
+      for (int i = 0; i < sh_n; ++i) {
+        int same = 1;
+        for (int j = 0; j < i; ++j) {
+          if (bank_of[j] == bank_of[i]) ++same;
+        }
+        ways = std::max(ways, same);
+      }
+      cost += spec_.shared_op_cycles * ways;
+      m.warp_steps += 1;
+      m.active_lane_ops += static_cast<std::uint64_t>(sh_n);
+      m.shared_ops += static_cast<std::uint64_t>(sh_n);
+    }
+    if (at_n > 0) {
+      // Intra-warp serialization on identical addresses + transactions for
+      // the distinct memory segments touched.
+      int ways = 1;
+      for (int i = 0; i < at_n; ++i) {
+        int same = 1;
+        for (int j = 0; j < i; ++j) {
+          if (at_addrs[j] == at_addrs[i]) ++same;
+        }
+        ways = std::max(ways, same);
+        ++hist[at_addrs[i]];
+      }
+      const int k = unique_count(at_segs, at_seg_n);
+      cost += spec_.atomic_op_cycles * ways + k * spec_.mem_transaction_cycles;
+      m.warp_steps += 1;
+      m.active_lane_ops += static_cast<std::uint64_t>(at_n);
+      m.atomic_ops += static_cast<std::uint64_t>(at_n);
+    }
+    if (ln_n > 0) {
+      // Device launches from one warp serialize through the launch queue.
+      for (int i = 0; i < ln_n; ++i) {
+        cost += spec_.launch_issue_cycles;
+        children.push_back(
+            ChildLaunchRecord{launch_children[i], issue_base + cost});
+      }
+      m.warp_steps += 1;
+      m.active_lane_ops += static_cast<std::uint64_t>(ln_n);
+      m.device_launches += static_cast<std::uint64_t>(ln_n);
+    }
+  }
+  return cost;
+}
+
+}  // namespace nestpar::simt

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "src/simt/ctx.h"
+#include "src/simt/device_spec.h"
+#include "src/simt/kernel.h"
+#include "src/simt/launch_graph.h"
+
+namespace nestpar::simt {
+
+/// Functional pass: executes kernels eagerly (depth-first for nested
+/// launches) on host memory, reducing per-lane traces into per-block costs,
+/// per-kernel metrics, and a launch DAG for the timing pass.
+class Recorder {
+ public:
+  explicit Recorder(const DeviceSpec& spec, int max_nesting_depth = 24);
+
+  /// Launch a grid from the host into `stream`; runs it to completion
+  /// functionally (including any nested launches it performs) and returns the
+  /// kernel node id.
+  std::uint32_t launch_host(const LaunchConfig& cfg, const Kernel& k,
+                            StreamHandle stream);
+
+  /// cudaEventRecord: capture the current tail of `stream`. The returned
+  /// event completes when everything launched into the stream so far has.
+  EventHandle record_event(StreamHandle stream);
+  /// cudaStreamWaitEvent: the next grids launched into `stream` wait for the
+  /// event's captured work before starting (timing only; functional
+  /// execution is eager and already ordered).
+  void stream_wait(StreamHandle stream, EventHandle event);
+
+  const LaunchGraph& graph() const { return graph_; }
+  LaunchGraph& graph() { return graph_; }
+  const DeviceSpec& spec() const { return spec_; }
+  int max_nesting_depth() const { return max_depth_; }
+
+  void reset();
+
+ private:
+  friend class BlockCtx;
+  friend class LaneCtx;
+
+  /// Device-side launch from (parent node, parent block). `extra_stream_slot`
+  /// is -1 for the block's default child stream. Runs the child eagerly when
+  /// `deferred` is false; otherwise queues it for the breadth-first drain
+  /// that follows the enclosing host-launched grid.
+  std::uint32_t launch_device(const LaunchConfig& cfg, Kernel k,
+                              std::uint32_t parent_node, int parent_block,
+                              int extra_stream_slot, bool deferred);
+
+  std::uint32_t create_node(const LaunchConfig& cfg, LaunchOrigin origin,
+                            std::uint32_t stream, std::int64_t parent,
+                            std::int32_t parent_block);
+  void run_grid(std::uint32_t node_id, const Kernel& k);
+
+  std::uint32_t stream_id_for_host(int user_stream);
+  std::uint32_t stream_id_for_device(std::uint32_t parent_node,
+                                     int parent_block, int slot);
+  std::uint32_t intern_stream(std::uint64_t key);
+
+  /// Warp combine: reduce one warp's lane traces into cost/metrics for
+  /// `node`. `issue_base` is the block's accumulated cost before this warp;
+  /// child launches found in the traces are appended with issue offsets.
+  /// Returns the warp's issue cost in cycles.
+  double combine_warp(KernelNode& node,
+                      const std::vector<std::vector<Op>>& lanes,
+                      int active_lanes, double issue_base,
+                      std::vector<ChildLaunchRecord>& children,
+                      std::unordered_map<std::uint64_t, std::uint64_t>& hist);
+
+  DeviceSpec spec_;
+  int max_depth_;
+  LaunchGraph graph_;
+  /// Fire-and-forget device launches awaiting the post-grid drain.
+  std::vector<std::pair<std::uint32_t, Kernel>> deferred_;
+  /// Deterministic drain-order randomization (models the hardware's lack of
+  /// cross-block launch ordering guarantees).
+  std::mt19937_64 drain_rng_{0x9e3779b97f4a7c15ull};
+  std::uint64_t seq_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> stream_ids_;
+  /// Tail (last node id) per dense stream id, for event recording.
+  std::unordered_map<std::uint32_t, std::uint32_t> stream_tail_;
+  /// Events: captured kernel node (or kNoNode if the stream was empty).
+  std::vector<std::uint32_t> events_;
+  /// Waits registered per stream, attached to the stream's next launch.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> pending_waits_;
+  /// Stack of per-grid atomic histograms (8-byte address granularity); the
+  /// top entry belongs to the grid currently executing functionally.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> atomic_stack_;
+};
+
+}  // namespace nestpar::simt

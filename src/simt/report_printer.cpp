@@ -1,0 +1,55 @@
+#include "src/simt/report_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace nestpar::simt {
+
+namespace {
+
+void print_row(std::ostream& out, const std::string& name,
+               std::uint64_t invocations, double busy_us, const Metrics& m,
+               const DeviceSpec& spec) {
+  out << "  " << std::left << std::setw(34) << name << std::right
+      << std::setw(8) << invocations << std::setw(12) << std::fixed
+      << std::setprecision(1) << busy_us << std::setw(9)
+      << m.warp_execution_efficiency() * 100 << "%" << std::setw(8)
+      << m.gld_efficiency() * 100 << "%" << std::setw(8)
+      << m.gst_efficiency() * 100 << "%" << std::setw(9)
+      << m.warp_occupancy(spec.max_warps_per_sm) * 100 << "%"
+      << std::setw(12) << m.atomic_ops << std::setw(10) << m.device_launches
+      << "\n";
+}
+
+}  // namespace
+
+void print_report(std::ostream& out, const RunReport& report,
+                  const DeviceSpec& spec) {
+  out << "== run report: " << report.grids << " grids ("
+      << report.device_grids << " device-launched), "
+      << std::fixed << std::setprecision(1) << report.total_us
+      << " us model time ==\n";
+  out << "  " << std::left << std::setw(34) << "kernel" << std::right
+      << std::setw(8) << "calls" << std::setw(12) << "busy-us" << std::setw(10)
+      << "warp-eff" << std::setw(9) << "gld" << std::setw(9) << "gst"
+      << std::setw(10) << "occup" << std::setw(12) << "atomics"
+      << std::setw(10) << "launches" << "\n";
+
+  // Busiest kernels first.
+  std::vector<const KernelReport*> order;
+  order.reserve(report.per_kernel.size());
+  for (const auto& k : report.per_kernel) order.push_back(&k);
+  std::sort(order.begin(), order.end(),
+            [](const KernelReport* a, const KernelReport* b) {
+              return a->busy_cycles > b->busy_cycles;
+            });
+  for (const KernelReport* k : order) {
+    print_row(out, k->name, k->invocations, spec.cycles_to_us(k->busy_cycles),
+              k->metrics, spec);
+  }
+  print_row(out, "(aggregate)", report.grids,
+            spec.cycles_to_us(report.total_cycles), report.aggregate, spec);
+}
+
+}  // namespace nestpar::simt

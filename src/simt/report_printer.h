@@ -1,0 +1,15 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "src/simt/device.h"
+
+namespace nestpar::simt {
+
+/// Print a run report as an nvprof-style per-kernel table: invocations,
+/// busy time, warp execution efficiency, memory efficiencies, atomics and
+/// nested-launch counts, followed by the aggregate line.
+void print_report(std::ostream& out, const RunReport& report,
+                  const DeviceSpec& spec);
+
+}  // namespace nestpar::simt

@@ -1,0 +1,460 @@
+#include "src/simt/scheduler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nestpar::simt {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+enum class EventType : std::uint8_t {
+  kKernelReady,      ///< A grid's launch latency elapsed; it may queue to start.
+  kKernelActivated,  ///< The grid-management unit finished activating a grid.
+  kSmCheck,          ///< An SM may have completed a block.
+  kGridDrain,        ///< A grid's atomic-hotspot drain finished.
+};
+
+struct Event {
+  double time;
+  std::uint64_t order;  ///< Tie-break: global monotonically increasing.
+  EventType type;
+  std::uint32_t target;   ///< Node id or SM id.
+  std::uint64_t version;  ///< For kSmCheck invalidation.
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.order > b.order;
+  }
+};
+
+struct ResidentBlock {
+  std::uint32_t node;
+  std::uint32_t block;
+  double remaining;   ///< Issue work (cycles) left, incl. dispatch overhead.
+  double total_work;  ///< Initial `remaining` (for launch-point thresholds).
+  int warps;
+  std::size_t next_child = 0;  ///< Next ChildLaunch to trigger (frac order).
+};
+
+struct Sm {
+  double last = 0.0;
+  int used_warps = 0;
+  int used_blocks = 0;
+  int used_threads = 0;
+  std::size_t used_smem = 0;
+  std::int64_t used_regs = 0;
+  std::uint64_t version = 0;
+  std::vector<ResidentBlock> blocks;
+};
+
+struct NodeState {
+  bool ready = false;
+  bool queued = false;
+  bool started = false;
+  bool finished = false;
+  double start = 0.0;
+  double end = 0.0;
+  int blocks_done = 0;
+  int deps_remaining = 0;  ///< Unfinished cross-stream (event) dependencies.
+};
+
+class Scheduler {
+ public:
+  Scheduler(const DeviceSpec& spec, LaunchGraph& graph)
+      : spec_(spec), graph_(graph) {}
+
+  ScheduleResult run();
+
+ private:
+  double rate(const Sm& sm) const {
+    if (sm.used_warps == 0) return 0.0;
+    const double hide = std::min(
+        1.0, static_cast<double>(sm.used_warps) / spec_.latency_hiding_warps);
+    return spec_.schedulers_per_sm * hide;
+  }
+
+  void push_event(double time, EventType type, std::uint32_t target,
+                  std::uint64_t version = 0) {
+    events_.push(Event{time, order_++, type, target, version});
+  }
+
+  void advance_sm(Sm& sm, double now);
+  void schedule_sm_check(std::uint32_t sm_id);
+  bool fits(const Sm& sm, const KernelNode& node) const;
+  bool place_block(std::uint32_t node_id, std::uint32_t block_idx, double now);
+  void try_dispatch(double now);
+  void try_start(double now);
+  void make_eligible(std::uint32_t node_id);
+  void start_grid(std::uint32_t node_id, double now);
+  void complete_block(std::uint32_t node_id, double now);
+  void finish_grid(std::uint32_t node_id, double now);
+  void on_ready(std::uint32_t node_id, double now);
+  void mark_ready(std::uint32_t node_id, double now);
+  void try_queue(std::uint32_t node_id);
+  void on_sm_check(std::uint32_t sm_id, std::uint64_t version, double now);
+
+  const DeviceSpec& spec_;
+  LaunchGraph& graph_;
+  std::vector<NodeState> state_;
+  std::vector<Sm> sms_;
+  std::vector<std::vector<std::uint32_t>> stream_nodes_;
+  std::vector<std::size_t> stream_head_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::deque<std::uint32_t> eligible_;
+  std::deque<std::pair<std::uint32_t, std::uint32_t>> dispatch_;
+  /// Reverse event-dependency edges: finished grid -> waiting grids.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> dependents_;
+  int running_grids_ = 0;
+  std::uint64_t order_ = 0;
+  double makespan_ = 0.0;
+  double gmu_free_ = 0.0;  ///< Grid-management-unit busy-until time.
+  int gmu_pending_ = 0;    ///< Device grids awaiting GMU activation.
+};
+
+void Scheduler::advance_sm(Sm& sm, double now) {
+  const double dt = now - sm.last;
+  sm.last = now;
+  if (dt <= 0.0 || sm.blocks.empty()) return;
+  const double r = rate(sm);
+  const double total_warps = static_cast<double>(sm.used_warps);
+  for (ResidentBlock& rb : sm.blocks) {
+    rb.remaining -= dt * r * static_cast<double>(rb.warps) / total_warps;
+    // Fire device launches whose issue point the block has now passed.
+    const auto& children = graph_.nodes[rb.node].blocks[rb.block].children;
+    while (rb.next_child < children.size()) {
+      const ChildLaunch& c = children[rb.next_child];
+      const double threshold = rb.total_work * (1.0 - c.issue_fraction);
+      if (rb.remaining > threshold + kEps) break;
+      push_event(now + spec_.device_launch_cycles(), EventType::kKernelReady,
+                 c.child_kernel);
+      ++rb.next_child;
+    }
+  }
+  // Occupancy accounting: device-wide and per-kernel.
+  std::uint32_t seen[64];
+  int seen_n = 0;
+  for (const ResidentBlock& rb : sm.blocks) {
+    Metrics& m = graph_.nodes[rb.node].metrics;
+    m.resident_warp_cycles += static_cast<double>(rb.warps) * dt;
+    bool first = true;
+    for (int i = 0; i < seen_n; ++i) {
+      if (seen[i] == rb.node) {
+        first = false;
+        break;
+      }
+    }
+    if (first) {
+      if (seen_n < 64) seen[seen_n++] = rb.node;
+      m.sm_active_cycles += dt;
+    }
+  }
+}
+
+void Scheduler::schedule_sm_check(std::uint32_t sm_id) {
+  Sm& sm = sms_[sm_id];
+  ++sm.version;
+  if (sm.blocks.empty()) return;
+  const double r = rate(sm);
+  const double total_warps = static_cast<double>(sm.used_warps);
+  double min_t = std::numeric_limits<double>::infinity();
+  for (const ResidentBlock& rb : sm.blocks) {
+    const double t =
+        std::max(0.0, rb.remaining) * total_warps / (r * rb.warps);
+    min_t = std::min(min_t, t);
+  }
+  push_event(sm.last + min_t, EventType::kSmCheck, sm_id, sm.version);
+}
+
+bool Scheduler::fits(const Sm& sm, const KernelNode& node) const {
+  const int warps = spec_.warps_per_block(node.block_threads);
+  return sm.used_blocks + 1 <= spec_.max_blocks_per_sm &&
+         sm.used_warps + warps <= spec_.max_warps_per_sm &&
+         sm.used_threads + node.block_threads <= spec_.max_threads_per_sm &&
+         sm.used_smem + node.smem_bytes <= spec_.shared_mem_per_sm &&
+         sm.used_regs + static_cast<std::int64_t>(node.regs_per_thread) *
+                            node.block_threads <=
+             spec_.registers_per_sm;
+}
+
+bool Scheduler::place_block(std::uint32_t node_id, std::uint32_t block_idx,
+                            double now) {
+  const KernelNode& node = graph_.nodes[node_id];
+  int best = -1;
+  int best_free = -1;
+  for (std::size_t i = 0; i < sms_.size(); ++i) {
+    if (!fits(sms_[i], node)) continue;
+    const int free = spec_.max_warps_per_sm - sms_[i].used_warps;
+    if (free > best_free) {
+      best_free = free;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return false;
+
+  Sm& sm = sms_[static_cast<std::size_t>(best)];
+  advance_sm(sm, now);
+  const int warps = spec_.warps_per_block(node.block_threads);
+  const BlockCost& bc = node.blocks[block_idx];
+  const double work = spec_.block_dispatch_cycles + bc.issue_cycles;
+  sm.blocks.push_back(ResidentBlock{node_id, block_idx, work, work, warps});
+  sm.used_blocks += 1;
+  sm.used_warps += warps;
+  sm.used_threads += node.block_threads;
+  sm.used_smem += node.smem_bytes;
+  sm.used_regs += static_cast<std::int64_t>(node.regs_per_thread) *
+                  node.block_threads;
+
+  // Device launches fire from advance_sm when the block's progress crosses
+  // each child's issue point; a zero-fraction launch fires immediately.
+  ResidentBlock& rb = sm.blocks.back();
+  const auto& children = bc.children;
+  while (rb.next_child < children.size() &&
+         children[rb.next_child].issue_fraction <= kEps) {
+    push_event(now + spec_.device_launch_cycles(), EventType::kKernelReady,
+               children[rb.next_child].child_kernel);
+    ++rb.next_child;
+  }
+  schedule_sm_check(static_cast<std::uint32_t>(best));
+  return true;
+}
+
+void Scheduler::try_dispatch(double now) {
+  while (!dispatch_.empty()) {
+    auto [node_id, block_idx] = dispatch_.front();
+    if (!place_block(node_id, block_idx, now)) break;
+    dispatch_.pop_front();
+  }
+}
+
+void Scheduler::make_eligible(std::uint32_t node_id) {
+  NodeState& ns = state_[node_id];
+  if (ns.queued || ns.started) return;
+  ns.queued = true;
+  eligible_.push_back(node_id);
+}
+
+void Scheduler::try_start(double now) {
+  while (running_grids_ < spec_.max_concurrent_grids && !eligible_.empty()) {
+    const std::uint32_t id = eligible_.front();
+    eligible_.pop_front();
+    start_grid(id, now);
+  }
+}
+
+void Scheduler::start_grid(std::uint32_t node_id, double now) {
+  NodeState& ns = state_[node_id];
+  ns.started = true;
+  ns.start = now;
+  if (graph_.nodes[node_id].origin == LaunchOrigin::kDevice) {
+    --gmu_pending_;  // The grid leaves the pending-launch pool.
+  }
+  ++running_grids_;
+  const KernelNode& node = graph_.nodes[node_id];
+  for (int b = 0; b < node.grid_blocks; ++b) {
+    dispatch_.emplace_back(node_id, static_cast<std::uint32_t>(b));
+  }
+  try_dispatch(now);
+}
+
+void Scheduler::complete_block(std::uint32_t node_id, double now) {
+  NodeState& ns = state_[node_id];
+  ++ns.blocks_done;
+  if (ns.blocks_done == graph_.nodes[node_id].grid_blocks) {
+    const double drain_end =
+        ns.start + static_cast<double>(graph_.nodes[node_id].hottest_atomic_ops) *
+                       spec_.atomic_drain_cycles;
+    if (drain_end > now + kEps) {
+      push_event(drain_end, EventType::kGridDrain, node_id);
+    } else {
+      finish_grid(node_id, now);
+    }
+  }
+}
+
+void Scheduler::finish_grid(std::uint32_t node_id, double now) {
+  NodeState& ns = state_[node_id];
+  ns.finished = true;
+  ns.end = now;
+  makespan_ = std::max(makespan_, now);
+  --running_grids_;
+  // Advance the stream head; the successor may become eligible.
+  const std::uint32_t stream = graph_.nodes[node_id].stream;
+  std::size_t& head = stream_head_[stream];
+  ++head;
+  if (head < stream_nodes_[stream].size()) {
+    try_queue(stream_nodes_[stream][head]);
+  }
+  // Release cross-stream (event) dependents.
+  if (const auto it = dependents_.find(node_id); it != dependents_.end()) {
+    for (const std::uint32_t dep : it->second) {
+      if (--state_[dep].deps_remaining == 0) try_queue(dep);
+    }
+    dependents_.erase(it);
+  }
+  try_start(now);
+  try_dispatch(now);
+}
+
+void Scheduler::on_ready(std::uint32_t node_id, double now) {
+  NodeState& ns = state_[node_id];
+  // Device-launched grids activate through the single grid-management-unit
+  // queue; heavy CDP fan-out serializes here. Ready events fire in time
+  // order, so processing them through a busy-until server models FIFO.
+  if (graph_.nodes[node_id].origin == LaunchOrigin::kDevice) {
+    const double start = std::max(now, gmu_free_);
+    // The pending pool holds every device-launched grid that has not begun
+    // execution (including grids waiting on stream order); launches beyond
+    // it spill into the software-virtualized queue, whose cost grows with
+    // the overflow depth up to the full virtualization penalty.
+    const double base = spec_.device_launch_service_cycles();
+    const double virt = spec_.virtualized_launch_service_cycles();
+    const double pool = static_cast<double>(spec_.pending_launch_pool);
+    const double overflow =
+        std::clamp((gmu_pending_ - pool) / (9.0 * pool), 0.0, 1.0);
+    const double service = base + (virt - base) * overflow;
+    gmu_free_ = start + service;
+    ++gmu_pending_;
+    push_event(gmu_free_, EventType::kKernelActivated, node_id);
+    return;
+  }
+  mark_ready(node_id, now);
+}
+
+void Scheduler::mark_ready(std::uint32_t node_id, double now) {
+  NodeState& ns = state_[node_id];
+  ns.ready = true;
+  try_queue(node_id);
+  try_start(now);
+}
+
+/// Queue the grid iff launch latency elapsed, it heads its stream, and all
+/// cross-stream event dependencies completed.
+void Scheduler::try_queue(std::uint32_t node_id) {
+  const NodeState& ns = state_[node_id];
+  if (!ns.ready || ns.deps_remaining > 0) return;
+  const std::uint32_t stream = graph_.nodes[node_id].stream;
+  const std::size_t head = stream_head_[stream];
+  if (head < stream_nodes_[stream].size() &&
+      stream_nodes_[stream][head] == node_id) {
+    make_eligible(node_id);
+  }
+}
+
+void Scheduler::on_sm_check(std::uint32_t sm_id, std::uint64_t version,
+                            double now) {
+  Sm& sm = sms_[sm_id];
+  if (version != sm.version) return;  // Stale.
+  advance_sm(sm, now);
+  bool removed = false;
+  for (std::size_t i = 0; i < sm.blocks.size();) {
+    if (sm.blocks[i].remaining <= kEps) {
+      const ResidentBlock rb = sm.blocks[i];
+      sm.blocks[i] = sm.blocks.back();
+      sm.blocks.pop_back();
+      const KernelNode& node = graph_.nodes[rb.node];
+      // Flush launches not yet fired (numerical-tail safety).
+      const auto& children = node.blocks[rb.block].children;
+      for (std::size_t c = rb.next_child; c < children.size(); ++c) {
+        push_event(now + spec_.device_launch_cycles(),
+                   EventType::kKernelReady, children[c].child_kernel);
+      }
+      const int warps = spec_.warps_per_block(node.block_threads);
+      sm.used_blocks -= 1;
+      sm.used_warps -= warps;
+      sm.used_threads -= node.block_threads;
+      sm.used_smem -= node.smem_bytes;
+      sm.used_regs -= static_cast<std::int64_t>(node.regs_per_thread) *
+                      node.block_threads;
+      removed = true;
+      complete_block(rb.node, now);
+    } else {
+      ++i;
+    }
+  }
+  schedule_sm_check(sm_id);
+  if (removed) {
+    try_dispatch(now);
+    try_start(now);
+  }
+}
+
+ScheduleResult Scheduler::run() {
+  const std::size_t n = graph_.nodes.size();
+  state_.assign(n, NodeState{});
+  sms_.assign(static_cast<std::size_t>(spec_.num_sms), Sm{});
+  stream_nodes_.assign(graph_.num_streams, {});
+  stream_head_.assign(graph_.num_streams, 0);
+
+  // Stream FIFOs in launch (seq) order. Nodes are stored in functional
+  // execution order, which equals seq order.
+  for (const KernelNode& node : graph_.nodes) {
+    stream_nodes_[node.stream].push_back(node.id);
+    for (const std::uint32_t dep : node.depends_on) {
+      ++state_[node.id].deps_remaining;
+      dependents_[dep].push_back(node.id);
+    }
+  }
+
+  // Host launches: the host issues them back-to-back; each launch call costs
+  // host_launch_cycles on the host timeline.
+  double host_clock = 0.0;
+  for (const KernelNode& node : graph_.nodes) {
+    if (node.origin == LaunchOrigin::kHost) {
+      host_clock += spec_.host_launch_cycles();
+      push_event(host_clock, EventType::kKernelReady, node.id);
+    }
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    switch (ev.type) {
+      case EventType::kKernelReady:
+        on_ready(ev.target, ev.time);
+        break;
+      case EventType::kKernelActivated:
+        mark_ready(ev.target, ev.time);
+        break;
+      case EventType::kSmCheck:
+        on_sm_check(ev.target, ev.version, ev.time);
+        break;
+      case EventType::kGridDrain:
+        finish_grid(ev.target, ev.time);
+        break;
+    }
+  }
+
+  // Sanity: everything must have run.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!state_[i].finished) {
+      throw std::logic_error("scheduler deadlock: kernel '" +
+                             graph_.nodes[i].name + "' never finished");
+    }
+  }
+
+  ScheduleResult res;
+  res.total_cycles = makespan_;
+  res.node_start.resize(n);
+  res.node_end.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    res.node_start[i] = state_[i].start;
+    res.node_end[i] = state_[i].end;
+  }
+  return res;
+}
+
+}  // namespace
+
+ScheduleResult schedule(const DeviceSpec& spec, LaunchGraph& graph) {
+  return Scheduler(spec, graph).run();
+}
+
+}  // namespace nestpar::simt

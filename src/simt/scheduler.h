@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "src/simt/device_spec.h"
+#include "src/simt/launch_graph.h"
+
+namespace nestpar::simt {
+
+/// Timing of one scheduled run: per-kernel-node start/end times and the
+/// total makespan, all in device cycles.
+struct ScheduleResult {
+  double total_cycles = 0.0;
+  std::vector<double> node_start;
+  std::vector<double> node_end;
+};
+
+/// Timing pass: replays a recorded launch graph against the device model.
+///
+/// Model summary:
+///  - Grids start when (a) their launch latency has elapsed (host or nested
+///    launch), (b) their stream predecessor has completed, and (c) one of the
+///    `max_concurrent_grids` slots is free.
+///  - Blocks of running grids dispatch FIFO onto SMs subject to the resident
+///    warp/block/thread/shared-memory/register limits (occupancy).
+///  - Each SM is a processor-sharing server: resident blocks progress at a
+///    rate proportional to their warp count, scaled by the SM issue width and
+///    a latency-hiding factor that degrades when few warps are resident.
+///  - A grid whose hottest atomic address received N operations cannot finish
+///    earlier than start + N * atomic_drain_cycles (atomic-unit hotspot).
+///
+/// Side effect: fills the occupancy fields of each node's Metrics.
+ScheduleResult schedule(const DeviceSpec& spec, LaunchGraph& graph);
+
+}  // namespace nestpar::simt

@@ -1,0 +1,66 @@
+#include "src/simt/trace_export.h"
+
+#include <ostream>
+
+#include "src/simt/scheduler.h"
+
+namespace nestpar::simt {
+
+namespace {
+
+/// Minimal JSON string escaping (kernel names are library-controlled, but a
+/// user-provided name must not break the file).
+void write_escaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Device& dev) {
+  // Copy: schedule() annotates occupancy metrics into the graph, and the
+  // caller's session must stay untouched for its own report().
+  LaunchGraph graph = dev.graph();
+  const DeviceSpec& spec = dev.spec();
+  ScheduleResult sched;
+  if (!graph.nodes.empty()) {
+    sched = schedule(spec, graph);
+  }
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const KernelNode& node : graph.nodes) {
+    if (!first) out << ",";
+    first = false;
+    const double start_us = spec.cycles_to_us(sched.node_start[node.id]);
+    const double dur_us = spec.cycles_to_us(
+        std::max(0.0, sched.node_end[node.id] - sched.node_start[node.id]));
+    out << "{\"name\":\"";
+    write_escaped(out, node.name);
+    out << "\",\"cat\":\""
+        << (node.origin == LaunchOrigin::kHost ? "host-launch"
+                                               : "device-launch")
+        << "\",\"ph\":\"X\",\"ts\":" << start_us << ",\"dur\":" << dur_us
+        << ",\"pid\":0,\"tid\":" << node.stream << ",\"args\":{"
+        << "\"grid_blocks\":" << node.grid_blocks
+        << ",\"block_threads\":" << node.block_threads
+        << ",\"nest_depth\":" << node.nest_depth
+        << ",\"atomics\":" << node.metrics.atomic_ops << ",\"warp_eff\":"
+        << node.metrics.warp_execution_efficiency() << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace nestpar::simt

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "src/simt/device.h"
+
+namespace nestpar::simt {
+
+/// Write the recorded session's schedule as Chrome trace-event JSON
+/// (loadable in chrome://tracing or Perfetto): one timeline row per stream,
+/// one complete event per grid, with launch origin / grid shape / key
+/// metrics in the event args. The timing pass runs on a copy of the session,
+/// so exporting does not perturb a later `report()`.
+void write_chrome_trace(std::ostream& out, const Device& dev);
+
+}  // namespace nestpar::simt

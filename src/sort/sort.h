@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/simt/device.h"
+
+namespace nestpar::sort {
+
+/// GPU sort implementations mirroring the CUDA-SDK codes the paper's Figure 2
+/// compares: a flat (non-recursive) MergeSort and two dynamic-parallelism
+/// QuickSorts — "Simple" (serial partition in a <<<1,1>>> kernel, selection
+/// sort at the recursion limit) and "Advanced" (block-parallel partition,
+/// bitonic sort at the recursion limit). All operate on int keys in place.
+
+struct MergeSortOptions {
+  int tile = 2048;        ///< Elements sorted per block in the first phase.
+  int block_threads = 256;
+  int segment = 256;      ///< Output elements produced per thread in merges.
+};
+
+struct QuickSortOptions {
+  int max_depth = 16;       ///< Recursion limit (the paper's tuning knob).
+  int leaf_threshold = 32;  ///< Segments below this are leaf-sorted directly.
+  int block_threads = 128;  ///< Advanced variant's partition block.
+  int bitonic_size = 1024;  ///< Advanced variant's leaf bitonic capacity.
+};
+
+/// Flat bottom-up mergesort: one tile-sort kernel, then log(n/tile)
+/// thread-mapped merge passes with co-rank splitting (all threads busy).
+void mergesort(simt::Device& dev, std::span<int> data,
+               const MergeSortOptions& opt = {});
+
+/// CDP QuickSort after the SDK's cdpSimpleQuicksort: a single-thread kernel
+/// partitions and spawns two nested kernels; at `max_depth` (or below
+/// `leaf_threshold`) the remaining segment is selection-sorted in-kernel.
+void simple_quicksort(simt::Device& dev, std::span<int> data,
+                      const QuickSortOptions& opt = {});
+
+/// CDP QuickSort after the SDK's cdpAdvancedQuicksort: block-parallel
+/// partition, two nested kernels per segment, block-local bitonic sort at
+/// the recursion limit.
+void advanced_quicksort(simt::Device& dev, std::span<int> data,
+                        const QuickSortOptions& opt = {});
+
+/// Deterministic random int keys.
+std::vector<int> make_keys(std::size_t n, std::uint64_t seed);
+
+}  // namespace nestpar::sort

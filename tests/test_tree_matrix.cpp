@@ -1,0 +1,200 @@
+// Tree substrate tests (the paper's synthetic tree generator) and sparse
+// matrix substrate tests, plus the CPU cost-model cache simulator.
+#include <gtest/gtest.h>
+
+#include "src/matrix/csr_matrix.h"
+#include "src/simt/cpu_model.h"
+#include "src/tree/tree.h"
+
+namespace t = nestpar::tree;
+namespace m = nestpar::matrix;
+namespace simt = nestpar::simt;
+
+namespace {
+
+TEST(TreeGen, RegularTreeShape) {
+  // depth 2, outdegree 3, sparsity 0: 1 + 3 + 9 = 13 nodes.
+  const t::Tree tr = t::generate_tree({.depth = 2, .outdegree = 3}, 1);
+  EXPECT_EQ(tr.num_nodes(), 13u);
+  EXPECT_EQ(tr.max_level(), 2u);
+  EXPECT_NO_THROW(tr.validate());
+  EXPECT_EQ(tr.num_children(0), 3u);
+  EXPECT_TRUE(tr.is_leaf(12));
+}
+
+TEST(TreeGen, DepthZeroIsSingleNode) {
+  const t::Tree tr = t::generate_tree({.depth = 0, .outdegree = 5}, 1);
+  EXPECT_EQ(tr.num_nodes(), 1u);
+  EXPECT_TRUE(tr.is_leaf(0));
+}
+
+TEST(TreeGen, RootAlwaysExpands) {
+  // Even with extreme sparsity the root has children.
+  const t::Tree tr =
+      t::generate_tree({.depth = 3, .outdegree = 4, .sparsity = 10}, 2);
+  EXPECT_EQ(tr.num_children(0), 4u);
+}
+
+TEST(TreeGen, SparsityShrinksTree) {
+  const t::Tree dense =
+      t::generate_tree({.depth = 4, .outdegree = 8, .sparsity = 0}, 3);
+  const t::Tree sparse =
+      t::generate_tree({.depth = 4, .outdegree = 8, .sparsity = 2}, 3);
+  EXPECT_GT(dense.num_nodes(), sparse.num_nodes());
+  EXPECT_NO_THROW(sparse.validate());
+}
+
+TEST(TreeGen, SparsityOneHalvesExpansion) {
+  // With rho = 1/2, interior nodes expand about half the time.
+  const t::Tree tr =
+      t::generate_tree({.depth = 2, .outdegree = 10, .sparsity = 1}, 4);
+  // Level-1 nodes: 10; expanders ~5; nodes ~ 1 + 10 + ~50.
+  EXPECT_GT(tr.num_nodes(), 20u);
+  EXPECT_LT(tr.num_nodes(), 111u);
+}
+
+TEST(TreeGen, DeterministicInSeed) {
+  const t::Tree a =
+      t::generate_tree({.depth = 3, .outdegree = 5, .sparsity = 1}, 7);
+  const t::Tree b =
+      t::generate_tree({.depth = 3, .outdegree = 5, .sparsity = 1}, 7);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.children, b.children);
+}
+
+TEST(TreeGen, BfsOrderMeansLevelsMonotone) {
+  const t::Tree tr =
+      t::generate_tree({.depth = 4, .outdegree = 4, .sparsity = 1}, 9);
+  for (std::uint32_t v = 1; v < tr.num_nodes(); ++v) {
+    EXPECT_GE(tr.level[v], tr.level[v - 1]);
+  }
+}
+
+TEST(TreeGen, RejectsBadParams) {
+  EXPECT_THROW(t::generate_tree({.depth = -1}, 0), std::invalid_argument);
+  EXPECT_THROW(t::generate_tree({.depth = 2, .outdegree = 0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(t::generate_tree({.depth = 2, .outdegree = 2, .sparsity = -3},
+                                0),
+               std::invalid_argument);
+}
+
+TEST(TreeValidate, CatchesCorruption) {
+  t::Tree tr = t::generate_tree({.depth = 2, .outdegree = 2}, 0);
+  tr.parent[3] = 0xdead;
+  EXPECT_THROW(tr.validate(), std::invalid_argument);
+}
+
+// --- Matrix ------------------------------------------------------------------
+
+TEST(Matrix, FromGraphCopiesStructure) {
+  const nestpar::graph::Edge edges[] = {{0, 1, 2.f}, {1, 0, 3.f}, {1, 2, 4.f}};
+  const auto g = nestpar::graph::build_csr(3, edges, true);
+  const m::CsrMatrix a = m::CsrMatrix::from_graph(g);
+  EXPECT_EQ(a.rows, 3u);
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_FLOAT_EQ(a.values[1], 3.0f);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Matrix, FromUnweightedGraphGetsUnitValues) {
+  const nestpar::graph::Edge edges[] = {{0, 1, 0.f}};
+  const auto g = nestpar::graph::build_csr(2, edges, false);
+  const m::CsrMatrix a = m::CsrMatrix::from_graph(g);
+  EXPECT_FLOAT_EQ(a.values[0], 1.0f);
+}
+
+TEST(Matrix, SerialSpmvReference) {
+  // [[0 2 0], [3 0 4], [0 0 0]] * [1, 10, 100]
+  const nestpar::graph::Edge edges[] = {{0, 1, 2.f}, {1, 0, 3.f}, {1, 2, 4.f}};
+  const m::CsrMatrix a =
+      m::CsrMatrix::from_graph(nestpar::graph::build_csr(3, edges, true));
+  const std::vector<float> x = {1.f, 10.f, 100.f};
+  const auto y = m::spmv_serial(a, x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_FLOAT_EQ(y[0], 20.f);
+  EXPECT_FLOAT_EQ(y[1], 403.f);
+  EXPECT_FLOAT_EQ(y[2], 0.f);
+}
+
+TEST(Matrix, SerialSpmvChargesTimer) {
+  const nestpar::graph::Edge edges[] = {{0, 1, 2.f}, {1, 0, 3.f}};
+  const m::CsrMatrix a =
+      m::CsrMatrix::from_graph(nestpar::graph::build_csr(2, edges, true));
+  const std::vector<float> x = {1.f, 1.f};
+  simt::CpuTimer timer;
+  m::spmv_serial(a, x, &timer);
+  EXPECT_GT(timer.cycles(), 0.0);
+  EXPECT_GT(timer.loads_and_stores(), 0u);
+}
+
+TEST(Matrix, SpmvRejectsSizeMismatch) {
+  const m::CsrMatrix a = m::CsrMatrix::from_graph(
+      nestpar::graph::build_csr(2, std::span<const nestpar::graph::Edge>{}));
+  const std::vector<float> x = {1.f};
+  EXPECT_THROW(m::spmv_serial(a, x), std::invalid_argument);
+}
+
+TEST(Matrix, MakeDenseVectorDeterministic) {
+  const auto a = m::make_dense_vector(100, 5);
+  const auto b = m::make_dense_vector(100, 5);
+  EXPECT_EQ(a, b);
+  for (float f : a) {
+    EXPECT_GE(f, 0.5f);
+    EXPECT_LT(f, 1.5f);
+  }
+}
+
+// --- CPU cost model ------------------------------------------------------------
+
+TEST(CpuModel, SequentialAccessCheaperThanScattered) {
+  std::vector<int> data(1 << 20);
+  simt::CpuTimer seq;
+  for (int i = 0; i < 65536; ++i) seq.ld(&data[i]);
+  simt::CpuTimer scattered;
+  for (int i = 0; i < 65536; ++i) {
+    scattered.ld(&data[(i * 7919) & ((1 << 20) - 1)]);
+  }
+  EXPECT_LT(seq.cycles(), scattered.cycles() * 0.5);
+}
+
+TEST(CpuModel, CacheHitsAfterWarmup) {
+  std::vector<int> small(64);
+  simt::CpuTimer t;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& v : small) t.ld(&v);
+  }
+  // Second pass should be all hits: misses bounded by one pass worth.
+  EXPECT_LE(t.cache_misses(), 64u);
+}
+
+TEST(CpuModel, ComputeAndCallCharges) {
+  simt::CpuTimer t;
+  t.compute(100);
+  const double c1 = t.cycles();
+  t.call();
+  EXPECT_GT(t.cycles(), c1);
+  EXPECT_DOUBLE_EQ(c1, 100.0 * t.spec().compute_op_cycles);
+}
+
+TEST(CpuModel, ResetClearsState) {
+  simt::CpuTimer t;
+  int x = 0;
+  t.ld(&x);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.cycles(), 0.0);
+  EXPECT_EQ(t.loads_and_stores(), 0u);
+}
+
+TEST(CpuModel, CacheSimRejectsBadConfig) {
+  EXPECT_THROW(simt::CacheSim(1024, 48, 4), std::invalid_argument);
+  EXPECT_THROW(simt::CacheSim(1024, 64, 0), std::invalid_argument);
+}
+
+TEST(CpuModel, UsConversion) {
+  simt::CpuTimer t;
+  t.compute(2000);
+  EXPECT_NEAR(t.us(), 2000.0 / (t.spec().clock_ghz * 1e3), 1e-9);
+}
+
+}  // namespace

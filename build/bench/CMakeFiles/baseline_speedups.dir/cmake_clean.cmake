@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_speedups.dir/baseline_speedups.cpp.o"
+  "CMakeFiles/baseline_speedups.dir/baseline_speedups.cpp.o.d"
+  "CMakeFiles/baseline_speedups.dir/bench_util.cpp.o"
+  "CMakeFiles/baseline_speedups.dir/bench_util.cpp.o.d"
+  "baseline_speedups"
+  "baseline_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

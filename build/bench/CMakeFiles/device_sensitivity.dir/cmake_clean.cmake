@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_sensitivity.dir/bench_util.cpp.o"
+  "CMakeFiles/device_sensitivity.dir/bench_util.cpp.o.d"
+  "CMakeFiles/device_sensitivity.dir/device_sensitivity.cpp.o"
+  "CMakeFiles/device_sensitivity.dir/device_sensitivity.cpp.o.d"
+  "device_sensitivity"
+  "device_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

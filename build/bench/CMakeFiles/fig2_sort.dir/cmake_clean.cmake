@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sort.dir/bench_util.cpp.o"
+  "CMakeFiles/fig2_sort.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig2_sort.dir/fig2_sort.cpp.o"
+  "CMakeFiles/fig2_sort.dir/fig2_sort.cpp.o.d"
+  "fig2_sort"
+  "fig2_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_spmv_blocksize.dir/bench_util.cpp.o"
+  "CMakeFiles/fig4_spmv_blocksize.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig4_spmv_blocksize.dir/fig4_spmv_blocksize.cpp.o"
+  "CMakeFiles/fig4_spmv_blocksize.dir/fig4_spmv_blocksize.cpp.o.d"
+  "fig4_spmv_blocksize"
+  "fig4_spmv_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spmv_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

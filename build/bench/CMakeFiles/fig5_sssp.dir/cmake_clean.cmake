@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sssp.dir/bench_util.cpp.o"
+  "CMakeFiles/fig5_sssp.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig5_sssp.dir/fig5_sssp.cpp.o"
+  "CMakeFiles/fig5_sssp.dir/fig5_sssp.cpp.o.d"
+  "fig5_sssp"
+  "fig5_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bc_pagerank_spmv.dir/bench_util.cpp.o"
+  "CMakeFiles/fig6_bc_pagerank_spmv.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig6_bc_pagerank_spmv.dir/fig6_bc_pagerank_spmv.cpp.o"
+  "CMakeFiles/fig6_bc_pagerank_spmv.dir/fig6_bc_pagerank_spmv.cpp.o.d"
+  "fig6_bc_pagerank_spmv"
+  "fig6_bc_pagerank_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bc_pagerank_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

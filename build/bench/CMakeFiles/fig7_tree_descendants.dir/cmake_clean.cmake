@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tree_descendants.dir/bench_util.cpp.o"
+  "CMakeFiles/fig7_tree_descendants.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig7_tree_descendants.dir/fig7_tree_descendants.cpp.o"
+  "CMakeFiles/fig7_tree_descendants.dir/fig7_tree_descendants.cpp.o.d"
+  "fig7_tree_descendants"
+  "fig7_tree_descendants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tree_descendants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

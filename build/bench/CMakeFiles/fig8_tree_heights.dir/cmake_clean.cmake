@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tree_heights.dir/bench_util.cpp.o"
+  "CMakeFiles/fig8_tree_heights.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig8_tree_heights.dir/fig8_tree_heights.cpp.o"
+  "CMakeFiles/fig8_tree_heights.dir/fig8_tree_heights.cpp.o.d"
+  "fig8_tree_heights"
+  "fig8_tree_heights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tree_heights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_recursive_bfs.dir/bench_util.cpp.o"
+  "CMakeFiles/fig9_recursive_bfs.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig9_recursive_bfs.dir/fig9_recursive_bfs.cpp.o"
+  "CMakeFiles/fig9_recursive_bfs.dir/fig9_recursive_bfs.cpp.o.d"
+  "fig9_recursive_bfs"
+  "fig9_recursive_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_recursive_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_simulator.dir/bench_util.cpp.o"
+  "CMakeFiles/microbench_simulator.dir/bench_util.cpp.o.d"
+  "CMakeFiles/microbench_simulator.dir/microbench_simulator.cpp.o"
+  "CMakeFiles/microbench_simulator.dir/microbench_simulator.cpp.o.d"
+  "microbench_simulator"
+  "microbench_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

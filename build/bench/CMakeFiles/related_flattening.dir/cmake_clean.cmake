@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_flattening.dir/bench_util.cpp.o"
+  "CMakeFiles/related_flattening.dir/bench_util.cpp.o.d"
+  "CMakeFiles/related_flattening.dir/related_flattening.cpp.o"
+  "CMakeFiles/related_flattening.dir/related_flattening.cpp.o.d"
+  "related_flattening"
+  "related_flattening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_flattening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

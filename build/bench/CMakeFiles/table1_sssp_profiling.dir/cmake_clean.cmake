@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sssp_profiling.dir/bench_util.cpp.o"
+  "CMakeFiles/table1_sssp_profiling.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table1_sssp_profiling.dir/table1_sssp_profiling.cpp.o"
+  "CMakeFiles/table1_sssp_profiling.dir/table1_sssp_profiling.cpp.o.d"
+  "table1_sssp_profiling"
+  "table1_sssp_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sssp_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

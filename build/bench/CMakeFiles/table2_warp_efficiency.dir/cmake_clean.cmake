@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_warp_efficiency.dir/bench_util.cpp.o"
+  "CMakeFiles/table2_warp_efficiency.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table2_warp_efficiency.dir/table2_warp_efficiency.cpp.o"
+  "CMakeFiles/table2_warp_efficiency.dir/table2_warp_efficiency.cpp.o.d"
+  "table2_warp_efficiency"
+  "table2_warp_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_warp_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

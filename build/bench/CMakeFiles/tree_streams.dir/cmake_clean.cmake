@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_streams.dir/bench_util.cpp.o"
+  "CMakeFiles/tree_streams.dir/bench_util.cpp.o.d"
+  "CMakeFiles/tree_streams.dir/tree_streams.cpp.o"
+  "CMakeFiles/tree_streams.dir/tree_streams.cpp.o.d"
+  "tree_streams"
+  "tree_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autotune_lbthres.dir/autotune_lbthres.cpp.o"
+  "CMakeFiles/example_autotune_lbthres.dir/autotune_lbthres.cpp.o.d"
+  "example_autotune_lbthres"
+  "example_autotune_lbthres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autotune_lbthres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_tool.dir/graph_tool.cpp.o"
+  "CMakeFiles/example_graph_tool.dir/graph_tool.cpp.o.d"
+  "example_graph_tool"
+  "example_graph_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tree_analytics.dir/tree_analytics.cpp.o"
+  "CMakeFiles/example_tree_analytics.dir/tree_analytics.cpp.o.d"
+  "example_tree_analytics"
+  "example_tree_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tree_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

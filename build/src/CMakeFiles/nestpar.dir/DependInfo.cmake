@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bc.cpp" "src/CMakeFiles/nestpar.dir/apps/bc.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/apps/bc.cpp.o.d"
+  "/root/repo/src/apps/bfs.cpp" "src/CMakeFiles/nestpar.dir/apps/bfs.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/apps/bfs.cpp.o.d"
+  "/root/repo/src/apps/cc.cpp" "src/CMakeFiles/nestpar.dir/apps/cc.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/apps/cc.cpp.o.d"
+  "/root/repo/src/apps/kcore.cpp" "src/CMakeFiles/nestpar.dir/apps/kcore.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/apps/kcore.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/CMakeFiles/nestpar.dir/apps/pagerank.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/apps/pagerank.cpp.o.d"
+  "/root/repo/src/apps/spmv.cpp" "src/CMakeFiles/nestpar.dir/apps/spmv.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/apps/spmv.cpp.o.d"
+  "/root/repo/src/apps/sssp.cpp" "src/CMakeFiles/nestpar.dir/apps/sssp.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/apps/sssp.cpp.o.d"
+  "/root/repo/src/apps/triangles.cpp" "src/CMakeFiles/nestpar.dir/apps/triangles.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/apps/triangles.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/nestpar.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/nestpar.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/nestpar.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/graph/io.cpp.o.d"
+  "/root/repo/src/matrix/csr_matrix.cpp" "src/CMakeFiles/nestpar.dir/matrix/csr_matrix.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/matrix/csr_matrix.cpp.o.d"
+  "/root/repo/src/nested/autotune.cpp" "src/CMakeFiles/nestpar.dir/nested/autotune.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/nested/autotune.cpp.o.d"
+  "/root/repo/src/nested/flatten.cpp" "src/CMakeFiles/nestpar.dir/nested/flatten.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/nested/flatten.cpp.o.d"
+  "/root/repo/src/nested/templates.cpp" "src/CMakeFiles/nestpar.dir/nested/templates.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/nested/templates.cpp.o.d"
+  "/root/repo/src/rec/tree_traversal.cpp" "src/CMakeFiles/nestpar.dir/rec/tree_traversal.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/rec/tree_traversal.cpp.o.d"
+  "/root/repo/src/simt/cpu_model.cpp" "src/CMakeFiles/nestpar.dir/simt/cpu_model.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/simt/cpu_model.cpp.o.d"
+  "/root/repo/src/simt/device.cpp" "src/CMakeFiles/nestpar.dir/simt/device.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/simt/device.cpp.o.d"
+  "/root/repo/src/simt/device_spec.cpp" "src/CMakeFiles/nestpar.dir/simt/device_spec.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/simt/device_spec.cpp.o.d"
+  "/root/repo/src/simt/metrics.cpp" "src/CMakeFiles/nestpar.dir/simt/metrics.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/simt/metrics.cpp.o.d"
+  "/root/repo/src/simt/recorder.cpp" "src/CMakeFiles/nestpar.dir/simt/recorder.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/simt/recorder.cpp.o.d"
+  "/root/repo/src/simt/report_printer.cpp" "src/CMakeFiles/nestpar.dir/simt/report_printer.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/simt/report_printer.cpp.o.d"
+  "/root/repo/src/simt/scheduler.cpp" "src/CMakeFiles/nestpar.dir/simt/scheduler.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/simt/scheduler.cpp.o.d"
+  "/root/repo/src/simt/trace_export.cpp" "src/CMakeFiles/nestpar.dir/simt/trace_export.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/simt/trace_export.cpp.o.d"
+  "/root/repo/src/sort/sort.cpp" "src/CMakeFiles/nestpar.dir/sort/sort.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/sort/sort.cpp.o.d"
+  "/root/repo/src/tree/tree.cpp" "src/CMakeFiles/nestpar.dir/tree/tree.cpp.o" "gcc" "src/CMakeFiles/nestpar.dir/tree/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

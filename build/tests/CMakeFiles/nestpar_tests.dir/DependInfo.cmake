@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_events.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_events.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_events.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_flatten.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_flatten.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_flatten.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_model_shapes.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_model_shapes.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_model_shapes.cpp.o.d"
+  "/root/repo/tests/test_nested_templates.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_nested_templates.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_nested_templates.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rec_templates.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_rec_templates.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_rec_templates.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_simt_core.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_simt_core.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_simt_core.cpp.o.d"
+  "/root/repo/tests/test_sort.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_sort.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_sort.cpp.o.d"
+  "/root/repo/tests/test_tree_matrix.cpp" "tests/CMakeFiles/nestpar_tests.dir/test_tree_matrix.cpp.o" "gcc" "tests/CMakeFiles/nestpar_tests.dir/test_tree_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestpar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestpar_tests.dir/test_events.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_events.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_flatten.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_flatten.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_graph.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_graph.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_misc.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_misc.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_model_shapes.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_model_shapes.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_nested_templates.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_nested_templates.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_rec_templates.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_rec_templates.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_scheduler.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_scheduler.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_simt_core.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_simt_core.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_sort.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_sort.cpp.o.d"
+  "CMakeFiles/nestpar_tests.dir/test_tree_matrix.cpp.o"
+  "CMakeFiles/nestpar_tests.dir/test_tree_matrix.cpp.o.d"
+  "nestpar_tests"
+  "nestpar_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestpar_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -20,14 +20,18 @@ namespace {
 
 double spmv_speedup(const simt::DeviceSpec& spec, const matrix::CsrMatrix& m,
                     const std::vector<float>& x, LoopTemplate t, int lb = 32) {
-  simt::Device base_dev(spec);
-  apps::run_spmv(base_dev, m, x, LoopTemplate::kBaseline);
-  const double base = base_dev.report().total_us;
   simt::Device dev(spec);
+  double base = 0.0;
+  {
+    simt::Session session = dev.session();
+    apps::run_spmv(dev, m, x, LoopTemplate::kBaseline);
+    base = session.report().total_us;
+  }
+  simt::Session session = dev.session();
   nested::LoopParams p;
   p.lb_threshold = lb;
   apps::run_spmv(dev, m, x, t, p);
-  return base / dev.report().total_us;
+  return base / session.report().total_us;
 }
 
 }  // namespace
@@ -85,9 +89,11 @@ int main(int argc, char** argv) {
       simt::DeviceSpec s = spec;
       s.pending_launch_pool = pool;
       simt::Device dev(s);
+      simt::Session session = dev.session();
       apps::bfs_recursive_gpu(dev, rnd, 0, rec::RecTemplate::kRecNaive);
       bench::table_row({pool > (1 << 20) ? "unbounded" : std::to_string(pool),
-                        bench::fmt(dev.report().total_us / cpu.us(), 0) + "x"});
+                        bench::fmt(session.report().total_us / cpu.us(), 0) +
+                            "x"});
     }
   }
 
@@ -105,13 +111,14 @@ int main(int argc, char** argv) {
       simt::DeviceSpec s = spec;
       s.atomic_drain_cycles = drain;
       simt::Device dev(s);
-      rec::run_tree_traversal(dev, tr, rec::TreeAlgo::kDescendants,
-                              rec::RecTemplate::kFlat);
-      const double flat = t_iter.us() / dev.report().total_us;
-      simt::Device dev2(s);
-      rec::run_tree_traversal(dev2, tr, rec::TreeAlgo::kDescendants,
-                              rec::RecTemplate::kRecHier);
-      const double hier = t_iter.us() / dev2.report().total_us;
+      const rec::TreeRunResult flat_run = rec::run_tree_traversal(
+          dev, tr, rec::TreeAlgo::kDescendants, rec::RecTemplate::kFlat, {},
+          dev.exec_policy());
+      const double flat = t_iter.us() / flat_run.report.total_us;
+      const rec::TreeRunResult hier_run = rec::run_tree_traversal(
+          dev, tr, rec::TreeAlgo::kDescendants, rec::RecTemplate::kRecHier, {},
+          dev.exec_policy());
+      const double hier = t_iter.us() / hier_run.report.total_us;
       bench::table_row({bench::fmt(drain, 1), bench::fmt(flat) + "x",
                         bench::fmt(hier) + "x"});
     }
@@ -122,16 +129,20 @@ int main(int argc, char** argv) {
   std::printf("overflow fallback; the default 256 balances the two.\n");
   bench::table_header({"entries", "dbuf-shared"});
   for (const int entries : {32, 256, 2048}) {
-    simt::Device base_dev(spec);
-    apps::run_spmv(base_dev, mat, x, LoopTemplate::kBaseline);
-    const double base = base_dev.report().total_us;
     simt::Device dev(spec);
+    double base = 0.0;
+    {
+      simt::Session session = dev.session();
+      apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
+      base = session.report().total_us;
+    }
+    simt::Session session = dev.session();
     nested::LoopParams p;
     p.lb_threshold = 32;
     p.shared_buffer_entries = entries;
     apps::run_spmv(dev, mat, x, LoopTemplate::kDbufShared, p);
     bench::table_row({std::to_string(entries),
-                      bench::fmt(base / dev.report().total_us) + "x"});
+                      bench::fmt(base / session.report().total_us) + "x"});
   }
   return 0;
 }

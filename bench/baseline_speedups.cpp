@@ -37,8 +37,9 @@ int main(int argc, char** argv) {
     simt::CpuTimer cpu;
     apps::sssp_serial(cs, 0, &cpu);
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::run_sssp(dev, cs, 0, LoopTemplate::kBaseline);
-    const double gpu = dev.report().total_us;
+    const double gpu = session.report().total_us;
     bench::table_row({"SSSP", bench::fmt(cpu.us(), 0), bench::fmt(gpu, 0),
                       bench::fmt(cpu.us() / gpu) + "x", "8.2x"});
   }
@@ -48,8 +49,9 @@ int main(int argc, char** argv) {
     opt.num_sources = sources;
     apps::bc_serial(wv, opt, &cpu);
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::run_bc(dev, wv, LoopTemplate::kBaseline, {}, opt);
-    const double gpu = dev.report().total_us;
+    const double gpu = session.report().total_us;
     bench::table_row({"BC", bench::fmt(cpu.us(), 0), bench::fmt(gpu, 0),
                       bench::fmt(cpu.us() / gpu) + "x", "2.5x"});
   }
@@ -57,8 +59,9 @@ int main(int argc, char** argv) {
     simt::CpuTimer cpu;
     apps::pagerank_serial(cs, {}, &cpu);
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::run_pagerank(dev, cs, LoopTemplate::kBaseline);
-    const double gpu = dev.report().total_us;
+    const double gpu = session.report().total_us;
     bench::table_row({"PageRank", bench::fmt(cpu.us(), 0), bench::fmt(gpu, 0),
                       bench::fmt(cpu.us() / gpu) + "x", "15.8x"});
   }
@@ -68,8 +71,9 @@ int main(int argc, char** argv) {
     simt::CpuTimer cpu;
     matrix::spmv_serial(mat, x, &cpu);
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
-    const double gpu = dev.report().total_us;
+    const double gpu = session.report().total_us;
     bench::table_row({"SpMV", bench::fmt(cpu.us(), 0), bench::fmt(gpu, 0),
                       bench::fmt(cpu.us() / gpu) + "x", "2.4x"});
   }
@@ -79,8 +83,9 @@ int main(int argc, char** argv) {
     simt::CpuTimer cpu;
     apps::bfs_serial_recursive(rnd, 0, &cpu);
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::bfs_flat_gpu(dev, rnd, 0);
-    const double gpu = dev.report().total_us;
+    const double gpu = session.report().total_us;
     bench::table_row({"BFS(flat)", bench::fmt(cpu.us(), 0),
                       bench::fmt(gpu, 0), bench::fmt(cpu.us() / gpu) + "x",
                       "11-14x"});

@@ -40,17 +40,21 @@ int main(int argc, char** argv) {
                        "dbuf-global", "dpar-opt"});
   for (const Preset& preset : presets) {
     simt::Device dev(preset.spec);
-    apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
-    const double base = dev.report().total_us;
+    double base = 0.0;
+    {
+      simt::Session session = dev.session();
+      apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
+      base = session.report().total_us;
+    }
     std::vector<std::string> row{preset.name, bench::fmt(base, 0)};
     for (const LoopTemplate t :
          {LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
           LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt}) {
-      simt::Device d(preset.spec);
+      simt::Session session = dev.session();
       nested::LoopParams p;
       p.lb_threshold = 32;
-      apps::run_spmv(d, mat, x, t, p);
-      row.push_back(bench::fmt(base / d.report().total_us) + "x");
+      apps::run_spmv(dev, mat, x, t, p);
+      row.push_back(bench::fmt(base / session.report().total_us) + "x");
     }
     bench::table_row(row);
   }

@@ -15,6 +15,7 @@ namespace {
 
 double run_ms(int algo, std::vector<int> keys) {
   simt::Device dev;
+  simt::Session session = dev.session();
   switch (algo) {
     case 0: sort::mergesort(dev, keys); break;
     case 1: sort::advanced_quicksort(dev, keys); break;
@@ -26,7 +27,7 @@ double run_ms(int algo, std::vector<int> keys) {
       std::exit(1);
     }
   }
-  return dev.report().total_us / 1000.0;
+  return session.report().total_us / 1000.0;
 }
 
 }  // namespace

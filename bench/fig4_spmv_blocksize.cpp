@@ -30,8 +30,12 @@ int main(int argc, char** argv) {
   const auto x = matrix::make_dense_vector(mat.cols, 7);
 
   simt::Device dev;
-  apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
-  const double base_us = dev.report().total_us;
+  double base_us = 0.0;
+  {
+    simt::Session session = dev.session();
+    apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
+    base_us = session.report().total_us;
+  }
   std::printf("baseline: %.0f us (block size 192, thread-mapped)\n", base_us);
 
   const LoopTemplate templates[] = {
@@ -45,12 +49,12 @@ int main(int argc, char** argv) {
     for (const int bs : {64, 128, 192, 256}) {
       std::vector<std::string> row{std::to_string(bs)};
       for (const LoopTemplate t : templates) {
-        dev.reset();
+        simt::Session session = dev.session();
         nested::LoopParams p;
         p.lb_threshold = lb;
         p.block_block_size = bs;
         apps::run_spmv(dev, mat, x, t, p);
-        row.push_back(bench::fmt(base_us / dev.report().total_us) + "x");
+        row.push_back(bench::fmt(base_us / session.report().total_us) + "x");
       }
       bench::table_row(row);
     }

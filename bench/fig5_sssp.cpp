@@ -2,7 +2,14 @@
 // thread-mapped implementation on the CiteSeer-like network, for a sweep of
 // lbTHRES values; nested-kernel-call counts reported for the dynamic
 // parallelism variants (the numbers the paper prints on top of the bars).
+//
+// --threads=N runs the simulator's host engine with N worker threads
+// (0 = serial). --compare-engines additionally reruns the whole sweep on
+// both engines, checks that cycles and distances match bit-for-bit, and
+// reports the host wall-clock speedup.
+#include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -12,11 +19,57 @@
 using namespace nestpar;
 using nested::LoopTemplate;
 
+namespace {
+
+constexpr int kThresholds[] = {32, 64, 128, 256, 512, 1024};
+
+/// One full Figure-5 sweep (baseline + all templates x lbTHRES) under the
+/// given engine policy. Returns the model cycle count of every run, the last
+/// run's distances, and the host wall-clock seconds.
+struct SweepResult {
+  std::vector<std::uint64_t> cycles;
+  std::vector<float> dist;
+  double wall_seconds = 0.0;
+};
+
+SweepResult run_sweep(simt::Device& dev, const graph::Csr& g,
+                      const std::vector<LoopTemplate>& templates,
+                      const simt::ExecPolicy& policy) {
+  SweepResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    simt::Session session = dev.session(policy);
+    r.dist = apps::run_sssp(dev, g, 0, LoopTemplate::kBaseline).dist;
+    r.cycles.push_back(session.report().total_cycles);
+  }
+  for (const LoopTemplate t : templates) {
+    for (const int lb : kThresholds) {
+      nested::LoopParams p;
+      p.lb_threshold = lb;
+      simt::Session session = dev.session(policy);
+      r.dist = apps::run_sssp(dev, g, 0, t, p).dist;
+      r.cycles.push_back(session.report().total_cycles);
+    }
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const bench::Args args(argc, argv,
-                         "fig5_sssp [--scale=0.1] [--skip-dpar-naive]");
+  const bench::Args args(
+      argc, argv,
+      "fig5_sssp [--scale=0.1] [--skip-dpar-naive] [--threads=N] "
+      "[--compare-engines]");
   const double scale = args.get_double("scale", 0.1);
   const bool skip_naive = args.get_flag("skip-dpar-naive");
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  const simt::ExecPolicy policy = threads > 0
+                                      ? simt::ExecPolicy::parallel(threads)
+                                      : simt::ExecPolicy::from_env();
 
   bench::banner(
       "Figure 5 - SSSP: speedup of load-balancing templates over baseline "
@@ -26,12 +79,17 @@ int main(int argc, char** argv) {
       "spawns far fewer nested kernels than dpar-naive");
 
   const graph::Csr g = bench::citeseer(scale, /*weighted=*/true);
-  std::printf("graph: %u nodes, %llu edges\n\n", g.num_nodes(),
+  std::printf("graph: %u nodes, %llu edges\n", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()));
+  std::printf("engine: %s\n\n", simt::to_string(policy).c_str());
 
   simt::Device dev;
-  apps::run_sssp(dev, g, 0, LoopTemplate::kBaseline);
-  const double base_us = dev.report().total_us;
+  double base_us = 0.0;
+  {
+    simt::Session session = dev.session(policy);
+    apps::run_sssp(dev, g, 0, LoopTemplate::kBaseline);
+    base_us = session.report().total_us;
+  }
   std::printf("baseline (thread-mapped, no LB): %.0f us (model time)\n\n",
               base_us);
 
@@ -43,16 +101,37 @@ int main(int argc, char** argv) {
 
   bench::table_header({"template", "lbTHRES", "speedup", "nested-calls"});
   for (const LoopTemplate t : templates) {
-    for (const int lb : {32, 64, 128, 256, 512, 1024}) {
-      dev.reset();
+    for (const int lb : kThresholds) {
       nested::LoopParams p;
       p.lb_threshold = lb;
-      apps::run_sssp(dev, g, 0, t, p);
-      const auto rep = dev.report();
-      bench::table_row({nested::to_string(t), std::to_string(lb),
+      const nested::RunResult run = [&] {
+        simt::Session session = dev.session(policy);
+        apps::run_sssp(dev, g, 0, t, p);
+        return nested::RunResult{session.report()};
+      }();
+      const simt::RunReport& rep = run.report;
+      bench::table_row({std::string(nested::name(t)), std::to_string(lb),
                         bench::fmt(base_us / rep.total_us) + "x",
                         std::to_string(rep.device_grids)});
     }
+  }
+
+  if (args.get_flag("compare-engines")) {
+    const int par_threads =
+        threads > 0 ? threads : simt::ExecPolicy::parallel().resolve_threads();
+    std::printf("\nengine comparison (serial vs parallel/%d):\n", par_threads);
+    const SweepResult serial =
+        run_sweep(dev, g, templates, simt::ExecPolicy::serial());
+    const SweepResult parallel =
+        run_sweep(dev, g, templates, simt::ExecPolicy::parallel(par_threads));
+    const bool cycles_match = serial.cycles == parallel.cycles;
+    const bool dist_match = serial.dist == parallel.dist;
+    std::printf("  serial:   %.2fs wall\n", serial.wall_seconds);
+    std::printf("  parallel: %.2fs wall (%.2fx)\n", parallel.wall_seconds,
+                serial.wall_seconds / parallel.wall_seconds);
+    std::printf("  model cycles identical: %s\n", cycles_match ? "yes" : "NO");
+    std::printf("  distances identical:    %s\n", dist_match ? "yes" : "NO");
+    if (!cycles_match || !dist_match) return 1;
   }
   return 0;
 }

@@ -62,22 +62,25 @@ int main(int argc, char** argv) {
 
   sweep("BC (wiki-vote-like)", [&](LoopTemplate t, const LoopParams& p) {
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::BcOptions opt;
     opt.num_sources = sources;
     apps::run_bc(dev, wv, t, p, opt);
-    return dev.report().total_us;
+    return session.report().total_us;
   });
 
   sweep("PageRank (citeseer-like)", [&](LoopTemplate t, const LoopParams& p) {
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::run_pagerank(dev, cs, t, p);
-    return dev.report().total_us;
+    return session.report().total_us;
   });
 
   sweep("SpMV (citeseer-like)", [&](LoopTemplate t, const LoopParams& p) {
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::run_spmv(dev, mat, x, t, p);
-    return dev.report().total_us;
+    return session.report().total_us;
   });
   return 0;
 }

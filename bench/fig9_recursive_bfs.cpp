@@ -46,15 +46,17 @@ int main(int argc, char** argv) {
 
     const auto slowdown = [&](RecTemplate t, int streams) {
       simt::Device dev;
+      simt::Session session = dev.session();
       apps::BfsRecOptions opt;
       opt.streams_per_block = streams;
       apps::bfs_recursive_gpu(dev, g, src, t, opt);
-      return dev.report().total_us / ref_us;
+      return session.report().total_us / ref_us;
     };
 
     simt::Device dev;
+    simt::Session session = dev.session();
     apps::bfs_flat_gpu(dev, g, src);
-    const double flat_slowdown = dev.report().total_us / ref_us;
+    const double flat_slowdown = session.report().total_us / ref_us;
 
     bench::table_row({"[0," + std::to_string(range) + "]",
                       std::to_string(g.num_edges()),

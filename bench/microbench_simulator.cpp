@@ -17,14 +17,15 @@ void BM_ComputeOps(benchmark::State& state) {
   const int per_lane = static_cast<int>(state.range(0));
   for (auto _ : state) {
     simt::Device dev;
+    simt::Session session = dev.session();
     simt::LaunchConfig cfg;
     cfg.grid_blocks = 64;
     cfg.block_threads = 192;
     cfg.name = "compute";
-    dev.launch_threads(cfg, [per_lane](simt::LaneCtx& t) {
+    session.launch_threads(cfg, [per_lane](simt::LaneCtx& t) {
       for (int i = 0; i < per_lane; ++i) t.compute();
     });
-    benchmark::DoNotOptimize(dev.report().total_cycles);
+    benchmark::DoNotOptimize(session.report().total_cycles);
   }
   state.SetItemsProcessed(state.iterations() * 64 * 192 * per_lane);
 }
@@ -34,14 +35,15 @@ void BM_CoalescedLoads(benchmark::State& state) {
   std::vector<float> data(64 * 192);
   for (auto _ : state) {
     simt::Device dev;
+    simt::Session session = dev.session();
     simt::LaunchConfig cfg;
     cfg.grid_blocks = 64;
     cfg.block_threads = 192;
     cfg.name = "loads";
-    dev.launch_threads(cfg, [&](simt::LaneCtx& t) {
+    session.launch_threads(cfg, [&](simt::LaneCtx& t) {
       for (int r = 0; r < 16; ++r) t.ld(&data[t.global_idx()]);
     });
-    benchmark::DoNotOptimize(dev.report().total_cycles);
+    benchmark::DoNotOptimize(session.report().total_cycles);
   }
   state.SetItemsProcessed(state.iterations() * 64 * 192 * 16);
 }
@@ -52,19 +54,47 @@ void BM_TimingPassManyGrids(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     simt::Device dev;
+    simt::Session session = dev.session();
     simt::LaunchConfig cfg;
     cfg.grid_blocks = 4;
     cfg.block_threads = 64;
     cfg.name = "grid";
     for (int i = 0; i < grids; ++i) {
-      dev.launch_threads(cfg, [](simt::LaneCtx& t) { t.compute(8); });
+      session.launch_threads(cfg, [](simt::LaneCtx& t) { t.compute(8); });
     }
     state.ResumeTiming();
-    benchmark::DoNotOptimize(dev.report().total_cycles);
+    benchmark::DoNotOptimize(session.report().total_cycles);
   }
   state.SetItemsProcessed(state.iterations() * grids);
 }
 BENCHMARK(BM_TimingPassManyGrids)->Arg(64)->Arg(512);
+
+// Functional-pass fan-out: the same wide grid under the serial and the
+// parallel host engine (thread count = benchmark argument, 0 = serial).
+void BM_EngineFanout(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const simt::ExecPolicy policy = threads > 0
+                                      ? simt::ExecPolicy::parallel(threads)
+                                      : simt::ExecPolicy::serial();
+  std::vector<float> data(256 * 192);
+  for (auto _ : state) {
+    simt::Device dev;
+    simt::Session session = dev.session(policy);
+    simt::LaunchConfig cfg;
+    cfg.grid_blocks = 256;
+    cfg.block_threads = 192;
+    cfg.name = "fanout";
+    session.launch_threads(cfg, [&](simt::LaneCtx& t) {
+      for (int r = 0; r < 64; ++r) {
+        t.ld(&data[t.global_idx()]);
+        t.compute();
+      }
+    });
+    benchmark::DoNotOptimize(session.report().total_cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 192 * 64);
+}
+BENCHMARK(BM_EngineFanout)->Arg(0)->Arg(2)->Arg(4);
 
 void BM_GraphGeneration(benchmark::State& state) {
   for (auto _ : state) {

@@ -32,11 +32,16 @@ int main(int argc, char** argv) {
   const auto x = matrix::make_dense_vector(mat.cols, 7);
 
   simt::Device dev;
-  apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
-  const double base_us = dev.report().total_us;
+  double base_us = 0.0;
+  {
+    simt::Session session = dev.session();
+    apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
+    base_us = session.report().total_us;
+  }
 
   bench::table_header({"variant", "speedup", "warp-eff", "kernels"});
-  const auto report_row = [&](const char* name, const simt::RunReport& rep) {
+  const auto report_row = [&](const std::string& name,
+                              const simt::RunReport& rep) {
     bench::table_row({name, bench::fmt(base_us / rep.total_us) + "x",
                       bench::fmt_pct(
                           rep.aggregate.warp_execution_efficiency()),
@@ -44,26 +49,26 @@ int main(int argc, char** argv) {
   };
 
   report_row("baseline", [&] {
-    simt::Device d;
-    apps::run_spmv(d, mat, x, LoopTemplate::kBaseline);
-    return d.report();
+    simt::Session session = dev.session();
+    apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
+    return session.report();
   }());
   for (const LoopTemplate t :
        {LoopTemplate::kWarpMapped, LoopTemplate::kDualQueue,
         LoopTemplate::kDbufShared, LoopTemplate::kDbufGlobal,
         LoopTemplate::kDparOpt}) {
-    simt::Device d;
+    simt::Session session = dev.session();
     nested::LoopParams p;
     p.lb_threshold = 32;
-    apps::run_spmv(d, mat, x, t, p);
-    report_row(nested::to_string(t), d.report());
+    apps::run_spmv(dev, mat, x, t, p);
+    report_row(std::string(nested::name(t)), session.report());
   }
   {
-    simt::Device d;
+    simt::Session session = dev.session();
     std::vector<float> y(mat.rows, 0.0f);
     apps::SpmvWorkload w(mat, x.data(), y.data());
-    nested::run_flattened(d, w);
-    report_row("flattened", d.report());
+    nested::run_flattened(dev, w);
+    report_row("flattened", session.report());
   }
   return 0;
 }

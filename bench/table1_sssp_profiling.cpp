@@ -45,16 +45,17 @@ int main(int argc, char** argv) {
                        "paper-warp", "paper-gld", "paper-gst"});
   for (std::size_t i = 0; i < std::size(templates); ++i) {
     simt::Device dev;
+    simt::Session session = dev.session();
     nested::LoopParams p;
     p.lb_threshold = 32;
     apps::run_sssp(dev, g, 0, templates[i], p);
     // Profile the relaxation kernels only (as nvprof would be pointed at
     // them); the update kernel is shared by all templates.
     simt::Metrics m;
-    for (const auto& kr : dev.report().per_kernel) {
+    for (const auto& kr : session.report().per_kernel) {
       if (kr.name.rfind("sssp/update", 0) != 0) m += kr.metrics;
     }
-    bench::table_row({nested::to_string(templates[i]),
+    bench::table_row({std::string(nested::name(templates[i])),
                       bench::fmt_pct(m.warp_execution_efficiency()),
                       bench::fmt_pct(m.gld_efficiency()),
                       bench::fmt_pct(m.gst_efficiency()),

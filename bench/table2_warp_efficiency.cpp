@@ -30,9 +30,9 @@ constexpr PaperRow kPaper[] = {
     {"SpMV", .944, .823, .715, .515, .510},
 };
 
-double warp_eff(simt::Device& dev, const char* exclude_prefix) {
+double warp_eff(simt::Session& session, const char* exclude_prefix) {
   simt::Metrics m;
-  for (const auto& kr : dev.report().per_kernel) {
+  for (const auto& kr : session.report().per_kernel) {
     if (kr.name.rfind(exclude_prefix, 0) != 0) m += kr.metrics;
   }
   return m.warp_execution_efficiency();
@@ -62,18 +62,25 @@ int main(int argc, char** argv) {
   const auto measure = [&](int app, LoopTemplate t,
                            int lb) -> double {
     simt::Device dev;
+    simt::Session session = dev.session();
     LoopParams p;
     p.lb_threshold = lb;
     switch (app) {
-      case 0: apps::run_sssp(dev, cs, 0, t, p); return warp_eff(dev, "sssp/update");
+      case 0:
+        apps::run_sssp(dev, cs, 0, t, p);
+        return warp_eff(session, "sssp/update");
       case 1: {
         apps::BcOptions opt;
         opt.num_sources = sources;
         apps::run_bc(dev, wv, t, p, opt);
-        return warp_eff(dev, "bc/accumulate");
+        return warp_eff(session, "bc/accumulate");
       }
-      case 2: apps::run_pagerank(dev, cs, t, p); return warp_eff(dev, "\xff");
-      default: apps::run_spmv(dev, mat, x, t, p); return warp_eff(dev, "\xff");
+      case 2:
+        apps::run_pagerank(dev, cs, t, p);
+        return warp_eff(session, "\xff");
+      default:
+        apps::run_spmv(dev, mat, x, t, p);
+        return warp_eff(session, "\xff");
     }
   };
 

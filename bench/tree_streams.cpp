@@ -37,8 +37,9 @@ int main(int argc, char** argv) {
       simt::Device dev;
       rec::RecOptions opt;
       opt.streams_per_block = streams;
-      rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants, t, opt);
-      return dev.report().total_us;
+      return rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants, t, opt,
+                                     dev.exec_policy())
+          .report.total_us;
     };
     const double n1 = run(RecTemplate::kRecNaive, 1);
     const double n2 = run(RecTemplate::kRecNaive, 2);

@@ -37,8 +37,9 @@ inline void tree_sweep(rec::TreeAlgo algo,
          {rec::RecTemplate::kFlat, rec::RecTemplate::kRecNaive,
           rec::RecTemplate::kRecHier, rec::RecTemplate::kAutoropes}) {
       simt::Device dev;
-      rec::run_tree_traversal(dev, tr, algo, t);
-      const auto rep = dev.report();
+      const rec::TreeRunResult run =
+          rec::run_tree_traversal(dev, tr, algo, t, {}, dev.exec_policy());
+      const simt::RunReport& rep = run.report;
       row.push_back(fmt(cpu_us / rep.total_us) + "x");
       if (t == rec::RecTemplate::kFlat) {
         flat_warp = rep.aggregate.warp_execution_efficiency();

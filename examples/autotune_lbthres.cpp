@@ -3,7 +3,14 @@
 // This example sweeps lbTHRES for one workload on two datasets with very
 // different degree skew and picks the best (template, threshold) pair —
 // i.e., the compiler/runtime decision procedure the paper envisions.
+//
+// Pass template names ("dual-queue dpar-opt") to restrict the sweep to
+// those templates; the default sweeps all four load balancers.
 #include <cstdio>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "src/apps/spmv.h"
 #include "src/graph/generators.h"
@@ -15,7 +22,8 @@ using nested::LoopTemplate;
 
 namespace {
 
-void autotune(const char* label, const graph::Csr& g) {
+void autotune(const char* label, const graph::Csr& g,
+              const std::vector<LoopTemplate>& templates) {
   const auto a = matrix::CsrMatrix::from_graph(g);
   const auto x = matrix::make_dense_vector(a.cols, 3);
   const auto stats = graph::degree_stats(g);
@@ -23,8 +31,12 @@ void autotune(const char* label, const graph::Csr& g) {
               a.rows, stats.mean_degree, stats.max_degree);
 
   simt::Device dev;
-  apps::run_spmv(dev, a, x, LoopTemplate::kBaseline);
-  const double base = dev.report().total_us;
+  double base = 0.0;
+  {
+    simt::Session session = dev.session();
+    apps::run_spmv(dev, a, x, LoopTemplate::kBaseline);
+    base = session.report().total_us;
+  }
 
   double best_us = base;
   LoopTemplate best_t = LoopTemplate::kBaseline;
@@ -32,16 +44,14 @@ void autotune(const char* label, const graph::Csr& g) {
   std::printf("  %-13s", "lbTHRES:");
   for (int lb = 16; lb <= 512; lb *= 2) std::printf("%-8d", lb);
   std::printf("\n");
-  for (const LoopTemplate t :
-       {LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
-        LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt}) {
-    std::printf("  %-13s", nested::to_string(t));
+  for (const LoopTemplate t : templates) {
+    std::printf("  %-13s", std::string(nested::name(t)).c_str());
     for (int lb = 16; lb <= 512; lb *= 2) {
-      dev.reset();
+      simt::Session session = dev.session();
       nested::LoopParams p;
       p.lb_threshold = lb;
       apps::run_spmv(dev, a, x, t, p);
-      const double us = dev.report().total_us;
+      const double us = session.report().total_us;
       std::printf("%-8.2f", base / us);
       if (us < best_us) {
         best_us = us;
@@ -55,19 +65,36 @@ void autotune(const char* label, const graph::Csr& g) {
     std::printf("  -> keep the baseline: no template wins on this input\n");
   } else {
     std::printf("  -> pick %s with lbTHRES=%d (%.2fx)\n",
-                nested::to_string(best_t), best_lb, base / best_us);
+                std::string(nested::name(best_t)).c_str(), best_lb,
+                base / best_us);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::vector<LoopTemplate> templates;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      templates.push_back(nested::parse_loop_template(argv[i]));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  if (templates.empty()) {
+    templates = {LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
+                 LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt};
+  }
+
   // Heavily skewed rows: load balancing pays off.
   autotune("power-law matrix",
-           graph::generate_power_law(30000, 1, 1000, 30.0, 5, true));
+           graph::generate_power_law(30000, 1, 1000, 30.0, 5, true),
+           templates);
   // Near-regular rows: the baseline is already balanced, and the paper's
   // observation that templates only help irregular inputs shows up as
   // speedups pinned near (or below) 1.
-  autotune("regular matrix", graph::generate_regular(30000, 30, 5, true));
+  autotune("regular matrix", graph::generate_regular(30000, 30, 5, true),
+           templates);
   return 0;
 }

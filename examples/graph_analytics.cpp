@@ -4,6 +4,7 @@
 // user of the library would follow to pick a template for their workload.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "src/apps/bfs.h"
 #include "src/apps/cc.h"
@@ -32,10 +33,11 @@ int main() {
         LoopTemplate::kDbufShared, LoopTemplate::kDbufGlobal,
         LoopTemplate::kDparOpt}) {
     simt::Device dev;
+    simt::Session session = dev.session();
     nested::LoopParams p;
     p.lb_threshold = 32;
     const auto res = apps::run_sssp(dev, g, 0, t, p);
-    const double us = dev.report().total_us;
+    const double us = session.report().total_us;
     for (std::size_t v = 0; v < ref_dist.size(); ++v) {
       if (res.dist[v] != ref_dist[v] &&
           !(std::isinf(res.dist[v]) && std::isinf(ref_dist[v]))) {
@@ -43,18 +45,20 @@ int main() {
         return 1;
       }
     }
-    std::printf("  %-12s %8.0f us (%d sweeps)\n", nested::to_string(t), us,
-                res.iterations);
+    std::printf("  %-12s %8.0f us (%d sweeps)\n",
+                std::string(nested::name(t)).c_str(), us, res.iterations);
     if (best_us == 0 || us < best_us) {
       best_us = us;
       best = t;
     }
   }
-  std::printf("  -> best template: %s\n\n", nested::to_string(best));
+  std::printf("  -> best template: %s\n\n",
+              std::string(nested::name(best)).c_str());
 
   // --- PageRank: template chosen above, verified against serial -------------
   {
     simt::Device dev;
+    simt::Session session = dev.session();
     nested::LoopParams p;
     p.lb_threshold = 32;
     const auto rank = apps::run_pagerank(dev, g, best, p);
@@ -64,20 +68,26 @@ int main() {
       max_err = std::max(max_err, std::abs(rank[i] - ref[i]));
     }
     std::printf("PageRank via %s: %0.f us, max |err| vs serial = %.2e\n",
-                nested::to_string(best), dev.report().total_us, max_err);
+                std::string(nested::name(best)).c_str(),
+                session.report().total_us, max_err);
   }
 
   // --- Extension apps: connected components & k-core ------------------------
   {
     const graph::Csr ug = graph::symmetrize(g);
     simt::Device dev;
-    const auto labels = apps::run_cc(dev, ug, best);
+    double cc_us = 0.0;
+    std::vector<std::uint32_t> labels;
+    {
+      simt::Session session = dev.session();
+      labels = apps::run_cc(dev, ug, best);
+      cc_us = session.report().total_us;
+    }
     if (labels != apps::cc_serial(ug)) {
       std::printf("CC mismatch\n");
       return 1;
     }
-    const double cc_us = dev.report().total_us;
-    dev.reset();
+    simt::Session session = dev.session();
     const auto core = apps::run_kcore(dev, ug, best);
     if (core != apps::kcore_serial(ug)) {
       std::printf("k-core mismatch\n");
@@ -87,20 +97,27 @@ int main() {
     for (const auto c : core) kmax = std::max(kmax, c);
     std::printf("CC via %s: %u components in %.0f us; k-core: degeneracy %u "
                 "in %.0f us\n\n",
-                nested::to_string(best), apps::count_components(labels),
-                cc_us, kmax, dev.report().total_us);
+                std::string(nested::name(best)).c_str(),
+                apps::count_components(labels), cc_us, kmax,
+                session.report().total_us);
   }
 
   // --- BFS: flat parallelism vs the recursive templates ---------------------
   {
     const auto ref = apps::bfs_serial_iterative(g, 0);
     simt::Device dev;
-    const auto flat = apps::bfs_flat_gpu(dev, g, 0);
-    const double flat_us = dev.report().total_us;
-    dev.reset();
-    const auto recn = apps::bfs_recursive_gpu(dev, g, 0,
-                                              rec::RecTemplate::kRecNaive);
-    const double naive_us = dev.report().total_us;
+    double flat_us = 0.0, naive_us = 0.0;
+    std::vector<std::uint32_t> flat, recn;
+    {
+      simt::Session session = dev.session();
+      flat = apps::bfs_flat_gpu(dev, g, 0);
+      flat_us = session.report().total_us;
+    }
+    {
+      simt::Session session = dev.session();
+      recn = apps::bfs_recursive_gpu(dev, g, 0, rec::RecTemplate::kRecNaive);
+      naive_us = session.report().total_us;
+    }
     if (flat != ref || recn != ref) {
       std::printf("BFS mismatch\n");
       return 1;

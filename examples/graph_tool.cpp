@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "src/apps/spmv.h"
@@ -33,6 +34,8 @@ void usage() {
       "    --generate=KIND   citeseer | wikivote | uniform | regular\n"
       "  options:\n"
       "    --scale=F         generator scale (default 0.02)\n"
+      "    --template=NAME   skip autotuning and use this template\n"
+      "                      (baseline, dual-queue, dbuf-shared, ...)\n"
       "    --trace=FILE      write a Chrome trace of the best schedule\n");
 }
 
@@ -94,11 +97,31 @@ int main(int argc, char** argv) {
               g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
               stats.min_degree, stats.max_degree, stats.mean_degree);
 
-  // Autotune SpMV over this graph's structure.
   const auto a = matrix::CsrMatrix::from_graph(g);
   const auto x = matrix::make_dense_vector(a.cols, 7);
   std::vector<float> y(a.rows, 0.0f);
   apps::SpmvWorkload w(a, x.data(), y.data());
+
+  // --template=NAME bypasses autotuning: run exactly that template once and
+  // report its model time.
+  if (const auto tn = flag_value(argc, argv, "--template"); !tn.empty()) {
+    nested::LoopTemplate tmpl;
+    try {
+      tmpl = nested::parse_loop_template(tn);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    simt::Device dev;
+    const nested::RunResult run =
+        nested::run_nested_loop(dev, w, tmpl, {}, dev.exec_policy());
+    std::printf("\n%s: %.0f model-us (%zu kernels)\n",
+                std::string(nested::name(tmpl)).c_str(), run.report.total_us,
+                run.report.grids);
+    return 0;
+  }
+
+  // Autotune SpMV over this graph's structure.
   const auto res = nested::autotune_nested_loop(w);
 
   std::printf("\n%-22s %12s %10s\n", "configuration", "model-us", "speedup");
@@ -111,6 +134,9 @@ int main(int argc, char** argv) {
 
   if (const auto tf = flag_value(argc, argv, "--trace"); !tf.empty()) {
     simt::Device dev;
+    // The session must stay open until the trace is written: its destructor
+    // clears the recorded launch graph the trace is built from.
+    simt::Session session = dev.session();
     if (res.best.flattened) {
       nested::run_flattened(dev, w);
     } else {

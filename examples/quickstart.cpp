@@ -31,23 +31,31 @@ int main() {
               static_cast<unsigned long long>(a.nnz()));
 
   // Baseline: one thread per row. Long rows leave their warp's other lanes
-  // idle, so warp efficiency collapses.
+  // idle, so warp efficiency collapses. Each run gets its own session: the
+  // session scopes the recording, and report() times exactly what ran in it.
   simt::Device dev;
-  const auto y_base =
-      apps::run_spmv(dev, a, x, nested::LoopTemplate::kBaseline);
-  const auto base = dev.report();
+  std::vector<float> y_base;
+  simt::RunReport base;
+  {
+    simt::Session session = dev.session();
+    y_base = apps::run_spmv(dev, a, x, nested::LoopTemplate::kBaseline);
+    base = session.report();
+  }
   std::printf("\nbaseline      : %8.0f us  (warp efficiency %.1f%%)\n",
               base.total_us,
               base.aggregate.warp_execution_efficiency() * 100);
 
   // dbuf-global: rows longer than lbTHRES are deferred to a second,
   // block-mapped kernel that spreads each long row across a whole block.
-  dev.reset();
-  nested::LoopParams p;
-  p.lb_threshold = 32;
-  const auto y_lb =
-      apps::run_spmv(dev, a, x, nested::LoopTemplate::kDbufGlobal, p);
-  const auto lb = dev.report();
+  std::vector<float> y_lb;
+  simt::RunReport lb;
+  {
+    simt::Session session = dev.session();
+    nested::LoopParams p;
+    p.lb_threshold = 32;
+    y_lb = apps::run_spmv(dev, a, x, nested::LoopTemplate::kDbufGlobal, p);
+    lb = session.report();
+  }
   std::printf("dbuf-global   : %8.0f us  (warp efficiency %.1f%%)\n",
               lb.total_us, lb.aggregate.warp_execution_efficiency() * 100);
   std::printf("speedup       : %.2fx\n", base.total_us / lb.total_us);

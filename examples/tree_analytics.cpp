@@ -3,6 +3,7 @@
 // naive-recursive and hierarchical-recursive templates, and read the
 // profiling counters that explain the winner.
 #include <cstdio>
+#include <string>
 
 #include "src/rec/tree_traversal.h"
 #include "src/tree/tree.h"
@@ -30,20 +31,22 @@ int main() {
                                      RecTemplate::kRecHier};
     for (int i = 0; i < 3; ++i) {
       simt::Device dev;
-      const auto got = rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                                               templates[i]);
-      if (got != expect) {
-        std::printf("MISMATCH for %s\n", rec::to_string(templates[i]));
+      const rec::TreeRunResult run = rec::run_tree_traversal(
+          dev, tr, TreeAlgo::kDescendants, templates[i], {},
+          dev.exec_policy());
+      if (run.values != expect) {
+        std::printf("MISMATCH for %s\n",
+                    std::string(rec::name(templates[i])).c_str());
         return 1;
       }
-      us[i] = dev.report().total_us;
+      us[i] = run.report.total_us;
     }
     const int win = us[0] <= us[2] ? 0 : 2;  // naive never wins
     char label[64];
     std::snprintf(label, sizeof(label), "%d levels / %d / s=%d",
                   shape.depth + 1, shape.outdegree, shape.sparsity);
     std::printf("%-28s %-10.0f %-10.0f %-10.0f %-12s\n", label, us[0], us[1],
-                us[2], rec::to_string(templates[win]));
+                us[2], std::string(rec::name(templates[win])).c_str());
   }
 
   // Why rec-hier wins big regular trees: the profiling counters.
@@ -54,10 +57,11 @@ int main() {
   for (const RecTemplate t :
        {RecTemplate::kFlat, RecTemplate::kRecNaive, RecTemplate::kRecHier}) {
     simt::Device dev;
-    rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants, t);
-    const auto rep = dev.report();
+    const rec::TreeRunResult run = rec::run_tree_traversal(
+        dev, tr, TreeAlgo::kDescendants, t, {}, dev.exec_policy());
+    const simt::RunReport& rep = run.report;
     std::printf("  %-10s atomics=%-10llu nested-kernels=%-8llu warp-eff=%.0f%%\n",
-                rec::to_string(t),
+                std::string(rec::name(t)).c_str(),
                 static_cast<unsigned long long>(rep.aggregate.atomic_ops),
                 static_cast<unsigned long long>(rep.device_grids),
                 rep.aggregate.warp_execution_efficiency() * 100);

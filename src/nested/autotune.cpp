@@ -8,7 +8,7 @@ namespace nestpar::nested {
 
 std::string TuneCandidate::label() const {
   if (flattened) return "flattened";
-  std::string s = to_string(tmpl);
+  std::string s(name(tmpl));
   if (tmpl != LoopTemplate::kBaseline && tmpl != LoopTemplate::kBlockMapped) {
     s += "/lb" + std::to_string(lb_threshold);
   }
@@ -22,6 +22,7 @@ AutotuneResult autotune_nested_loop(const NestedLoopWorkload& w,
 
   const auto evaluate = [&](TuneCandidate c) {
     simt::Device dev(spec);
+    simt::Session session = dev.session();
     if (c.flattened) {
       FlattenParams fp;
       fp.block_size = opt.base_params.thread_block_size;
@@ -32,7 +33,7 @@ AutotuneResult autotune_nested_loop(const NestedLoopWorkload& w,
       p.lb_threshold = c.lb_threshold;
       run_nested_loop(dev, w, c.tmpl, p);
     }
-    c.model_us = dev.report().total_us;
+    c.model_us = session.report().total_us;
     res.all.push_back(c);
     return c.model_us;
   };

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "src/simt/aligned.h"
+
 namespace nestpar::nested {
 
 using simt::BlockCtx;
@@ -12,7 +14,7 @@ using simt::Kernel;
 using simt::LaneCtx;
 using simt::LaunchConfig;
 
-const char* to_string(LoopTemplate t) {
+std::string_view name(LoopTemplate t) {
   switch (t) {
     case LoopTemplate::kBaseline: return "baseline";
     case LoopTemplate::kBlockMapped: return "block-mapped";
@@ -24,6 +26,45 @@ const char* to_string(LoopTemplate t) {
     case LoopTemplate::kDparOpt: return "dpar-opt";
   }
   return "?";
+}
+
+LoopTemplate parse_loop_template(std::string_view s) {
+  for (const LoopTemplate t : kAllLoopTemplates) {
+    if (s == name(t)) return t;
+  }
+  std::string valid;
+  for (const LoopTemplate t : kAllLoopTemplates) {
+    if (!valid.empty()) valid += ", ";
+    valid += name(t);
+  }
+  throw std::invalid_argument("unknown loop template '" + std::string(s) +
+                              "' (valid: " + valid + ")");
+}
+
+void LoopParams::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("LoopParams: " + what);
+  };
+  if (lb_threshold < 0) {
+    fail("lb_threshold must be >= 0 (got " + std::to_string(lb_threshold) +
+         ")");
+  }
+  if (thread_block_size < 1) {
+    fail("thread_block_size must be positive (got " +
+         std::to_string(thread_block_size) + ")");
+  }
+  if (block_block_size < 1) {
+    fail("block_block_size must be positive (got " +
+         std::to_string(block_block_size) + ")");
+  }
+  if (max_grid_blocks < 1) {
+    fail("max_grid_blocks must be positive (got " +
+         std::to_string(max_grid_blocks) + ")");
+  }
+  if (shared_buffer_entries < 1) {
+    fail("shared_buffer_entries must be >= 1 (got " +
+         std::to_string(shared_buffer_entries) + ")");
+  }
 }
 
 namespace {
@@ -42,14 +83,16 @@ void process_thread_mapped(const NestedLoopWorkload& w, LaneCtx& t,
 
 /// Work list handed to block-mapped kernels. Either an explicit list of
 /// outer-iteration indices (queue / delayed buffer) or the identity range
-/// [0, count) for pure block mapping.
+/// [0, count) for pure block mapping. Lists live in segment-aligned arrays
+/// (simt::make_segment_array) so the coalescing model charges the same cost
+/// no matter which host thread allocated them.
 struct WorkList {
-  std::shared_ptr<const std::vector<std::int64_t>> items;  ///< null = identity
+  std::shared_ptr<const std::int64_t[]> items;  ///< null = identity
   std::int64_t count = 0;
 
   std::int64_t get(LaneCtx& t, std::int64_t k) const {
     if (items == nullptr) return k;
-    return t.ld(&(*items)[static_cast<std::size_t>(k)]);
+    return t.ld(&items[static_cast<std::size_t>(k)]);
   }
 };
 
@@ -107,7 +150,7 @@ Kernel make_single_iteration_kernel(const NestedLoopWorkload& w,
 
 std::string kname(const NestedLoopWorkload& w, LoopTemplate tmpl,
                   const char* phase) {
-  return std::string(w.name()) + "/" + to_string(tmpl) + "/" + phase;
+  return std::string(w.name()) + "/" + std::string(name(tmpl)) + "/" + phase;
 }
 
 LaunchConfig thread_cfg(const NestedLoopWorkload& w, LoopTemplate tmpl,
@@ -203,31 +246,69 @@ void run_warp_mapped(Device& dev, const NestedLoopWorkload& w,
   });
 }
 
+/// Host-side queue placement shared by dual-queue and dbuf-global.
+///
+/// The CUDA originals place each deferred iteration at the slot an
+/// atomicAdd on a global counter returns — a valid but schedule-dependent
+/// order. The model instead fixes one valid interleaving up front: slots in
+/// ascending outer-index order, decided from inner_size before the kernel
+/// runs. The kernel still executes the atomic append (so the modeled cost
+/// and the final counter value are unchanged); only the *return value* is
+/// replaced by the precomputed slot. This is what makes queue contents —
+/// and everything downstream of them — identical across the serial and
+/// parallel host engines.
+///
+/// Encoding: slot[i] >= 0 is a "small"/inline slot, slot[i] < 0 holds the
+/// deferred slot as ~slot[i]. The kernel also branches on this sign instead
+/// of re-testing inner_size, so placement stays consistent even if a
+/// workload's inner_size shifts while the sweep runs.
+struct QueuePlacement {
+  std::shared_ptr<const std::int64_t[]> slot;
+  std::int64_t small_count = 0;
+  std::int64_t big_count = 0;
+};
+
+QueuePlacement build_placement(const NestedLoopWorkload& w, int lb_threshold) {
+  const std::int64_t n = w.size();
+  auto slot = simt::make_segment_array<std::int64_t>(
+      static_cast<std::size_t>(std::max<std::int64_t>(n, 1)));
+  QueuePlacement q;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (w.inner_size(i) > static_cast<std::uint32_t>(lb_threshold)) {
+      slot[static_cast<std::size_t>(i)] = ~q.big_count++;
+    } else {
+      slot[static_cast<std::size_t>(i)] = q.small_count++;
+    }
+  }
+  q.slot = std::move(slot);
+  return q;
+}
+
 void run_dual_queue(Device& dev, const NestedLoopWorkload& w,
                     const LoopParams& p) {
   const std::int64_t n = w.size();
-  auto small_q = std::make_shared<std::vector<std::int64_t>>(
-      static_cast<std::size_t>(std::max<std::int64_t>(n, 1)));
-  auto big_q = std::make_shared<std::vector<std::int64_t>>(
-      static_cast<std::size_t>(std::max<std::int64_t>(n, 1)));
+  const QueuePlacement q = build_placement(w, p.lb_threshold);
+  auto small_q = simt::make_segment_array<std::int64_t>(
+      static_cast<std::size_t>(std::max<std::int64_t>(q.small_count, 1)));
+  auto big_q = simt::make_segment_array<std::int64_t>(
+      static_cast<std::size_t>(std::max<std::int64_t>(q.big_count, 1)));
   auto counts = std::make_shared<std::pair<std::int64_t, std::int64_t>>(0, 0);
 
   // Phase 1: classify every outer iteration into one of the two queues.
   // This full extra pass is the dual-queue overhead the paper calls out.
   dev.launch_threads(
       thread_cfg(w, LoopTemplate::kDualQueue, "build", n, p),
-      [&w, n, small_q, big_q, counts, thres = p.lb_threshold](LaneCtx& t) {
+      [&w, n, small_q, big_q, counts, q](LaneCtx& t) {
         for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
           w.load_outer(t, i);
-          const std::uint32_t f = w.inner_size(i);
-          if (f > static_cast<std::uint32_t>(thres)) {
-            const std::int64_t idx = t.atomic_add(&counts->second, \
-                std::int64_t{1});
-            t.st(&(*big_q)[static_cast<std::size_t>(idx)], i);
+          w.inner_size(i);
+          const std::int64_t s = q.slot[static_cast<std::size_t>(i)];
+          if (s < 0) {
+            t.atomic_add(&counts->second, std::int64_t{1});
+            t.st(&big_q[static_cast<std::size_t>(~s)], i);
           } else {
-            const std::int64_t idx =
-                t.atomic_add(&counts->first, std::int64_t{1});
-            t.st(&(*small_q)[static_cast<std::size_t>(idx)], i);
+            t.atomic_add(&counts->first, std::int64_t{1});
+            t.st(&small_q[static_cast<std::size_t>(s)], i);
           }
         }
       });
@@ -242,24 +323,22 @@ void run_dual_queue(Device& dev, const NestedLoopWorkload& w,
 
   // 2a: small iterations, thread-mapped (low divergence by design).
   dev.launch_threads(
-      thread_cfg(w, LoopTemplate::kDualQueue, "small", counts->first, p),
-      [&w, small_q, c = counts->first](LaneCtx& t) {
+      thread_cfg(w, LoopTemplate::kDualQueue, "small", q.small_count, p),
+      [&w, small_q, c = q.small_count](LaneCtx& t) {
         for (std::int64_t k = t.global_idx(); k < c; k += t.grid_threads()) {
-          const std::int64_t i =
-              t.ld(&(*small_q)[static_cast<std::size_t>(k)]);
+          const std::int64_t i = t.ld(&small_q[static_cast<std::size_t>(k)]);
           process_thread_mapped(w, t, i);
         }
       },
       small_stream);
 
   // 2b: large iterations, block-mapped.
-  if (counts->second > 0) {
+  if (q.big_count > 0) {
     WorkList list;
     list.items = big_q;
-    list.count = counts->second;
-    dev.launch(
-        block_cfg(w, LoopTemplate::kDualQueue, "big", counts->second, p),
-        make_block_mapped_kernel(w, std::move(list)), big_stream);
+    list.count = q.big_count;
+    dev.launch(block_cfg(w, LoopTemplate::kDualQueue, "big", q.big_count, p),
+               make_block_mapped_kernel(w, std::move(list)), big_stream);
   }
 
   // Later default-stream work (e.g. the next SSSP sweep) must wait for both
@@ -271,20 +350,22 @@ void run_dual_queue(Device& dev, const NestedLoopWorkload& w,
 void run_dbuf_global(Device& dev, const NestedLoopWorkload& w,
                      const LoopParams& p) {
   const std::int64_t n = w.size();
-  auto buffer = std::make_shared<std::vector<std::int64_t>>(
-      static_cast<std::size_t>(std::max<std::int64_t>(n, 1)));
+  const QueuePlacement q = build_placement(w, p.lb_threshold);
+  auto buffer = simt::make_segment_array<std::int64_t>(
+      static_cast<std::size_t>(std::max<std::int64_t>(q.big_count, 1)));
   auto count = std::make_shared<std::int64_t>(0);
 
   // Phase 1: thread-mapped; large iterations are delayed to a global buffer.
   dev.launch_threads(
       thread_cfg(w, LoopTemplate::kDbufGlobal, "main", n, p),
-      [&w, n, buffer, count, thres = p.lb_threshold](LaneCtx& t) {
+      [&w, n, buffer, count, q](LaneCtx& t) {
         for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
           w.load_outer(t, i);
           const std::uint32_t f = w.inner_size(i);
-          if (f > static_cast<std::uint32_t>(thres)) {
-            const std::int64_t idx = t.atomic_add(count.get(), std::int64_t{1});
-            t.st(&(*buffer)[static_cast<std::size_t>(idx)], i);
+          const std::int64_t s = q.slot[static_cast<std::size_t>(i)];
+          if (s < 0) {
+            t.atomic_add(count.get(), std::int64_t{1});
+            t.st(&buffer[static_cast<std::size_t>(~s)], i);
           } else {
             double acc = 0.0;
             for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
@@ -295,11 +376,12 @@ void run_dbuf_global(Device& dev, const NestedLoopWorkload& w,
 
   // Phase 2: the buffer is partitioned fairly across a fresh grid of blocks
   // (the inter-block redistribution dbuf-shared cannot do).
-  if (*count > 0) {
+  if (q.big_count > 0) {
     WorkList list;
     list.items = buffer;
-    list.count = *count;
-    dev.launch(block_cfg(w, LoopTemplate::kDbufGlobal, "buffer", *count, p),
+    list.count = q.big_count;
+    dev.launch(block_cfg(w, LoopTemplate::kDbufGlobal, "buffer", q.big_count,
+                         p),
                make_block_mapped_kernel(w, std::move(list)));
   }
 }
@@ -446,13 +528,13 @@ void run_dpar_opt(Device& dev, const NestedLoopWorkload& w,
       const std::int32_t c =
           std::min(t.sh_ld(&count[0]), static_cast<std::int32_t>(cap));
       if (c == 0) return;
-      auto items = std::make_shared<std::vector<std::int64_t>>();
-      items->reserve(static_cast<std::size_t>(c));
+      auto items =
+          simt::make_segment_array<std::int64_t>(static_cast<std::size_t>(c));
       for (std::int32_t k = 0; k < c; ++k) {
-        items->push_back(t.sh_ld(&buf[k]));
         // The child grid reads the work list from global memory; the parent
         // must stage it there first.
-        t.st(&(*items)[static_cast<std::size_t>(k)], (*items)[k]);
+        t.st(&items[static_cast<std::size_t>(k)],
+             static_cast<std::int64_t>(t.sh_ld(&buf[k])));
       }
       WorkList list;
       list.count = c;
@@ -470,10 +552,7 @@ void run_dpar_opt(Device& dev, const NestedLoopWorkload& w,
 
 void run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
                      LoopTemplate tmpl, const LoopParams& p) {
-  if (p.lb_threshold < 0 || p.thread_block_size < 1 ||
-      p.block_block_size < 1 || p.shared_buffer_entries < 1) {
-    throw std::invalid_argument("run_nested_loop: bad LoopParams");
-  }
+  p.validate();
   switch (tmpl) {
     case LoopTemplate::kBaseline: return run_baseline(dev, w, p);
     case LoopTemplate::kBlockMapped: return run_block_mapped(dev, w, p);
@@ -485,6 +564,14 @@ void run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
     case LoopTemplate::kDparOpt: return run_dpar_opt(dev, w, p);
   }
   throw std::invalid_argument("unknown template");
+}
+
+RunResult run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
+                          LoopTemplate tmpl, const LoopParams& p,
+                          const simt::ExecPolicy& policy) {
+  simt::Session session = dev.session(policy);
+  run_nested_loop(dev, w, tmpl, p);
+  return RunResult{session.report()};
 }
 
 }  // namespace nestpar::nested

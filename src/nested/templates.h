@@ -1,10 +1,12 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/nested/workload.h"
 #include "src/simt/device.h"
+#include "src/simt/exec_policy.h"
 
 namespace nestpar::nested {
 
@@ -39,7 +41,14 @@ inline constexpr LoopTemplate kLoadBalancingTemplates[] = {
     LoopTemplate::kDparOpt,
 };
 
-const char* to_string(LoopTemplate t);
+/// Canonical template name ("baseline", "dual-queue", ...). The returned
+/// view points at a string literal and never dangles.
+std::string_view name(LoopTemplate t);
+
+/// Inverse of `name`: parse a template from its canonical spelling. Throws
+/// std::invalid_argument listing the valid names — CLI code can surface the
+/// message verbatim.
+LoopTemplate parse_loop_template(std::string_view s);
 
 /// Tuning knobs shared by all templates (paper §III.B):
 ///  - lb_threshold: iterations with inner_size > lb_threshold are "large" and
@@ -56,13 +65,31 @@ struct LoopParams {
   /// Capacity of the per-block shared-memory delayed buffer (entries) used
   /// by dbuf-shared and dpar-opt.
   int shared_buffer_entries = 256;
+
+  /// Throws std::invalid_argument naming the offending field if any knob is
+  /// out of range. Called by run_nested_loop before launching anything.
+  void validate() const;
 };
 
 /// Execute the workload once on `dev` with the chosen template. Functional
 /// results land in the workload's arrays immediately; model time and metrics
 /// come from `dev.report()` (which times everything launched since the last
-/// `dev.reset()`, so callers typically reset, run, then report).
+/// `dev.reset()`, so callers typically reset, run, then report — or use the
+/// session-based overload below, which does exactly that).
 void run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
                      LoopTemplate tmpl, const LoopParams& p = {});
+
+/// Result of a bundled run: the timing report for exactly this execution.
+/// Functional results are in the workload's arrays, as always.
+struct RunResult {
+  simt::RunReport report;
+};
+
+/// One-call form: opens a fresh session on `dev` under `policy`, executes
+/// the template, and returns the report — replacing the manual
+/// reset -> run -> report dance. The device's policy is restored afterwards.
+RunResult run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
+                          LoopTemplate tmpl, const LoopParams& p,
+                          const simt::ExecPolicy& policy);
 
 }  // namespace nestpar::nested

@@ -14,7 +14,7 @@ using simt::LaneCtx;
 using simt::LaunchConfig;
 using tree::Tree;
 
-const char* to_string(RecTemplate t) {
+std::string_view name(RecTemplate t) {
   switch (t) {
     case RecTemplate::kFlat: return "flat";
     case RecTemplate::kRecNaive: return "rec-naive";
@@ -24,12 +24,60 @@ const char* to_string(RecTemplate t) {
   return "?";
 }
 
-const char* to_string(TreeAlgo a) {
+std::string_view name(TreeAlgo a) {
   switch (a) {
     case TreeAlgo::kDescendants: return "descendants";
     case TreeAlgo::kHeights: return "heights";
   }
   return "?";
+}
+
+namespace {
+
+template <class Enum, class Range>
+Enum parse_enum(std::string_view s, const Range& all, const char* what) {
+  for (const Enum e : all) {
+    if (s == name(e)) return e;
+  }
+  std::string valid;
+  for (const Enum e : all) {
+    if (!valid.empty()) valid += ", ";
+    valid += name(e);
+  }
+  throw std::invalid_argument("unknown " + std::string(what) + " '" +
+                              std::string(s) + "' (valid: " + valid + ")");
+}
+
+}  // namespace
+
+RecTemplate parse_rec_template(std::string_view s) {
+  return parse_enum<RecTemplate>(s, kAllRecTemplates, "recursive template");
+}
+
+TreeAlgo parse_tree_algo(std::string_view s) {
+  return parse_enum<TreeAlgo>(s, kAllTreeAlgos, "tree algorithm");
+}
+
+void RecOptions::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("RecOptions: " + what);
+  };
+  if (flat_block_size < 1) {
+    fail("flat_block_size must be positive (got " +
+         std::to_string(flat_block_size) + ")");
+  }
+  if (rec_block_size < 1) {
+    fail("rec_block_size must be positive (got " +
+         std::to_string(rec_block_size) + ")");
+  }
+  if (streams_per_block < 1) {
+    fail("streams_per_block must be >= 1 (got " +
+         std::to_string(streams_per_block) + ")");
+  }
+  if (max_grid_blocks < 1) {
+    fail("max_grid_blocks must be positive (got " +
+         std::to_string(max_grid_blocks) + ")");
+  }
 }
 
 namespace {
@@ -310,14 +358,11 @@ std::vector<std::uint32_t> run_tree_traversal(Device& dev, const Tree& tr,
                                               TreeAlgo algo, RecTemplate tmpl,
                                               const RecOptions& opt) {
   tr.validate();
-  if (opt.streams_per_block < 1 || opt.rec_block_size < 1 ||
-      opt.flat_block_size < 1) {
-    throw std::invalid_argument("run_tree_traversal: bad options");
-  }
+  opt.validate();
   const std::uint32_t n = tr.num_nodes();
   std::vector<std::uint32_t> values(n, 0);
   const std::string base =
-      std::string(to_string(algo)) + "/" + to_string(tmpl);
+      std::string(name(algo)) + "/" + std::string(name(tmpl));
   launch_init_kernel(dev, values.data(), n, base, opt);
 
   const TraversalOps ops{algo};
@@ -358,6 +403,16 @@ std::vector<std::uint32_t> run_tree_traversal(Device& dev, const Tree& tr,
       break;
   }
   return values;
+}
+
+TreeRunResult run_tree_traversal(Device& dev, const Tree& tr, TreeAlgo algo,
+                                 RecTemplate tmpl, const RecOptions& opt,
+                                 const simt::ExecPolicy& policy) {
+  simt::Session session = dev.session(policy);
+  TreeRunResult res;
+  res.values = run_tree_traversal(dev, tr, algo, tmpl, opt);
+  res.report = session.report();
+  return res;
 }
 
 std::vector<std::uint32_t> tree_traversal_serial_recursive(

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "src/simt/cpu_model.h"
 #include "src/simt/device.h"
+#include "src/simt/exec_policy.h"
 #include "src/tree/tree.h"
 
 namespace nestpar::rec {
@@ -25,7 +27,21 @@ enum class RecTemplate {
   /// level by level afterwards.
   kAutoropes,
 };
-const char* to_string(RecTemplate t);
+
+/// All four, in presentation order.
+inline constexpr RecTemplate kAllRecTemplates[] = {
+    RecTemplate::kFlat,
+    RecTemplate::kRecNaive,
+    RecTemplate::kRecHier,
+    RecTemplate::kAutoropes,
+};
+
+/// Canonical template name ("flat", "rec-naive", ...). Points at a string
+/// literal and never dangles.
+std::string_view name(RecTemplate t);
+
+/// Inverse of `name`; throws std::invalid_argument listing valid names.
+RecTemplate parse_rec_template(std::string_view s);
 
 /// The two tree traversal algorithms evaluated in §III.C. Both produce one
 /// uint32 per node, initialized to 1:
@@ -35,7 +51,17 @@ enum class TreeAlgo {
   kDescendants,
   kHeights,
 };
-const char* to_string(TreeAlgo a);
+
+inline constexpr TreeAlgo kAllTreeAlgos[] = {
+    TreeAlgo::kDescendants,
+    TreeAlgo::kHeights,
+};
+
+/// Canonical algorithm name ("descendants" / "heights").
+std::string_view name(TreeAlgo a);
+
+/// Inverse of `name`; throws std::invalid_argument listing valid names.
+TreeAlgo parse_tree_algo(std::string_view s);
 
 /// Tuning knobs for the recursive templates.
 struct RecOptions {
@@ -46,6 +72,10 @@ struct RecOptions {
   /// variants; more than 2 only added overhead in the paper).
   int streams_per_block = 1;
   int max_grid_blocks = 65535;
+
+  /// Throws std::invalid_argument naming the offending field if any knob is
+  /// out of range. Called by run_tree_traversal before launching anything.
+  void validate() const;
 };
 
 /// Run a traversal on the simulated GPU; returns the per-node values.
@@ -54,6 +84,21 @@ std::vector<std::uint32_t> run_tree_traversal(simt::Device& dev,
                                               const tree::Tree& t,
                                               TreeAlgo algo, RecTemplate tmpl,
                                               const RecOptions& opt = {});
+
+/// Result of a bundled run: per-node values plus the timing report for
+/// exactly this traversal.
+struct TreeRunResult {
+  std::vector<std::uint32_t> values;
+  simt::RunReport report;
+};
+
+/// One-call form: opens a fresh session on `dev` under `policy`, runs the
+/// traversal, and returns values + report. The device's policy is restored
+/// afterwards.
+TreeRunResult run_tree_traversal(simt::Device& dev, const tree::Tree& t,
+                                 TreeAlgo algo, RecTemplate tmpl,
+                                 const RecOptions& opt,
+                                 const simt::ExecPolicy& policy);
 
 /// Serial CPU references (charging `timer` if given). The recursive form is
 /// the paper's Figure 3(a); the iterative form is the recursion-eliminated

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+
+namespace nestpar::simt {
+
+/// Alignment for model-visible staging buffers allocated while kernels run:
+/// one full memory segment (and a whole shared-memory bank cycle, 32 banks x
+/// 4 bytes). Pinning the base alignment makes the coalescing and
+/// bank-conflict models independent of host heap layout, which is what lets
+/// the serial and parallel engines charge bit-identical costs — worker
+/// threads allocate from different malloc arenas than the main thread.
+inline constexpr std::size_t kModelAlignment = 128;
+
+/// Zero-initialized array of trivially-copyable T, aligned to a model
+/// segment boundary. Use for any buffer whose address reaches LaneCtx ops.
+template <class T>
+std::shared_ptr<T[]> make_segment_array(std::size_t n) {
+  if (n == 0) n = 1;
+  T* p = static_cast<T*>(
+      ::operator new(n * sizeof(T), std::align_val_t{kModelAlignment}));
+  std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+  return std::shared_ptr<T[]>(p, [](T* q) {
+    ::operator delete(static_cast<void*>(q),
+                      std::align_val_t{kModelAlignment});
+  });
+}
+
+}  // namespace nestpar::simt

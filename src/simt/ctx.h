@@ -1,19 +1,57 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "src/simt/device_spec.h"
 #include "src/simt/kernel.h"
+#include "src/simt/launch_graph.h"
+#include "src/simt/metrics.h"
 #include "src/simt/op.h"
 
 namespace nestpar::simt {
 
-class Recorder;
 class BlockCtx;
+
+/// Per-grid histogram of atomic operations (atomic-segment granularity);
+/// feeds the hotspot serialization term of the timing model.
+using AtomicHist = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+namespace detail {
+
+/// Execution backend a running block records into. The engine (recorder.cpp)
+/// provides one per block task; routing everything through this interface is
+/// what lets blocks of a grid run on different host threads while each
+/// records into private storage, merged deterministically afterwards.
+class BlockEnv {
+ public:
+  virtual ~BlockEnv() = default;
+  virtual const DeviceSpec& spec() const = 0;
+  /// Record a device-side launch from `parent_block` of this env's grid and
+  /// (unless `deferred`) execute it to completion. Returns a child id local
+  /// to this env's recording, later remapped to a global node id.
+  virtual std::uint32_t launch_child(const LaunchConfig& cfg, Kernel k,
+                                     int parent_block, int extra_stream_slot,
+                                     bool deferred) = 0;
+  /// Atomic histogram of the grid this env's block belongs to.
+  virtual AtomicHist& hist() = 0;
+  /// Metrics sink of the grid this env's block belongs to.
+  virtual Metrics& metrics() = 0;
+};
+
+/// True when T can be updated through std::atomic_ref without locks — the
+/// engine's requirement for lane ops on memory shared across host threads.
+template <class T>
+inline constexpr bool kLaneAtomicEligible =
+    std::is_arithmetic_v<T> && !std::is_same_v<T, bool> &&
+    sizeof(T) <= sizeof(std::uint64_t) && alignof(T) >= sizeof(T);
+
+}  // namespace detail
 
 /// Per-lane execution context handed to kernel bodies by the functional pass.
 ///
@@ -22,6 +60,11 @@ class BlockCtx;
 /// into cost and nvprof-like metrics. Addresses are real host addresses;
 /// coalescing is computed from their relative layout, which matches the data
 /// layout a CUDA kernel would see.
+///
+/// Global-memory accesses go through std::atomic_ref (relaxed) so that the
+/// parallel host engine — which runs blocks of a grid on concurrent host
+/// threads — is free of data races: CUDA-racy kernels become host-benign
+/// instead of undefined behavior, and genuinely atomic ops really are atomic.
 class LaneCtx {
  public:
   int thread_idx() const { return thread_idx_; }
@@ -44,7 +87,13 @@ class LaneCtx {
   T ld(const T* p) {
     trace_->push_back(Op{OpKind::kGlobalLoad, 1, sizeof(T),
                          reinterpret_cast<std::uint64_t>(p)});
-    return *p;
+    if constexpr (detail::kLaneAtomicEligible<T>) {
+      // atomic_ref has no const overload; the load itself never writes.
+      return std::atomic_ref<T>(*const_cast<T*>(p))
+          .load(std::memory_order_relaxed);
+    } else {
+      return *p;
+    }
   }
   template <class T>
     requires(!std::is_pointer_v<T>)
@@ -57,7 +106,11 @@ class LaneCtx {
   void st(T* p, T v) {
     trace_->push_back(Op{OpKind::kGlobalStore, 1, sizeof(T),
                          reinterpret_cast<std::uint64_t>(p)});
-    *p = v;
+    if constexpr (detail::kLaneAtomicEligible<T>) {
+      std::atomic_ref<T>(*p).store(v, std::memory_order_relaxed);
+    } else {
+      *p = v;
+    }
   }
 
   /// Raw charge of a global load/store covering `bytes` at `p`, without
@@ -73,6 +126,8 @@ class LaneCtx {
   }
 
   /// Shared-memory load (use with spans from BlockCtx::shared_array).
+  /// Shared memory is block-local, so plain accesses are race-free even
+  /// under the parallel engine.
   template <class T>
   T sh_ld(const T* p) {
     trace_->push_back(Op{OpKind::kSharedLoad, 1, sizeof(T),
@@ -91,40 +146,83 @@ class LaneCtx {
   template <class T>
   T atomic_add(T* p, T v) {
     record_atomic(p);
-    T old = *p;
-    *p = static_cast<T>(old + v);
-    return old;
+    if constexpr (detail::kLaneAtomicEligible<T>) {
+      std::atomic_ref<T> a(*p);
+      if constexpr (std::is_integral_v<T>) {
+        return a.fetch_add(v, std::memory_order_relaxed);
+      } else {
+        T old = a.load(std::memory_order_relaxed);
+        while (!a.compare_exchange_weak(old, static_cast<T>(old + v),
+                                        std::memory_order_relaxed)) {
+        }
+        return old;
+      }
+    } else {
+      T old = *p;
+      *p = static_cast<T>(old + v);
+      return old;
+    }
   }
   template <class T>
   T atomic_min(T* p, T v) {
     record_atomic(p);
-    T old = *p;
-    if (v < old) *p = v;
-    return old;
+    if constexpr (detail::kLaneAtomicEligible<T>) {
+      std::atomic_ref<T> a(*p);
+      T old = a.load(std::memory_order_relaxed);
+      while (v < old &&
+             !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+      }
+      return old;
+    } else {
+      T old = *p;
+      if (v < old) *p = v;
+      return old;
+    }
   }
   template <class T>
   T atomic_max(T* p, T v) {
     record_atomic(p);
-    T old = *p;
-    if (old < v) *p = v;
-    return old;
+    if constexpr (detail::kLaneAtomicEligible<T>) {
+      std::atomic_ref<T> a(*p);
+      T old = a.load(std::memory_order_relaxed);
+      while (old < v &&
+             !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+      }
+      return old;
+    } else {
+      T old = *p;
+      if (old < v) *p = v;
+      return old;
+    }
   }
   template <class T>
   T atomic_exch(T* p, T v) {
     record_atomic(p);
-    T old = *p;
-    *p = v;
-    return old;
+    if constexpr (detail::kLaneAtomicEligible<T>) {
+      return std::atomic_ref<T>(*p).exchange(v, std::memory_order_relaxed);
+    } else {
+      T old = *p;
+      *p = v;
+      return old;
+    }
   }
   template <class T>
   T atomic_cas(T* p, T expected, T val) {
     record_atomic(p);
-    T old = *p;
-    if (old == expected) *p = val;
-    return old;
+    if constexpr (detail::kLaneAtomicEligible<T>) {
+      T old = expected;
+      std::atomic_ref<T>(*p).compare_exchange_strong(
+          old, val, std::memory_order_relaxed);
+      return old;
+    } else {
+      T old = *p;
+      if (old == expected) *p = val;
+      return old;
+    }
   }
 
   /// Shared-memory atomic (cheap; does not hit the global atomic units).
+  /// Block-local, so a plain read-modify-write suffices.
   template <class T>
   T sh_atomic_add(T* p, T v) {
     trace_->push_back(Op{OpKind::kSharedStore, 1, sizeof(T),
@@ -192,6 +290,11 @@ struct ChildLaunchRecord {
 /// boundary is the only correct way to order cross-thread communication).
 class BlockCtx {
  public:
+  /// Internal: constructed by the execution engine with the backend this
+  /// block records into. Kernel bodies only ever receive a reference.
+  BlockCtx(detail::BlockEnv* env, int block_idx, int block_dim, int grid_dim);
+  ~BlockCtx();
+
   int block_idx() const { return block_idx_; }
   int block_dim() const { return block_dim_; }
   int grid_dim() const { return grid_dim_; }
@@ -208,24 +311,22 @@ class BlockCtx {
     return std::span<T>(static_cast<T*>(p), n);
   }
 
+  /// Internal: close the block and return its reduced cost (issue cycles,
+  /// warp count, child-launch fractions). Called once by the engine after
+  /// the kernel body returns; also bumps the grid's block/warp metrics.
+  BlockCost finish();
+
   BlockCtx(const BlockCtx&) = delete;
   BlockCtx& operator=(const BlockCtx&) = delete;
 
  private:
-  friend class Recorder;
   friend class LaneCtx;
-  BlockCtx(Recorder* rec, std::uint32_t node_id, int block_idx,
-           int block_dim, int grid_dim);
-  ~BlockCtx();
 
   void* shared_alloc(std::size_t bytes, std::size_t align);
   /// Combine and flush the per-lane traces of the warp starting at `first`.
   void flush_warp(int first_thread, int lanes);
-  /// Move the accumulated cost into the kernel node's BlockCost entry.
-  void finalize();
 
-  Recorder* rec_;
-  std::uint32_t node_id_;
+  detail::BlockEnv* env_;
   int block_idx_;
   int block_dim_;
   int grid_dim_;
@@ -233,7 +334,7 @@ class BlockCtx {
   std::vector<std::vector<Op>> lane_traces_;  ///< 32 reusable trace buffers.
   std::vector<std::vector<char>> shared_chunks_;
   std::size_t shared_used_ = 0;
-  // Accumulated block cost; moved into the kernel node when the block ends.
+  // Accumulated block cost; reduced into a BlockCost when the block ends.
   double issue_cycles_ = 0.0;
   std::vector<ChildLaunchRecord> pending_children_;
 };

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 namespace nestpar::simt {
+
+namespace detail {
+bool host_allocator_active();  // defined in host_alloc.cpp
+}
 
 const KernelReport& RunReport::kernel(const std::string& name) const {
   for (const KernelReport& k : per_kernel) {
@@ -13,8 +18,59 @@ const KernelReport& RunReport::kernel(const std::string& name) const {
   throw std::out_of_range("no kernel named '" + name + "' in report");
 }
 
-Device::Device(DeviceSpec spec, int max_nesting_depth)
-    : recorder_(spec, max_nesting_depth) {}
+Device::Device(DeviceSpec spec, int max_nesting_depth, ExecPolicy policy)
+    : recorder_(spec, max_nesting_depth), policy_(policy) {
+  // Forces host_alloc.cpp (the segment-aligned operator new replacement) out
+  // of the static archive; without a referenced symbol the linker would drop
+  // it and buffer addresses — and thus modeled coalescing — would depend on
+  // heap history, which differs between the serial and parallel engines.
+  (void)detail::host_allocator_active();
+  apply_policy();
+}
+
+void Device::apply_policy() {
+  const int threads = policy_.resolve_threads();
+  if (policy_.mode == ExecMode::kParallel && threads > 1) {
+    if (pool_ == nullptr || pool_->threads() != threads) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    recorder_.set_pool(pool_.get());
+  } else {
+    recorder_.set_pool(nullptr);
+  }
+}
+
+void Device::set_exec_policy(const ExecPolicy& policy) {
+  policy_ = policy;
+  apply_policy();
+}
+
+Session Device::session() { return session(policy_); }
+
+Session Device::session(const ExecPolicy& policy) {
+  if (session_active_) {
+    throw std::logic_error(
+        "Device::session: a Session is already open on this Device");
+  }
+  return Session(this, policy);
+}
+
+Session::Session(Device* dev, const ExecPolicy& policy)
+    : dev_(dev), restore_(dev->policy_) {
+  dev_->session_active_ = true;
+  dev_->set_exec_policy(policy);
+  dev_->recorder_.reset();
+}
+
+Session::Session(Session&& other) noexcept
+    : dev_(std::exchange(other.dev_, nullptr)), restore_(other.restore_) {}
+
+Session::~Session() {
+  if (dev_ == nullptr) return;
+  dev_->recorder_.reset();
+  dev_->set_exec_policy(restore_);
+  dev_->session_active_ = false;
+}
 
 void Device::launch(const LaunchConfig& cfg, Kernel k, StreamHandle stream) {
   recorder_.launch_host(cfg, k, stream);

@@ -6,13 +6,17 @@
 #include <vector>
 
 #include "src/simt/device_spec.h"
+#include "src/simt/exec_policy.h"
 #include "src/simt/kernel.h"
 #include "src/simt/launch_graph.h"
 #include "src/simt/metrics.h"
 #include "src/simt/recorder.h"
 #include "src/simt/scheduler.h"
+#include "src/simt/thread_pool.h"
 
 namespace nestpar::simt {
+
+class Session;
 
 /// Per-kernel-name summary in a run report.
 struct KernelReport {
@@ -37,21 +41,42 @@ struct RunReport {
 
 /// The simulated GPU: the substrate every parallelization template runs on.
 ///
-/// Usage mirrors a minimal CUDA host API:
+/// Usage mirrors a minimal CUDA host API, wrapped in an RAII session:
 ///   Device dev;                                  // K20-like device
-///   dev.launch(cfg, kernel);                     // eager functional execution
-///   dev.launch_threads(cfg, [&](LaneCtx& t) {...});
-///   RunReport r = dev.report();                  // timing pass over the session
-///   dev.reset();                                 // new session
+///   {
+///     Session s = dev.session();                 // fresh recording
+///     s.launch(cfg, kernel);                     // eager functional execution
+///     s.launch_threads(cfg, [&](LaneCtx& t) {...});
+///     RunReport r = s.report();                  // timing pass
+///   }                                            // recording discarded
 ///
 /// Kernels execute functionally at launch time (results are immediately
 /// visible to host code, which iterative algorithms rely on to test
 /// convergence); the performance model replays the recorded session when
 /// `report()` is called.
+///
+/// The legacy `launch()/report()/reset()` surface remains for code that
+/// manages session boundaries by hand; `session()` is the preferred idiom.
+///
+/// Host execution engine: an ExecPolicy (constructor argument, per-session
+/// override, or `NESTPAR_EXEC`/`NESTPAR_THREADS` environment) selects
+/// between the serial engine and the thread-pool engine that spreads the
+/// blocks of each top-level grid over host threads. Both produce identical
+/// functional results and identical reports; parallel only changes how long
+/// the simulation itself takes on the host.
 class Device {
  public:
   explicit Device(DeviceSpec spec = DeviceSpec::k20(),
-                  int max_nesting_depth = 24);
+                  int max_nesting_depth = 24,
+                  ExecPolicy policy = ExecPolicy::from_env());
+
+  /// Open a fresh recording session (discards any prior recording). The
+  /// returned Session finalizes — discards the recording and restores the
+  /// device's policy — when it goes out of scope. Only one Session may be
+  /// open per Device at a time (throws std::logic_error otherwise).
+  Session session();
+  /// Same, with a per-session engine override.
+  Session session(const ExecPolicy& policy);
 
   /// Launch a block-structured kernel from the host.
   void launch(const LaunchConfig& cfg, Kernel k, StreamHandle stream = {});
@@ -79,6 +104,11 @@ class Device {
   /// Discard the recorded session.
   void reset();
 
+  /// Engine policy for subsequent launches. Takes effect immediately; the
+  /// thread pool is created lazily and kept across sessions.
+  void set_exec_policy(const ExecPolicy& policy);
+  const ExecPolicy& exec_policy() const { return policy_; }
+
   const DeviceSpec& spec() const { return recorder_.spec(); }
   const LaunchGraph& graph() const { return recorder_.graph(); }
 
@@ -88,7 +118,61 @@ class Device {
                         int max_blocks = 65535);
 
  private:
+  friend class Session;
+  /// Bind the recorder to the pool `policy_` calls for (creating/resizing
+  /// it lazily), or unbind it for serial execution.
+  void apply_policy();
+
   Recorder recorder_;
+  ExecPolicy policy_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool session_active_ = false;
+};
+
+/// RAII recording session on a Device. Construction starts a fresh
+/// recording (optionally under a different ExecPolicy); destruction discards
+/// it and restores the device's policy — replacing the manual
+/// `reset() ... report() ... reset()` dance. Launch/event calls forward to
+/// the device, so a Session can be passed anywhere a recording target is
+/// needed while the borrowed Device still runs the kernels.
+class Session {
+ public:
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&&) = delete;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  Device& device() const { return *dev_; }
+  const ExecPolicy& policy() const { return dev_->exec_policy(); }
+
+  void launch(const LaunchConfig& cfg, Kernel k, StreamHandle stream = {}) {
+    dev_->launch(cfg, std::move(k), stream);
+  }
+  void launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                      StreamHandle stream = {}) {
+    dev_->launch_threads(cfg, std::move(k), stream);
+  }
+  EventHandle record_event(StreamHandle stream = {}) {
+    return dev_->record_event(stream);
+  }
+  void stream_wait(StreamHandle stream, EventHandle event) {
+    dev_->stream_wait(stream, event);
+  }
+  void synchronize() { dev_->synchronize(); }
+
+  /// Timing pass over everything recorded in this session so far. Can be
+  /// called repeatedly (e.g. once per convergence milestone).
+  RunReport report() { return dev_->report(); }
+
+  const LaunchGraph& graph() const { return dev_->graph(); }
+
+ private:
+  friend class Device;
+  Session(Device* dev, const ExecPolicy& policy);
+
+  Device* dev_;        ///< Null after being moved from.
+  ExecPolicy restore_; ///< Device policy to reinstate on close.
 };
 
 }  // namespace nestpar::simt

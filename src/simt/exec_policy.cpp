@@ -1,0 +1,52 @@
+#include "src/simt/exec_policy.h"
+
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+namespace nestpar::simt {
+
+namespace {
+
+int env_int(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  return std::atoi(v);
+}
+
+}  // namespace
+
+ExecPolicy ExecPolicy::from_env() {
+  ExecPolicy p;
+  p.threads = env_int("NESTPAR_THREADS");
+  if (p.threads < 0) p.threads = 0;
+  const char* mode = std::getenv("NESTPAR_EXEC");
+  if (mode != nullptr) {
+    const std::string_view m{mode};
+    if (m == "parallel") {
+      p.mode = ExecMode::kParallel;
+    } else {
+      p.mode = ExecMode::kSerial;  // "serial" or anything unrecognized
+    }
+  } else if (p.threads > 1) {
+    // NESTPAR_THREADS=4 alone is a request for 4 engine threads.
+    p.mode = ExecMode::kParallel;
+  }
+  return p;
+}
+
+int ExecPolicy::resolve_threads() const {
+  if (mode == ExecMode::kSerial) return 1;
+  int n = threads;
+  if (n <= 0) n = env_int("NESTPAR_THREADS");
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  return n < 1 ? 1 : n;
+}
+
+std::string to_string(const ExecPolicy& p) {
+  if (p.mode == ExecMode::kSerial) return "serial";
+  if (p.threads > 0) return "parallel(" + std::to_string(p.threads) + ")";
+  return "parallel(auto)";
+}
+
+}  // namespace nestpar::simt

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+namespace nestpar::simt {
+
+/// How the functional pass executes the blocks of a grid on the host.
+enum class ExecMode {
+  kSerial,    ///< One host thread, blocks in order (the classic engine).
+  kParallel,  ///< Blocks of top-level grids spread over a host thread pool.
+};
+
+/// Host execution policy for a Device (or a single Session). The parallel
+/// engine is bit-identical to the serial one — same functional results, same
+/// `RunReport` — it only changes wall-clock time, so switching modes is
+/// always safe for the workloads shipped in this repo.
+struct ExecPolicy {
+  ExecMode mode = ExecMode::kSerial;
+  /// Host threads for kParallel; 0 = auto (NESTPAR_THREADS env if set,
+  /// otherwise std::thread::hardware_concurrency()).
+  int threads = 0;
+
+  static ExecPolicy serial() { return ExecPolicy{ExecMode::kSerial, 0}; }
+  static ExecPolicy parallel(int threads = 0) {
+    return ExecPolicy{ExecMode::kParallel, threads};
+  }
+
+  /// Policy from the environment: `NESTPAR_EXEC=serial|parallel` selects the
+  /// mode (default serial), `NESTPAR_THREADS=N` sets the pool size and, when
+  /// N > 1 and NESTPAR_EXEC is unset, also opts into the parallel engine.
+  static ExecPolicy from_env();
+
+  /// The worker count this policy resolves to on this machine (>= 1).
+  /// kSerial always resolves to 1.
+  int resolve_threads() const;
+
+  bool operator==(const ExecPolicy&) const = default;
+};
+
+std::string to_string(const ExecPolicy& p);
+
+}  // namespace nestpar::simt

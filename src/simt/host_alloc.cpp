@@ -1,0 +1,98 @@
+// Global allocator replacement: every heap allocation in a binary linking
+// this library is aligned to simt::kModelAlignment (one memory segment).
+//
+// Why: the timing model consumes raw host addresses — coalescing buckets
+// addresses by 128-byte segment, atomic conflict detection by 8-byte unit.
+// With plain malloc, a buffer's segment *phase* (base % 128) depends on heap
+// history, which differs between the serial and the multi-threaded host
+// engine (worker threads allocate from separate malloc arenas) and even
+// between runs (per-thread caches). Pinning every allocation to a segment
+// boundary makes the modeled cost a function of intra-buffer offsets only —
+// the property that lets both engines charge bit-identical cycles. It also
+// mirrors the real device, where cudaMalloc returns 256-byte-aligned
+// pointers and buffer phase is never an accident of the host heap.
+//
+// posix_memalign keeps the per-allocation overhead to the alignment padding
+// alone; all delete forms funnel into free(), which accepts that memory.
+#include <cstdlib>
+#include <new>
+
+#include "src/simt/aligned.h"
+
+namespace nestpar::simt::detail {
+
+// Anchor referenced from Device's constructor so that linking any simulator
+// user pulls this translation unit — and with it the operator new/delete
+// replacements below — out of the static archive.
+bool host_allocator_active() { return true; }
+
+}  // namespace nestpar::simt::detail
+
+namespace {
+
+void* aligned_new(std::size_t size, std::size_t align, bool nothrow) {
+  if (size == 0) size = 1;
+  if (align < nestpar::simt::kModelAlignment) {
+    align = nestpar::simt::kModelAlignment;
+  }
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align, size) == 0) return p;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) {
+      if (nothrow) return nullptr;
+      throw std::bad_alloc();
+    }
+    handler();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return aligned_new(size, 0, /*nothrow=*/false);
+}
+void* operator new[](std::size_t size) {
+  return aligned_new(size, 0, /*nothrow=*/false);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return aligned_new(size, 0, /*nothrow=*/true);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return aligned_new(size, 0, /*nothrow=*/true);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return aligned_new(size, static_cast<std::size_t>(align),
+                     /*nothrow=*/false);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return aligned_new(size, static_cast<std::size_t>(align),
+                     /*nothrow=*/false);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return aligned_new(size, static_cast<std::size_t>(align), /*nothrow=*/true);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return aligned_new(size, static_cast<std::size_t>(align), /*nothrow=*/true);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
+
+#include "src/simt/thread_pool.h"
 
 namespace nestpar::simt {
 
@@ -15,6 +18,136 @@ Kernel as_kernel(ThreadKernel body) {
     blk.each_thread([&](LaneCtx& t) { body(t); });
   };
 }
+
+// ---------------------------------------------------------------------------
+// Per-block recording (the engine's unit of parallelism)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// One device-side grid recorded while a block task ran, in creation (DFS)
+/// order. Ids are local to the owning BlockRecord; the merge step remaps
+/// them to global node ids.
+struct ArenaNode {
+  LaunchConfig cfg;
+  Kernel kernel;                   ///< Retained only for deferred launches.
+  std::int64_t parent_local = -1;  ///< -1: the task's top-level grid.
+  std::int32_t parent_block = -1;
+  int stream_slot = -1;
+  std::uint32_t nest_depth = 0;
+  bool deferred = false;
+  std::vector<BlockCost> blocks;
+  Metrics metrics;
+  std::uint64_t hottest_atomic_ops = 0;
+};
+
+/// Everything one block of a top-level grid records: its cost and metrics
+/// contributions, its share of the grid's atomic histogram, and every grid
+/// its lanes launched (synchronous ones executed inline on the same thread).
+struct BlockRecord {
+  BlockCost cost;
+  Metrics metrics;
+  AtomicHist hist;
+  std::vector<ArenaNode> nodes;
+};
+
+}  // namespace detail
+
+namespace {
+
+void validate_config(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  if (cfg.grid_blocks < 1) throw std::invalid_argument("grid_blocks < 1");
+  if (cfg.block_threads < 1 ||
+      cfg.block_threads > spec.max_threads_per_block) {
+    throw std::invalid_argument("block_threads out of range");
+  }
+  if (cfg.smem_bytes > spec.shared_mem_per_block) {
+    throw std::invalid_argument("smem_bytes exceeds device limit");
+  }
+}
+
+/// BlockEnv backing one running block. `node_local` selects the grid the
+/// block belongs to within the task's recording: -1 for the top-level grid
+/// (whose sinks live on the BlockRecord itself), otherwise an ArenaNode
+/// index. Arena entries are re-resolved on every access because launches
+/// performed by the kernel body grow the node vector.
+class EngineEnv final : public detail::BlockEnv {
+ public:
+  EngineEnv(detail::BlockRecord* rec, const DeviceSpec* spec, int max_depth,
+            std::int64_t node_local, std::uint32_t nest_depth,
+            AtomicHist* hist)
+      : rec_(rec),
+        spec_(spec),
+        max_depth_(max_depth),
+        node_local_(node_local),
+        nest_depth_(nest_depth),
+        hist_(hist) {}
+
+  const DeviceSpec& spec() const override { return *spec_; }
+  AtomicHist& hist() override { return *hist_; }
+  Metrics& metrics() override {
+    return node_local_ < 0
+               ? rec_->metrics
+               : rec_->nodes[static_cast<std::size_t>(node_local_)].metrics;
+  }
+
+  std::uint32_t launch_child(const LaunchConfig& cfg, Kernel k,
+                             int parent_block, int extra_stream_slot,
+                             bool deferred) override {
+    validate_config(*spec_, cfg);
+    const std::uint32_t child_depth = nest_depth_ + 1;
+    if (child_depth > static_cast<std::uint32_t>(max_depth_)) {
+      throw std::runtime_error("nested launch depth exceeds limit (" +
+                               std::to_string(max_depth_) + ")");
+    }
+    const std::size_t local = rec_->nodes.size();
+    detail::ArenaNode n;
+    n.cfg = cfg;
+    n.parent_local = node_local_;
+    n.parent_block = parent_block;
+    n.stream_slot = extra_stream_slot;
+    n.nest_depth = child_depth;
+    n.deferred = deferred;
+    if (deferred) n.kernel = std::move(k);
+    rec_->nodes.push_back(std::move(n));
+    if (!deferred) run_nested_grid(local, k);
+    return static_cast<std::uint32_t>(local);
+  }
+
+ private:
+  /// Run a synchronously launched nested grid to completion, blocks in
+  /// order, on the current thread. Nested grids stay within their parent
+  /// block's task; only the timing model makes them look concurrent.
+  void run_nested_grid(std::size_t local, const Kernel& k) {
+    const int nblocks = rec_->nodes[local].cfg.grid_blocks;
+    const int nthreads = rec_->nodes[local].cfg.block_threads;
+    const std::uint32_t depth = rec_->nodes[local].nest_depth;
+    AtomicHist grid_hist;
+    std::vector<BlockCost> costs(static_cast<std::size_t>(nblocks));
+    for (int b = 0; b < nblocks; ++b) {
+      EngineEnv env(rec_, spec_, max_depth_,
+                    static_cast<std::int64_t>(local), depth, &grid_hist);
+      BlockCtx blk(&env, b, nthreads, nblocks);
+      k(blk);
+      costs[static_cast<std::size_t>(b)] = blk.finish();
+    }
+    // Re-fetch: the kernel body may have grown the arena.
+    detail::ArenaNode& n = rec_->nodes[local];
+    n.blocks = std::move(costs);
+    for (const auto& [addr, count] : grid_hist) {
+      n.hottest_atomic_ops = std::max(n.hottest_atomic_ops, count);
+    }
+  }
+
+  detail::BlockRecord* rec_;
+  const DeviceSpec* spec_;
+  int max_depth_;
+  std::int64_t node_local_;
+  std::uint32_t nest_depth_;
+  AtomicHist* hist_;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // LaneCtx
@@ -33,19 +166,17 @@ void LaneCtx::launch(const LaunchConfig& cfg, Kernel k) {
 }
 
 void LaneCtx::launch(const LaunchConfig& cfg, Kernel k, int extra_stream_slot) {
-  const std::uint32_t child =
-      blk_->rec_->launch_device(cfg, std::move(k), blk_->node_id_,
-                                blk_->block_idx_, extra_stream_slot,
-                                /*deferred=*/false);
+  const std::uint32_t child = blk_->env_->launch_child(
+      cfg, std::move(k), blk_->block_idx_, extra_stream_slot,
+      /*deferred=*/false);
   trace_->push_back(Op{OpKind::kLaunch, 1, 0, child});
 }
 
 void LaneCtx::launch_async(const LaunchConfig& cfg, Kernel k,
                            int extra_stream_slot) {
-  const std::uint32_t child =
-      blk_->rec_->launch_device(cfg, std::move(k), blk_->node_id_,
-                                blk_->block_idx_, extra_stream_slot,
-                                /*deferred=*/true);
+  const std::uint32_t child = blk_->env_->launch_child(
+      cfg, std::move(k), blk_->block_idx_, extra_stream_slot,
+      /*deferred=*/true);
   trace_->push_back(Op{OpKind::kLaunch, 1, 0, child});
 }
 
@@ -67,10 +198,9 @@ void LaneCtx::launch_threads_async(const LaunchConfig& cfg, ThreadKernel k,
 // BlockCtx
 // ---------------------------------------------------------------------------
 
-BlockCtx::BlockCtx(Recorder* rec, std::uint32_t node_id, int block_idx,
-                   int block_dim, int grid_dim)
-    : rec_(rec),
-      node_id_(node_id),
+BlockCtx::BlockCtx(detail::BlockEnv* env, int block_idx, int block_dim,
+                   int grid_dim)
+    : env_(env),
       block_idx_(block_idx),
       block_dim_(block_dim),
       grid_dim_(grid_dim),
@@ -78,14 +208,19 @@ BlockCtx::BlockCtx(Recorder* rec, std::uint32_t node_id, int block_idx,
 
 BlockCtx::~BlockCtx() = default;
 
-const DeviceSpec& BlockCtx::spec() const { return rec_->spec(); }
+const DeviceSpec& BlockCtx::spec() const { return env_->spec(); }
 
 void* BlockCtx::shared_alloc(std::size_t bytes, std::size_t align) {
   shared_used_ += bytes;
-  if (shared_used_ > rec_->spec().shared_mem_per_block) {
+  if (shared_used_ > env_->spec().shared_mem_per_block) {
     throw std::runtime_error("shared memory per block exceeded (" +
                              std::to_string(shared_used_) + " bytes)");
   }
+  // Shared arrays start on a full bank cycle (32 banks x 4 bytes), like the
+  // statically laid out shared memory of a real SM. This also keeps the
+  // bank-conflict model independent of where the host heap placed the chunk,
+  // so every block — on any engine thread — charges identical costs.
+  align = std::max(align, std::size_t{128});
   shared_chunks_.emplace_back(bytes + align, 0);
   auto* base = shared_chunks_.back().data();
   auto misalign = reinterpret_cast<std::uintptr_t>(base) % align;
@@ -96,7 +231,7 @@ void BlockCtx::each_thread(const std::function<void(LaneCtx&)>& fn) {
   const int warps = (block_dim_ + 31) / 32;
   if (phase_ > 0) {
     // Implicit __syncthreads() between phases.
-    issue_cycles_ += rec_->spec().sync_cycles * warps;
+    issue_cycles_ += env_->spec().sync_cycles * warps;
   }
   ++phase_;
   for (int first = 0; first < block_dim_; first += 32) {
@@ -111,27 +246,25 @@ void BlockCtx::each_thread(const std::function<void(LaneCtx&)>& fn) {
 }
 
 void BlockCtx::flush_warp(int /*first_thread*/, int lanes) {
-  // Fetch the node reference fresh: nested launches during lane execution may
-  // have grown the node vector.
-  KernelNode& node = rec_->graph_.nodes[node_id_];
-  issue_cycles_ += rec_->combine_warp(node, lane_traces_, lanes, issue_cycles_,
-                                      pending_children_,
-                                      rec_->atomic_stack_.back());
+  issue_cycles_ +=
+      detail::combine_warp(env_->spec(), env_->metrics(), lane_traces_, lanes,
+                           issue_cycles_, pending_children_, env_->hist());
 }
 
-void BlockCtx::finalize() {
-  KernelNode& node = rec_->graph_.nodes[node_id_];
-  BlockCost& bc = node.blocks[static_cast<std::size_t>(block_idx_)];
+BlockCost BlockCtx::finish() {
+  BlockCost bc;
   bc.issue_cycles = issue_cycles_;
   bc.warps = static_cast<std::uint32_t>((block_dim_ + 31) / 32);
   bc.children.reserve(pending_children_.size());
   const double total = issue_cycles_ > 0 ? issue_cycles_ : 1.0;
   for (const ChildLaunchRecord& c : pending_children_) {
-    bc.children.push_back(
-        ChildLaunch{c.child_kernel, std::clamp(c.offset_cycles / total, 0.0, 1.0)});
+    bc.children.push_back(ChildLaunch{
+        c.child_kernel, std::clamp(c.offset_cycles / total, 0.0, 1.0)});
   }
-  node.metrics.blocks += 1;
-  node.metrics.warps += bc.warps;
+  Metrics& m = env_->metrics();
+  m.blocks += 1;
+  m.warps += bc.warps;
+  return bc;
 }
 
 // ---------------------------------------------------------------------------
@@ -148,7 +281,6 @@ void Recorder::reset() {
   stream_tail_.clear();
   events_.clear();
   pending_waits_.clear();
-  atomic_stack_.clear();
   deferred_.clear();
   drain_rng_.seed(0x9e3779b97f4a7c15ull);
 }
@@ -174,37 +306,19 @@ std::uint32_t Recorder::stream_id_for_device(std::uint32_t parent_node,
   return intern_stream(key);
 }
 
-std::uint32_t Recorder::create_node(const LaunchConfig& cfg,
-                                    LaunchOrigin origin, std::uint32_t stream,
-                                    std::int64_t parent,
-                                    std::int32_t parent_block) {
-  if (cfg.grid_blocks < 1) throw std::invalid_argument("grid_blocks < 1");
-  if (cfg.block_threads < 1 ||
-      cfg.block_threads > spec_.max_threads_per_block) {
-    throw std::invalid_argument("block_threads out of range");
-  }
-  if (cfg.smem_bytes > spec_.shared_mem_per_block) {
-    throw std::invalid_argument("smem_bytes exceeds device limit");
-  }
+std::uint32_t Recorder::create_host_node(const LaunchConfig& cfg,
+                                         std::uint32_t stream) {
+  validate_config(spec_, cfg);
   KernelNode node;
   node.id = static_cast<std::uint32_t>(graph_.nodes.size());
-  node.nest_depth =
-      parent < 0 ? 0
-                 : graph_.nodes[static_cast<std::size_t>(parent)].nest_depth + 1;
-  if (node.nest_depth > static_cast<std::uint32_t>(max_depth_)) {
-    throw std::runtime_error("nested launch depth exceeds limit (" +
-                             std::to_string(max_depth_) + ")");
-  }
   node.name = cfg.name;
-  node.origin = origin;
+  node.origin = LaunchOrigin::kHost;
   node.grid_blocks = cfg.grid_blocks;
   node.block_threads = cfg.block_threads;
   node.smem_bytes = cfg.smem_bytes;
   node.regs_per_thread = cfg.regs_per_thread;
   node.stream = stream;
   node.seq = seq_++;
-  node.parent_kernel = parent;
-  node.parent_block = parent_block;
   graph_.nodes.push_back(std::move(node));
   return graph_.nodes.back().id;
 }
@@ -232,7 +346,7 @@ void Recorder::stream_wait(StreamHandle stream, EventHandle event) {
 std::uint32_t Recorder::launch_host(const LaunchConfig& cfg, const Kernel& k,
                                     StreamHandle stream) {
   const std::uint32_t sid = stream_id_for_host(stream.id);
-  const std::uint32_t id = create_node(cfg, LaunchOrigin::kHost, sid, -1, -1);
+  const std::uint32_t id = create_host_node(cfg, sid);
   graph_.nodes[id].metrics.host_launches = 1;
   // Attach (and consume) any cross-stream waits registered on this stream;
   // stream FIFO order carries the dependency to later grids transitively.
@@ -261,38 +375,84 @@ std::uint32_t Recorder::launch_host(const LaunchConfig& cfg, const Kernel& k,
   return id;
 }
 
-std::uint32_t Recorder::launch_device(const LaunchConfig& cfg, Kernel k,
-                                      std::uint32_t parent_node,
-                                      int parent_block, int extra_stream_slot,
-                                      bool deferred) {
-  const std::uint32_t stream =
-      stream_id_for_device(parent_node, parent_block, extra_stream_slot);
-  const std::uint32_t id = create_node(cfg, LaunchOrigin::kDevice, stream,
-                                       parent_node, parent_block);
-  if (deferred) {
-    deferred_.emplace_back(id, std::move(k));
-  } else {
-    run_grid(id, k);
-  }
-  return id;
-}
-
 void Recorder::run_grid(std::uint32_t node_id, const Kernel& k) {
-  atomic_stack_.emplace_back();
   const int nblocks = graph_.nodes[node_id].grid_blocks;
   const int nthreads = graph_.nodes[node_id].block_threads;
-  graph_.nodes[node_id].blocks.resize(static_cast<std::size_t>(nblocks));
-  for (int b = 0; b < nblocks; ++b) {
-    BlockCtx blk(this, node_id, b, nthreads, nblocks);
+  const std::uint32_t depth = graph_.nodes[node_id].nest_depth;
+
+  std::vector<detail::BlockRecord> blocks(static_cast<std::size_t>(nblocks));
+  const auto run_block = [&](std::int64_t b) {
+    detail::BlockRecord& r = blocks[static_cast<std::size_t>(b)];
+    EngineEnv env(&r, &spec_, max_depth_, /*node_local=*/-1, depth, &r.hist);
+    BlockCtx blk(&env, static_cast<int>(b), nthreads, nblocks);
     k(blk);
-    blk.finalize();
+    r.cost = blk.finish();
+  };
+  if (pool_ != nullptr && nblocks > 1) {
+    pool_->parallel_for(nblocks, run_block);
+  } else {
+    for (std::int64_t b = 0; b < nblocks; ++b) run_block(b);
+  }
+  merge_grid(node_id, blocks);
+}
+
+void Recorder::merge_grid(std::uint32_t node_id,
+                          std::vector<detail::BlockRecord>& blocks) {
+  // Merging in block order reproduces the serial engine's global state
+  // exactly: node ids and launch seq numbers follow DFS creation order
+  // within a block, block-major across blocks — which is the order one
+  // thread running the blocks back-to-back would have produced. Stream
+  // interning happens here too, so dense stream ids come out identical.
+  graph_.nodes[node_id].blocks.resize(blocks.size());
+  AtomicHist grid_hist;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    detail::BlockRecord& r = blocks[b];
+    const std::uint32_t base = static_cast<std::uint32_t>(graph_.nodes.size());
+    for (ChildLaunch& c : r.cost.children) c.child_kernel += base;
+    {
+      KernelNode& root = graph_.nodes[node_id];
+      root.blocks[b] = std::move(r.cost);
+      root.metrics += r.metrics;
+    }
+    for (const auto& [addr, count] : r.hist) grid_hist[addr] += count;
+    for (std::size_t j = 0; j < r.nodes.size(); ++j) {
+      detail::ArenaNode& ln = r.nodes[j];
+      KernelNode node;
+      node.id = base + static_cast<std::uint32_t>(j);
+      node.name = std::move(ln.cfg.name);
+      node.origin = LaunchOrigin::kDevice;
+      node.grid_blocks = ln.cfg.grid_blocks;
+      node.block_threads = ln.cfg.block_threads;
+      node.smem_bytes = ln.cfg.smem_bytes;
+      node.regs_per_thread = ln.cfg.regs_per_thread;
+      node.parent_kernel =
+          ln.parent_local < 0
+              ? static_cast<std::int64_t>(node_id)
+              : static_cast<std::int64_t>(base) + ln.parent_local;
+      node.parent_block = ln.parent_block;
+      node.nest_depth = ln.nest_depth;
+      node.stream = stream_id_for_device(
+          static_cast<std::uint32_t>(node.parent_kernel), ln.parent_block,
+          ln.stream_slot);
+      node.seq = seq_++;
+      node.metrics = ln.metrics;
+      node.hottest_atomic_ops = ln.hottest_atomic_ops;
+      node.blocks = std::move(ln.blocks);
+      for (BlockCost& bc : node.blocks) {
+        for (ChildLaunch& c : bc.children) c.child_kernel += base;
+      }
+      graph_.nodes.push_back(std::move(node));
+      if (ln.deferred) {
+        deferred_.emplace_back(base + static_cast<std::uint32_t>(j),
+                               std::move(ln.kernel));
+      }
+    }
   }
   std::uint64_t hottest = 0;
-  for (const auto& [addr, count] : atomic_stack_.back()) {
+  for (const auto& [addr, count] : grid_hist) {
     hottest = std::max(hottest, count);
   }
   graph_.nodes[node_id].hottest_atomic_ops = hottest;
-  atomic_stack_.pop_back();
 }
 
 // ---------------------------------------------------------------------------
@@ -313,21 +473,22 @@ int unique_count(std::uint64_t* v, int n) {
 
 }  // namespace
 
-double Recorder::combine_warp(
-    KernelNode& node, const std::vector<std::vector<Op>>& lanes,
-    int active_lanes, double issue_base,
-    std::vector<ChildLaunchRecord>& children,
-    std::unordered_map<std::uint64_t, std::uint64_t>& hist) {
+namespace detail {
+
+double combine_warp(const DeviceSpec& spec, Metrics& m,
+                    const std::vector<std::vector<Op>>& lanes,
+                    int active_lanes, double issue_base,
+                    std::vector<ChildLaunchRecord>& children,
+                    AtomicHist& hist) {
   std::size_t steps = 0;
   for (int l = 0; l < active_lanes; ++l) {
     steps = std::max(steps, lanes[l].size());
   }
   if (steps == 0) return 0.0;
 
-  Metrics& m = node.metrics;
-  const std::uint64_t seg = static_cast<std::uint64_t>(spec_.mem_segment_bytes);
+  const std::uint64_t seg = static_cast<std::uint64_t>(spec.mem_segment_bytes);
   const std::uint64_t aseg =
-      static_cast<std::uint64_t>(spec_.atomic_segment_bytes);
+      static_cast<std::uint64_t>(spec.atomic_segment_bytes);
   double cost = 0.0;
 
   std::uint64_t ld_segs[64], st_segs[64], at_addrs[32], at_segs[64];
@@ -393,14 +554,14 @@ double Recorder::combine_warp(
     // Each op-kind group at this step is a separately issued (serialized)
     // instruction with only its lanes active — matching SIMT divergence.
     if (comp_n > 0) {
-      cost += comp_max * spec_.compute_op_cycles;
+      cost += comp_max * spec.compute_op_cycles;
       m.warp_steps += comp_max;
       m.active_lane_ops += comp_sum;
       m.compute_ops += comp_sum;
     }
     if (ld_n > 0) {
       const int k = unique_count(ld_segs, ld_seg_n) + ld_extra;
-      cost += spec_.mem_base_cycles + k * spec_.mem_transaction_cycles;
+      cost += spec.mem_base_cycles + k * spec.mem_transaction_cycles;
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(ld_n);
       m.gld_requested_bytes += ld_req;
@@ -408,7 +569,7 @@ double Recorder::combine_warp(
     }
     if (st_n > 0) {
       const int k = unique_count(st_segs, st_seg_n) + st_extra;
-      cost += spec_.mem_base_cycles + k * spec_.mem_transaction_cycles;
+      cost += spec.mem_base_cycles + k * spec.mem_transaction_cycles;
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(st_n);
       m.gst_requested_bytes += st_req;
@@ -424,7 +585,7 @@ double Recorder::combine_warp(
         }
         ways = std::max(ways, same);
       }
-      cost += spec_.shared_op_cycles * ways;
+      cost += spec.shared_op_cycles * ways;
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(sh_n);
       m.shared_ops += static_cast<std::uint64_t>(sh_n);
@@ -442,7 +603,7 @@ double Recorder::combine_warp(
         ++hist[at_addrs[i]];
       }
       const int k = unique_count(at_segs, at_seg_n);
-      cost += spec_.atomic_op_cycles * ways + k * spec_.mem_transaction_cycles;
+      cost += spec.atomic_op_cycles * ways + k * spec.mem_transaction_cycles;
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(at_n);
       m.atomic_ops += static_cast<std::uint64_t>(at_n);
@@ -450,7 +611,7 @@ double Recorder::combine_warp(
     if (ln_n > 0) {
       // Device launches from one warp serialize through the launch queue.
       for (int i = 0; i < ln_n; ++i) {
-        cost += spec_.launch_issue_cycles;
+        cost += spec.launch_issue_cycles;
         children.push_back(
             ChildLaunchRecord{launch_children[i], issue_base + cost});
       }
@@ -461,5 +622,7 @@ double Recorder::combine_warp(
   }
   return cost;
 }
+
+}  // namespace detail
 
 }  // namespace nestpar::simt

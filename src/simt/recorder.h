@@ -12,9 +12,37 @@
 
 namespace nestpar::simt {
 
+class ThreadPool;
+
+namespace detail {
+
+struct BlockRecord;
+
+/// Warp combine: reduce one warp's lane traces into cost and metrics.
+/// `issue_base` is the block's accumulated cost before this warp; child
+/// launches found in the traces are appended with issue offsets. Returns the
+/// warp's issue cost in cycles. Pure function of its arguments, so blocks on
+/// different host threads can combine concurrently into their own sinks.
+double combine_warp(const DeviceSpec& spec, Metrics& m,
+                    const std::vector<std::vector<Op>>& lanes,
+                    int active_lanes, double issue_base,
+                    std::vector<ChildLaunchRecord>& children, AtomicHist& hist);
+
+}  // namespace detail
+
 /// Functional pass: executes kernels eagerly (depth-first for nested
 /// launches) on host memory, reducing per-lane traces into per-block costs,
 /// per-kernel metrics, and a launch DAG for the timing pass.
+///
+/// Engine structure: every block of a top-level grid runs as an independent
+/// task recording into a private detail::BlockRecord (its cost, its metrics
+/// contributions, its atomic histogram, and — in creation order — every grid
+/// its lanes launched, executed inline on the same thread). The tasks run
+/// serially or on a ThreadPool; either way the records are merged into the
+/// launch graph *in block order* on the submitting thread, which assigns
+/// node ids, launch sequence numbers, and stream ids in exactly the order
+/// the classic serial engine produced. Cycle counts and functional results
+/// are therefore bit-identical across engines.
 class Recorder {
  public:
   explicit Recorder(const DeviceSpec& spec, int max_nesting_depth = 24);
@@ -38,42 +66,29 @@ class Recorder {
   const DeviceSpec& spec() const { return spec_; }
   int max_nesting_depth() const { return max_depth_; }
 
+  /// Pool the engine spreads top-level blocks over; nullptr = run serially
+  /// on the launching thread. Results are identical either way.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
+
   void reset();
 
  private:
-  friend class BlockCtx;
-  friend class LaneCtx;
-
-  /// Device-side launch from (parent node, parent block). `extra_stream_slot`
-  /// is -1 for the block's default child stream. Runs the child eagerly when
-  /// `deferred` is false; otherwise queues it for the breadth-first drain
-  /// that follows the enclosing host-launched grid.
-  std::uint32_t launch_device(const LaunchConfig& cfg, Kernel k,
-                              std::uint32_t parent_node, int parent_block,
-                              int extra_stream_slot, bool deferred);
-
-  std::uint32_t create_node(const LaunchConfig& cfg, LaunchOrigin origin,
-                            std::uint32_t stream, std::int64_t parent,
-                            std::int32_t parent_block);
+  std::uint32_t create_host_node(const LaunchConfig& cfg, std::uint32_t stream);
+  /// Execute one recorded grid: fan its blocks out as tasks (pool or serial),
+  /// then merge their records deterministically in block order.
   void run_grid(std::uint32_t node_id, const Kernel& k);
+  void merge_grid(std::uint32_t node_id,
+                  std::vector<detail::BlockRecord>& blocks);
 
   std::uint32_t stream_id_for_host(int user_stream);
   std::uint32_t stream_id_for_device(std::uint32_t parent_node,
                                      int parent_block, int slot);
   std::uint32_t intern_stream(std::uint64_t key);
 
-  /// Warp combine: reduce one warp's lane traces into cost/metrics for
-  /// `node`. `issue_base` is the block's accumulated cost before this warp;
-  /// child launches found in the traces are appended with issue offsets.
-  /// Returns the warp's issue cost in cycles.
-  double combine_warp(KernelNode& node,
-                      const std::vector<std::vector<Op>>& lanes,
-                      int active_lanes, double issue_base,
-                      std::vector<ChildLaunchRecord>& children,
-                      std::unordered_map<std::uint64_t, std::uint64_t>& hist);
-
   DeviceSpec spec_;
   int max_depth_;
+  ThreadPool* pool_ = nullptr;
   LaunchGraph graph_;
   /// Fire-and-forget device launches awaiting the post-grid drain.
   std::vector<std::pair<std::uint32_t, Kernel>> deferred_;
@@ -88,9 +103,6 @@ class Recorder {
   std::vector<std::uint32_t> events_;
   /// Waits registered per stream, attached to the stream's next launch.
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> pending_waits_;
-  /// Stack of per-grid atomic histograms (8-byte address granularity); the
-  /// top entry belongs to the grid currently executing functionally.
-  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> atomic_stack_;
 };
 
 }  // namespace nestpar::simt

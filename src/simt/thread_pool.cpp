@@ -1,0 +1,107 @@
+#include "src/simt/thread_pool.h"
+
+#include <algorithm>
+
+namespace nestpar::simt {
+
+namespace {
+/// Set while a pool thread (or a nested parallel_for caller) is inside a
+/// job, so reentrant submissions degrade to serial instead of deadlocking.
+thread_local bool t_in_pool_job = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int extra = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || (job_ && job_serial_ != seen); });
+      if (stop_) return;
+      job = job_;
+      seen = job_serial_;
+    }
+    t_in_pool_job = true;
+    work(*job);
+    t_in_pool_job = false;
+  }
+}
+
+void ThreadPool::work(Job& job) {
+  for (;;) {
+    const std::int64_t begin =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.count) return;
+    const std::int64_t end = std::min(begin + job.grain, job.count);
+    for (std::int64_t i = begin; i < end; ++i) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.err_mu);
+        if (job.err_index < 0 || i < job.err_index) {
+          job.err_index = i;
+          job.err = std::current_exception();
+        }
+      }
+    }
+    if (job.done.fetch_add(end - begin, std::memory_order_acq_rel) +
+            (end - begin) ==
+        job.count) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t count,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (count <= 0) return;
+  if (count == 1 || workers_.empty() || t_in_pool_job) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->count = count;
+  job->grain = std::max<std::int64_t>(1, count / (8 * threads()));
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+    ++job_serial_;
+  }
+  cv_.notify_all();
+
+  t_in_pool_job = true;
+  work(*job);
+  t_in_pool_job = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job->done.load(std::memory_order_acquire) == job->count;
+    });
+    job_ = nullptr;
+  }
+  if (job->err) std::rethrow_exception(job->err);
+}
+
+}  // namespace nestpar::simt

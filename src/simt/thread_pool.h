@@ -1,0 +1,63 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nestpar::simt {
+
+/// Persistent host thread pool used by the parallel functional engine.
+///
+/// The only primitive is `parallel_for`: run `fn(i)` for i in [0, count)
+/// across the workers plus the calling thread, claiming dynamically sized
+/// chunks from a shared counter so skewed per-block work (the whole point of
+/// this repo) still load-balances. Exceptions are captured per index and the
+/// one with the smallest index is rethrown after the loop completes, so
+/// error behavior is deterministic regardless of thread timing.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; the calling thread is the remaining one.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution threads, including the caller of parallel_for.
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  void parallel_for(std::int64_t count,
+                    const std::function<void(std::int64_t)>& fn);
+
+ private:
+  struct Job {
+    std::int64_t count = 0;
+    std::int64_t grain = 1;
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::atomic<std::int64_t> next{0};  ///< Next index to claim.
+    std::atomic<std::int64_t> done{0};  ///< Indices finished (incl. failed).
+    std::mutex err_mu;
+    std::int64_t err_index = -1;
+    std::exception_ptr err;
+  };
+
+  void worker_main();
+  /// Claim-and-run loop shared by workers and the submitting thread.
+  void work(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< Wakes workers (new job / stop).
+  std::condition_variable done_cv_;  ///< Wakes the submitter on completion.
+  std::shared_ptr<Job> job_;
+  std::uint64_t job_serial_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace nestpar::simt

@@ -1,0 +1,247 @@
+// Engine determinism: the multi-threaded host engine must be functionally
+// and *temporally* indistinguishable from the serial engine — identical
+// result arrays bit for bit, identical modeled cycle counts, identical
+// metrics, identical launch-graph shape. Every suite here is named
+// *Determinism* so the tsan CMake preset can select exactly these tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/apps/spmv.h"
+#include "src/apps/sssp.h"
+#include "src/graph/generators.h"
+#include "src/matrix/csr_matrix.h"
+#include "src/nested/templates.h"
+#include "src/rec/tree_traversal.h"
+#include "src/simt/device.h"
+#include "src/simt/exec_policy.h"
+#include "src/tree/tree.h"
+
+namespace simt = nestpar::simt;
+namespace nested = nestpar::nested;
+namespace rec = nestpar::rec;
+namespace apps = nestpar::apps;
+namespace graph = nestpar::graph;
+namespace matrix = nestpar::matrix;
+namespace tree = nestpar::tree;
+
+namespace {
+
+// Exact equality on every field of the report, doubles included: the
+// parallel engine merges per-block records in block order, so even
+// floating-point cycle sums must come out bit-identical, not merely close.
+void expect_identical(const simt::RunReport& s, const simt::RunReport& p) {
+  EXPECT_EQ(s.total_cycles, p.total_cycles);
+  EXPECT_EQ(s.total_us, p.total_us);
+  EXPECT_EQ(s.grids, p.grids);
+  EXPECT_EQ(s.device_grids, p.device_grids);
+
+  const auto same_metrics = [](const simt::Metrics& a, const simt::Metrics& b,
+                               const std::string& where) {
+    EXPECT_EQ(a.warp_steps, b.warp_steps) << where;
+    EXPECT_EQ(a.active_lane_ops, b.active_lane_ops) << where;
+    EXPECT_EQ(a.gld_requested_bytes, b.gld_requested_bytes) << where;
+    EXPECT_EQ(a.gld_transferred_bytes, b.gld_transferred_bytes) << where;
+    EXPECT_EQ(a.gst_requested_bytes, b.gst_requested_bytes) << where;
+    EXPECT_EQ(a.gst_transferred_bytes, b.gst_transferred_bytes) << where;
+    EXPECT_EQ(a.atomic_ops, b.atomic_ops) << where;
+    EXPECT_EQ(a.shared_ops, b.shared_ops) << where;
+    EXPECT_EQ(a.compute_ops, b.compute_ops) << where;
+    EXPECT_EQ(a.host_launches, b.host_launches) << where;
+    EXPECT_EQ(a.device_launches, b.device_launches) << where;
+    EXPECT_EQ(a.blocks, b.blocks) << where;
+    EXPECT_EQ(a.warps, b.warps) << where;
+    EXPECT_EQ(a.resident_warp_cycles, b.resident_warp_cycles) << where;
+    EXPECT_EQ(a.sm_active_cycles, b.sm_active_cycles) << where;
+  };
+  same_metrics(s.aggregate, p.aggregate, "aggregate");
+
+  ASSERT_EQ(s.per_kernel.size(), p.per_kernel.size());
+  for (std::size_t i = 0; i < s.per_kernel.size(); ++i) {
+    EXPECT_EQ(s.per_kernel[i].name, p.per_kernel[i].name);
+    EXPECT_EQ(s.per_kernel[i].invocations, p.per_kernel[i].invocations);
+    EXPECT_EQ(s.per_kernel[i].busy_cycles, p.per_kernel[i].busy_cycles);
+    same_metrics(s.per_kernel[i].metrics, p.per_kernel[i].metrics,
+                 "kernel " + s.per_kernel[i].name);
+  }
+}
+
+constexpr simt::ExecPolicy kParallel{simt::ExecMode::kParallel, 4};
+
+graph::Csr skewed_graph() {
+  // Power-law outdegrees make block runtimes uneven, so the pool's dynamic
+  // chunk claiming actually interleaves blocks across threads — the setting
+  // where a nondeterministic engine would get caught.
+  return graph::generate_power_law(1500, 0, 300, 6.0, 20150707, true);
+}
+
+std::uint32_t first_source(const graph::Csr& g) {
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    if (g.row_offsets[v + 1] > g.row_offsets[v]) return v;
+  }
+  return 0;
+}
+
+// --- nested-loop templates -----------------------------------------------------
+
+class LoopDeterminism : public testing::TestWithParam<nested::LoopTemplate> {};
+
+TEST_P(LoopDeterminism, SsspMatchesSerialEngineExactly) {
+  const graph::Csr g = skewed_graph();
+  const std::uint32_t src = first_source(g);
+  nested::LoopParams p;
+  p.lb_threshold = 32;
+
+  simt::Device dev;
+
+  apps::SsspResult a, b;
+  simt::RunReport ra, rb;
+  {
+    simt::Session session = dev.session(simt::ExecPolicy::serial());
+    a = apps::run_sssp(dev, g, src, GetParam(), p);
+    ra = session.report();
+  }
+  {
+    simt::Session session = dev.session(kParallel);
+    b = apps::run_sssp(dev, g, src, GetParam(), p);
+    rb = session.report();
+  }
+
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.dist.size(), b.dist.size());
+  EXPECT_EQ(a.dist, b.dist);  // bitwise-equal floats
+  expect_identical(ra, rb);
+}
+
+TEST_P(LoopDeterminism, SpmvBundledRunMatches) {
+  const auto g = graph::generate_power_law(900, 0, 200, 5.0, 42, true);
+  const auto a = matrix::CsrMatrix::from_graph(g);
+  const auto x = matrix::make_dense_vector(a.cols, 7);
+
+  simt::Device dev;
+  std::vector<float> ys(a.rows, 0.0f), yp(a.rows, 0.0f);
+  apps::SpmvWorkload ws(a, x.data(), ys.data());
+  apps::SpmvWorkload wp(a, x.data(), yp.data());
+  nested::LoopParams p;
+  p.lb_threshold = 16;
+  const nested::RunResult rs = nested::run_nested_loop(
+      dev, ws, GetParam(), p, simt::ExecPolicy::serial());
+  const nested::RunResult rp =
+      nested::run_nested_loop(dev, wp, GetParam(), p, kParallel);
+
+  EXPECT_EQ(ys, yp);
+  expect_identical(rs.report, rp.report);
+}
+
+// gtest parameter names must be identifiers; the canonical template names
+// use dashes (e.g. "block-mapped"), so swap them for underscores here.
+std::string test_name(std::string_view canonical) {
+  std::string s(canonical);
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, LoopDeterminism,
+                         testing::ValuesIn(nested::kAllLoopTemplates),
+                         [](const auto& info) {
+                           return test_name(nested::name(info.param));
+                         });
+
+// --- recursive templates -------------------------------------------------------
+
+class RecDeterminism : public testing::TestWithParam<rec::RecTemplate> {};
+
+TEST_P(RecDeterminism, TreeTraversalMatchesSerialEngineExactly) {
+  const tree::Tree tr =
+      tree::generate_tree({.depth = 3, .outdegree = 24, .sparsity = 1}, 99);
+  for (const rec::TreeAlgo algo :
+       {rec::TreeAlgo::kDescendants, rec::TreeAlgo::kHeights}) {
+    simt::Device dev;
+    const rec::TreeRunResult s = rec::run_tree_traversal(
+        dev, tr, algo, GetParam(), {}, simt::ExecPolicy::serial());
+    const rec::TreeRunResult p =
+        rec::run_tree_traversal(dev, tr, algo, GetParam(), {}, kParallel);
+    EXPECT_EQ(s.values, p.values) << rec::name(algo);
+    expect_identical(s.report, p.report);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, RecDeterminism,
+                         testing::ValuesIn(rec::kAllRecTemplates),
+                         [](const auto& info) {
+                           return test_name(rec::name(info.param));
+                         });
+
+// --- synthetic coverage: streams, events, async nested launches ----------------
+
+// A kernel mix the apps never quite produce: cross-stream events, deferred
+// (async) nested launches, and divergent atomics, all in one session.
+simt::RunReport synthetic_session(simt::Device& dev,
+                                  const simt::ExecPolicy& policy,
+                                  std::vector<float>& data) {
+  simt::Session session = dev.session(policy);
+  simt::LaunchConfig outer;
+  outer.grid_blocks = 24;
+  outer.block_threads = 96;
+  outer.name = "outer";
+  int hot = 0;
+  dev.launch_threads(outer, [&](simt::LaneCtx& t) {
+    const auto idx = static_cast<std::size_t>(t.global_idx()) % data.size();
+    t.ld(&data[idx]);
+    if (t.global_idx() % 3 == 0) t.atomic_add(&hot, 1);
+    if (t.thread_idx() == 0 && t.block_idx() % 4 == 0) {
+      simt::LaunchConfig child;
+      child.grid_blocks = 2;
+      child.block_threads = 32;
+      child.name = "child";
+      t.launch_threads(child, [&](simt::LaneCtx& c) {
+        c.st(&data[static_cast<std::size_t>(c.global_idx()) % data.size()],
+             1.0f);
+        c.compute(5);
+      });
+      child.name = "child_async";
+      t.launch_threads_async(child,
+                             [](simt::LaneCtx& c) { c.compute(9); });
+    }
+  });
+  const simt::EventHandle ev = dev.record_event(simt::StreamHandle{1});
+  dev.stream_wait(simt::StreamHandle{2}, ev);
+  simt::LaunchConfig tail;
+  tail.grid_blocks = 4;
+  tail.block_threads = 64;
+  tail.name = "tail";
+  dev.launch_threads(
+      tail, [&](simt::LaneCtx& t) { t.st(&data[t.global_idx()], 2.0f); },
+      simt::StreamHandle{2});
+  return session.report();
+}
+
+TEST(SyntheticDeterminism, StreamsEventsAndAsyncLaunchesMatch) {
+  simt::Device dev;
+  std::vector<float> ds(4096, 0.5f), dp(4096, 0.5f);
+  const simt::RunReport rs =
+      synthetic_session(dev, simt::ExecPolicy::serial(), ds);
+  const simt::RunReport rp = synthetic_session(dev, kParallel, dp);
+  EXPECT_EQ(ds, dp);
+  expect_identical(rs, rp);
+}
+
+// The parallel engine must also agree with itself across repeated runs and
+// across thread counts (2 vs 4): block-order merging, not scheduling luck.
+TEST(SyntheticDeterminism, StableAcrossRunsAndThreadCounts) {
+  simt::Device dev;
+  std::vector<float> d1(4096, 0.5f), d2(4096, 0.5f), d3(4096, 0.5f);
+  const simt::RunReport r1 = synthetic_session(dev, kParallel, d1);
+  const simt::RunReport r2 = synthetic_session(dev, kParallel, d2);
+  const simt::RunReport r3 = synthetic_session(
+      dev, simt::ExecPolicy{simt::ExecMode::kParallel, 2}, d3);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1, d3);
+  expect_identical(r1, r2);
+  expect_identical(r1, r3);
+}
+
+}  // namespace

@@ -86,7 +86,7 @@ INSTANTIATE_TEST_SUITE_P(
                     LoopTemplate::kDbufShared, LoopTemplate::kDbufGlobal,
                     LoopTemplate::kDparOpt),
     [](const auto& info) {
-      std::string s = nested::to_string(info.param);
+      std::string s(nested::name(info.param));
       for (auto& c : s) {
         if (c == '-') c = '_';
       }
@@ -135,7 +135,7 @@ TEST(Kcore, TemplatesAgreeOnRmatGraph) {
     simt::Device dev;
     nested::LoopParams p;
     p.lb_threshold = 8;
-    EXPECT_EQ(apps::run_kcore(dev, g, t, p), want) << nested::to_string(t);
+    EXPECT_EQ(apps::run_kcore(dev, g, t, p), want) << nested::name(t);
   }
 }
 
@@ -215,7 +215,7 @@ TEST(Triangles, TemplatesAgreeOnRandomGraph) {
     nested::LoopParams p;
     p.lb_threshold = 8;
     EXPECT_EQ(apps::run_triangle_count(dev, g, t, p), want)
-        << nested::to_string(t);
+        << nested::name(t);
   }
 }
 

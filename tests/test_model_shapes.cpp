@@ -50,7 +50,7 @@ TEST_F(ModelShapes, LoadBalancingBeatsBaselineOnSkewedInput) {
   const double base = spmv_us(m, x, LoopTemplate::kBaseline);
   for (LoopTemplate t : {LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
                          LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt}) {
-    EXPECT_GT(base / spmv_us(m, x, t), 1.1) << nested::to_string(t);
+    EXPECT_GT(base / spmv_us(m, x, t), 1.1) << nested::name(t);
   }
 }
 

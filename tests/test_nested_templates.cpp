@@ -30,7 +30,7 @@ struct Case {
 };
 
 std::string case_name(const testing::TestParamInfo<Case>& info) {
-  std::string s = nested::to_string(info.param.tmpl);
+  std::string s(nested::name(info.param.tmpl));
   for (auto& c : s) {
     if (c == '-') c = '_';
   }
@@ -187,7 +187,7 @@ TEST_F(TemplateStructure, LoadBalancingImprovesWarpEfficiencyOverBaseline) {
     const auto rep = run(t);
     EXPECT_GT(rep.aggregate.warp_execution_efficiency(),
               base.aggregate.warp_execution_efficiency())
-        << nested::to_string(t);
+        << nested::name(t);
   }
 }
 
@@ -214,7 +214,7 @@ TEST_F(TemplateStructure, EmptyWorkloadRuns) {
     simt::Device dev;
     const auto y = apps::run_spmv(dev, empty, x, t);
     EXPECT_EQ(y.size(), 1u);
-    EXPECT_FLOAT_EQ(y[0], 0.0f) << nested::to_string(t);
+    EXPECT_FLOAT_EQ(y[0], 0.0f) << nested::name(t);
   }
 }
 

@@ -86,7 +86,8 @@ TEST_P(SeedSweep, AllTemplatesAgreeOnRandomSpmv) {
     simt::Device dev;
     nested::LoopParams p;
     p.lb_threshold = static_cast<int>(1 + seed % 128);
-    check(apps::run_spmv(dev, a, x, t, p), nested::to_string(t));
+    check(apps::run_spmv(dev, a, x, t, p),
+          std::string(nested::name(t)).c_str());
   }
   {
     simt::Device dev;

@@ -27,8 +27,8 @@ struct Case {
 };
 
 std::string case_name(const testing::TestParamInfo<Case>& info) {
-  std::string s = std::string(rec::to_string(info.param.algo)) + "_" +
-                  rec::to_string(info.param.tmpl) + "_d" +
+  std::string s = std::string(rec::name(info.param.algo)) + "_" +
+                  std::string(rec::name(info.param.tmpl)) + "_d" +
                   std::to_string(info.param.shape.depth) + "_o" +
                   std::to_string(info.param.shape.outdegree) + "_s" +
                   std::to_string(info.param.shape.sparsity);

@@ -87,6 +87,18 @@ std::string fmt_pct(double ratio) {
   return buf;
 }
 
+std::string robustness_note(const simt::RunReport& rep) {
+  const simt::RobustnessCounters& rb = rep.robustness;
+  if (!rb.any_fault()) return "";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                " [refused=%llu retried=%llu degraded=%llu]",
+                static_cast<unsigned long long>(rb.refused_total()),
+                static_cast<unsigned long long>(rb.retries),
+                static_cast<unsigned long long>(rb.degraded));
+  return buf;
+}
+
 std::uint32_t first_active_source(const graph::Csr& g) {
   for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
     if (g.degree(v) > 0) return v;

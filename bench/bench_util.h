@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/graph/csr.h"
+#include "src/simt/device.h"
 
 namespace nestpar::bench {
 
@@ -34,6 +35,11 @@ void table_row(const std::vector<std::string>& cells);
 
 std::string fmt(double v, int precision = 2);
 std::string fmt_pct(double ratio);  ///< 0.756 -> "75.6%"
+
+/// Suffix for rows produced under the fault model: "" when the run was clean
+/// (so fault-free bench output stays byte-identical), else
+/// " [refused=N retried=N degraded=N]".
+std::string robustness_note(const simt::RunReport& rep);
 
 /// First node with at least one outgoing edge (BFS/SSSP source that is
 /// guaranteed to produce a traversal).

@@ -112,7 +112,8 @@ int main(int argc, char** argv) {
       const simt::RunReport& rep = run.report;
       bench::table_row({std::string(nested::name(t)), std::to_string(lb),
                         bench::fmt(base_us / rep.total_us) + "x",
-                        std::to_string(rep.device_grids)});
+                        std::to_string(rep.device_grids) +
+                            bench::robustness_note(rep)});
     }
   }
 

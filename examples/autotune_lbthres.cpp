@@ -70,17 +70,10 @@ void autotune(const char* label, const graph::Csr& g,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   std::vector<LoopTemplate> templates;
   for (int i = 1; i < argc; ++i) {
-    try {
-      templates.push_back(nested::parse_loop_template(argv[i]));
-    } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 2;
-    }
+    templates.push_back(nested::parse_loop_template(argv[i]));
   }
   if (templates.empty()) {
     templates = {LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
@@ -97,4 +90,19 @@ int main(int argc, char** argv) {
   autotune("regular matrix", graph::generate_regular(30000, 30, 5, true),
            templates);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    // Unknown template names on the command line.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -4,6 +4,7 @@
 // user of the library would follow to pick a template for their workload.
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "src/apps/bfs.h"
@@ -17,7 +18,9 @@
 using namespace nestpar;
 using nested::LoopTemplate;
 
-int main() {
+namespace {
+
+int run() {
   const graph::Csr g =
       graph::generate_lognormal(15000, 1, 900, 50.0, 0.8, /*seed=*/7, true);
   std::printf("graph: %u nodes, %llu edges (lognormal degrees)\n\n",
@@ -127,4 +130,18 @@ int main() {
                 flat_us, naive_us, naive_us / flat_us);
   }
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

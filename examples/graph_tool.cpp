@@ -49,9 +49,7 @@ std::string flag_value(int argc, char** argv, const char* name) {
   return "";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--help") {
       usage();
@@ -105,13 +103,7 @@ int main(int argc, char** argv) {
   // --template=NAME bypasses autotuning: run exactly that template once and
   // report its model time.
   if (const auto tn = flag_value(argc, argv, "--template"); !tn.empty()) {
-    nested::LoopTemplate tmpl;
-    try {
-      tmpl = nested::parse_loop_template(tn);
-    } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 2;
-    }
+    const nested::LoopTemplate tmpl = nested::parse_loop_template(tn);
     simt::Device dev;
     const nested::RunResult run =
         nested::run_nested_loop(dev, w, tmpl, {}, dev.exec_policy());
@@ -150,4 +142,19 @@ int main(int argc, char** argv) {
                 tf.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    // Bad flag values (--scale, --template) and malformed input files.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

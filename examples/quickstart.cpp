@@ -11,6 +11,7 @@
 //   4. print speedup + the nvprof-style metrics explaining it.
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 
 #include "src/apps/spmv.h"
 #include "src/simt/report_printer.h"
@@ -20,7 +21,9 @@
 
 using namespace nestpar;
 
-int main() {
+namespace {
+
+int run() {
   // An irregular matrix: 20k rows whose lengths follow a power law — the
   // f(i) skew from Figure 1(a) of the paper.
   const graph::Csr g =
@@ -73,4 +76,18 @@ int main() {
   std::printf("\n");
   simt::print_report(std::cout, lb, dev.spec());
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -3,6 +3,7 @@
 // naive-recursive and hierarchical-recursive templates, and read the
 // profiling counters that explain the winner.
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "src/rec/tree_traversal.h"
@@ -12,7 +13,9 @@ using namespace nestpar;
 using rec::RecTemplate;
 using rec::TreeAlgo;
 
-int main() {
+namespace {
+
+int run() {
   std::printf("%-28s %-10s %-10s %-10s %-12s\n", "tree (levels/out/sparsity)",
               "flat", "rec-naive", "rec-hier", "winner");
   for (const tree::TreeParams shape :
@@ -60,13 +63,36 @@ int main() {
     const rec::TreeRunResult run = rec::run_tree_traversal(
         dev, tr, TreeAlgo::kDescendants, t, {}, dev.exec_policy());
     const simt::RunReport& rep = run.report;
-    std::printf("  %-10s atomics=%-10llu nested-kernels=%-8llu warp-eff=%.0f%%\n",
+    std::printf("  %-10s atomics=%-10llu nested-kernels=%-8llu warp-eff=%.0f%%",
                 std::string(rec::name(t)).c_str(),
                 static_cast<unsigned long long>(rep.aggregate.atomic_ops),
                 static_cast<unsigned long long>(rep.device_grids),
                 rep.aggregate.warp_execution_efficiency() * 100);
+    // Under NESTPAR_FAULTS the nested-kernel count drops as refused
+    // launches degrade to inline traversal; surface that next to it.
+    if (rep.robustness.any_fault()) {
+      std::printf(" refused=%llu degraded=%llu",
+                  static_cast<unsigned long long>(
+                      rep.robustness.refused_total()),
+                  static_cast<unsigned long long>(rep.robustness.degraded));
+    }
+    std::printf("\n");
   }
   std::printf("\nflat pays one atomic per (node, ancestor) pair; rec-hier one\n"
               "per node — the gap that Figure 7(c) of the paper reports.\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

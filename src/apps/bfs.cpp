@@ -20,6 +20,28 @@ struct BfsCtx {
   BfsRecOptions opt;
 };
 
+/// Degraded path shared by both recursive BFS templates: when a nested
+/// launch is refused, the refusing lane relaxes the reachable improvement
+/// region iteratively (explicit worklist) from the refused node — same
+/// atomic_min discipline, no further nested launches.
+void iterative_bfs_fallback(LaneCtx& t, const graph::Csr& g,
+                            std::uint32_t* level, std::uint32_t start) {
+  std::vector<std::uint32_t> work{start};
+  while (!work.empty()) {
+    const std::uint32_t v = work.back();
+    work.pop_back();
+    const std::uint32_t lv = t.ld(&level[v]);
+    if (lv == kBfsUnreached) continue;
+    const std::uint32_t off = t.ld(&g.row_offsets[v]);
+    const std::uint32_t end = t.ld(&g.row_offsets[v + 1]);
+    for (std::uint32_t e = off; e < end; ++e) {
+      const std::uint32_t nb = t.ld(&g.col_indices[e]);
+      const std::uint32_t old = t.atomic_min(&level[nb], lv + 1);
+      if (old > lv + 1 && g.degree(nb) > 0) work.push_back(nb);
+    }
+  }
+}
+
 /// Naive recursion: single-block kernel per traversed node; each thread
 /// relaxes one neighbor and fire-and-forget recurses on improvement.
 Kernel make_naive_bfs_kernel(std::shared_ptr<const BfsCtx> ctx,
@@ -47,7 +69,10 @@ Kernel make_naive_bfs_kernel(std::shared_ptr<const BfsCtx> ctx,
               static_cast<int>(e % static_cast<std::uint32_t>(
                                        ctx->opt.streams_per_block)) -
               1;
-          t.launch_async(cc, make_naive_bfs_kernel(ctx, n), slot);
+          if (!t.try_launch_async(cc, make_naive_bfs_kernel(ctx, n), slot)) {
+            t.note_degraded();
+            iterative_bfs_fallback(t, g, ctx->level, n);
+          }
         }
       }
     });
@@ -98,7 +123,10 @@ Kernel make_hier_bfs_kernel(std::shared_ptr<const BfsCtx> ctx,
               static_cast<int>(e % static_cast<std::uint32_t>(
                                        ctx->opt.streams_per_block)) -
               1;
-          t.launch_async(cc, make_hier_bfs_kernel(ctx, gch), slot);
+          if (!t.try_launch_async(cc, make_hier_bfs_kernel(ctx, gch), slot)) {
+            t.note_degraded();
+            iterative_bfs_fallback(t, g, ctx->level, gch);
+          }
         }
       }
     });
@@ -183,6 +211,9 @@ std::vector<std::uint32_t> bfs_recursive_gpu(Device& dev, const graph::Csr& g,
     case rec::RecTemplate::kFlat:
       throw std::invalid_argument(
           "bfs_recursive_gpu: use bfs_flat_gpu for the flat template");
+    case rec::RecTemplate::kAutoropes:
+      throw std::invalid_argument(
+          "bfs_recursive_gpu: autoropes has no BFS instantiation");
   }
   return level;
 }

@@ -1,20 +1,98 @@
 #include "src/graph/io.h"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace nestpar::graph {
 
+IoError::IoError(const std::string& format, std::uint64_t line,
+                 const std::string& detail)
+    : std::runtime_error(line > 0 ? format + ": line " +
+                                        std::to_string(line) + ": " + detail
+                                  : format + ": " + detail),
+      line_(line) {}
+
 namespace {
+
+/// Cap for size hints taken from file headers: a corrupt "declared count"
+/// must not translate into an attempted multi-gigabyte reserve.
+constexpr std::uint64_t kMaxReserve = std::uint64_t{1} << 20;
+
+/// Position of a record being parsed, for error messages.
+struct LineRef {
+  const char* format;
+  std::uint64_t number;  ///< 1-based.
+  const std::string& text;
+};
+
+[[noreturn]] void fail(const LineRef& at, const std::string& detail) {
+  throw IoError(at.format, at.number, detail + " in '" + at.text + "'");
+}
+
+/// Pull the next whitespace-delimited token off `s` (empty when exhausted).
+std::string_view next_token(std::string_view& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) {
+    s = {};
+    return {};
+  }
+  std::size_t e = s.find_first_of(" \t\r", b);
+  if (e == std::string_view::npos) e = s.size();
+  const std::string_view tok = s.substr(b, e - b);
+  s.remove_prefix(e);
+  return tok;
+}
+
+/// Full-token unsigned parse: rejects negatives, non-numeric garbage, and
+/// 64-bit overflow (which `istream >> unsigned` silently wraps).
+std::uint64_t parse_count(std::string_view tok, const LineRef& at,
+                          const char* what) {
+  if (tok.empty()) fail(at, std::string("missing ") + what);
+  if (tok.front() == '-') fail(at, std::string(what) + " is negative");
+  std::uint64_t val = 0;
+  const auto [p, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), val);
+  if (ec == std::errc::result_out_of_range) {
+    fail(at, std::string(what) + " overflows 64 bits");
+  }
+  if (ec != std::errc{} || p != tok.data() + tok.size()) {
+    fail(at, std::string(what) + " is not an unsigned integer");
+  }
+  return val;
+}
+
+/// parse_count further capped to the 32-bit node-id space (0xFFFFFFFF is
+/// reserved as a sentinel and `max_node + 1` must not wrap).
+std::uint32_t parse_node(std::string_view tok, const LineRef& at,
+                         const char* what) {
+  const std::uint64_t v = parse_count(tok, at, what);
+  if (v > 0xFFFFFFFEull) {
+    fail(at, std::string(what) + " (" + std::to_string(v) +
+                 ") exceeds the 32-bit node-id range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+double parse_weight(std::string_view tok, const LineRef& at,
+                    const char* what) {
+  if (tok.empty()) fail(at, std::string("missing ") + what);
+  double val = 0.0;
+  const auto [p, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), val);
+  if (ec != std::errc{} || p != tok.data() + tok.size()) {
+    fail(at, std::string(what) + " is not a number");
+  }
+  return val;
+}
 
 std::ifstream open_or_throw(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open file: " + path);
+  if (!in) throw IoError("io", 0, "cannot open file: " + path);
   return in;
 }
 
@@ -24,37 +102,52 @@ Csr load_dimacs(std::istream& in) {
   std::string line;
   std::uint32_t n = 0;
   std::uint64_t declared_arcs = 0;
+  std::uint64_t seen_arcs = 0;
   bool have_problem = false;
   std::vector<Edge> edges;
+  std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == 'c') continue;
-    std::istringstream ls(line);
-    char tag = 0;
-    ls >> tag;
-    if (tag == 'p') {
-      std::string kind;
-      ls >> kind >> n >> declared_arcs;
-      if (!ls || kind != "sp") {
-        throw std::runtime_error("dimacs: bad problem line: " + line);
-      }
+    const LineRef at{"dimacs", line_no, line};
+    std::string_view rest = line;
+    const std::string_view tag = next_token(rest);
+    if (tag == "p") {
+      if (have_problem) fail(at, "duplicate problem line");
+      if (next_token(rest) != "sp") fail(at, "problem kind is not 'sp'");
+      n = parse_node(next_token(rest), at, "node count");
+      declared_arcs = parse_count(next_token(rest), at, "arc count");
       have_problem = true;
-      edges.reserve(declared_arcs);
-    } else if (tag == 'a') {
+      edges.reserve(
+          static_cast<std::size_t>(std::min(declared_arcs, kMaxReserve)));
+    } else if (tag == "a") {
       if (!have_problem) {
-        throw std::runtime_error("dimacs: arc before problem line");
+        throw IoError("dimacs", line_no, "arc before problem line");
       }
-      std::uint32_t u = 0, v = 0;
-      double w = 1.0;
-      ls >> u >> v >> w;
-      if (!ls || u < 1 || v < 1 || u > n || v > n) {
-        throw std::runtime_error("dimacs: bad arc line: " + line);
+      const std::uint32_t u = parse_node(next_token(rest), at, "arc tail");
+      const std::uint32_t v = parse_node(next_token(rest), at, "arc head");
+      const double w = parse_weight(next_token(rest), at, "arc weight");
+      if (u < 1 || u > n) {
+        fail(at, "arc tail " + std::to_string(u) + " outside [1, " +
+                     std::to_string(n) + "]");
+      }
+      if (v < 1 || v > n) {
+        fail(at, "arc head " + std::to_string(v) + " outside [1, " +
+                     std::to_string(n) + "]");
       }
       edges.push_back(Edge{u - 1, v - 1, static_cast<float>(w)});
+      ++seen_arcs;
     } else {
-      throw std::runtime_error("dimacs: unknown line tag: " + line);
+      fail(at, "unknown line tag '" + std::string(tag) + "'");
     }
   }
-  if (!have_problem) throw std::runtime_error("dimacs: missing problem line");
+  if (!have_problem) throw IoError("dimacs", 0, "missing problem line");
+  if (seen_arcs != declared_arcs) {
+    throw IoError("dimacs", line_no,
+                  "problem line declares " + std::to_string(declared_arcs) +
+                      " arcs but file contains " + std::to_string(seen_arcs) +
+                      " (truncated or corrupt file)");
+  }
   return build_csr(n, edges, /*keep_weights=*/true);
 }
 
@@ -75,12 +168,14 @@ Csr load_edge_list(std::istream& in) {
   std::vector<Edge> edges;
   std::uint32_t max_node = 0;
   bool any = false;
+  std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::uint32_t u = 0, v = 0;
-    ls >> u >> v;
-    if (!ls) throw std::runtime_error("edge list: bad line: " + line);
+    const LineRef at{"edge list", line_no, line};
+    std::string_view rest = line;
+    const std::uint32_t u = parse_node(next_token(rest), at, "source node");
+    const std::uint32_t v = parse_node(next_token(rest), at, "target node");
     edges.push_back(Edge{u, v, 1.0f});
     max_node = std::max({max_node, u, v});
     any = true;
@@ -99,36 +194,56 @@ void write_edge_list(std::ostream& out, const Csr& g) {
 
 Csr load_matrix_market(std::istream& in) {
   std::string line;
+  std::uint64_t line_no = 1;
   if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
-    throw std::runtime_error("matrix market: missing header");
+    throw IoError("matrix market", 1, "missing %%MatrixMarket header");
   }
   const bool pattern = line.find("pattern") != std::string::npos;
   if (line.find("coordinate") == std::string::npos) {
-    throw std::runtime_error("matrix market: only coordinate supported");
+    throw IoError("matrix market", 1, "only coordinate format supported");
   }
   const bool symmetric = line.find("symmetric") != std::string::npos;
+  bool have_size = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    ++line_no;
+    if (!line.empty() && line[0] != '%') {
+      have_size = true;
+      break;
+    }
   }
-  std::istringstream hs(line);
-  std::uint32_t rows = 0, cols = 0;
-  std::uint64_t nnz = 0;
-  hs >> rows >> cols >> nnz;
-  if (!hs) throw std::runtime_error("matrix market: bad size line");
+  if (!have_size) throw IoError("matrix market", line_no, "missing size line");
+  const LineRef size_at{"matrix market", line_no, line};
+  std::string_view rest = line;
+  const std::uint32_t rows = parse_node(next_token(rest), size_at, "row count");
+  const std::uint32_t cols =
+      parse_node(next_token(rest), size_at, "column count");
+  const std::uint64_t nnz = parse_count(next_token(rest), size_at,
+                                        "entry count");
   const std::uint32_t n = std::max(rows, cols);
   std::vector<Edge> edges;
-  edges.reserve(nnz * (symmetric ? 2 : 1));
+  edges.reserve(static_cast<std::size_t>(
+      std::min(nnz * (symmetric ? 2 : 1), kMaxReserve)));
   for (std::uint64_t i = 0; i < nnz; ++i) {
     if (!std::getline(in, line)) {
-      throw std::runtime_error("matrix market: truncated entries");
+      throw IoError("matrix market", line_no,
+                    "truncated entries: size line declares " +
+                        std::to_string(nnz) + ", file ends after " +
+                        std::to_string(i));
     }
-    std::istringstream ls(line);
-    std::uint32_t r = 0, c = 0;
-    double v = 1.0;
-    ls >> r >> c;
-    if (!pattern) ls >> v;
-    if (!ls || r < 1 || c < 1 || r > rows || c > cols) {
-      throw std::runtime_error("matrix market: bad entry: " + line);
+    ++line_no;
+    const LineRef at{"matrix market", line_no, line};
+    std::string_view erest = line;
+    const std::uint32_t r = parse_node(next_token(erest), at, "row index");
+    const std::uint32_t c = parse_node(next_token(erest), at, "column index");
+    const double v =
+        pattern ? 1.0 : parse_weight(next_token(erest), at, "value");
+    if (r < 1 || r > rows) {
+      fail(at, "row index " + std::to_string(r) + " outside [1, " +
+                   std::to_string(rows) + "]");
+    }
+    if (c < 1 || c > cols) {
+      fail(at, "column index " + std::to_string(c) + " outside [1, " +
+                   std::to_string(cols) + "]");
     }
     edges.push_back(Edge{r - 1, c - 1, static_cast<float>(v)});
     if (symmetric && r != c) {

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "src/graph/csr.h"
@@ -11,6 +13,24 @@ namespace nestpar::graph {
 /// shortest-path files (CiteSeer, [9]), SNAP whitespace edge lists
 /// (Wiki-Vote, [10]) and MatrixMarket coordinate files (SpMV matrices).
 /// Parsers accept streams so tests don't need temp files.
+///
+/// All loaders validate as they parse — negative or overflowing counts and
+/// indices, out-of-range endpoints, and truncated files are rejected with an
+/// IoError whose message names the format, the 1-based line number, and the
+/// offending record.
+
+/// Typed ingestion failure. Subclasses std::runtime_error so existing catch
+/// sites keep working; carries the 1-based line number of the offending
+/// record (0 when the error is not tied to one line, e.g. unopenable file).
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& format, std::uint64_t line,
+          const std::string& detail);
+  std::uint64_t line() const { return line_; }
+
+ private:
+  std::uint64_t line_;
+};
 
 /// DIMACS .gr: `c` comments, one `p sp <nodes> <arcs>` line, `a <u> <v> <w>`
 /// arcs (1-based). Weighted CSR.

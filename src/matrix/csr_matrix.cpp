@@ -2,6 +2,7 @@
 
 #include <random>
 #include <stdexcept>
+#include <string>
 
 namespace nestpar::matrix {
 
@@ -20,25 +21,46 @@ CsrMatrix CsrMatrix::from_graph(const nestpar::graph::Csr& g) {
 }
 
 void CsrMatrix::validate() const {
+  // Every message names the offending record (row, entry index, values) so
+  // corrupt inputs are diagnosable without a debugger.
   if (row_offsets.size() != static_cast<std::size_t>(rows) + 1) {
-    throw std::invalid_argument("csr matrix: row_offsets size mismatch");
+    throw std::invalid_argument(
+        "csr matrix: row_offsets has " + std::to_string(row_offsets.size()) +
+        " entries, expected rows + 1 = " + std::to_string(rows + 1));
   }
   if (!row_offsets.empty() && row_offsets.front() != 0) {
-    throw std::invalid_argument("csr matrix: row_offsets[0] != 0");
+    throw std::invalid_argument("csr matrix: row_offsets[0] is " +
+                                std::to_string(row_offsets.front()) +
+                                ", expected 0");
   }
   for (std::size_t i = 1; i < row_offsets.size(); ++i) {
     if (row_offsets[i] < row_offsets[i - 1]) {
-      throw std::invalid_argument("csr matrix: offsets not monotone");
+      throw std::invalid_argument(
+          "csr matrix: row " + std::to_string(i - 1) +
+          " has descending offsets (row_offsets[" + std::to_string(i - 1) +
+          "] = " + std::to_string(row_offsets[i - 1]) + ", row_offsets[" +
+          std::to_string(i) + "] = " + std::to_string(row_offsets[i]) + ")");
     }
   }
   if (!row_offsets.empty() && row_offsets.back() != col_indices.size()) {
-    throw std::invalid_argument("csr matrix: nnz mismatch");
+    throw std::invalid_argument(
+        "csr matrix: row_offsets.back() = " +
+        std::to_string(row_offsets.back()) + " but col_indices holds " +
+        std::to_string(col_indices.size()) + " entries");
   }
   if (values.size() != col_indices.size()) {
-    throw std::invalid_argument("csr matrix: values size mismatch");
+    throw std::invalid_argument(
+        "csr matrix: values holds " + std::to_string(values.size()) +
+        " entries but col_indices holds " +
+        std::to_string(col_indices.size()));
   }
-  for (std::uint32_t c : col_indices) {
-    if (c >= cols) throw std::invalid_argument("csr matrix: column oob");
+  for (std::size_t e = 0; e < col_indices.size(); ++e) {
+    if (col_indices[e] >= cols) {
+      throw std::invalid_argument(
+          "csr matrix: entry " + std::to_string(e) + " has column index " +
+          std::to_string(col_indices[e]) + " >= cols = " +
+          std::to_string(cols));
+    }
   }
 }
 

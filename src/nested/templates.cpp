@@ -476,7 +476,16 @@ void run_dpar_naive(Device& dev, const NestedLoopWorkload& w,
             child.grid_blocks = 1;
             child.block_threads = p.block_block_size;
             child.name = kname(w, LoopTemplate::kDparNaive, "child");
-            t.launch(child, make_single_iteration_kernel(w, i));
+            if (!t.launch_with_retry(child,
+                                     make_single_iteration_kernel(w, i))) {
+              // Launch refused (pool/depth/heap or persistent fault):
+              // degrade to processing the iteration inline in this lane —
+              // slow but correct, like the small-iteration path.
+              t.note_degraded();
+              double acc = 0.0;
+              for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+              w.commit(t, i, acc);
+            }
           } else {
             double acc = 0.0;
             for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
@@ -543,7 +552,20 @@ void run_dpar_opt(Device& dev, const NestedLoopWorkload& w,
       child.grid_blocks = c;
       child.block_threads = p.block_block_size;
       child.name = kname(w, LoopTemplate::kDparOpt, "child");
-      t.launch(child, make_block_mapped_kernel(w, std::move(list)));
+      if (!t.launch_with_retry(child,
+                               make_block_mapped_kernel(w, std::move(list)))) {
+        // Child grid refused: drain the delayed buffer inline instead —
+        // this lane serially replays the block-mapped child's work.
+        t.note_degraded();
+        for (std::int32_t k = 0; k < c; ++k) {
+          const std::int64_t i = t.sh_ld(&buf[k]);
+          w.load_outer(t, i);
+          const std::uint32_t f = w.inner_size(i);
+          double acc = 0.0;
+          for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+          w.commit(t, i, acc);
+        }
+      }
     });
   });
 }

@@ -129,6 +129,43 @@ bool charged_is_internal(LaneCtx& t, const Tree& tr, std::uint32_t v) {
   return end > off;
 }
 
+/// Degraded path shared by rec-naive/rec-hier: when a child launch is
+/// refused (pool/depth/heap exhaustion or a persistent injected fault), the
+/// refusing lane traverses the subtree iteratively — the same explicit
+/// post-order stack autoropes uses — so every node under `root` still ends
+/// with its final value and the parent-side combine stays valid.
+void iterative_subtree_fallback(LaneCtx& t, const Tree& tr,
+                                const TraversalOps& ops, std::uint32_t* values,
+                                std::uint32_t root) {
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t next_child;  // index into child_offsets range
+    std::uint32_t acc;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root, 0, 1});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const std::uint32_t off = t.ld(&tr.child_offsets[f.node]);
+    const std::uint32_t end = t.ld(&tr.child_offsets[f.node + 1]);
+    if (off + f.next_child < end) {
+      const std::uint32_t c = t.ld(&tr.children[off + f.next_child]);
+      ++f.next_child;
+      stack.push_back(Frame{c, 0, 1});
+    } else {
+      const Frame done = f;
+      t.st(&values[done.node], done.acc);
+      stack.pop_back();
+      if (!stack.empty()) {
+        t.compute(1);
+        stack.back().acc = ops.algo == TreeAlgo::kDescendants
+                               ? stack.back().acc + done.acc
+                               : std::max(stack.back().acc, done.acc + 1);
+      }
+    }
+  }
+}
+
 void launch_init_kernel(Device& dev, std::uint32_t* values, std::uint32_t n,
                         const std::string& base, const RecOptions& opt) {
   LaunchConfig cfg;
@@ -194,7 +231,10 @@ Kernel make_naive_kernel(std::shared_ptr<const RecCtx> ctx,
               static_cast<int>(j % static_cast<std::uint32_t>(
                                        ctx->opt.streams_per_block)) -
               1;
-          t.launch(cc, make_naive_kernel(ctx, c), slot);
+          if (!t.launch_with_retry(cc, make_naive_kernel(ctx, c), slot)) {
+            t.note_degraded();
+            iterative_subtree_fallback(t, tr, ctx->ops, ctx->values, c);
+          }
         }
         const std::uint32_t cv = t.ld(&ctx->values[c]);
         ctx->ops.combine(t, &ctx->values[node], cv);
@@ -243,7 +283,10 @@ Kernel make_hier_kernel(std::shared_ptr<const RecCtx> ctx,
         cc.name = ctx->base_name + "/rec-hier";
         const int slot =
             blk.block_idx() % ctx->opt.streams_per_block == 0 ? -1 : 0;
-        t.launch(cc, make_hier_kernel(ctx, c), slot);
+        if (!t.launch_with_retry(cc, make_hier_kernel(ctx, c), slot)) {
+          t.note_degraded();
+          iterative_subtree_fallback(t, tr, ctx->ops, ctx->values, c);
+        }
       } else if (nc > 0) {
         // All grandchildren are leaves: the block computed the child's value
         // without recursion (thread-parallel pass above).

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/simt/device_spec.h"
+#include "src/simt/fault.h"
 #include "src/simt/kernel.h"
 #include "src/simt/launch_graph.h"
 #include "src/simt/metrics.h"
@@ -24,6 +25,13 @@ using AtomicHist = std::unordered_map<std::uint64_t, std::uint64_t>;
 
 namespace detail {
 
+/// Outcome of one device-side launch attempt: the env-local child id when it
+/// succeeded, or the refusal reason (resource limit or injected fault).
+struct LaunchOutcome {
+  std::uint32_t local_id = kInvalidLaunchNode;
+  SimtError error = SimtError::kOk;
+};
+
 /// Execution backend a running block records into. The engine (recorder.cpp)
 /// provides one per block task; routing everything through this interface is
 /// what lets blocks of a grid run on different host threads while each
@@ -33,15 +41,20 @@ class BlockEnv {
   virtual ~BlockEnv() = default;
   virtual const DeviceSpec& spec() const = 0;
   /// Record a device-side launch from `parent_block` of this env's grid and
-  /// (unless `deferred`) execute it to completion. Returns a child id local
-  /// to this env's recording, later remapped to a global node id.
-  virtual std::uint32_t launch_child(const LaunchConfig& cfg, Kernel k,
+  /// (unless `deferred`) execute it to completion. On success the outcome's
+  /// `local_id` is a child id local to this env's recording, later remapped
+  /// to a global node id; a refused launch carries the SimtError instead and
+  /// records nothing but the robustness counters.
+  virtual LaunchOutcome launch_child(const LaunchConfig& cfg, Kernel k,
                                      int parent_block, int extra_stream_slot,
                                      bool deferred) = 0;
   /// Atomic histogram of the grid this env's block belongs to.
   virtual AtomicHist& hist() = 0;
   /// Metrics sink of the grid this env's block belongs to.
   virtual Metrics& metrics() = 0;
+  /// Fault-injector configuration (retry/backoff parameters); a default
+  /// FaultConfig when no injector is active.
+  virtual const FaultConfig& fault_config() const = 0;
 };
 
 /// True when T can be updated through std::atomic_ref without locks — the
@@ -240,6 +253,8 @@ class LaneCtx {
   /// call returns, so the parent sees its writes — equivalent to CUDA's
   /// launch followed by device-side synchronization on the child (the idiom
   /// the paper-era CDP tree traversals rely on to combine child results).
+  /// Throws SimtException when the device runtime refuses the launch
+  /// (ResourceLimits exhaustion or an injected fault).
   void launch(const LaunchConfig& cfg, Kernel k);
   /// Launch into one of this block's extra streams (`slot >= 0`); used by the
   /// paper's multi-stream recursive variants.
@@ -252,11 +267,45 @@ class LaneCtx {
   /// Fire-and-forget nested launch: the child is queued and executes after
   /// the current host-launched grid completes (breadth-first drain), so the
   /// parent never observes its writes — plain CDP launch semantics without
-  /// parent synchronization. Used by the recursive BFS templates.
+  /// parent synchronization. Used by the recursive BFS templates. Throws
+  /// SimtException on refusal, like launch().
   void launch_async(const LaunchConfig& cfg, Kernel k,
                     int extra_stream_slot = -1);
   void launch_threads_async(const LaunchConfig& cfg, ThreadKernel k,
                             int extra_stream_slot = -1);
+
+  /// Non-throwing launch forms: return the refusal reason instead of
+  /// throwing, so templates can degrade gracefully. A refused attempt still
+  /// charges the launch-issue cycles (the hardware does the work of trying)
+  /// and bumps the robustness counters, but creates no child grid.
+  LaunchResult try_launch(const LaunchConfig& cfg, Kernel k,
+                          int extra_stream_slot = -1);
+  LaunchResult try_launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                                  int extra_stream_slot = -1);
+  LaunchResult try_launch_async(const LaunchConfig& cfg, Kernel k,
+                                int extra_stream_slot = -1);
+  LaunchResult try_launch_threads_async(const LaunchConfig& cfg,
+                                        ThreadKernel k,
+                                        int extra_stream_slot = -1);
+
+  /// try_launch with retry-with-backoff on *transient* faults: up to
+  /// FaultConfig::max_retries retries, each preceded by an exponentially
+  /// growing stall (modeled in cycles). Deterministic resource refusals are
+  /// returned immediately — retrying them cannot succeed.
+  LaunchResult launch_with_retry(const LaunchConfig& cfg, const Kernel& k,
+                                 int extra_stream_slot = -1);
+  LaunchResult launch_threads_with_retry(const LaunchConfig& cfg,
+                                         ThreadKernel k,
+                                         int extra_stream_slot = -1);
+
+  /// Record `cycles` of idle wait in this lane (retry backoff).
+  void stall(std::uint32_t cycles) {
+    trace_->push_back(Op{OpKind::kStall, cycles, 0, 0});
+  }
+
+  /// Note that this lane fell back to a degraded (launch-free) path after a
+  /// refused launch; counted in the grid's RobustnessCounters.
+  void note_degraded();
 
  private:
   friend class BlockCtx;

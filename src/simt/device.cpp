@@ -25,6 +25,9 @@ Device::Device(DeviceSpec spec, int max_nesting_depth, ExecPolicy policy)
   // it and buffer addresses — and thus modeled coalescing — would depend on
   // heap history, which differs between the serial and parallel engines.
   (void)detail::host_allocator_active();
+  // Transient-fault injection from NESTPAR_FAULTS (disabled when unset);
+  // set_fault_config() can override programmatically.
+  recorder_.set_fault_config(FaultConfig::from_env());
   apply_policy();
 }
 
@@ -73,12 +76,26 @@ Session::~Session() {
 }
 
 void Device::launch(const LaunchConfig& cfg, Kernel k, StreamHandle stream) {
-  recorder_.launch_host(cfg, k, stream);
+  const LaunchResult r = recorder_.launch_host(cfg, k, stream);
+  if (!r.ok()) {
+    throw SimtException(r.error, "host launch '" + cfg.name + "' refused: " +
+                                     std::string(to_string(r.error)));
+  }
 }
 
 void Device::launch_threads(const LaunchConfig& cfg, ThreadKernel k,
                             StreamHandle stream) {
-  recorder_.launch_host(cfg, as_kernel(std::move(k)), stream);
+  launch(cfg, as_kernel(std::move(k)), stream);
+}
+
+LaunchResult Device::try_launch(const LaunchConfig& cfg, Kernel k,
+                                StreamHandle stream) {
+  return recorder_.launch_host(cfg, k, stream);
+}
+
+LaunchResult Device::try_launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                                        StreamHandle stream) {
+  return recorder_.launch_host(cfg, as_kernel(std::move(k)), stream);
 }
 
 void Device::reset() { recorder_.reset(); }
@@ -92,6 +109,7 @@ int Device::blocks_for(std::int64_t items, int block_threads, int max_blocks) {
 RunReport Device::report() {
   LaunchGraph& graph = recorder_.graph();
   RunReport rep;
+  rep.robustness = recorder_.host_robustness();
   if (graph.nodes.empty()) return rep;
 
   const ScheduleResult sched = schedule(recorder_.spec(), graph);
@@ -112,6 +130,7 @@ RunReport Device::report() {
     kr.metrics += node.metrics;
     rep.aggregate += node.metrics;
   }
+  rep.robustness += rep.aggregate.robustness;
   return rep;
 }
 

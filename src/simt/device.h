@@ -34,6 +34,10 @@ struct RunReport {
   std::vector<KernelReport> per_kernel;
   std::uint64_t grids = 0;
   std::uint64_t device_grids = 0;
+  /// Per-run fault-model summary: launch attempts, refusals (by cause),
+  /// retries, and template degradations — device-side counters plus
+  /// host-launch faults. All-zero (except launches_attempted) by default.
+  RobustnessCounters robustness;
 
   /// Lookup a kernel summary by name; throws if absent.
   const KernelReport& kernel(const std::string& name) const;
@@ -78,11 +82,29 @@ class Device {
   /// Same, with a per-session engine override.
   Session session(const ExecPolicy& policy);
 
-  /// Launch a block-structured kernel from the host.
+  /// Launch a block-structured kernel from the host. Throws SimtException
+  /// when the launch is refused (host-site fault injection).
   void launch(const LaunchConfig& cfg, Kernel k, StreamHandle stream = {});
   /// Launch a single-phase per-lane kernel from the host.
   void launch_threads(const LaunchConfig& cfg, ThreadKernel k,
                       StreamHandle stream = {});
+
+  /// Non-throwing launch forms: return the refusal instead of throwing, so
+  /// callers can retry or degrade. On success the result holds the launch
+  /// graph node id.
+  LaunchResult try_launch(const LaunchConfig& cfg, Kernel k,
+                          StreamHandle stream = {});
+  LaunchResult try_launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                                  StreamHandle stream = {});
+
+  /// Configure the transient-fault injector programmatically (overrides the
+  /// `NESTPAR_FAULTS` environment config installed at construction).
+  void set_fault_config(const FaultConfig& cfg) {
+    recorder_.set_fault_config(cfg);
+  }
+  const FaultConfig& fault_config() const {
+    return recorder_.fault_injector().config();
+  }
 
   /// Host-side synchronization point. Functionally a no-op (execution is
   /// eager); kept so ported host code reads like its CUDA original.
@@ -152,6 +174,14 @@ class Session {
   void launch_threads(const LaunchConfig& cfg, ThreadKernel k,
                       StreamHandle stream = {}) {
     dev_->launch_threads(cfg, std::move(k), stream);
+  }
+  LaunchResult try_launch(const LaunchConfig& cfg, Kernel k,
+                          StreamHandle stream = {}) {
+    return dev_->try_launch(cfg, std::move(k), stream);
+  }
+  LaunchResult try_launch_threads(const LaunchConfig& cfg, ThreadKernel k,
+                                  StreamHandle stream = {}) {
+    return dev_->try_launch_threads(cfg, std::move(k), stream);
   }
   EventHandle record_event(StreamHandle stream = {}) {
     return dev_->record_event(stream);

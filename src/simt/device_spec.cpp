@@ -5,6 +5,14 @@
 
 namespace nestpar::simt {
 
+ResourceLimits ResourceLimits::cdp_defaults() {
+  ResourceLimits l;
+  l.pending_launch_capacity = 2048;
+  l.max_nesting_depth = 24;
+  l.device_heap_bytes = 8 * 1024 * 1024;
+  return l;
+}
+
 DeviceSpec DeviceSpec::k20() { return DeviceSpec{}; }
 
 DeviceSpec DeviceSpec::k40() {

@@ -5,6 +5,31 @@
 
 namespace nestpar::simt {
 
+/// Hard device-runtime resource limits whose exhaustion *refuses* launches
+/// (SimtError), as opposed to the soft pending-launch spill model below that
+/// only slows them down. Zero means unlimited for the pool and heap fields.
+///
+/// Determinism note: the engine partitions each grid's pool and heap budget
+/// evenly across its blocks, so which launch attempt gets refused depends
+/// only on per-block launch order — bit-identical across host engines — not
+/// on cross-block timing (a model approximation of the shared hardware pool).
+struct ResourceLimits {
+  /// Device launches a grid may have pending; 0 = unlimited. CUDA's
+  /// cudaLimitDevRuntimePendingLaunchCount defaults to 2048.
+  int pending_launch_capacity = 0;
+  /// Maximum nesting depth of device launches (CDP hard limit: 24).
+  int max_nesting_depth = 24;
+  /// Device-heap bytes available for launch bookkeeping; 0 = unlimited.
+  std::size_t device_heap_bytes = 0;
+  /// Heap bytes each pending launch consumes from `device_heap_bytes`.
+  std::size_t heap_bytes_per_launch = 1024;
+
+  /// Everything unlimited except the architectural depth limit (the default).
+  static ResourceLimits unlimited() { return ResourceLimits{}; }
+  /// CUDA device-runtime defaults: 2048-slot pool, depth 24, 8MB heap.
+  static ResourceLimits cdp_defaults();
+};
+
 /// Architectural and cost-model parameters of the simulated GPU.
 ///
 /// The defaults model an NVIDIA K20 (Kepler GK110, compute capability 3.5),
@@ -54,6 +79,10 @@ struct DeviceSpec {
   /// (CUDA's cudaLimitDevRuntimePendingLaunchCount behaviour).
   int pending_launch_pool = 2048;
   double virtualized_launch_service_us = 300.0;
+
+  /// Hard launch-resource limits (refusals, not slowdowns); default is
+  /// unlimited pool/heap with the architectural 24-level depth limit.
+  ResourceLimits limits;
 
   // --- Memory system ---------------------------------------------------------
   int mem_segment_bytes = 128;  ///< Coalescing segment (L1 line) size.

@@ -1,0 +1,103 @@
+#include "src/simt/fault.h"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace nestpar::simt {
+
+std::string_view to_string(SimtError e) {
+  switch (e) {
+    case SimtError::kOk: return "ok";
+    case SimtError::kPendingPoolExhausted: return "pending-launch pool exhausted";
+    case SimtError::kDepthLimitExceeded: return "nesting depth limit exceeded";
+    case SimtError::kDeviceHeapExhausted: return "device heap exhausted";
+    case SimtError::kInjectedFault: return "injected transient fault";
+  }
+  return "?";
+}
+
+std::uint64_t fault_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+double parse_rate(std::string_view key, std::string_view val) {
+  double d = 0.0;
+  const auto [p, ec] = std::from_chars(val.data(), val.data() + val.size(), d);
+  if (ec != std::errc{} || p != val.data() + val.size() || d < 0.0 || d > 1.0) {
+    throw std::invalid_argument("NESTPAR_FAULTS: '" + std::string(key) +
+                                "' must be a probability in [0,1], got '" +
+                                std::string(val) + "'");
+  }
+  return d;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view val) {
+  std::uint64_t u = 0;
+  const auto [p, ec] = std::from_chars(val.data(), val.data() + val.size(), u);
+  if (ec != std::errc{} || p != val.data() + val.size()) {
+    throw std::invalid_argument("NESTPAR_FAULTS: '" + std::string(key) +
+                                "' must be a non-negative integer, got '" +
+                                std::string(val) + "'");
+  }
+  return u;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::parse(std::string_view spec) {
+  FaultConfig cfg;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      // Bare number: shorthand for launch=<rate>.
+      cfg.device_launch_rate = parse_rate("launch", item);
+      continue;
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view val = item.substr(eq + 1);
+    if (key == "launch") {
+      cfg.device_launch_rate = parse_rate(key, val);
+    } else if (key == "host") {
+      cfg.host_launch_rate = parse_rate(key, val);
+    } else if (key == "seed") {
+      cfg.seed = parse_u64(key, val);
+    } else if (key == "retries") {
+      cfg.max_retries = static_cast<int>(parse_u64(key, val));
+    } else if (key == "backoff") {
+      cfg.backoff_base_cycles = static_cast<double>(parse_u64(key, val));
+    } else {
+      throw std::invalid_argument(
+          "NESTPAR_FAULTS: unknown key '" + std::string(key) +
+          "' (valid: launch, host, seed, retries, backoff)");
+    }
+  }
+  return cfg;
+}
+
+FaultConfig FaultConfig::from_env() {
+  const char* env = std::getenv("NESTPAR_FAULTS");
+  if (env == nullptr || *env == '\0') return FaultConfig{};
+  return parse(env);
+}
+
+bool FaultInjector::should_fail(FaultSite site, std::uint64_t key) const {
+  const double rate = cfg_.rate(site);
+  if (rate <= 0.0) return false;
+  const std::uint64_t h = fault_mix(
+      cfg_.seed ^ fault_mix(key ^ (static_cast<std::uint64_t>(site) << 56)));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+}  // namespace nestpar::simt

@@ -4,6 +4,18 @@
 
 namespace nestpar::simt {
 
+RobustnessCounters& RobustnessCounters::operator+=(
+    const RobustnessCounters& o) {
+  launches_attempted += o.launches_attempted;
+  refused_pool += o.refused_pool;
+  refused_depth += o.refused_depth;
+  refused_heap += o.refused_heap;
+  faults_injected += o.faults_injected;
+  retries += o.retries;
+  degraded += o.degraded;
+  return *this;
+}
+
 Metrics& Metrics::operator+=(const Metrics& o) {
   warp_steps += o.warp_steps;
   active_lane_ops += o.active_lane_ops;
@@ -20,6 +32,7 @@ Metrics& Metrics::operator+=(const Metrics& o) {
   warps += o.warps;
   resident_warp_cycles += o.resident_warp_cycles;
   sm_active_cycles += o.sm_active_cycles;
+  robustness += o.robustness;
   return *this;
 }
 
@@ -30,6 +43,11 @@ std::string Metrics::to_string(int max_warps_per_sm) const {
      << " occupancy=" << warp_occupancy(max_warps_per_sm)
      << " atomics=" << atomic_ops << " launches(h/d)=" << host_launches << "/"
      << device_launches << " blocks=" << blocks << " warps=" << warps;
+  if (robustness.any_fault()) {
+    os << " refused=" << robustness.refused_total()
+       << " retries=" << robustness.retries
+       << " degraded=" << robustness.degraded;
+  }
   return os.str();
 }
 

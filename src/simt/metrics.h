@@ -5,6 +5,30 @@
 
 namespace nestpar::simt {
 
+/// Device-runtime robustness counters: launch refusals, injected faults,
+/// retries, and template degradations. All zero in a fault-free run with
+/// unlimited ResourceLimits (except `launches_attempted`, which always
+/// counts device-launch attempts) — report printers gate on `any_fault()`
+/// so default output is byte-identical to the pre-fault-model build.
+struct RobustnessCounters {
+  std::uint64_t launches_attempted = 0;  ///< Device-launch attempts.
+  std::uint64_t refused_pool = 0;        ///< kPendingPoolExhausted refusals.
+  std::uint64_t refused_depth = 0;       ///< kDepthLimitExceeded refusals.
+  std::uint64_t refused_heap = 0;        ///< kDeviceHeapExhausted refusals.
+  std::uint64_t faults_injected = 0;     ///< kInjectedFault failures.
+  std::uint64_t retries = 0;             ///< Backoff retries after faults.
+  std::uint64_t degraded = 0;            ///< Template degradation fallbacks.
+
+  std::uint64_t refused_total() const {
+    return refused_pool + refused_depth + refused_heap + faults_injected;
+  }
+  /// True when anything actually went wrong (refusal, fault, retry, or
+  /// degradation) — the gate for fault-related report output.
+  bool any_fault() const { return refused_total() + retries + degraded > 0; }
+
+  RobustnessCounters& operator+=(const RobustnessCounters& o);
+};
+
 /// nvprof-like counters, accumulated per kernel and aggregated per run.
 ///
 /// Derived ratios mirror the metrics the paper reports:
@@ -36,6 +60,9 @@ struct Metrics {
   // of resident warps, and the corresponding active time (cycles x SMs).
   double resident_warp_cycles = 0.0;
   double sm_active_cycles = 0.0;
+
+  // Fault-model counters (see RobustnessCounters).
+  RobustnessCounters robustness;
 
   /// Ratio of average active lanes per step to the warp width.
   double warp_execution_efficiency() const {

@@ -14,6 +14,8 @@ enum class OpKind : std::uint8_t {
   kSharedStore,  ///< Shared-memory write.
   kAtomic,       ///< Read-modify-write on global `addr` (serializes per address).
   kLaunch,       ///< Device-side kernel launch; `child` is the kernel node id.
+  kLaunchFail,   ///< Refused/failed launch attempt: issue cost, no child grid.
+  kStall,        ///< `count` idle cycles (retry backoff); pure latency.
 };
 
 /// A single recorded lane operation. Compact: the functional pass streams

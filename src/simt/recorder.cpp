@@ -41,6 +41,22 @@ struct ArenaNode {
   std::uint64_t hottest_atomic_ops = 0;
 };
 
+constexpr std::uint64_t kUnlimitedBudget = ~std::uint64_t{0};
+
+/// Launch-resource budget of one block task. The grid's pool and heap
+/// capacity is partitioned evenly across its blocks up front, so exhaustion
+/// depends only on the (deterministic) order of launch attempts within the
+/// task — never on cross-block timing. Nested sync grids executed inside the
+/// task draw from the same budget, modeling the shared device-runtime pool.
+struct LaunchBudget {
+  std::uint64_t grid_key = 0;  ///< Stable (grid node id, block) hash.
+  std::uint64_t seq = 0;       ///< Launch attempts made by this task so far.
+  std::uint64_t pool_used = 0;
+  std::uint64_t pool_quota = kUnlimitedBudget;
+  std::uint64_t heap_used = 0;
+  std::uint64_t heap_quota = kUnlimitedBudget;
+};
+
 /// Everything one block of a top-level grid records: its cost and metrics
 /// contributions, its share of the grid's atomic histogram, and every grid
 /// its lanes launched (synchronous ones executed inline on the same thread).
@@ -49,6 +65,7 @@ struct BlockRecord {
   Metrics metrics;
   AtomicHist hist;
   std::vector<ArenaNode> nodes;
+  LaunchBudget budget;
 };
 
 }  // namespace detail
@@ -75,13 +92,14 @@ class EngineEnv final : public detail::BlockEnv {
  public:
   EngineEnv(detail::BlockRecord* rec, const DeviceSpec* spec, int max_depth,
             std::int64_t node_local, std::uint32_t nest_depth,
-            AtomicHist* hist)
+            AtomicHist* hist, const FaultInjector* injector)
       : rec_(rec),
         spec_(spec),
         max_depth_(max_depth),
         node_local_(node_local),
         nest_depth_(nest_depth),
-        hist_(hist) {}
+        hist_(hist),
+        injector_(injector) {}
 
   const DeviceSpec& spec() const override { return *spec_; }
   AtomicHist& hist() override { return *hist_; }
@@ -90,16 +108,45 @@ class EngineEnv final : public detail::BlockEnv {
                ? rec_->metrics
                : rec_->nodes[static_cast<std::size_t>(node_local_)].metrics;
   }
+  const FaultConfig& fault_config() const override {
+    static const FaultConfig kDefault{};
+    return injector_ != nullptr ? injector_->config() : kDefault;
+  }
 
-  std::uint32_t launch_child(const LaunchConfig& cfg, Kernel k,
-                             int parent_block, int extra_stream_slot,
-                             bool deferred) override {
+  detail::LaunchOutcome launch_child(const LaunchConfig& cfg, Kernel k,
+                                     int parent_block, int extra_stream_slot,
+                                     bool deferred) override {
     validate_config(*spec_, cfg);
+    detail::LaunchBudget& budget = rec_->budget;
+    RobustnessCounters& rb = metrics().robustness;
+    ++rb.launches_attempted;
+    // Stable per-attempt key: the task's (grid, block) hash mixed with the
+    // attempt ordinal — identical across host engines by construction.
+    const std::uint64_t attempt_key = fault_mix(budget.grid_key ^ budget.seq++);
+    const ResourceLimits& lim = spec_->limits;
     const std::uint32_t child_depth = nest_depth_ + 1;
+    SimtError err = SimtError::kOk;
     if (child_depth > static_cast<std::uint32_t>(max_depth_)) {
-      throw std::runtime_error("nested launch depth exceeds limit (" +
-                               std::to_string(max_depth_) + ")");
+      err = SimtError::kDepthLimitExceeded;
+      ++rb.refused_depth;
+    } else if (budget.pool_used >= budget.pool_quota) {
+      err = SimtError::kPendingPoolExhausted;
+      ++rb.refused_pool;
+    } else if (budget.heap_quota != detail::kUnlimitedBudget &&
+               budget.heap_used + lim.heap_bytes_per_launch >
+                   budget.heap_quota) {
+      err = SimtError::kDeviceHeapExhausted;
+      ++rb.refused_heap;
+    } else if (injector_ != nullptr && injector_->enabled() &&
+               injector_->should_fail(FaultSite::kDeviceLaunch, attempt_key)) {
+      err = SimtError::kInjectedFault;
+      ++rb.faults_injected;
     }
+    if (err != SimtError::kOk) {
+      return detail::LaunchOutcome{kInvalidLaunchNode, err};
+    }
+    ++budget.pool_used;
+    budget.heap_used += lim.heap_bytes_per_launch;
     const std::size_t local = rec_->nodes.size();
     detail::ArenaNode n;
     n.cfg = cfg;
@@ -111,7 +158,8 @@ class EngineEnv final : public detail::BlockEnv {
     if (deferred) n.kernel = std::move(k);
     rec_->nodes.push_back(std::move(n));
     if (!deferred) run_nested_grid(local, k);
-    return static_cast<std::uint32_t>(local);
+    return detail::LaunchOutcome{static_cast<std::uint32_t>(local),
+                                 SimtError::kOk};
   }
 
  private:
@@ -126,7 +174,8 @@ class EngineEnv final : public detail::BlockEnv {
     std::vector<BlockCost> costs(static_cast<std::size_t>(nblocks));
     for (int b = 0; b < nblocks; ++b) {
       EngineEnv env(rec_, spec_, max_depth_,
-                    static_cast<std::int64_t>(local), depth, &grid_hist);
+                    static_cast<std::int64_t>(local), depth, &grid_hist,
+                    injector_);
       BlockCtx blk(&env, b, nthreads, nblocks);
       k(blk);
       costs[static_cast<std::size_t>(b)] = blk.finish();
@@ -145,6 +194,7 @@ class EngineEnv final : public detail::BlockEnv {
   std::int64_t node_local_;
   std::uint32_t nest_depth_;
   AtomicHist* hist_;
+  const FaultInjector* injector_;
 };
 
 }  // namespace
@@ -161,23 +211,94 @@ LaneCtx::LaneCtx(BlockCtx* blk, std::vector<Op>* trace, int thread_idx)
       block_dim_(blk->block_dim_),
       grid_dim_(blk->grid_dim_) {}
 
+namespace {
+
+[[noreturn]] void throw_refused(const char* what, const LaunchConfig& cfg,
+                                SimtError err) {
+  throw SimtException(err, std::string(what) + " '" + cfg.name +
+                               "' refused: " + std::string(to_string(err)));
+}
+
+}  // namespace
+
+LaunchResult LaneCtx::try_launch(const LaunchConfig& cfg, Kernel k,
+                                 int extra_stream_slot) {
+  const detail::LaunchOutcome out = blk_->env_->launch_child(
+      cfg, std::move(k), blk_->block_idx_, extra_stream_slot,
+      /*deferred=*/false);
+  if (out.error != SimtError::kOk) {
+    trace_->push_back(Op{OpKind::kLaunchFail, 1, 0, 0});
+    return LaunchResult{kInvalidLaunchNode, out.error};
+  }
+  trace_->push_back(Op{OpKind::kLaunch, 1, 0, out.local_id});
+  return LaunchResult{out.local_id, SimtError::kOk};
+}
+
+LaunchResult LaneCtx::try_launch_async(const LaunchConfig& cfg, Kernel k,
+                                       int extra_stream_slot) {
+  const detail::LaunchOutcome out = blk_->env_->launch_child(
+      cfg, std::move(k), blk_->block_idx_, extra_stream_slot,
+      /*deferred=*/true);
+  if (out.error != SimtError::kOk) {
+    trace_->push_back(Op{OpKind::kLaunchFail, 1, 0, 0});
+    return LaunchResult{kInvalidLaunchNode, out.error};
+  }
+  trace_->push_back(Op{OpKind::kLaunch, 1, 0, out.local_id});
+  return LaunchResult{out.local_id, SimtError::kOk};
+}
+
+LaunchResult LaneCtx::try_launch_threads(const LaunchConfig& cfg,
+                                         ThreadKernel k,
+                                         int extra_stream_slot) {
+  return try_launch(cfg, as_kernel(std::move(k)), extra_stream_slot);
+}
+
+LaunchResult LaneCtx::try_launch_threads_async(const LaunchConfig& cfg,
+                                               ThreadKernel k,
+                                               int extra_stream_slot) {
+  return try_launch_async(cfg, as_kernel(std::move(k)), extra_stream_slot);
+}
+
+LaunchResult LaneCtx::launch_with_retry(const LaunchConfig& cfg,
+                                        const Kernel& k,
+                                        int extra_stream_slot) {
+  LaunchResult r = try_launch(cfg, k, extra_stream_slot);
+  const FaultConfig& fc = blk_->env_->fault_config();
+  double backoff = fc.backoff_base_cycles;
+  for (int attempt = 0;
+       attempt < fc.max_retries && !r.ok() && is_transient(r.error);
+       ++attempt) {
+    stall(static_cast<std::uint32_t>(backoff));
+    blk_->env_->metrics().robustness.retries += 1;
+    backoff *= 2.0;
+    r = try_launch(cfg, k, extra_stream_slot);
+  }
+  return r;
+}
+
+LaunchResult LaneCtx::launch_threads_with_retry(const LaunchConfig& cfg,
+                                                ThreadKernel k,
+                                                int extra_stream_slot) {
+  return launch_with_retry(cfg, as_kernel(std::move(k)), extra_stream_slot);
+}
+
+void LaneCtx::note_degraded() {
+  blk_->env_->metrics().robustness.degraded += 1;
+}
+
 void LaneCtx::launch(const LaunchConfig& cfg, Kernel k) {
   launch(cfg, std::move(k), -1);
 }
 
 void LaneCtx::launch(const LaunchConfig& cfg, Kernel k, int extra_stream_slot) {
-  const std::uint32_t child = blk_->env_->launch_child(
-      cfg, std::move(k), blk_->block_idx_, extra_stream_slot,
-      /*deferred=*/false);
-  trace_->push_back(Op{OpKind::kLaunch, 1, 0, child});
+  const LaunchResult r = try_launch(cfg, std::move(k), extra_stream_slot);
+  if (!r.ok()) throw_refused("device launch", cfg, r.error);
 }
 
 void LaneCtx::launch_async(const LaunchConfig& cfg, Kernel k,
                            int extra_stream_slot) {
-  const std::uint32_t child = blk_->env_->launch_child(
-      cfg, std::move(k), blk_->block_idx_, extra_stream_slot,
-      /*deferred=*/true);
-  trace_->push_back(Op{OpKind::kLaunch, 1, 0, child});
+  const LaunchResult r = try_launch_async(cfg, std::move(k), extra_stream_slot);
+  if (!r.ok()) throw_refused("device launch", cfg, r.error);
 }
 
 void LaneCtx::launch_threads(const LaunchConfig& cfg, ThreadKernel k) {
@@ -272,11 +393,16 @@ BlockCost BlockCtx::finish() {
 // ---------------------------------------------------------------------------
 
 Recorder::Recorder(const DeviceSpec& spec, int max_nesting_depth)
-    : spec_(spec), max_depth_(max_nesting_depth) {}
+    : spec_(spec),
+      // Effective depth limit: the tighter of the legacy constructor
+      // parameter and the spec's ResourceLimits (both default to 24).
+      max_depth_(std::min(max_nesting_depth, spec.limits.max_nesting_depth)) {}
 
 void Recorder::reset() {
   graph_ = LaunchGraph{};
   seq_ = 0;
+  host_robustness_ = RobustnessCounters{};
+  host_attempt_seq_ = 0;
   stream_ids_.clear();
   stream_tail_.clear();
   events_.clear();
@@ -343,8 +469,17 @@ void Recorder::stream_wait(StreamHandle stream, EventHandle event) {
   pending_waits_[stream_id_for_host(stream.id)].push_back(captured);
 }
 
-std::uint32_t Recorder::launch_host(const LaunchConfig& cfg, const Kernel& k,
-                                    StreamHandle stream) {
+LaunchResult Recorder::launch_host(const LaunchConfig& cfg, const Kernel& k,
+                                   StreamHandle stream) {
+  // Host-site fault injection: the launch is refused before anything is
+  // recorded (a failed cudaLaunchKernel). Keyed on the host launch ordinal,
+  // which is engine-independent.
+  const std::uint64_t host_key = fault_mix(host_attempt_seq_++);
+  if (injector_.enabled() &&
+      injector_.should_fail(FaultSite::kHostLaunch, host_key)) {
+    ++host_robustness_.faults_injected;
+    return LaunchResult{kInvalidLaunchNode, SimtError::kInjectedFault};
+  }
   const std::uint32_t sid = stream_id_for_host(stream.id);
   const std::uint32_t id = create_host_node(cfg, sid);
   graph_.nodes[id].metrics.host_launches = 1;
@@ -372,7 +507,7 @@ std::uint32_t Recorder::launch_host(const LaunchConfig& cfg, const Kernel& k,
     deferred_.pop_back();
     run_grid(child_id, child_kernel);
   }
-  return id;
+  return LaunchResult{id, SimtError::kOk};
 }
 
 void Recorder::run_grid(std::uint32_t node_id, const Kernel& k) {
@@ -380,10 +515,32 @@ void Recorder::run_grid(std::uint32_t node_id, const Kernel& k) {
   const int nthreads = graph_.nodes[node_id].block_threads;
   const std::uint32_t depth = graph_.nodes[node_id].nest_depth;
 
+  // Per-block launch budget: the grid's pool/heap capacity split evenly
+  // across its blocks (exhaustion must not depend on cross-block timing).
+  detail::LaunchBudget budget0;
+  if (spec_.limits.pending_launch_capacity > 0) {
+    budget0.pool_quota =
+        static_cast<std::uint64_t>(spec_.limits.pending_launch_capacity) /
+        static_cast<std::uint64_t>(nblocks);
+  }
+  if (spec_.limits.device_heap_bytes > 0) {
+    budget0.heap_quota =
+        static_cast<std::uint64_t>(spec_.limits.device_heap_bytes) /
+        static_cast<std::uint64_t>(nblocks);
+  }
+
   std::vector<detail::BlockRecord> blocks(static_cast<std::size_t>(nblocks));
   const auto run_block = [&](std::int64_t b) {
     detail::BlockRecord& r = blocks[static_cast<std::size_t>(b)];
-    EngineEnv env(&r, &spec_, max_depth_, /*node_local=*/-1, depth, &r.hist);
+    r.budget = budget0;
+    // node_id is final before any block runs (host nodes are created up
+    // front, device nodes during the previous merge), so this key is
+    // identical under both engines.
+    r.budget.grid_key = fault_mix(
+        (static_cast<std::uint64_t>(node_id) << 24) ^
+        static_cast<std::uint64_t>(b));
+    EngineEnv env(&r, &spec_, max_depth_, /*node_local=*/-1, depth, &r.hist,
+                  &injector_);
     BlockCtx blk(&env, static_cast<int>(b), nthreads, nblocks);
     k(blk);
     r.cost = blk.finish();
@@ -497,6 +654,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
 
   for (std::size_t t = 0; t < steps; ++t) {
     std::uint32_t comp_n = 0, comp_sum = 0, comp_max = 0;
+    std::uint32_t fail_n = 0, stall_max = 0;
     int ld_n = 0, st_n = 0, sh_n = 0, at_n = 0, ln_n = 0;
     int ld_seg_n = 0, st_seg_n = 0, at_seg_n = 0;
     int ld_extra = 0, st_extra = 0;
@@ -547,6 +705,12 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
         }
         case OpKind::kLaunch:
           launch_children[ln_n++] = static_cast<std::uint32_t>(op.addr);
+          break;
+        case OpKind::kLaunchFail:
+          ++fail_n;
+          break;
+        case OpKind::kStall:
+          stall_max = std::max(stall_max, op.count);
           break;
       }
     }
@@ -618,6 +782,17 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(ln_n);
       m.device_launches += static_cast<std::uint64_t>(ln_n);
+    }
+    if (fail_n > 0) {
+      // A refused launch still pays the issue cost (the lane did the work of
+      // trying) but produces no child grid and no device_launches count.
+      cost += fail_n * spec.launch_issue_cycles;
+      m.warp_steps += 1;
+      m.active_lane_ops += static_cast<std::uint64_t>(fail_n);
+    }
+    if (stall_max > 0) {
+      // Retry backoff: pure idle latency, no throughput metrics.
+      cost += static_cast<double>(stall_max);
     }
   }
   return cost;

@@ -7,6 +7,7 @@
 
 #include "src/simt/ctx.h"
 #include "src/simt/device_spec.h"
+#include "src/simt/fault.h"
 #include "src/simt/kernel.h"
 #include "src/simt/launch_graph.h"
 
@@ -48,10 +49,11 @@ class Recorder {
   explicit Recorder(const DeviceSpec& spec, int max_nesting_depth = 24);
 
   /// Launch a grid from the host into `stream`; runs it to completion
-  /// functionally (including any nested launches it performs) and returns the
-  /// kernel node id.
-  std::uint32_t launch_host(const LaunchConfig& cfg, const Kernel& k,
-                            StreamHandle stream);
+  /// functionally (including any nested launches it performs). On success the
+  /// result carries the kernel node id; a host-site injected fault refuses
+  /// the launch (nothing recorded beyond the robustness counter) instead.
+  LaunchResult launch_host(const LaunchConfig& cfg, const Kernel& k,
+                           StreamHandle stream);
 
   /// cudaEventRecord: capture the current tail of `stream`. The returned
   /// event completes when everything launched into the stream so far has.
@@ -65,6 +67,17 @@ class Recorder {
   LaunchGraph& graph() { return graph_; }
   const DeviceSpec& spec() const { return spec_; }
   int max_nesting_depth() const { return max_depth_; }
+
+  /// Install/replace the transient-fault injector (survives reset()).
+  void set_fault_config(const FaultConfig& cfg) {
+    injector_ = FaultInjector(cfg);
+  }
+  const FaultInjector& fault_injector() const { return injector_; }
+  /// Host-side robustness counters (host-launch faults live outside any
+  /// grid's metrics); merged into RunReport::robustness by Device::report().
+  const RobustnessCounters& host_robustness() const {
+    return host_robustness_;
+  }
 
   /// Pool the engine spreads top-level blocks over; nullptr = run serially
   /// on the launching thread. Results are identical either way.
@@ -89,6 +102,9 @@ class Recorder {
   DeviceSpec spec_;
   int max_depth_;
   ThreadPool* pool_ = nullptr;
+  FaultInjector injector_;
+  RobustnessCounters host_robustness_;
+  std::uint64_t host_attempt_seq_ = 0;
   LaunchGraph graph_;
   /// Fire-and-forget device launches awaiting the post-grid drain.
   std::vector<std::pair<std::uint32_t, Kernel>> deferred_;

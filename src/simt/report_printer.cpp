@@ -50,6 +50,16 @@ void print_report(std::ostream& out, const RunReport& report,
   }
   print_row(out, "(aggregate)", report.grids,
             spec.cycles_to_us(report.total_cycles), report.aggregate, spec);
+  // Fault-model summary, printed only when something actually went wrong so
+  // fault-free output stays byte-identical to pre-fault-model builds.
+  const RobustnessCounters& rb = report.robustness;
+  if (rb.any_fault()) {
+    out << "  robustness: " << rb.launches_attempted << " attempted, "
+        << rb.refused_total() << " refused (pool " << rb.refused_pool
+        << ", depth " << rb.refused_depth << ", heap " << rb.refused_heap
+        << ", fault " << rb.faults_injected << "), " << rb.retries
+        << " retried, " << rb.degraded << " degraded\n";
+  }
 }
 
 }  // namespace nestpar::simt

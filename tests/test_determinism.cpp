@@ -37,8 +37,21 @@ void expect_identical(const simt::RunReport& s, const simt::RunReport& p) {
   EXPECT_EQ(s.grids, p.grids);
   EXPECT_EQ(s.device_grids, p.device_grids);
 
-  const auto same_metrics = [](const simt::Metrics& a, const simt::Metrics& b,
-                               const std::string& where) {
+  const auto same_robustness = [](const simt::RobustnessCounters& a,
+                                  const simt::RobustnessCounters& b,
+                                  const std::string& where) {
+    EXPECT_EQ(a.launches_attempted, b.launches_attempted) << where;
+    EXPECT_EQ(a.refused_pool, b.refused_pool) << where;
+    EXPECT_EQ(a.refused_depth, b.refused_depth) << where;
+    EXPECT_EQ(a.refused_heap, b.refused_heap) << where;
+    EXPECT_EQ(a.faults_injected, b.faults_injected) << where;
+    EXPECT_EQ(a.retries, b.retries) << where;
+    EXPECT_EQ(a.degraded, b.degraded) << where;
+  };
+  same_robustness(s.robustness, p.robustness, "report robustness");
+
+  const auto same_metrics = [&](const simt::Metrics& a, const simt::Metrics& b,
+                                const std::string& where) {
     EXPECT_EQ(a.warp_steps, b.warp_steps) << where;
     EXPECT_EQ(a.active_lane_ops, b.active_lane_ops) << where;
     EXPECT_EQ(a.gld_requested_bytes, b.gld_requested_bytes) << where;
@@ -54,6 +67,7 @@ void expect_identical(const simt::RunReport& s, const simt::RunReport& p) {
     EXPECT_EQ(a.warps, b.warps) << where;
     EXPECT_EQ(a.resident_warp_cycles, b.resident_warp_cycles) << where;
     EXPECT_EQ(a.sm_active_cycles, b.sm_active_cycles) << where;
+    same_robustness(a.robustness, b.robustness, where + " robustness");
   };
   same_metrics(s.aggregate, p.aggregate, "aggregate");
 

@@ -18,8 +18,15 @@ using nested::LoopTemplate;
 
 namespace {
 
-double spmv_speedup(const simt::DeviceSpec& spec, const matrix::CsrMatrix& m,
-                    const std::vector<float>& x, LoopTemplate t, int lb = 32) {
+struct SpeedupRun {
+  double speedup = 0.0;
+  simt::RunReport report;
+};
+
+SpeedupRun spmv_speedup(const simt::DeviceSpec& spec,
+                        const matrix::CsrMatrix& m,
+                        const std::vector<float>& x, LoopTemplate t,
+                        int lb = 32) {
   simt::Device dev(spec);
   double base = 0.0;
   {
@@ -31,13 +38,13 @@ double spmv_speedup(const simt::DeviceSpec& spec, const matrix::CsrMatrix& m,
   nested::LoopParams p;
   p.lb_threshold = lb;
   apps::run_spmv(dev, m, x, t, p);
-  return base / session.report().total_us;
+  SpeedupRun r;
+  r.report = session.report();
+  r.speedup = base / r.report.total_us;
+  return r;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv, "ablation_simulator [--scale=0.05]");
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const double scale = args.get_double("scale", 0.05);
 
   bench::banner("Simulator ablations",
@@ -48,6 +55,17 @@ int main(int argc, char** argv) {
   const auto x = matrix::make_dense_vector(mat.cols, 7);
   const auto spec = simt::DeviceSpec::k20();
 
+  const auto record = [&](const std::string& tmpl, const char* knob,
+                          double knob_value, const SpeedupRun& r) {
+    bench::Measurement m = bench::Measurement::from_report(r.report);
+    m.tmpl = tmpl;
+    m.dataset = "citeseer";
+    m.scale = scale;
+    m.params[knob] = knob_value;
+    m.extra["speedup"] = r.speedup;
+    out.measurements.push_back(std::move(m));
+  };
+
   std::printf("\n-- latency hiding (occupancy sensitivity) --\n");
   std::printf("dbuf-shared reserves shared memory, lowering occupancy; its\n");
   std::printf("speedup should drop as the hiding requirement rises.\n");
@@ -55,11 +73,15 @@ int main(int argc, char** argv) {
   for (const int warps : {1, 12, 24, 48}) {
     simt::DeviceSpec s = spec;
     s.latency_hiding_warps = warps;
+    const SpeedupRun shared =
+        spmv_speedup(s, mat, x, LoopTemplate::kDbufShared);
+    const SpeedupRun global =
+        spmv_speedup(s, mat, x, LoopTemplate::kDbufGlobal);
     bench::table_row({std::to_string(warps),
-                      bench::fmt(spmv_speedup(s, mat, x,
-                                              LoopTemplate::kDbufShared)) + "x",
-                      bench::fmt(spmv_speedup(s, mat, x,
-                                              LoopTemplate::kDbufGlobal)) + "x"});
+                      bench::fmt(shared.speedup) + "x",
+                      bench::fmt(global.speedup) + "x"});
+    record("dbuf-shared", "hiding_warps", warps, shared);
+    record("dbuf-global", "hiding_warps", warps, global);
   }
 
   std::printf("\n-- nested-launch overhead --\n");
@@ -70,11 +92,13 @@ int main(int argc, char** argv) {
     simt::DeviceSpec s = spec;
     s.device_launch_service_us = us;
     s.virtualized_launch_service_us = us * 30.0;
+    const SpeedupRun naive = spmv_speedup(s, mat, x, LoopTemplate::kDparNaive);
+    const SpeedupRun opt = spmv_speedup(s, mat, x, LoopTemplate::kDparOpt);
     bench::table_row({bench::fmt(us, 1),
-                      bench::fmt(spmv_speedup(s, mat, x,
-                                              LoopTemplate::kDparNaive), 3) + "x",
-                      bench::fmt(spmv_speedup(s, mat, x,
-                                              LoopTemplate::kDparOpt)) + "x"});
+                      bench::fmt(naive.speedup, 3) + "x",
+                      bench::fmt(opt.speedup) + "x"});
+    record("dpar-naive", "launch_service_us", us, naive);
+    record("dpar-opt", "launch_service_us", us, opt);
   }
 
   std::printf("\n-- pending-launch pool (queue virtualization) --\n");
@@ -91,9 +115,16 @@ int main(int argc, char** argv) {
       simt::Device dev(s);
       simt::Session session = dev.session();
       apps::bfs_recursive_gpu(dev, rnd, 0, rec::RecTemplate::kRecNaive);
+      const simt::RunReport rep = session.report();
       bench::table_row({pool > (1 << 20) ? "unbounded" : std::to_string(pool),
-                        bench::fmt(session.report().total_us / cpu.us(), 0) +
-                            "x"});
+                        bench::fmt(rep.total_us / cpu.us(), 0) + "x"});
+      bench::Measurement m = bench::Measurement::from_report(rep);
+      m.tmpl = "rec-naive-bfs";
+      m.dataset = "uniform-random";
+      m.scale = scale;
+      m.params["pending_launch_pool"] = pool;
+      m.extra["cpu_slowdown"] = rep.total_us / cpu.us();  // cross-model ratio
+      out.measurements.push_back(std::move(m));
     }
   }
 
@@ -121,6 +152,18 @@ int main(int argc, char** argv) {
       const double hier = t_iter.us() / hier_run.report.total_us;
       bench::table_row({bench::fmt(drain, 1), bench::fmt(flat) + "x",
                         bench::fmt(hier) + "x"});
+      for (const auto& [tmpl, tree_run] :
+           {std::pair<const char*, const rec::TreeRunResult&>{"flat",
+                                                              flat_run},
+            {"rec-hier", hier_run}}) {
+        bench::Measurement m =
+            bench::Measurement::from_report(tree_run.report);
+        m.tmpl = tmpl;
+        m.dataset = "tree";
+        m.scale = scale;
+        m.params["atomic_drain_cycles"] = drain;
+        out.measurements.push_back(std::move(m));
+      }
     }
   }
 
@@ -141,8 +184,31 @@ int main(int argc, char** argv) {
     p.lb_threshold = 32;
     p.shared_buffer_entries = entries;
     apps::run_spmv(dev, mat, x, LoopTemplate::kDbufShared, p);
+    const simt::RunReport rep = session.report();
     bench::table_row({std::to_string(entries),
-                      bench::fmt(base / session.report().total_us) + "x"});
+                      bench::fmt(base / rep.total_us) + "x"});
+    bench::Measurement m = bench::Measurement::from_report(rep);
+    m.tmpl = "dbuf-shared";
+    m.dataset = "citeseer";
+    m.scale = scale;
+    m.params["shared_buffer_entries"] = entries;
+    m.extra["speedup"] = base / rep.total_us;
+    out.measurements.push_back(std::move(m));
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--scale=0.01"};
+
+const bench::Registration reg{{
+    .name = "ablation_simulator",
+    .figure = "— (ablation)",
+    .description = "device-model mechanism ablations behind the paper effects",
+    .usage = "ablation_simulator [--scale=0.05] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("ablation_simulator")

@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -8,30 +9,46 @@
 
 namespace nestpar::bench {
 
-Args::Args(int argc, char** argv, const std::string& usage) {
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
+Args::Args(int argc, char** argv, std::string_view usage) {
+  std::vector<std::string> flags;
+  flags.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) flags.emplace_back(argv[i]);
+  parse(flags, usage);
+}
+
+Args::Args(const std::vector<std::string>& flags, std::string_view usage) {
+  parse(flags, usage);
+}
+
+void Args::parse(const std::vector<std::string>& flags,
+                 std::string_view usage) {
+  const int usage_len = static_cast<int>(usage.size());
+  for (const std::string& arg : flags) {
     if (arg == "--help" || arg == "-h") {
-      std::printf("%s\n", usage.c_str());
+      std::printf("%.*s\n", usage_len, usage.data());
       std::exit(0);
     }
     if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unknown argument '%s'\n%s\n", arg.c_str(),
-                   usage.c_str());
+      std::fprintf(stderr, "unknown argument '%s'\n%.*s\n", arg.c_str(),
+                   usage_len, usage.data());
       std::exit(2);
     }
     const auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      values_[arg.substr(2)] = "1";
-    } else {
-      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    const std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    const std::string value =
+        eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    if (values_.count(key)) {
+      std::fprintf(stderr, "warning: flag '--%s' given twice; using '%s'\n",
+                   key.c_str(), value.c_str());
     }
+    values_[key] = value;
   }
   if (usage.empty()) return;
   for (const auto& [k, v] : values_) {
-    if (usage.find("--" + k) == std::string::npos) {
-      std::fprintf(stderr, "unknown flag '--%s'\n%s\n", k.c_str(),
-                   usage.c_str());
+    if (usage.find("--" + k) == std::string_view::npos) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%.*s\n", k.c_str(),
+                   usage_len, usage.data());
       std::exit(2);
     }
   }
@@ -47,8 +64,71 @@ std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
   return it == values_.end() ? def : std::stoll(it->second);
 }
 
+std::string Args::get_string(const std::string& name,
+                             const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
 bool Args::get_flag(const std::string& name) const {
   return values_.count(name) > 0;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(const SuiteSpec& spec) {
+  if (count_ >= kCapacity) {
+    std::fprintf(stderr, "suite registry full (capacity %zu)\n", kCapacity);
+    std::exit(2);
+  }
+  std::size_t pos = count_;
+  while (pos > 0 && spec.name < suites_[pos - 1].name) {
+    suites_[pos] = suites_[pos - 1];
+    --pos;
+  }
+  suites_[pos] = spec;
+  ++count_;
+}
+
+const SuiteSpec* Registry::find(std::string_view name) const {
+  for (const SuiteSpec& s : suites()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Registration::Registration(const SuiteSpec& spec) {
+  Registry::instance().add(spec);
+}
+
+int standalone_main(std::string_view suite, int argc, char** argv) {
+  const SuiteSpec* spec = Registry::instance().find(suite);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "suite '%.*s' is not registered\n",
+                 static_cast<int>(suite.size()), suite.data());
+    return 2;
+  }
+  const Args args(argc, argv, spec->usage);
+  SuiteResult result;
+  const int rc = spec->run(args, result);
+  // Identity strings are filled in only after the run: the serial-CPU cache
+  // model is heap-layout-sensitive, and the runs must see the same heap the
+  // pre-registry binaries did.
+  result.suite = spec->name;
+  result.figure = spec->figure;
+  const std::string out = args.get_string("out", "");
+  if (rc == 0 && !out.empty()) {
+    try {
+      write_result_file(result, out);
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  return rc;
 }
 
 void banner(const std::string& title, const std::string& paper_expectation) {

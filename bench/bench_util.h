@@ -2,9 +2,12 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "results.h"
 #include "src/graph/csr.h"
 #include "src/simt/device.h"
 
@@ -12,18 +15,106 @@ namespace nestpar::bench {
 
 /// Minimal flag parser shared by every bench binary. Flags look like
 /// `--scale=0.25` or `--full`. Unknown flags abort with a usage message so a
-/// typo cannot silently run the wrong experiment.
+/// typo cannot silently run the wrong experiment. A flag given twice keeps
+/// the *last* value and warns on stderr (so scripted flag overrides work:
+/// `fig5_sssp $COMMON_FLAGS --scale=0.5`).
+///
+/// ```cpp
+///   const bench::Args args(argc, argv, "fig5_sssp [--scale=0.1] [--out=DIR]");
+///   const double scale = args.get_double("scale", 0.1);
+///   const std::string out = args.get_string("out", "");
+/// ```
 class Args {
  public:
-  Args(int argc, char** argv, const std::string& usage);
+  Args(int argc, char** argv, std::string_view usage);
+  /// Same parse from pre-split flag strings (e.g. `{"--scale=0.02"}`) — the
+  /// form the suite driver uses to run registered suites without a real argv.
+  Args(const std::vector<std::string>& flags, std::string_view usage);
 
   double get_double(const std::string& name, double def) const;
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  /// Raw string value of `--name=value` (def when absent) — for path-valued
+  /// flags such as `--out=results/` and `--baseline=bench/baselines`.
+  std::string get_string(const std::string& name, const std::string& def) const;
   bool get_flag(const std::string& name) const;
 
  private:
+  void parse(const std::vector<std::string>& flags, std::string_view usage);
+
   std::map<std::string, std::string> values_;
 };
+
+// ---------------------------------------------------------------------------
+// Suite registry: every bench binary registers its experiment here. The
+// standalone binary (`fig5_sssp`) and the unified driver (`nestpar_bench`)
+// run the same registered function; the only difference is how many suites
+// are linked into the executable.
+
+/// A registered experiment. `run` prints the suite's classic text tables
+/// exactly as before (so fault-free output stays byte-identical to the
+/// pre-registry binaries) and additionally appends typed `Measurement`
+/// records to `out` for the JSON results pipeline.
+///
+/// All fields are views over static storage (string literals and
+/// file-local arrays): registration performs **no heap allocation**, so the
+/// serial-CPU cache model — which is sensitive to heap layout — sees exactly
+/// the same addresses as it did before the registry existed.
+struct SuiteSpec {
+  std::string_view name;         ///< Registry key and binary name.
+  std::string_view figure;       ///< Paper anchor ("Figure 5", "Table I").
+  std::string_view description;  ///< One-line summary for `--list`.
+  std::string_view usage;        ///< Usage string (must mention every flag).
+  /// Flags for a fast-but-nonempty run; `nestpar_bench --smoke` uses these
+  /// to validate that every suite emits schema-valid JSON in seconds. Must
+  /// point at a static array, e.g.
+  /// `constexpr const char* kSmoke[] = {"--scale=0.01"};`.
+  std::span<const char* const> smoke_flags;
+  int (*run)(const Args& args, SuiteResult& out) = nullptr;
+};
+
+/// Process-wide suite registry, populated by static `Registration` objects
+/// at load time. Fixed-capacity (no heap); suites are kept sorted by name.
+class Registry {
+ public:
+  static Registry& instance();
+  void add(const SuiteSpec& spec);
+  const SuiteSpec* find(std::string_view name) const;
+  std::span<const SuiteSpec> suites() const { return {suites_, count_}; }
+
+ private:
+  static constexpr std::size_t kCapacity = 64;
+  SuiteSpec suites_[kCapacity];
+  std::size_t count_ = 0;
+};
+
+/// Registers a suite from a static initializer:
+/// ```cpp
+///   const bench::Registration reg{{.name = "fig5_sssp", ...,  .run = &run}};
+/// ```
+struct Registration {
+  explicit Registration(const SuiteSpec& spec);
+};
+
+/// Entry point of a standalone suite binary: parse argv against the suite's
+/// usage, run it, and — when `--out=DIR` was given — write
+/// `DIR/BENCH_<suite>.json`. Returns the suite's exit code (2 on usage or
+/// I/O errors).
+int standalone_main(std::string_view suite, int argc, char** argv);
+
+/// Expands to the standalone `main` unless the file is being compiled into
+/// the combined `nestpar_bench` driver (which has its own main and runs
+/// suites through the registry).
+#ifdef NESTPAR_BENCH_COMBINED
+#define NESTPAR_BENCH_MAIN(suite)
+#else
+#define NESTPAR_BENCH_MAIN(suite)                       \
+  int main(int argc, char** argv) {                     \
+    return ::nestpar::bench::standalone_main(suite, argc, argv); \
+  }
+#endif
+
+// ---------------------------------------------------------------------------
+// Shared output helpers.
 
 /// Print the experiment banner: what the paper's figure/table showed and what
 /// shape we expect to reproduce.

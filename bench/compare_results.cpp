@@ -1,0 +1,134 @@
+// Regression comparator for BENCH_<suite>.json result files.
+//
+//   compare_results --baseline=PATH --current=PATH [--threshold=0.05]
+//
+// Each PATH is either one result file or a directory of BENCH_*.json files.
+// Records are matched by (suite, template, dataset, scale, params) and the
+// deterministic metrics diffed; a relative delta in the bad direction beyond
+// the threshold — or a baseline record that disappeared — is a regression.
+//
+// Exit codes: 0 no regressions, 1 regressions found, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "results.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace bench = nestpar::bench;
+
+constexpr const char* kUsage =
+    "usage: compare_results --baseline=PATH --current=PATH "
+    "[--threshold=0.05]\n"
+    "  PATH is a BENCH_<suite>.json file or a directory of them";
+
+// Loads one file, or every BENCH_*.json inside a directory, keyed by suite.
+std::map<std::string, bench::SuiteResult> load(const std::string& path) {
+  std::map<std::string, bench::SuiteResult> by_suite;
+  std::vector<std::string> files;
+  if (fs::is_directory(path)) {
+    for (const fs::directory_entry& e : fs::directory_iterator(path)) {
+      const std::string name = e.path().filename().string();
+      if (e.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        files.push_back(e.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(path);
+  }
+  for (const std::string& f : files) {
+    bench::SuiteResult r = bench::load_result_file(f);
+    if (by_suite.count(r.suite)) {
+      throw std::runtime_error("duplicate suite '" + r.suite + "' in " + path);
+    }
+    by_suite.emplace(r.suite, std::move(r));
+  }
+  if (by_suite.empty()) {
+    throw std::runtime_error("no BENCH_*.json files found in " + path);
+  }
+  return by_suite;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double threshold = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s\n", kUsage);
+      return 0;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--current=", 0) == 0) {
+      current_path = arg.substr(10);
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::stod(arg.substr(12));
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n%s\n", arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr, "%s\n", kUsage);
+    return 2;
+  }
+
+  std::map<std::string, bench::SuiteResult> baseline;
+  std::map<std::string, bench::SuiteResult> current;
+  try {
+    baseline = load(baseline_path);
+    current = load(current_path);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  bench::CompareOptions opt;
+  opt.threshold = threshold;
+  bench::CompareReport total;
+  int missing_suites = 0;
+  for (const auto& [suite, base] : baseline) {
+    const auto it = current.find(suite);
+    if (it == current.end()) {
+      std::printf("suite %-24s MISSING from current\n", suite.c_str());
+      ++missing_suites;
+      continue;
+    }
+    const bench::CompareReport rep =
+        bench::compare_results(base, it->second, opt);
+    std::printf("suite %-24s matched=%d missing=%d added=%d%s\n",
+                suite.c_str(), rep.matched, rep.missing, rep.added,
+                rep.has_regression() ? "  REGRESSION" : "");
+    bench::merge_compare_reports(total, rep);
+  }
+  for (const auto& [suite, cur] : current) {
+    if (!baseline.count(suite)) {
+      std::printf("suite %-24s new in current (no baseline)\n", suite.c_str());
+    }
+  }
+
+  for (const bench::MetricDelta& d : total.deltas) {
+    std::printf("%s %s/%s %s: %g -> %g (%+.2f%%)\n",
+                d.regression ? "REGRESSION" : "delta     ", d.suite.c_str(),
+                d.key.c_str(), d.metric.c_str(), d.baseline, d.current,
+                d.rel_delta * 100.0);
+  }
+
+  const bool regressed = total.has_regression() || missing_suites > 0;
+  std::printf("\n%d record pairs compared, %d missing, %d added, "
+              "%zu metric deltas; threshold %.1f%% -> %s\n",
+              total.matched, total.missing, total.added, total.deltas.size(),
+              threshold * 100.0, regressed ? "REGRESSIONS FOUND" : "clean");
+  return regressed ? 1 : 0;
+}

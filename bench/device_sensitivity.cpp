@@ -12,8 +12,9 @@
 using namespace nestpar;
 using nested::LoopTemplate;
 
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv, "device_sensitivity [--scale=0.05]");
+namespace {
+
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const double scale = args.get_double("scale", 0.05);
 
   bench::banner(
@@ -28,12 +29,13 @@ int main(int argc, char** argv) {
 
   struct Preset {
     const char* name;
+    const char* slug;
     simt::DeviceSpec spec;
   };
   const Preset presets[] = {
-      {"K20 (paper)", simt::DeviceSpec::k20()},
-      {"K40-like", simt::DeviceSpec::k40()},
-      {"2-SM Kepler", simt::DeviceSpec::small_kepler()},
+      {"K20 (paper)", "k20", simt::DeviceSpec::k20()},
+      {"K40-like", "k40", simt::DeviceSpec::k40()},
+      {"2-SM Kepler", "small-kepler", simt::DeviceSpec::small_kepler()},
   };
 
   bench::table_header({"device", "base-us", "dual-queue", "dbuf-shared",
@@ -44,7 +46,14 @@ int main(int argc, char** argv) {
     {
       simt::Session session = dev.session();
       apps::run_spmv(dev, mat, x, LoopTemplate::kBaseline);
-      base = session.report().total_us;
+      const simt::RunReport rep = session.report();
+      base = rep.total_us;
+      bench::Measurement m = bench::Measurement::from_report(rep);
+      m.tmpl = std::string(preset.slug) + "/baseline";
+      m.dataset = "citeseer";
+      m.scale = scale;
+      m.params["lb_threshold"] = 32;
+      out.measurements.push_back(std::move(m));
     }
     std::vector<std::string> row{preset.name, bench::fmt(base, 0)};
     for (const LoopTemplate t :
@@ -54,9 +63,32 @@ int main(int argc, char** argv) {
       nested::LoopParams p;
       p.lb_threshold = 32;
       apps::run_spmv(dev, mat, x, t, p);
-      row.push_back(bench::fmt(base / session.report().total_us) + "x");
+      const simt::RunReport rep = session.report();
+      row.push_back(bench::fmt(base / rep.total_us) + "x");
+      bench::Measurement m = bench::Measurement::from_report(rep);
+      m.tmpl = std::string(preset.slug) + "/" + std::string(nested::name(t));
+      m.dataset = "citeseer";
+      m.scale = scale;
+      m.params["lb_threshold"] = 32;
+      m.extra["speedup"] = base / rep.total_us;
+      out.measurements.push_back(std::move(m));
     }
     bench::table_row(row);
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--scale=0.01"};
+
+const bench::Registration reg{{
+    .name = "device_sensitivity",
+    .figure = "— (ablation)",
+    .description = "SpMV template ranking across K20/K40/small-Kepler presets",
+    .usage = "device_sensitivity [--scale=0.05] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("device_sensitivity")

@@ -40,7 +40,19 @@ void emit_row(const char* tmpl, double rate, const simt::RunReport& rep,
       results_match ? "true" : "false");
 }
 
-int sweep_dpar_opt(double scale, std::uint64_t seed) {
+void record(bench::SuiteResult& out, const char* tmpl, const char* dataset,
+            double scale, double rate, bool results_match,
+            const simt::RunReport& rep) {
+  bench::Measurement m = bench::Measurement::from_report(rep);
+  m.tmpl = tmpl;
+  m.dataset = dataset;
+  m.scale = scale;
+  m.params["fault_rate"] = rate;
+  m.extra["results_match"] = results_match ? 1.0 : 0.0;
+  out.measurements.push_back(std::move(m));
+}
+
+int sweep_dpar_opt(double scale, std::uint64_t seed, bench::SuiteResult& out) {
   const graph::Csr g = graph::generate_power_law(
       static_cast<std::uint32_t>(20000 * scale), 1, 800, 40.0, 42, true);
   const matrix::CsrMatrix a = matrix::CsrMatrix::from_graph(g);
@@ -59,14 +71,16 @@ int sweep_dpar_opt(double scale, std::uint64_t seed) {
     const std::vector<float> y =
         apps::run_spmv(dev, a, x, nested::LoopTemplate::kDparOpt, p);
     if (rate == 0.0) clean = y;
-    emit_row("dpar-opt", rate, session.report(), y == clean);
+    const simt::RunReport rep = session.report();
+    emit_row("dpar-opt", rate, rep, y == clean);
+    record(out, "dpar-opt", "power-law", scale, rate, y == clean, rep);
     if (y != clean) return 1;
   }
   dev.set_fault_config(simt::FaultConfig{});
   return 0;
 }
 
-int sweep_rec_hier(double scale, std::uint64_t seed) {
+int sweep_rec_hier(double scale, std::uint64_t seed, bench::SuiteResult& out) {
   const tree::Tree tr = tree::generate_tree(
       {.depth = 4, .outdegree = static_cast<int>(16 * std::sqrt(scale)) + 4,
        .sparsity = 1},
@@ -85,19 +99,15 @@ int sweep_rec_hier(double scale, std::uint64_t seed) {
                                 dev.exec_policy());
     if (rate == 0.0) clean = run.values;
     emit_row("rec-hier", rate, run.report, run.values == clean);
+    record(out, "rec-hier", "tree", scale, rate, run.values == clean,
+           run.report);
     if (run.values != clean) return 1;
   }
   dev.set_fault_config(simt::FaultConfig{});
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv,
-                         "usage: fault_degradation [--scale=F] [--seed=N]\n"
-                         "  --scale=F   workload scale (default 0.25)\n"
-                         "  --seed=N    fault-injection seed (default 7)");
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const double scale = args.get_double("scale", 0.25);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
@@ -106,10 +116,29 @@ int main(int argc, char** argv) {
                 "rise smoothly with the injected fault rate while results "
                 "stay bit-identical to the fault-free run.");
 
-  const int rc = sweep_dpar_opt(scale, seed) + sweep_rec_hier(scale, seed);
+  const int rc =
+      sweep_dpar_opt(scale, seed, out) + sweep_rec_hier(scale, seed, out);
   if (rc != 0) {
     std::fprintf(stderr, "FAIL: degraded run diverged from fault-free run\n");
     return 1;
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--scale=0.02"};
+
+const bench::Registration reg{{
+    .name = "fault_degradation",
+    .figure = "— (robustness extension)",
+    .description = "injected-fault degradation sweep over dpar-opt/rec-hier",
+    .usage = "usage: fault_degradation [--scale=F] [--seed=N] [--out=DIR]\n"
+             "  --scale=F   workload scale (default 0.25)\n"
+             "  --seed=N    fault-injection seed (default 7)\n"
+             "  --out=DIR   write BENCH_fault_degradation.json to DIR",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("fault_degradation")

@@ -13,7 +13,15 @@ using namespace nestpar;
 
 namespace {
 
-double run_ms(int algo, std::vector<int> keys) {
+constexpr const char* kAlgoNames[] = {"mergesort", "advanced-quicksort",
+                                      "simple-quicksort"};
+
+struct SortRun {
+  double ms = 0.0;
+  simt::RunReport report;
+};
+
+SortRun run_ms(int algo, std::vector<int> keys) {
   simt::Device dev;
   simt::Session session = dev.session();
   switch (algo) {
@@ -27,13 +35,13 @@ double run_ms(int algo, std::vector<int> keys) {
       std::exit(1);
     }
   }
-  return session.report().total_us / 1000.0;
+  SortRun r;
+  r.report = session.report();
+  r.ms = r.report.total_us / 1000.0;
+  return r;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv, "fig2_sort [--max-size=2000000] [--all-sizes]");
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const auto max_size =
       static_cast<std::size_t>(args.get_int("max-size", 2000000));
 
@@ -55,9 +63,32 @@ int main(int argc, char** argv) {
   for (const std::size_t n : sizes) {
     if (n > max_size) continue;
     const auto keys = sort::make_keys(n, 20150707);
-    bench::table_row({std::to_string(n), bench::fmt(run_ms(0, keys)),
-                      bench::fmt(run_ms(1, keys)),
-                      bench::fmt(run_ms(2, keys))});
+    std::vector<std::string> row{std::to_string(n)};
+    for (int algo = 0; algo < 3; ++algo) {
+      const SortRun r = run_ms(algo, keys);
+      row.push_back(bench::fmt(r.ms));
+      bench::Measurement m = bench::Measurement::from_report(r.report);
+      m.tmpl = kAlgoNames[algo];
+      m.dataset = "random-int";
+      m.scale = static_cast<double>(n);
+      out.measurements.push_back(std::move(m));
+    }
+    bench::table_row(row);
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--max-size=300000"};
+
+const bench::Registration reg{{
+    .name = "fig2_sort",
+    .figure = "Figure 2",
+    .description = "sort study: CDP quicksorts vs flat mergesort",
+    .usage = "fig2_sort [--max-size=2000000] [--all-sizes] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("fig2_sort")

@@ -13,8 +13,9 @@
 using namespace nestpar;
 using nested::LoopTemplate;
 
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv, "fig4_spmv_blocksize [--scale=0.1]");
+namespace {
+
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const double scale = args.get_double("scale", 0.1);
 
   bench::banner(
@@ -54,10 +55,34 @@ int main(int argc, char** argv) {
         p.lb_threshold = lb;
         p.block_block_size = bs;
         apps::run_spmv(dev, mat, x, t, p);
-        row.push_back(bench::fmt(base_us / session.report().total_us) + "x");
+        const simt::RunReport rep = session.report();
+        row.push_back(bench::fmt(base_us / rep.total_us) + "x");
+        bench::Measurement m = bench::Measurement::from_report(rep);
+        m.tmpl = std::string(nested::name(t));
+        m.dataset = "citeseer";
+        m.scale = scale;
+        m.params["lb_threshold"] = lb;
+        m.params["block_size"] = bs;
+        m.extra["speedup"] = base_us / rep.total_us;
+        out.measurements.push_back(std::move(m));
       }
       bench::table_row(row);
     }
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--scale=0.01"};
+
+const bench::Registration reg{{
+    .name = "fig4_spmv_blocksize",
+    .figure = "Figure 4",
+    .description = "SpMV speedup vs block size of the block-mapped phase",
+    .usage = "fig4_spmv_blocksize [--scale=0.1] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("fig4_spmv_blocksize")

@@ -57,13 +57,7 @@ SweepResult run_sweep(simt::Device& dev, const graph::Csr& g,
   return r;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(
-      argc, argv,
-      "fig5_sssp [--scale=0.1] [--skip-dpar-naive] [--threads=N] "
-      "[--compare-engines]");
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const double scale = args.get_double("scale", 0.1);
   const bool skip_naive = args.get_flag("skip-dpar-naive");
   const int threads = static_cast<int>(args.get_int("threads", 0));
@@ -88,7 +82,13 @@ int main(int argc, char** argv) {
   {
     simt::Session session = dev.session(policy);
     apps::run_sssp(dev, g, 0, LoopTemplate::kBaseline);
-    base_us = session.report().total_us;
+    const simt::RunReport rep = session.report();
+    base_us = rep.total_us;
+    bench::Measurement m = bench::Measurement::from_report(rep);
+    m.tmpl = std::string(nested::name(LoopTemplate::kBaseline));
+    m.dataset = "citeseer";
+    m.scale = scale;
+    out.measurements.push_back(std::move(m));
   }
   std::printf("baseline (thread-mapped, no LB): %.0f us (model time)\n\n",
               base_us);
@@ -114,6 +114,13 @@ int main(int argc, char** argv) {
                         bench::fmt(base_us / rep.total_us) + "x",
                         std::to_string(rep.device_grids) +
                             bench::robustness_note(rep)});
+      bench::Measurement m = bench::Measurement::from_report(rep);
+      m.tmpl = std::string(nested::name(t));
+      m.dataset = "citeseer";
+      m.scale = scale;
+      m.params["lb_threshold"] = lb;
+      m.extra["speedup"] = base_us / rep.total_us;
+      out.measurements.push_back(std::move(m));
     }
   }
 
@@ -136,3 +143,19 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--scale=0.01"};
+
+const bench::Registration reg{{
+    .name = "fig5_sssp",
+    .figure = "Figure 5",
+    .description = "SSSP load-balancing template sweep vs lbTHRES",
+    .usage = "fig5_sssp [--scale=0.1] [--skip-dpar-naive] [--threads=N] "
+             "[--compare-engines] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("fig5_sssp")

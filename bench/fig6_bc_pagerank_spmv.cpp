@@ -20,11 +20,14 @@ using nested::LoopTemplate;
 
 namespace {
 
-void sweep(const char* title,
-           const std::function<double(LoopTemplate, const LoopParams&)>& run) {
+void sweep(
+    const char* title, const char* app, const char* dataset, double scale,
+    bench::SuiteResult& out,
+    const std::function<simt::RunReport(LoopTemplate, const LoopParams&)>&
+        run) {
   std::printf("\n-- %s --\n", title);
   LoopParams base;
-  const double base_us = run(LoopTemplate::kBaseline, base);
+  const double base_us = run(LoopTemplate::kBaseline, base).total_us;
   std::printf("baseline: %.0f us (model time)\n", base_us);
   bench::table_header({"lbTHRES", "dual-queue", "dbuf-shared", "dbuf-global",
                        "dpar-opt"});
@@ -35,17 +38,23 @@ void sweep(const char* title,
           LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt}) {
       LoopParams p;
       p.lb_threshold = lb;
-      row.push_back(bench::fmt(base_us / run(t, p)) + "x");
+      const simt::RunReport rep = run(t, p);
+      row.push_back(bench::fmt(base_us / rep.total_us) + "x");
+      bench::Measurement m = bench::Measurement::from_report(rep);
+      // The app coordinate lives in the template axis of the suite's JSON
+      // ("bc/dual-queue"), keeping (template, dataset, params) a unique key.
+      m.tmpl = std::string(app) + "/" + std::string(nested::name(t));
+      m.dataset = dataset;
+      m.scale = scale;
+      m.params["lb_threshold"] = lb;
+      m.extra["speedup"] = base_us / rep.total_us;
+      out.measurements.push_back(std::move(m));
     }
     bench::table_row(row);
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv,
-                         "fig6_bc_pagerank_spmv [--scale=0.1] [--sources=32]");
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const double scale = args.get_double("scale", 0.1);
   const auto sources = static_cast<std::uint32_t>(args.get_int("sources", 32));
 
@@ -60,27 +69,45 @@ int main(int argc, char** argv) {
   const auto mat = matrix::CsrMatrix::from_graph(cs);
   const auto x = matrix::make_dense_vector(mat.cols, 7);
 
-  sweep("BC (wiki-vote-like)", [&](LoopTemplate t, const LoopParams& p) {
-    simt::Device dev;
-    simt::Session session = dev.session();
-    apps::BcOptions opt;
-    opt.num_sources = sources;
-    apps::run_bc(dev, wv, t, p, opt);
-    return session.report().total_us;
-  });
+  sweep("BC (wiki-vote-like)", "bc", "wikivote", 1.0, out,
+        [&](LoopTemplate t, const LoopParams& p) {
+          simt::Device dev;
+          simt::Session session = dev.session();
+          apps::BcOptions opt;
+          opt.num_sources = sources;
+          apps::run_bc(dev, wv, t, p, opt);
+          return session.report();
+        });
 
-  sweep("PageRank (citeseer-like)", [&](LoopTemplate t, const LoopParams& p) {
-    simt::Device dev;
-    simt::Session session = dev.session();
-    apps::run_pagerank(dev, cs, t, p);
-    return session.report().total_us;
-  });
+  sweep("PageRank (citeseer-like)", "pagerank", "citeseer", scale, out,
+        [&](LoopTemplate t, const LoopParams& p) {
+          simt::Device dev;
+          simt::Session session = dev.session();
+          apps::run_pagerank(dev, cs, t, p);
+          return session.report();
+        });
 
-  sweep("SpMV (citeseer-like)", [&](LoopTemplate t, const LoopParams& p) {
-    simt::Device dev;
-    simt::Session session = dev.session();
-    apps::run_spmv(dev, mat, x, t, p);
-    return session.report().total_us;
-  });
+  sweep("SpMV (citeseer-like)", "spmv", "citeseer", scale, out,
+        [&](LoopTemplate t, const LoopParams& p) {
+          simt::Device dev;
+          simt::Session session = dev.session();
+          apps::run_spmv(dev, mat, x, t, p);
+          return session.report();
+        });
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--scale=0.01", "--sources=4"};
+
+const bench::Registration reg{{
+    .name = "fig6_bc_pagerank_spmv",
+    .figure = "Figure 6",
+    .description = "BC/PageRank/SpMV template speedups vs lbTHRES",
+    .usage = "fig6_bc_pagerank_spmv [--scale=0.1] [--sources=32] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("fig6_bc_pagerank_spmv")

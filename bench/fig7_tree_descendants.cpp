@@ -9,8 +9,25 @@
 // bench runs in seconds. --max-outdegree and --depth raise it.
 #include "tree_sweep.h"
 
-int main(int argc, char** argv) {
-  return nestpar::bench::tree_figure_main(
-      argc, argv, nestpar::rec::TreeAlgo::kDescendants, "Figure 7",
-      "fig7_tree_descendants [--depth=3] [--max-outdegree=128]");
+namespace {
+
+int run(const nestpar::bench::Args& args, nestpar::bench::SuiteResult& out) {
+  return nestpar::bench::tree_figure_run(
+      args, out, nestpar::rec::TreeAlgo::kDescendants, "Figure 7");
 }
+
+constexpr const char* kSmokeFlags[] = {"--depth=2", "--max-outdegree=16"};
+
+const nestpar::bench::Registration reg{{
+    .name = "fig7_tree_descendants",
+    .figure = "Figure 7",
+    .description = "tree descendants: flat/rec-naive/rec-hier vs serial CPU",
+    .usage = "fig7_tree_descendants [--depth=3] [--max-outdegree=128] "
+             "[--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("fig7_tree_descendants")

@@ -2,8 +2,24 @@
 // Figure 7, for the max-reduction traversal (see tree_sweep.h).
 #include "tree_sweep.h"
 
-int main(int argc, char** argv) {
-  return nestpar::bench::tree_figure_main(
-      argc, argv, nestpar::rec::TreeAlgo::kHeights, "Figure 8",
-      "fig8_tree_heights [--depth=3] [--max-outdegree=128]");
+namespace {
+
+int run(const nestpar::bench::Args& args, nestpar::bench::SuiteResult& out) {
+  return nestpar::bench::tree_figure_run(
+      args, out, nestpar::rec::TreeAlgo::kHeights, "Figure 8");
 }
+
+constexpr const char* kSmokeFlags[] = {"--depth=2", "--max-outdegree=16"};
+
+const nestpar::bench::Registration reg{{
+    .name = "fig8_tree_heights",
+    .figure = "Figure 8",
+    .description = "tree heights: flat/rec-naive/rec-hier vs serial CPU",
+    .usage = "fig8_tree_heights [--depth=3] [--max-outdegree=128] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("fig8_tree_heights")

@@ -18,9 +18,9 @@
 using namespace nestpar;
 using rec::RecTemplate;
 
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv,
-                         "fig9_recursive_bfs [--nodes=12500] [--max-range=256]");
+namespace {
+
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const auto nodes = static_cast<std::uint32_t>(args.get_int("nodes", 12500));
   const auto max_range = static_cast<std::uint32_t>(
       args.get_int("max-range", 256));
@@ -44,19 +44,35 @@ int main(int argc, char** argv) {
     apps::bfs_serial_iterative(g, src, &cpu_iter);
     const double ref_us = cpu_rec.us();
 
+    const auto record = [&](const std::string& tmpl, int streams,
+                            const simt::RunReport& rep) {
+      bench::Measurement m = bench::Measurement::from_report(rep);
+      m.tmpl = tmpl;
+      m.dataset = "uniform-random";
+      m.scale = static_cast<double>(nodes);
+      m.params["outdeg_range"] = range;
+      m.params["streams_per_block"] = streams;
+      m.extra["cpu_slowdown"] = rep.total_us / ref_us;  // cross-model ratio
+      out.measurements.push_back(std::move(m));
+    };
+
     const auto slowdown = [&](RecTemplate t, int streams) {
       simt::Device dev;
       simt::Session session = dev.session();
       apps::BfsRecOptions opt;
       opt.streams_per_block = streams;
       apps::bfs_recursive_gpu(dev, g, src, t, opt);
-      return session.report().total_us / ref_us;
+      const simt::RunReport rep = session.report();
+      record(std::string(rec::name(t)), streams, rep);
+      return rep.total_us / ref_us;
     };
 
     simt::Device dev;
     simt::Session session = dev.session();
     apps::bfs_flat_gpu(dev, g, src);
-    const double flat_slowdown = session.report().total_us / ref_us;
+    const simt::RunReport flat_rep = session.report();
+    const double flat_slowdown = flat_rep.total_us / ref_us;
+    record("flat", 1, flat_rep);
 
     bench::table_row({"[0," + std::to_string(range) + "]",
                       std::to_string(g.num_edges()),
@@ -69,3 +85,18 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--nodes=1000", "--max-range=32"};
+
+const bench::Registration reg{{
+    .name = "fig9_recursive_bfs",
+    .figure = "Figure 9",
+    .description = "recursive BFS slowdown of GPU variants over serial CPU",
+    .usage = "fig9_recursive_bfs [--nodes=12500] [--max-range=256] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("fig9_recursive_bfs")

@@ -15,8 +15,9 @@
 using namespace nestpar;
 using nested::LoopTemplate;
 
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv, "related_flattening [--scale=0.1]");
+namespace {
+
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const double scale = args.get_double("scale", 0.1);
 
   bench::banner(
@@ -46,6 +47,13 @@ int main(int argc, char** argv) {
                       bench::fmt_pct(
                           rep.aggregate.warp_execution_efficiency()),
                       std::to_string(rep.grids)});
+    bench::Measurement m = bench::Measurement::from_report(rep);
+    m.tmpl = name;
+    m.dataset = "citeseer";
+    m.scale = scale;
+    m.extra["speedup"] = base_us / rep.total_us;
+    m.extra["kernels"] = static_cast<double>(rep.grids);
+    out.measurements.push_back(std::move(m));
   };
 
   report_row("baseline", [&] {
@@ -72,3 +80,18 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--scale=0.01"};
+
+const bench::Registration reg{{
+    .name = "related_flattening",
+    .figure = "§IV related work",
+    .description = "flattening vs the paper's templates on SpMV",
+    .usage = "related_flattening [--scale=0.1] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("related_flattening")

@@ -1,0 +1,526 @@
+#include "results.h"
+
+#include <cctype>
+#include "src/simt/device.h"
+#include <charconv>
+#include <cstring>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <variant>
+
+namespace nestpar::bench {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stable number formatting: shortest round-trip form via std::to_chars, so
+// the same measurements always serialize to the same bytes.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_num(std::uint64_t v) { return std::to_string(v); }
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void append_num_map(std::string& out, const std::map<std::string, double>& m) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_str(k) + ": " + json_num(v);
+  }
+  out += '}';
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser. Only what our own emitter
+// produces is required, but the grammar is complete enough for hand-edited
+// baseline files (numbers, strings with escapes, bools, null, arrays,
+// objects, arbitrary whitespace).
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& string() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue{parse_string()};
+    if (consume_literal("true")) return JsonValue{true};
+    if (consume_literal("false")) return JsonValue{false};
+    if (consume_literal("null")) return JsonValue{nullptr};
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue{std::move(obj)};
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue{std::move(arr)};
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            const auto res = std::from_chars(
+                text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+            if (res.ptr != text_.data() + pos_ + 4) fail("bad \\u escape");
+            pos_ += 4;
+            // Our emitter only escapes control chars; decode BMP code
+            // points to UTF-8 for completeness.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_ ||
+        start == pos_) {
+      fail("malformed number");
+    }
+    return JsonValue{value};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Field lookups with typed errors naming what is missing.
+const JsonValue& require(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw std::runtime_error("result JSON missing required field '" + key +
+                             "'");
+  }
+  return it->second;
+}
+
+double require_num(const JsonObject& obj, const std::string& key) {
+  const JsonValue& v = require(obj, key);
+  if (!v.is_number()) {
+    throw std::runtime_error("result JSON field '" + key +
+                             "' is not a number");
+  }
+  return v.number();
+}
+
+std::string require_str(const JsonObject& obj, const std::string& key) {
+  const JsonValue& v = require(obj, key);
+  if (!v.is_string()) {
+    throw std::runtime_error("result JSON field '" + key +
+                             "' is not a string");
+  }
+  return v.string();
+}
+
+std::map<std::string, double> num_map(const JsonObject& obj,
+                                      const std::string& key) {
+  std::map<std::string, double> out;
+  const auto it = obj.find(key);
+  if (it == obj.end()) return out;
+  if (!it->second.is_object()) {
+    throw std::runtime_error("result JSON field '" + key +
+                             "' is not an object");
+  }
+  for (const auto& [k, v] : it->second.object()) {
+    if (!v.is_number()) {
+      throw std::runtime_error("result JSON field '" + key + "." + k +
+                               "' is not a number");
+    }
+    out[k] = v.number();
+  }
+  return out;
+}
+
+std::uint64_t opt_u64(const std::map<std::string, double>& m,
+                      const std::string& key) {
+  const auto it = m.find(key);
+  return it == m.end() ? 0 : static_cast<std::uint64_t>(it->second);
+}
+
+}  // namespace
+
+Measurement Measurement::from_report(const simt::RunReport& rep) {
+  Measurement m;
+  m.cycles = rep.total_cycles;
+  m.warp_efficiency = rep.aggregate.warp_execution_efficiency();
+  m.host_launches = rep.aggregate.host_launches;
+  m.device_launches = rep.aggregate.device_launches;
+  m.robustness = rep.robustness;
+  return m;
+}
+
+std::string Measurement::key() const {
+  std::string k = tmpl + "|" + dataset + "|" + json_num(scale) + "|";
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (!first) k += ',';
+    first = false;
+    k += name + "=" + json_num(value);
+  }
+  return k;
+}
+
+std::string to_json(const SuiteResult& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": " + std::to_string(kResultSchemaVersion) +
+         ",\n";
+  out += "  \"generator\": \"nestpar_bench\",\n";
+  out += "  \"suite\": " + json_str(result.suite) + ",\n";
+  out += "  \"figure\": " + json_str(result.figure) + ",\n";
+  out += "  \"measurements\": [";
+  for (std::size_t i = 0; i < result.measurements.size(); ++i) {
+    const Measurement& m = result.measurements[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    out += "\"template\": " + json_str(m.tmpl) + ", ";
+    out += "\"dataset\": " + json_str(m.dataset) + ", ";
+    out += "\"scale\": " + json_num(m.scale) + ",\n     ";
+    out += "\"params\": ";
+    append_num_map(out, m.params);
+    out += ",\n     ";
+    out += "\"cycles\": " + json_num(m.cycles) + ", ";
+    out += "\"warp_efficiency\": " + json_num(m.warp_efficiency) + ", ";
+    out += "\"host_launches\": " + json_num(m.host_launches) + ", ";
+    out += "\"device_launches\": " + json_num(m.device_launches) + ",\n     ";
+    out += "\"robustness\": " + m.robustness.to_json() + ",\n     ";
+    out += "\"extra\": ";
+    append_num_map(out, m.extra);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+SuiteResult parse_result_json(const std::string& text) {
+  const JsonValue doc = JsonParser(text).parse();
+  if (!doc.is_object()) {
+    throw std::runtime_error("result JSON root is not an object");
+  }
+  const JsonObject& root = doc.object();
+  const int version = static_cast<int>(require_num(root, "schema_version"));
+  if (version != kResultSchemaVersion) {
+    throw std::runtime_error(
+        "result JSON schema_version " + std::to_string(version) +
+        " does not match supported version " +
+        std::to_string(kResultSchemaVersion) +
+        " (regenerate the file with this build's nestpar_bench)");
+  }
+  SuiteResult result;
+  result.suite = require_str(root, "suite");
+  result.figure = require_str(root, "figure");
+  const JsonValue& arr = require(root, "measurements");
+  if (!arr.is_array()) {
+    throw std::runtime_error("result JSON 'measurements' is not an array");
+  }
+  for (const JsonValue& item : arr.array()) {
+    if (!item.is_object()) {
+      throw std::runtime_error("result JSON measurement is not an object");
+    }
+    const JsonObject& rec = item.object();
+    Measurement m;
+    m.tmpl = require_str(rec, "template");
+    m.dataset = require_str(rec, "dataset");
+    m.scale = require_num(rec, "scale");
+    m.params = num_map(rec, "params");
+    m.cycles = require_num(rec, "cycles");
+    m.warp_efficiency = require_num(rec, "warp_efficiency");
+    m.host_launches =
+        static_cast<std::uint64_t>(require_num(rec, "host_launches"));
+    m.device_launches =
+        static_cast<std::uint64_t>(require_num(rec, "device_launches"));
+    const auto rb = num_map(rec, "robustness");
+    m.robustness.launches_attempted = opt_u64(rb, "launches_attempted");
+    m.robustness.refused_pool = opt_u64(rb, "refused_pool");
+    m.robustness.refused_depth = opt_u64(rb, "refused_depth");
+    m.robustness.refused_heap = opt_u64(rb, "refused_heap");
+    m.robustness.faults_injected = opt_u64(rb, "faults_injected");
+    m.robustness.retries = opt_u64(rb, "retries");
+    m.robustness.degraded = opt_u64(rb, "degraded");
+    m.extra = num_map(rec, "extra");
+    result.measurements.push_back(std::move(m));
+  }
+  return result;
+}
+
+std::string write_result_file(const SuiteResult& result,
+                              const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create result directory '" + dir +
+                             "': " + ec.message());
+  }
+  const std::string path = dir + "/BENCH_" + result.suite + ".json";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  f << to_json(result);
+  if (!f) throw std::runtime_error("write to '" + path + "' failed");
+  return path;
+}
+
+SuiteResult load_result_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open result file '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  try {
+    return parse_result_json(buf.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+bool CompareReport::has_regression() const {
+  if (missing > 0) return true;
+  for (const MetricDelta& d : deltas) {
+    if (d.regression) return true;
+  }
+  return false;
+}
+
+namespace {
+
+double rel_delta(double baseline, double current) {
+  const double denom = std::max(std::abs(baseline), 1e-12);
+  return (current - baseline) / denom;
+}
+
+/// Append a delta row when the metric moved; `bad_direction` is +1 when an
+/// increase is a regression (cycles, launches, faults) and -1 when a
+/// decrease is (warp efficiency).
+void diff_metric(CompareReport& report, const std::string& suite,
+                 const std::string& key, const std::string& metric,
+                 double baseline, double current, int bad_direction,
+                 double threshold) {
+  if (baseline == current) return;
+  MetricDelta d;
+  d.suite = suite;
+  d.key = key;
+  d.metric = metric;
+  d.baseline = baseline;
+  d.current = current;
+  d.rel_delta = rel_delta(baseline, current);
+  d.regression = d.rel_delta * bad_direction > threshold;
+  report.deltas.push_back(std::move(d));
+}
+
+}  // namespace
+
+CompareReport compare_results(const SuiteResult& baseline,
+                              const SuiteResult& current,
+                              const CompareOptions& opt) {
+  CompareReport report;
+  std::map<std::string, const Measurement*> current_by_key;
+  for (const Measurement& m : current.measurements) {
+    current_by_key[m.key()] = &m;
+  }
+  std::map<std::string, bool> baseline_keys;
+  for (const Measurement& b : baseline.measurements) {
+    const std::string key = b.key();
+    baseline_keys[key] = true;
+    const auto it = current_by_key.find(key);
+    if (it == current_by_key.end()) {
+      ++report.missing;
+      continue;
+    }
+    ++report.matched;
+    const Measurement& c = *it->second;
+    diff_metric(report, baseline.suite, key, "cycles", b.cycles, c.cycles,
+                +1, opt.threshold);
+    diff_metric(report, baseline.suite, key, "warp_efficiency",
+                b.warp_efficiency, c.warp_efficiency, -1, opt.threshold);
+    diff_metric(report, baseline.suite, key, "device_launches",
+                static_cast<double>(b.device_launches),
+                static_cast<double>(c.device_launches), +1, opt.threshold);
+    diff_metric(report, baseline.suite, key, "host_launches",
+                static_cast<double>(b.host_launches),
+                static_cast<double>(c.host_launches), +1, opt.threshold);
+    diff_metric(report, baseline.suite, key, "degraded",
+                static_cast<double>(b.robustness.degraded),
+                static_cast<double>(c.robustness.degraded), +1,
+                opt.threshold);
+    diff_metric(report, baseline.suite, key, "refused",
+                static_cast<double>(b.robustness.refused_total()),
+                static_cast<double>(c.robustness.refused_total()), +1,
+                opt.threshold);
+  }
+  for (const Measurement& c : current.measurements) {
+    if (!baseline_keys.count(c.key())) ++report.added;
+  }
+  return report;
+}
+
+void merge_compare_reports(CompareReport& a, const CompareReport& b) {
+  a.deltas.insert(a.deltas.end(), b.deltas.begin(), b.deltas.end());
+  a.matched += b.matched;
+  a.missing += b.missing;
+  a.added += b.added;
+}
+
+}  // namespace nestpar::bench

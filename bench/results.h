@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/simt/metrics.h"
+
+namespace nestpar::simt {
+struct RunReport;  // defined in src/simt/device.h
+}
+
+namespace nestpar::bench {
+
+/// Version of the BENCH_<suite>.json schema. Bump on any incompatible layout
+/// change; `parse_result_json` rejects files written under a different
+/// version so a stale baseline can never be silently compared against a new
+/// record shape.
+inline constexpr int kResultSchemaVersion = 1;
+
+/// One typed benchmark record: a single (template, dataset, scale, params)
+/// point of an experiment, with the deterministic model-side metrics pulled
+/// from its `simt::RunReport`.
+///
+/// Two kinds of fields coexist:
+///  - *Deterministic* fields (`cycles`, `warp_efficiency`, launch counts,
+///    `robustness`): pure functions of the workload and the device model,
+///    bit-stable across runs, engines, and build types. The comparator gates
+///    regressions on these.
+///  - *Informational* extras (`extra`, e.g. wall-clock-derived CPU speedups):
+///    carried through the JSON for plotting but never compared, because wall
+///    time is not reproducible.
+///
+/// Typical producer code inside a suite run function:
+/// ```cpp
+///   simt::Session session = dev.session();
+///   apps::run_sssp(dev, g, 0, t, p);
+///   Measurement m = Measurement::from_report(session.report());
+///   m.tmpl = std::string(nested::name(t));
+///   m.dataset = "citeseer";
+///   m.scale = scale;
+///   m.params["lb_threshold"] = lb;
+///   out.measurements.push_back(std::move(m));
+/// ```
+struct Measurement {
+  std::string tmpl;     ///< Template/variant name ("dual-queue", "flat", ...).
+  std::string dataset;  ///< Input name ("citeseer", "tree", "random", ...).
+  double scale = 1.0;   ///< Dataset scale factor (1.0 = published size).
+  /// Extra identity coordinates (lb_threshold, block_size, outdegree, ...).
+  /// Part of the match key: records with different params never compare.
+  std::map<std::string, double> params;
+
+  // Deterministic model-side metrics (compared against baselines).
+  double cycles = 0.0;            ///< Modeled cycles of the whole run.
+  double warp_efficiency = 0.0;   ///< Aggregate warp execution efficiency.
+  std::uint64_t host_launches = 0;
+  std::uint64_t device_launches = 0;
+  simt::RobustnessCounters robustness;
+
+  /// Informational metrics (serialized, never compared): speedups over
+  /// wall-clock CPU references, paper-reference values, etc.
+  std::map<std::string, double> extra;
+
+  /// Seed the deterministic fields from a finished run's report.
+  static Measurement from_report(const simt::RunReport& rep);
+
+  /// Identity within a suite: "tmpl|dataset|scale|k=v,k=v". The comparator
+  /// matches baseline and current records by (suite, key()).
+  std::string key() const;
+};
+
+/// All measurements one registered suite produced in one run, written as one
+/// `BENCH_<suite>.json` file.
+struct SuiteResult {
+  std::string suite;   ///< Registry name, also the JSON file stem.
+  std::string figure;  ///< Paper anchor ("Figure 5", "Table I", "—").
+  std::vector<Measurement> measurements;
+};
+
+/// Serialize to the schema-versioned JSON document (stable field order and
+/// number formatting, so identical results are byte-identical files).
+std::string to_json(const SuiteResult& result);
+
+/// Parse a document produced by `to_json`. Throws std::runtime_error on
+/// malformed JSON, missing required fields, or a schema-version mismatch.
+SuiteResult parse_result_json(const std::string& text);
+
+/// Write `to_json(result)` to `<dir>/BENCH_<suite>.json`, creating `dir` if
+/// needed. Returns the path written. Throws std::runtime_error on I/O error.
+std::string write_result_file(const SuiteResult& result,
+                              const std::string& dir);
+
+/// Read and parse one result file. Throws std::runtime_error on I/O or
+/// parse/schema failure.
+SuiteResult load_result_file(const std::string& path);
+
+/// Comparator configuration: `threshold` is the relative delta above which a
+/// deterministic metric counts as a regression (0.05 = 5%).
+struct CompareOptions {
+  double threshold = 0.05;
+};
+
+/// One metric delta between a matched baseline/current record pair.
+struct MetricDelta {
+  std::string suite;
+  std::string key;       ///< Measurement::key() of the matched pair.
+  std::string metric;    ///< "cycles", "warp_efficiency", ...
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_delta = 0.0;  ///< (current - baseline) / max(|baseline|, eps).
+  bool regression = false;
+};
+
+/// Result of comparing one suite (or a whole directory of suites).
+struct CompareReport {
+  std::vector<MetricDelta> deltas;  ///< Only non-zero deltas are recorded.
+  int matched = 0;      ///< Record pairs present on both sides.
+  int missing = 0;      ///< Baseline records absent from current (regression).
+  int added = 0;        ///< Current records absent from baseline (fine).
+  bool has_regression() const;
+};
+
+/// Match records by Measurement::key() and diff the deterministic metrics.
+/// Cycles going *up*, warp efficiency going *down*, device launches going
+/// *up*, or new fault-model activity beyond `threshold` count as regressions;
+/// improvements and informational extras are reported as plain deltas.
+CompareReport compare_results(const SuiteResult& baseline,
+                              const SuiteResult& current,
+                              const CompareOptions& opt);
+
+/// Merge `b` into `a` (summing match counts and concatenating deltas).
+void merge_compare_reports(CompareReport& a, const CompareReport& b);
+
+}  // namespace nestpar::bench

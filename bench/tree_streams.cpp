@@ -16,9 +16,9 @@ using namespace nestpar;
 using rec::RecTemplate;
 using rec::TreeAlgo;
 
-int main(int argc, char** argv) {
-  const bench::Args args(argc, argv,
-                         "tree_streams [--depth=3] [--max-outdegree=64]");
+namespace {
+
+int run(const bench::Args& args, bench::SuiteResult& out) {
   const int depth = static_cast<int>(args.get_int("depth", 3));
   const int max_out = static_cast<int>(args.get_int("max-outdegree", 64));
 
@@ -33,21 +33,43 @@ int main(int argc, char** argv) {
     const tree::Tree tr =
         tree::generate_tree({.depth = depth, .outdegree = d, .sparsity = 0},
                             20150707);
-    const auto run = [&](RecTemplate t, int streams) {
+    const auto run_one = [&](RecTemplate t, int streams) {
       simt::Device dev;
       rec::RecOptions opt;
       opt.streams_per_block = streams;
-      return rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants, t, opt,
-                                     dev.exec_policy())
-          .report.total_us;
+      const rec::TreeRunResult r = rec::run_tree_traversal(
+          dev, tr, TreeAlgo::kDescendants, t, opt, dev.exec_policy());
+      bench::Measurement m = bench::Measurement::from_report(r.report);
+      m.tmpl = std::string(rec::name(t));
+      m.dataset = "tree";
+      m.params["depth"] = depth;
+      m.params["outdegree"] = d;
+      m.params["streams_per_block"] = streams;
+      out.measurements.push_back(std::move(m));
+      return r.report.total_us;
     };
-    const double n1 = run(RecTemplate::kRecNaive, 1);
-    const double n2 = run(RecTemplate::kRecNaive, 2);
-    const double h1 = run(RecTemplate::kRecHier, 1);
-    const double h2 = run(RecTemplate::kRecHier, 2);
+    const double n1 = run_one(RecTemplate::kRecNaive, 1);
+    const double n2 = run_one(RecTemplate::kRecNaive, 2);
+    const double h1 = run_one(RecTemplate::kRecHier, 1);
+    const double h2 = run_one(RecTemplate::kRecHier, 2);
     bench::table_row({std::to_string(d), bench::fmt(n1, 0), bench::fmt(n2, 0),
                       bench::fmt(n1 / n2) + "x", bench::fmt(h1, 0),
                       bench::fmt(h2, 0), bench::fmt(h1 / h2) + "x"});
   }
   return 0;
 }
+
+constexpr const char* kSmokeFlags[] = {"--depth=2", "--max-outdegree=16"};
+
+const bench::Registration reg{{
+    .name = "tree_streams",
+    .figure = "§III.C streams",
+    .description = "per-block extra streams on recursive tree traversal",
+    .usage = "tree_streams [--depth=3] [--max-outdegree=64] [--out=DIR]",
+    .smoke_flags = kSmokeFlags,
+    .run = &run,
+}};
+
+}  // namespace
+
+NESTPAR_BENCH_MAIN("tree_streams")

@@ -15,7 +15,8 @@ namespace nestpar::bench {
 
 inline void tree_sweep(rec::TreeAlgo algo,
                        const std::vector<tree::TreeParams>& shapes,
-                       const char* label, const char* param_of) {
+                       const char* label, const char* param_of,
+                       SuiteResult& out) {
   std::printf("\n-- %s --\n", label);
   table_header({param_of, "nodes", "flat", "rec-naive", "rec-hier",
                 "autoropes", "flat-warp", "hier-warp", "flat-atomics",
@@ -50,6 +51,15 @@ inline void tree_sweep(rec::TreeAlgo algo,
       } else {
         naive_kcalls = rep.device_grids;
       }
+      Measurement m = Measurement::from_report(rep);
+      m.tmpl = std::string(rec::name(t));
+      m.dataset = "tree";
+      m.scale = 1.0;
+      m.params["depth"] = shape.depth;
+      m.params["outdegree"] = shape.outdegree;
+      m.params["sparsity"] = shape.sparsity;
+      m.extra["cpu_speedup"] = cpu_us / rep.total_us;  // cross-model ratio
+      out.measurements.push_back(std::move(m));
     }
     row.push_back(fmt_pct(flat_warp));
     row.push_back(fmt_pct(hier_warp));
@@ -60,9 +70,8 @@ inline void tree_sweep(rec::TreeAlgo algo,
   }
 }
 
-inline int tree_figure_main(int argc, char** argv, rec::TreeAlgo algo,
-                            const char* figure, const char* usage) {
-  const Args args(argc, argv, usage);
+inline int tree_figure_run(const Args& args, SuiteResult& out,
+                           rec::TreeAlgo algo, const char* figure) {
   const int depth = static_cast<int>(args.get_int("depth", 3));
   const int max_out = static_cast<int>(args.get_int("max-outdegree", 128));
 
@@ -80,7 +89,8 @@ inline int tree_figure_main(int argc, char** argv, rec::TreeAlgo algo,
   for (int d = 8; d <= max_out; d *= 2) {
     by_out.push_back({.depth = depth, .outdegree = d, .sparsity = 0});
   }
-  tree_sweep(algo, by_out, "(a) sparsity = 0, varying outdegree", "outdegree");
+  tree_sweep(algo, by_out, "(a) sparsity = 0, varying outdegree", "outdegree",
+             out);
 
   std::vector<tree::TreeParams> by_sparsity;
   for (int s = 0; s <= 4; ++s) {
@@ -88,7 +98,7 @@ inline int tree_figure_main(int argc, char** argv, rec::TreeAlgo algo,
         {.depth = depth, .outdegree = max_out, .sparsity = s});
   }
   tree_sweep(algo, by_sparsity, "(b) outdegree fixed at max, varying sparsity",
-             "sparsity");
+             "sparsity", out);
   return 0;
 }
 

@@ -1,5 +1,7 @@
 #include "src/simt/metrics.h"
 
+#include <charconv>
+#include <cmath>
 #include <sstream>
 
 namespace nestpar::simt {
@@ -48,6 +50,50 @@ std::string Metrics::to_string(int max_warps_per_sm) const {
        << " retries=" << robustness.retries
        << " degraded=" << robustness.degraded;
   }
+  return os.str();
+}
+
+namespace {
+// Shortest round-trip decimal form, so serializing the same metrics always
+// produces the same bytes (the bench baseline files rely on this).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+}  // namespace
+
+std::string RobustnessCounters::to_json() const {
+  std::ostringstream os;
+  os << "{\"launches_attempted\": " << launches_attempted
+     << ", \"refused_pool\": " << refused_pool
+     << ", \"refused_depth\": " << refused_depth
+     << ", \"refused_heap\": " << refused_heap
+     << ", \"faults_injected\": " << faults_injected
+     << ", \"retries\": " << retries << ", \"degraded\": " << degraded << "}";
+  return os.str();
+}
+
+std::string Metrics::to_json(int max_warps_per_sm) const {
+  std::ostringstream os;
+  os << "{\"warp_execution_efficiency\": " << num(warp_execution_efficiency())
+     << ", \"gld_efficiency\": " << num(gld_efficiency())
+     << ", \"gst_efficiency\": " << num(gst_efficiency())
+     << ", \"warp_occupancy\": " << num(warp_occupancy(max_warps_per_sm))
+     << ", \"warp_steps\": " << warp_steps
+     << ", \"active_lane_ops\": " << active_lane_ops
+     << ", \"gld_requested_bytes\": " << gld_requested_bytes
+     << ", \"gld_transferred_bytes\": " << gld_transferred_bytes
+     << ", \"gst_requested_bytes\": " << gst_requested_bytes
+     << ", \"gst_transferred_bytes\": " << gst_transferred_bytes
+     << ", \"atomic_ops\": " << atomic_ops
+     << ", \"shared_ops\": " << shared_ops
+     << ", \"compute_ops\": " << compute_ops
+     << ", \"host_launches\": " << host_launches
+     << ", \"device_launches\": " << device_launches
+     << ", \"blocks\": " << blocks << ", \"warps\": " << warps
+     << ", \"robustness\": " << robustness.to_json() << "}";
   return os.str();
 }
 

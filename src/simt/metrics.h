@@ -27,6 +27,15 @@ struct RobustnessCounters {
   bool any_fault() const { return refused_total() + retries + degraded > 0; }
 
   RobustnessCounters& operator+=(const RobustnessCounters& o);
+
+  /// Compact single-line JSON object with every raw counter, e.g.
+  /// `{"launches_attempted": 42, "refused_pool": 0, ...}`. Embedded verbatim
+  /// in the `robustness` field of `BENCH_<suite>.json` records:
+  /// ```cpp
+  ///   simt::RunReport rep = session.report();
+  ///   std::string row = rep.robustness.to_json();
+  /// ```
+  std::string to_json() const;
 };
 
 /// nvprof-like counters, accumulated per kernel and aggregated per run.
@@ -97,6 +106,16 @@ struct Metrics {
 
   /// Multi-line human-readable dump (for debugging and examples).
   std::string to_string(int max_warps_per_sm = 64) const;
+
+  /// Single-line JSON object holding the raw counters plus the derived
+  /// ratios (`warp_execution_efficiency`, `gld_efficiency`,
+  /// `gst_efficiency`, `warp_occupancy`), nesting `robustness.to_json()`.
+  /// Machine-readable twin of `to_string` for trace tooling and the bench
+  /// results pipeline:
+  /// ```cpp
+  ///   std::ofstream("metrics.json") << report.aggregate.to_json();
+  /// ```
+  std::string to_json(int max_warps_per_sm = 64) const;
 };
 
 }  // namespace nestpar::simt

@@ -1,0 +1,221 @@
+// Tests for the benchmark results pipeline (bench/results.{h,cpp}) and the
+// bench::Args flag parser: JSON round-trip fidelity, schema-version
+// rejection, regression detection in the comparator, and flag semantics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/results.h"
+
+namespace {
+
+using nestpar::bench::Args;
+using nestpar::bench::CompareOptions;
+using nestpar::bench::CompareReport;
+using nestpar::bench::compare_results;
+using nestpar::bench::kResultSchemaVersion;
+using nestpar::bench::Measurement;
+using nestpar::bench::merge_compare_reports;
+using nestpar::bench::parse_result_json;
+using nestpar::bench::SuiteResult;
+using nestpar::bench::to_json;
+
+SuiteResult sample_result() {
+  SuiteResult r;
+  r.suite = "fig5_sssp";
+  r.figure = "Figure 5";
+  Measurement a;
+  a.tmpl = "dual-queue";
+  a.dataset = "citeseer";
+  a.scale = 0.1;
+  a.params["lb_threshold"] = 32;
+  a.cycles = 1234567.0;
+  a.warp_efficiency = 0.425;
+  a.host_launches = 17;
+  a.device_launches = 243;
+  a.robustness.launches_attempted = 260;
+  a.robustness.retries = 2;
+  a.extra["speedup"] = 1.87;
+  r.measurements.push_back(a);
+  Measurement b;
+  b.tmpl = "baseline";
+  b.dataset = "citeseer";
+  b.scale = 0.1;
+  b.cycles = 2000000.0;
+  b.warp_efficiency = 0.19;
+  b.host_launches = 17;
+  r.measurements.push_back(b);
+  return r;
+}
+
+TEST(BenchResults, JsonRoundTripPreservesEveryField) {
+  const SuiteResult original = sample_result();
+  const SuiteResult parsed = parse_result_json(to_json(original));
+  ASSERT_EQ(parsed.suite, original.suite);
+  ASSERT_EQ(parsed.figure, original.figure);
+  ASSERT_EQ(parsed.measurements.size(), original.measurements.size());
+  const Measurement& m = parsed.measurements[0];
+  const Measurement& o = original.measurements[0];
+  EXPECT_EQ(m.tmpl, o.tmpl);
+  EXPECT_EQ(m.dataset, o.dataset);
+  EXPECT_EQ(m.scale, o.scale);
+  EXPECT_EQ(m.params, o.params);
+  EXPECT_EQ(m.cycles, o.cycles);
+  EXPECT_EQ(m.warp_efficiency, o.warp_efficiency);
+  EXPECT_EQ(m.host_launches, o.host_launches);
+  EXPECT_EQ(m.device_launches, o.device_launches);
+  EXPECT_EQ(m.robustness.launches_attempted,
+            o.robustness.launches_attempted);
+  EXPECT_EQ(m.robustness.retries, o.robustness.retries);
+  EXPECT_EQ(m.extra, o.extra);
+}
+
+TEST(BenchResults, SerializationIsByteStable) {
+  // Identical results must produce identical files: serialize, parse, and
+  // serialize again — the bytes may not change.
+  const std::string first = to_json(sample_result());
+  const std::string second = to_json(parse_result_json(first));
+  EXPECT_EQ(first, second);
+}
+
+TEST(BenchResults, RejectsWrongSchemaVersion) {
+  std::string text = to_json(sample_result());
+  const std::string needle =
+      "\"schema_version\": " + std::to_string(kResultSchemaVersion);
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"schema_version\": 999");
+  EXPECT_THROW(parse_result_json(text), std::runtime_error);
+}
+
+TEST(BenchResults, RejectsMalformedAndIncompleteDocuments) {
+  EXPECT_THROW(parse_result_json("not json"), std::runtime_error);
+  EXPECT_THROW(parse_result_json("{\"schema_version\": 1}"),
+               std::runtime_error);
+  // Truncated document.
+  const std::string text = to_json(sample_result());
+  EXPECT_THROW(parse_result_json(text.substr(0, text.size() / 2)),
+               std::runtime_error);
+}
+
+TEST(BenchResults, KeyIncludesParams) {
+  Measurement a;
+  a.tmpl = "dual-queue";
+  a.dataset = "citeseer";
+  a.scale = 0.1;
+  a.params["lb_threshold"] = 32;
+  Measurement b = a;
+  b.params["lb_threshold"] = 64;
+  EXPECT_NE(a.key(), b.key());
+  b.params["lb_threshold"] = 32;
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(BenchCompare, FlagsInjectedCycleRegression) {
+  const SuiteResult baseline = sample_result();
+  SuiteResult current = baseline;
+  current.measurements[0].cycles *= 1.20;  // 20% slower than baseline
+  const CompareReport rep =
+      compare_results(baseline, current, CompareOptions{.threshold = 0.05});
+  EXPECT_TRUE(rep.has_regression());
+  ASSERT_EQ(rep.deltas.size(), 1u);
+  EXPECT_EQ(rep.deltas[0].metric, "cycles");
+  EXPECT_TRUE(rep.deltas[0].regression);
+  EXPECT_NEAR(rep.deltas[0].rel_delta, 0.20, 1e-9);
+  EXPECT_EQ(rep.matched, 2);
+}
+
+TEST(BenchCompare, ImprovementsAndSmallDeltasAreNotRegressions) {
+  const SuiteResult baseline = sample_result();
+  SuiteResult current = baseline;
+  current.measurements[0].cycles *= 0.80;           // faster: fine
+  current.measurements[1].warp_efficiency += 0.10;  // better: fine
+  const CompareReport rep =
+      compare_results(baseline, current, CompareOptions{.threshold = 0.05});
+  EXPECT_FALSE(rep.has_regression());
+  EXPECT_EQ(rep.deltas.size(), 2u);  // reported as plain deltas
+}
+
+TEST(BenchCompare, WarpEfficiencyDropIsARegression) {
+  const SuiteResult baseline = sample_result();
+  SuiteResult current = baseline;
+  current.measurements[1].warp_efficiency *= 0.5;
+  const CompareReport rep =
+      compare_results(baseline, current, CompareOptions{.threshold = 0.05});
+  EXPECT_TRUE(rep.has_regression());
+}
+
+TEST(BenchCompare, MissingBaselineRecordIsARegression) {
+  const SuiteResult baseline = sample_result();
+  SuiteResult current = baseline;
+  current.measurements.pop_back();
+  const CompareReport rep =
+      compare_results(baseline, current, CompareOptions{});
+  EXPECT_EQ(rep.missing, 1);
+  EXPECT_TRUE(rep.has_regression());
+}
+
+TEST(BenchCompare, AddedRecordsAreFine) {
+  const SuiteResult baseline = sample_result();
+  SuiteResult current = baseline;
+  Measurement extra;
+  extra.tmpl = "new-variant";
+  extra.dataset = "citeseer";
+  current.measurements.push_back(extra);
+  const CompareReport rep =
+      compare_results(baseline, current, CompareOptions{});
+  EXPECT_EQ(rep.added, 1);
+  EXPECT_FALSE(rep.has_regression());
+}
+
+TEST(BenchCompare, ThresholdIsConfigurable) {
+  const SuiteResult baseline = sample_result();
+  SuiteResult current = baseline;
+  current.measurements[0].cycles *= 1.20;
+  EXPECT_FALSE(compare_results(baseline, current,
+                               CompareOptions{.threshold = 0.25})
+                   .has_regression());
+  EXPECT_TRUE(compare_results(baseline, current,
+                              CompareOptions{.threshold = 0.10})
+                  .has_regression());
+}
+
+TEST(BenchCompare, MergeAccumulatesCounts) {
+  const SuiteResult baseline = sample_result();
+  SuiteResult current = baseline;
+  current.measurements[0].cycles *= 1.5;
+  const CompareReport one =
+      compare_results(baseline, current, CompareOptions{});
+  CompareReport total;
+  merge_compare_reports(total, one);
+  merge_compare_reports(total, one);
+  EXPECT_EQ(total.matched, 2 * one.matched);
+  EXPECT_EQ(total.deltas.size(), 2 * one.deltas.size());
+  EXPECT_TRUE(total.has_regression());
+}
+
+TEST(BenchArgs, DuplicateFlagKeepsLastValue) {
+  const Args args({"--scale=0.1", "--scale=0.5"},
+                  "test [--scale=F]");
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 0.5);
+}
+
+TEST(BenchArgs, GetStringReturnsRawValueOrDefault) {
+  const Args args({"--out=results/dir", "--scale=0.1"},
+                  "test [--scale=F] [--out=DIR]");
+  EXPECT_EQ(args.get_string("out", ""), "results/dir");
+  EXPECT_EQ(args.get_string("baseline", "bench/baselines"),
+            "bench/baselines");
+}
+
+TEST(BenchArgs, ValuelessFlagActsAsBoolean) {
+  const Args args({"--full"}, "test [--full] [--scale=F]");
+  EXPECT_TRUE(args.get_flag("full"));
+  EXPECT_FALSE(args.get_flag("scale"));
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.25), 0.25);
+}
+
+}  // namespace

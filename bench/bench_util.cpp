@@ -6,8 +6,11 @@
 #include <stdexcept>
 
 #include "src/graph/generators.h"
+#include "src/simt/log.h"
 
 namespace nestpar::bench {
+
+namespace slog = simt::log;
 
 Args::Args(int argc, char** argv, std::string_view usage) {
   std::vector<std::string> flags;
@@ -29,8 +32,8 @@ void Args::parse(const std::vector<std::string>& flags,
       std::exit(0);
     }
     if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unknown argument '%s'\n%.*s\n", arg.c_str(),
-                   usage_len, usage.data());
+      slog::error("unknown argument '%s'\n%.*s\n", arg.c_str(), usage_len,
+                  usage.data());
       std::exit(2);
     }
     const auto eq = arg.find('=');
@@ -39,16 +42,16 @@ void Args::parse(const std::vector<std::string>& flags,
     const std::string value =
         eq == std::string::npos ? "1" : arg.substr(eq + 1);
     if (values_.count(key)) {
-      std::fprintf(stderr, "warning: flag '--%s' given twice; using '%s'\n",
-                   key.c_str(), value.c_str());
+      slog::warn("warning: flag '--%s' given twice; using '%s'\n", key.c_str(),
+                 value.c_str());
     }
     values_[key] = value;
   }
   if (usage.empty()) return;
   for (const auto& [k, v] : values_) {
     if (usage.find("--" + k) == std::string_view::npos) {
-      std::fprintf(stderr, "unknown flag '--%s'\n%.*s\n", k.c_str(),
-                   usage_len, usage.data());
+      slog::error("unknown flag '--%s'\n%.*s\n", k.c_str(), usage_len,
+                  usage.data());
       std::exit(2);
     }
   }
@@ -81,7 +84,7 @@ Registry& Registry::instance() {
 
 void Registry::add(const SuiteSpec& spec) {
   if (count_ >= kCapacity) {
-    std::fprintf(stderr, "suite registry full (capacity %zu)\n", kCapacity);
+    slog::error("suite registry full (capacity %zu)\n", kCapacity);
     std::exit(2);
   }
   std::size_t pos = count_;
@@ -107,8 +110,8 @@ Registration::Registration(const SuiteSpec& spec) {
 int standalone_main(std::string_view suite, int argc, char** argv) {
   const SuiteSpec* spec = Registry::instance().find(suite);
   if (spec == nullptr) {
-    std::fprintf(stderr, "suite '%.*s' is not registered\n",
-                 static_cast<int>(suite.size()), suite.data());
+    slog::error("suite '%.*s' is not registered\n",
+                static_cast<int>(suite.size()), suite.data());
     return 2;
   }
   const Args args(argc, argv, spec->usage);
@@ -124,7 +127,7 @@ int standalone_main(std::string_view suite, int argc, char** argv) {
     try {
       write_result_file(result, out);
     } catch (const std::runtime_error& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
+      slog::error("error: %s\n", e.what());
       return 2;
     }
   }

@@ -1,11 +1,15 @@
 // Regression comparator for BENCH_<suite>.json result files.
 //
 //   compare_results --baseline=PATH --current=PATH [--threshold=0.05]
+//                   [--json]
 //
 // Each PATH is either one result file or a directory of BENCH_*.json files.
 // Records are matched by (suite, template, dataset, scale, params) and the
 // deterministic metrics diffed; a relative delta in the bad direction beyond
 // the threshold — or a baseline record that disappeared — is a regression.
+// Deltas past the threshold in the *good* direction are reported as
+// improvements. `--json` replaces the human-readable report with a single
+// JSON document on stdout, for CI annotation.
 //
 // Exit codes: 0 no regressions, 1 regressions found, 2 usage or I/O error.
 #include <algorithm>
@@ -16,16 +20,19 @@
 #include <string>
 #include <vector>
 
+#include "json.h"
 #include "results.h"
+#include "src/simt/log.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 namespace bench = nestpar::bench;
+namespace slog = nestpar::simt::log;
 
 constexpr const char* kUsage =
     "usage: compare_results --baseline=PATH --current=PATH "
-    "[--threshold=0.05]\n"
+    "[--threshold=0.05] [--json]\n"
     "  PATH is a BENCH_<suite>.json file or a directory of them";
 
 // Loads one file, or every BENCH_*.json inside a directory, keyed by suite.
@@ -57,12 +64,40 @@ std::map<std::string, bench::SuiteResult> load(const std::string& path) {
   return by_suite;
 }
 
+void print_json(const bench::CompareReport& total, int missing_suites,
+                double threshold, int regressions, int improvements) {
+  std::string out = "{\n";
+  out += "  \"matched\": " + std::to_string(total.matched) + ",\n";
+  out += "  \"missing\": " + std::to_string(total.missing) + ",\n";
+  out += "  \"added\": " + std::to_string(total.added) + ",\n";
+  out += "  \"missing_suites\": " + std::to_string(missing_suites) + ",\n";
+  out += "  \"threshold\": " + bench::json_num(threshold) + ",\n";
+  out += "  \"regressions\": " + std::to_string(regressions) + ",\n";
+  out += "  \"improvements\": " + std::to_string(improvements) + ",\n";
+  out += "  \"deltas\": [";
+  for (std::size_t i = 0; i < total.deltas.size(); ++i) {
+    const bench::MetricDelta& d = total.deltas[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"suite\": " + bench::json_str(d.suite) +
+           ", \"key\": " + bench::json_str(d.key) +
+           ", \"metric\": " + bench::json_str(d.metric) +
+           ",\n     \"baseline\": " + bench::json_num(d.baseline) +
+           ", \"current\": " + bench::json_num(d.current) +
+           ", \"rel_delta\": " + bench::json_num(d.rel_delta) +
+           ", \"regression\": " + (d.regression ? "true" : "false") +
+           ", \"improvement\": " + (d.improvement ? "true" : "false") + "}";
+  }
+  out += "\n  ]\n}\n";
+  std::fputs(out.c_str(), stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
   double threshold = 0.05;
+  bool json_output = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -74,13 +109,15 @@ int main(int argc, char** argv) {
       current_path = arg.substr(10);
     } else if (arg.rfind("--threshold=", 0) == 0) {
       threshold = std::stod(arg.substr(12));
+    } else if (arg == "--json") {
+      json_output = true;
     } else {
-      std::fprintf(stderr, "unknown argument '%s'\n%s\n", arg.c_str(), kUsage);
+      slog::error("unknown argument '%s'\n%s\n", arg.c_str(), kUsage);
       return 2;
     }
   }
   if (baseline_path.empty() || current_path.empty()) {
-    std::fprintf(stderr, "%s\n", kUsage);
+    slog::error("%s\n", kUsage);
     return 2;
   }
 
@@ -90,7 +127,7 @@ int main(int argc, char** argv) {
     baseline = load(baseline_path);
     current = load(current_path);
   } catch (const std::runtime_error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    slog::error("error: %s\n", e.what());
     return 2;
   }
 
@@ -101,34 +138,56 @@ int main(int argc, char** argv) {
   for (const auto& [suite, base] : baseline) {
     const auto it = current.find(suite);
     if (it == current.end()) {
-      std::printf("suite %-24s MISSING from current\n", suite.c_str());
+      if (!json_output) {
+        std::printf("suite %-24s MISSING from current\n", suite.c_str());
+      }
       ++missing_suites;
       continue;
     }
     const bench::CompareReport rep =
         bench::compare_results(base, it->second, opt);
-    std::printf("suite %-24s matched=%d missing=%d added=%d%s\n",
-                suite.c_str(), rep.matched, rep.missing, rep.added,
-                rep.has_regression() ? "  REGRESSION" : "");
+    if (!json_output) {
+      std::printf("suite %-24s matched=%d missing=%d added=%d%s\n",
+                  suite.c_str(), rep.matched, rep.missing, rep.added,
+                  rep.has_regression() ? "  REGRESSION" : "");
+    }
     bench::merge_compare_reports(total, rep);
   }
-  for (const auto& [suite, cur] : current) {
-    if (!baseline.count(suite)) {
-      std::printf("suite %-24s new in current (no baseline)\n", suite.c_str());
+  if (!json_output) {
+    for (const auto& [suite, cur] : current) {
+      if (!baseline.count(suite)) {
+        std::printf("suite %-24s new in current (no baseline)\n",
+                    suite.c_str());
+      }
     }
   }
 
+  int regressions = 0;
+  int improvements = 0;
   for (const bench::MetricDelta& d : total.deltas) {
-    std::printf("%s %s/%s %s: %g -> %g (%+.2f%%)\n",
-                d.regression ? "REGRESSION" : "delta     ", d.suite.c_str(),
-                d.key.c_str(), d.metric.c_str(), d.baseline, d.current,
-                d.rel_delta * 100.0);
+    if (d.regression) ++regressions;
+    if (d.improvement) ++improvements;
+    if (!json_output) {
+      std::printf("%s %s/%s %s: %g -> %g (%+.2f%%)\n",
+                  d.regression     ? "REGRESSION"
+                  : d.improvement  ? "IMPROVED  "
+                                   : "delta     ",
+                  d.suite.c_str(), d.key.c_str(), d.metric.c_str(), d.baseline,
+                  d.current, d.rel_delta * 100.0);
+    }
   }
 
   const bool regressed = total.has_regression() || missing_suites > 0;
-  std::printf("\n%d record pairs compared, %d missing, %d added, "
-              "%zu metric deltas; threshold %.1f%% -> %s\n",
-              total.matched, total.missing, total.added, total.deltas.size(),
-              threshold * 100.0, regressed ? "REGRESSIONS FOUND" : "clean");
+  if (json_output) {
+    print_json(total, missing_suites, threshold, regressions, improvements);
+  } else {
+    std::printf("\n%d record pairs compared, %d missing, %d added, "
+                "%zu metric deltas (%d regression%s, %d improvement%s); "
+                "threshold %.1f%% -> %s\n",
+                total.matched, total.missing, total.added, total.deltas.size(),
+                regressions, regressions == 1 ? "" : "s", improvements,
+                improvements == 1 ? "" : "s", threshold * 100.0,
+                regressed ? "REGRESSIONS FOUND" : "clean");
+  }
   return regressed ? 1 : 0;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "src/simt/log.h"
 #include "src/apps/spmv.h"
 #include "src/graph/generators.h"
 #include "src/matrix/csr_matrix.h"
@@ -119,7 +120,8 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
   const int rc =
       sweep_dpar_opt(scale, seed, out) + sweep_rec_hier(scale, seed, out);
   if (rc != 0) {
-    std::fprintf(stderr, "FAIL: degraded run diverged from fault-free run\n");
+    nestpar::simt::log::error(
+        "FAIL: degraded run diverged from fault-free run\n");
     return 1;
   }
   return 0;

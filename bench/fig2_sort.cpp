@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "src/simt/log.h"
 #include "src/sort/sort.h"
 
 using namespace nestpar;
@@ -31,7 +32,7 @@ SortRun run_ms(int algo, std::vector<int> keys) {
   }
   for (std::size_t i = 1; i < keys.size(); ++i) {
     if (keys[i - 1] > keys[i]) {
-      std::fprintf(stderr, "sort produced unsorted output!\n");
+      nestpar::simt::log::error("sort produced unsorted output!\n");
       std::exit(1);
     }
   }

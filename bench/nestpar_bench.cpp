@@ -9,6 +9,10 @@
 //   nestpar_bench --smoke [--out=DIR]    run every suite on its fast smoke
 //                                        flags and validate that the emitted
 //                                        JSON parses back (CI entry point)
+//   nestpar_bench ... --profile          turn on the simt::Profiler for each
+//                                        run; with --out=DIR also writes one
+//                                        PROF_<suite>.json per suite
+//   nestpar_bench ... --verbose|--quiet  raise/lower the stderr log level
 //
 // Exit codes: 0 success, 1 a suite failed or its JSON failed validation,
 // 2 usage or I/O error.
@@ -18,20 +22,30 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "src/simt/log.h"
+#include "src/simt/profiler.h"
 
 namespace {
 
 namespace bench = nestpar::bench;
+namespace simt = nestpar::simt;
+namespace slog = nestpar::simt::log;
 
 constexpr const char* kUsage =
     "usage: nestpar_bench (--list | --suite=NAME [suite flags...] |\n"
-    "                      --all | --smoke) [--out=DIR]\n"
+    "                      --all | --smoke) [--out=DIR] [--profile]\n"
+    "                     [--verbose | --quiet]\n"
     "  --list        list registered suites and their paper anchors\n"
     "  --suite=NAME  run one suite; remaining flags are forwarded to it\n"
     "  --all         run every registered suite with default flags\n"
     "  --smoke       run every suite with its fast smoke flags and validate\n"
     "                the JSON it produces round-trips through the parser\n"
-    "  --out=DIR     write BENCH_<suite>.json for each suite run to DIR";
+    "  --out=DIR     write BENCH_<suite>.json for each suite run to DIR\n"
+    "  --profile     collect load-imbalance/warp/nesting distributions (the\n"
+    "                simt::Profiler; also via NESTPAR_PROFILE=1) and, with\n"
+    "                --out=DIR, write PROF_<suite>.json per suite\n"
+    "  --verbose     show info/debug diagnostics on stderr\n"
+    "  --quiet       suppress warnings (errors still print)";
 
 void list_suites() {
   std::printf("%-24s %-22s %s\n", "suite", "figure", "description");
@@ -50,18 +64,21 @@ std::vector<std::string> smoke_args(const bench::SuiteSpec& spec) {
 
 // Runs one suite on the given flags. Writes DIR/BENCH_<suite>.json when
 // out_dir is set; when validate is set, additionally re-parses the JSON and
-// checks the record count survived the round trip.
+// checks the record count survived the round trip. When profiling is on, the
+// profiler is reset before the run and its snapshot written as
+// DIR/PROF_<suite>.json afterwards, so each suite gets its own profile.
 int run_suite(const bench::SuiteSpec& spec,
               const std::vector<std::string>& flags,
               const std::string& out_dir, bool validate) {
   const std::string name(spec.name);
   const bench::Args args(flags, spec.usage);
+  if (simt::Profiler::enabled()) simt::Profiler::instance().reset();
   bench::SuiteResult result;
   const int rc = spec.run(args, result);
   result.suite = spec.name;
   result.figure = spec.figure;
   if (rc != 0) {
-    std::fprintf(stderr, "suite '%s' failed (exit %d)\n", name.c_str(), rc);
+    slog::error("suite '%s' failed (exit %d)\n", name.c_str(), rc);
     return 1;
   }
   try {
@@ -70,8 +87,7 @@ int run_suite(const bench::SuiteSpec& spec,
       const bench::SuiteResult parsed = bench::parse_result_json(text);
       if (parsed.suite != result.suite ||
           parsed.measurements.size() != result.measurements.size()) {
-        std::fprintf(stderr, "suite '%s': JSON round-trip mismatch\n",
-                     name.c_str());
+        slog::error("suite '%s': JSON round-trip mismatch\n", name.c_str());
         return 1;
       }
       std::printf("[smoke] %s: %zu records, JSON ok\n", name.c_str(),
@@ -80,9 +96,16 @@ int run_suite(const bench::SuiteSpec& spec,
     if (!out_dir.empty()) {
       const std::string path = bench::write_result_file(result, out_dir);
       std::printf("[out] wrote %s\n", path.c_str());
+      if (simt::Profiler::enabled()) {
+        bench::SuiteProfile profile;
+        profile.suite = name;
+        profile.prof = simt::Profiler::instance().snapshot();
+        const std::string ppath = bench::write_profile_file(profile, out_dir);
+        std::printf("[out] wrote %s\n", ppath.c_str());
+      }
     }
   } catch (const std::runtime_error& e) {
-    std::fprintf(stderr, "suite '%s': %s\n", name.c_str(), e.what());
+    slog::error("suite '%s': %s\n", name.c_str(), e.what());
     return validate ? 1 : 2;
   }
   return 0;
@@ -108,6 +131,12 @@ int main(int argc, char** argv) {
       all = true;
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--profile") {
+      simt::Profiler::set_enabled(true);
+    } else if (arg == "--verbose") {
+      slog::set_level(slog::Level::kDebug);
+    } else if (arg == "--quiet") {
+      slog::set_level(slog::Level::kError);
     } else if (arg.rfind("--suite=", 0) == 0) {
       suite = arg.substr(8);
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -124,8 +153,8 @@ int main(int argc, char** argv) {
   if (!suite.empty()) {
     const bench::SuiteSpec* spec = bench::Registry::instance().find(suite);
     if (spec == nullptr) {
-      std::fprintf(stderr, "suite '%s' is not registered; --list shows all\n",
-                   suite.c_str());
+      slog::error("suite '%s' is not registered; --list shows all\n",
+                  suite.c_str());
       return 2;
     }
     return run_suite(*spec, smoke ? smoke_args(*spec) : forwarded, out_dir,
@@ -133,14 +162,16 @@ int main(int argc, char** argv) {
   }
   if (all || smoke) {
     if (!forwarded.empty()) {
-      std::fprintf(stderr, "unexpected argument '%s' (suite flags need "
-                   "--suite=NAME)\n%s\n",
-                   forwarded.front().c_str(), kUsage);
+      slog::error("unexpected argument '%s' (suite flags need "
+                  "--suite=NAME)\n%s\n",
+                  forwarded.front().c_str(), kUsage);
       return 2;
     }
     int worst = 0;
     for (const bench::SuiteSpec& spec : bench::Registry::instance().suites()) {
       std::printf("\n### %s\n", std::string(spec.name).c_str());
+      slog::debug("[bench] starting suite '%s'\n",
+                  std::string(spec.name).c_str());
       const int rc = run_suite(
           spec, smoke ? smoke_args(spec) : std::vector<std::string>{}, out_dir,
           smoke);
@@ -148,6 +179,6 @@ int main(int argc, char** argv) {
     }
     return worst;
   }
-  std::fprintf(stderr, "%s\n", kUsage);
+  slog::error("%s\n", kUsage);
   return 2;
 }

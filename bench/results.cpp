@@ -1,308 +1,16 @@
 #include "results.h"
 
-#include <cctype>
-#include "src/simt/device.h"
-#include <charconv>
-#include <cstring>
 #include <cmath>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
-#include <variant>
+
+#include "bench/json.h"
+#include "src/simt/device.h"
 
 namespace nestpar::bench {
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Stable number formatting: shortest round-trip form via std::to_chars, so
-// the same measurements always serialize to the same bytes.
-std::string json_num(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, res.ptr);
-}
-
-std::string json_num(std::uint64_t v) { return std::to_string(v); }
-
-std::string json_str(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-void append_num_map(std::string& out, const std::map<std::string, double>& m) {
-  out += '{';
-  bool first = true;
-  for (const auto& [k, v] : m) {
-    if (!first) out += ", ";
-    first = false;
-    out += json_str(k) + ": " + json_num(v);
-  }
-  out += '}';
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON value + recursive-descent parser. Only what our own emitter
-// produces is required, but the grammar is complete enough for hand-edited
-// baseline files (numbers, strings with escapes, bools, null, arrays,
-// objects, arbitrary whitespace).
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
-      v = nullptr;
-
-  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
-  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
-  bool is_number() const { return std::holds_alternative<double>(v); }
-  bool is_string() const { return std::holds_alternative<std::string>(v); }
-  const JsonObject& object() const { return std::get<JsonObject>(v); }
-  const JsonArray& array() const { return std::get<JsonArray>(v); }
-  double number() const { return std::get<double>(v); }
-  const std::string& string() const { return std::get<std::string>(v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::strlen(lit);
-    if (text_.compare(pos_, n, lit) == 0) {
-      pos_ += n;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return JsonValue{parse_string()};
-    if (consume_literal("true")) return JsonValue{true};
-    if (consume_literal("false")) return JsonValue{false};
-    if (consume_literal("null")) return JsonValue{nullptr};
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonObject obj;
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{std::move(obj)};
-    }
-    while (true) {
-      std::string key = parse_string();
-      expect(':');
-      obj.emplace(std::move(key), parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') break;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-    return JsonValue{std::move(obj)};
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonArray arr;
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{std::move(arr)};
-    }
-    while (true) {
-      arr.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') break;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-    return JsonValue{std::move(arr)};
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("dangling escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-            unsigned code = 0;
-            const auto res = std::from_chars(
-                text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
-            if (res.ptr != text_.data() + pos_ + 4) fail("bad \\u escape");
-            pos_ += 4;
-            // Our emitter only escapes control chars; decode BMP code
-            // points to UTF-8 for completeness.
-            if (code < 0x80) {
-              out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              out += static_cast<char>(0xC0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
-              out += static_cast<char>(0xE0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            }
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    fail("unterminated string");
-  }
-
-  JsonValue parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    double value = 0.0;
-    const auto res =
-        std::from_chars(text_.data() + start, text_.data() + pos_, value);
-    if (res.ec != std::errc() || res.ptr != text_.data() + pos_ ||
-        start == pos_) {
-      fail("malformed number");
-    }
-    return JsonValue{value};
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// Field lookups with typed errors naming what is missing.
-const JsonValue& require(const JsonObject& obj, const std::string& key) {
-  const auto it = obj.find(key);
-  if (it == obj.end()) {
-    throw std::runtime_error("result JSON missing required field '" + key +
-                             "'");
-  }
-  return it->second;
-}
-
-double require_num(const JsonObject& obj, const std::string& key) {
-  const JsonValue& v = require(obj, key);
-  if (!v.is_number()) {
-    throw std::runtime_error("result JSON field '" + key +
-                             "' is not a number");
-  }
-  return v.number();
-}
-
-std::string require_str(const JsonObject& obj, const std::string& key) {
-  const JsonValue& v = require(obj, key);
-  if (!v.is_string()) {
-    throw std::runtime_error("result JSON field '" + key +
-                             "' is not a string");
-  }
-  return v.string();
-}
-
-std::map<std::string, double> num_map(const JsonObject& obj,
-                                      const std::string& key) {
-  std::map<std::string, double> out;
-  const auto it = obj.find(key);
-  if (it == obj.end()) return out;
-  if (!it->second.is_object()) {
-    throw std::runtime_error("result JSON field '" + key +
-                             "' is not an object");
-  }
-  for (const auto& [k, v] : it->second.object()) {
-    if (!v.is_number()) {
-      throw std::runtime_error("result JSON field '" + key + "." + k +
-                               "' is not a number");
-    }
-    out[k] = v.number();
-  }
-  return out;
-}
-
-std::uint64_t opt_u64(const std::map<std::string, double>& m,
-                      const std::string& key) {
-  const auto it = m.find(key);
-  return it == m.end() ? 0 : static_cast<std::uint64_t>(it->second);
-}
-
-}  // namespace
 
 Measurement Measurement::from_report(const simt::RunReport& rep) {
   Measurement m;
@@ -358,7 +66,7 @@ std::string to_json(const SuiteResult& result) {
 }
 
 SuiteResult parse_result_json(const std::string& text) {
-  const JsonValue doc = JsonParser(text).parse();
+  const JsonValue doc = parse_json(text);
   if (!doc.is_object()) {
     throw std::runtime_error("result JSON root is not an object");
   }
@@ -436,6 +144,290 @@ SuiteResult load_result_file(const std::string& path) {
   }
 }
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Profile (PROF_<suite>.json) serialization helpers. Histogram buckets and
+// lane-histogram slots serialize sparsely (nonzero entries only) as
+// index-keyed objects, keeping smoke-scale files small and diffable.
+
+std::string hist_json(const simt::ProfHistogram& h) {
+  std::string out = "{\"count\": " + json_num(h.count) +
+                    ", \"sum\": " + json_num(h.sum) +
+                    ", \"min\": " + json_num(h.min_value) +
+                    ", \"max\": " + json_num(h.max_value) + ", \"buckets\": {";
+  bool first = true;
+  for (int b = 0; b < simt::ProfHistogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + std::to_string(b) + "\": " + json_num(h.buckets[b]);
+  }
+  out += "}}";
+  return out;
+}
+
+simt::ProfHistogram parse_hist(const JsonObject& rec, const std::string& key) {
+  simt::ProfHistogram h;
+  const auto it = rec.find(key);
+  if (it == rec.end()) return h;
+  if (!it->second.is_object()) {
+    throw std::runtime_error("profile JSON field '" + key +
+                             "' is not an object");
+  }
+  const JsonObject& obj = it->second.object();
+  h.count = static_cast<std::uint64_t>(require_num(obj, "count"));
+  h.sum = require_num(obj, "sum");
+  h.min_value = require_num(obj, "min");
+  h.max_value = require_num(obj, "max");
+  for (const auto& [k, v] : num_map(obj, "buckets")) {
+    const int b = std::stoi(k);
+    if (b >= 0 && b < simt::ProfHistogram::kBuckets) {
+      h.buckets[b] = static_cast<std::uint64_t>(v);
+    }
+  }
+  return h;
+}
+
+std::string u32_map_json(const std::map<std::uint32_t, std::uint64_t>& m) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + std::to_string(k) + "\": " + json_num(v);
+  }
+  out += "}";
+  return out;
+}
+
+std::map<std::uint32_t, std::uint64_t> parse_u32_map(const JsonObject& rec,
+                                                     const std::string& key) {
+  std::map<std::uint32_t, std::uint64_t> out;
+  for (const auto& [k, v] : num_map(rec, key)) {
+    out[static_cast<std::uint32_t>(std::stoul(k))] =
+        static_cast<std::uint64_t>(v);
+  }
+  return out;
+}
+
+simt::RobustnessCounters parse_robustness(const JsonObject& rec) {
+  simt::RobustnessCounters r;
+  const auto rb = num_map(rec, "robustness");
+  r.launches_attempted = opt_u64(rb, "launches_attempted");
+  r.refused_pool = opt_u64(rb, "refused_pool");
+  r.refused_depth = opt_u64(rb, "refused_depth");
+  r.refused_heap = opt_u64(rb, "refused_heap");
+  r.faults_injected = opt_u64(rb, "faults_injected");
+  r.retries = opt_u64(rb, "retries");
+  r.degraded = opt_u64(rb, "degraded");
+  return r;
+}
+
+}  // namespace
+
+std::string to_json(const SuiteProfile& profile) {
+  const simt::ProfileSnapshot& p = profile.prof;
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": " + std::to_string(kProfileSchemaVersion) +
+         ",\n";
+  out += "  \"generator\": \"nestpar_bench\",\n";
+  out += "  \"kind\": \"profile\",\n";
+  out += "  \"suite\": " + json_str(profile.suite) + ",\n";
+  out += "  \"total_cycles\": " + json_num(p.total_cycles) + ",\n";
+  out += "  \"reports\": " + json_num(p.reports) + ",\n";
+  out += "  \"grids\": " + json_num(p.grids) + ",\n";
+  out += "  \"device_grids\": " + json_num(p.device_grids) + ",\n";
+  out += "  \"depth_grids\": " + u32_map_json(p.depth_grids) + ",\n";
+  out += "  \"kernels\": [";
+  for (std::size_t i = 0; i < p.kernels.size(); ++i) {
+    const simt::KernelProfile& k = p.kernels[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": " + json_str(k.name) + ",\n     ";
+    out += "\"invocations\": " + json_num(k.invocations) + ", ";
+    out += "\"busy_cycles\": " + json_num(k.busy_cycles) + ",\n     ";
+    out += "\"launch_max_cycles\": " + json_num(k.launch_max_cycles) + ", ";
+    out += "\"launch_mean_cycles\": " + json_num(k.launch_mean_cycles) +
+           ",\n     ";
+    out += "\"block_cycles\": " + hist_json(k.block_cycles) + ",\n     ";
+    out += "\"child_grid_blocks\": " + hist_json(k.child_grid_blocks) +
+           ",\n     ";
+    out += "\"lane_hist\": {";
+    bool first = true;
+    for (int s = 0; s < simt::kLaneHistSlots; ++s) {
+      if (k.lane_hist[s] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + std::to_string(s) + "\": " + json_num(k.lane_hist[s]);
+    }
+    out += "},\n     ";
+    out += "\"warp_steps\": " + json_num(k.warp_steps) + ", ";
+    out += "\"active_lane_ops\": " + json_num(k.active_lane_ops) + ",\n     ";
+    out += "\"nest_depths\": " + u32_map_json(k.nest_depth_grids) +
+           ",\n     ";
+    out += "\"robustness\": " + k.robustness.to_json() + "}";
+  }
+  out += "\n  ],\n";
+  out += "  \"tracks\": {";
+  {
+    bool first = true;
+    for (const auto& [name, hist] : p.tracks) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    " + json_str(name) + ": " + hist_json(hist);
+    }
+  }
+  out += "\n  },\n";
+  out += "  \"counters\": [";
+  for (std::size_t i = 0; i < p.counters.size(); ++i) {
+    const simt::CounterSample& c = p.counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"track\": " + json_str(c.track) +
+           ", \"value\": " + json_num(c.value) +
+           ", \"node\": " + json_num(c.node) + "}";
+  }
+  out += "\n  ],\n";
+  out += "  \"instants\": [";
+  for (std::size_t i = 0; i < p.instants.size(); ++i) {
+    const simt::InstantSample& e = p.instants[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": " + json_str(e.name) +
+           ", \"cat\": " + json_str(e.cat) +
+           ", \"node\": " + json_num(e.node) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+SuiteProfile parse_profile_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("profile JSON root is not an object");
+  }
+  const JsonObject& root = doc.object();
+  const int version = static_cast<int>(require_num(root, "schema_version"));
+  if (version != kProfileSchemaVersion) {
+    throw std::runtime_error(
+        "profile JSON schema_version " + std::to_string(version) +
+        " does not match supported version " +
+        std::to_string(kProfileSchemaVersion) +
+        " (regenerate the file with this build's nestpar_bench)");
+  }
+  SuiteProfile profile;
+  profile.suite = require_str(root, "suite");
+  simt::ProfileSnapshot& p = profile.prof;
+  p.total_cycles = require_num(root, "total_cycles");
+  p.reports = static_cast<std::uint64_t>(require_num(root, "reports"));
+  p.grids = static_cast<std::uint64_t>(require_num(root, "grids"));
+  p.device_grids =
+      static_cast<std::uint64_t>(require_num(root, "device_grids"));
+  p.depth_grids = parse_u32_map(root, "depth_grids");
+
+  const JsonValue& kernels = require(root, "kernels");
+  if (!kernels.is_array()) {
+    throw std::runtime_error("profile JSON 'kernels' is not an array");
+  }
+  for (const JsonValue& item : kernels.array()) {
+    if (!item.is_object()) {
+      throw std::runtime_error("profile JSON kernel entry is not an object");
+    }
+    const JsonObject& rec = item.object();
+    simt::KernelProfile k;
+    k.name = require_str(rec, "name");
+    k.invocations =
+        static_cast<std::uint64_t>(require_num(rec, "invocations"));
+    k.busy_cycles = require_num(rec, "busy_cycles");
+    k.launch_max_cycles = require_num(rec, "launch_max_cycles");
+    k.launch_mean_cycles = require_num(rec, "launch_mean_cycles");
+    k.block_cycles = parse_hist(rec, "block_cycles");
+    k.child_grid_blocks = parse_hist(rec, "child_grid_blocks");
+    for (const auto& [slot, n] : num_map(rec, "lane_hist")) {
+      const int s = std::stoi(slot);
+      if (s >= 0 && s < simt::kLaneHistSlots) {
+        k.lane_hist[s] = static_cast<std::uint64_t>(n);
+      }
+    }
+    k.warp_steps = static_cast<std::uint64_t>(require_num(rec, "warp_steps"));
+    k.active_lane_ops =
+        static_cast<std::uint64_t>(require_num(rec, "active_lane_ops"));
+    k.nest_depth_grids = parse_u32_map(rec, "nest_depths");
+    k.robustness = parse_robustness(rec);
+    p.kernels.push_back(std::move(k));
+  }
+
+  const auto tracks = root.find("tracks");
+  if (tracks != root.end()) {
+    if (!tracks->second.is_object()) {
+      throw std::runtime_error("profile JSON 'tracks' is not an object");
+    }
+    for (const auto& [name, hist] : tracks->second.object()) {
+      if (!hist.is_object()) {
+        throw std::runtime_error("profile JSON track '" + name +
+                                 "' is not an object");
+      }
+      JsonObject wrapper;
+      wrapper.emplace("h", hist);
+      p.tracks[name] = parse_hist(wrapper, "h");
+    }
+  }
+
+  const auto counters = root.find("counters");
+  if (counters != root.end()) {
+    if (!counters->second.is_array()) {
+      throw std::runtime_error("profile JSON 'counters' is not an array");
+    }
+    for (const JsonValue& item : counters->second.array()) {
+      const JsonObject& rec = item.object();
+      p.counters.push_back(simt::CounterSample{
+          require_str(rec, "track"), require_num(rec, "value"),
+          static_cast<std::uint64_t>(require_num(rec, "node"))});
+    }
+  }
+
+  const auto instants = root.find("instants");
+  if (instants != root.end()) {
+    if (!instants->second.is_array()) {
+      throw std::runtime_error("profile JSON 'instants' is not an array");
+    }
+    for (const JsonValue& item : instants->second.array()) {
+      const JsonObject& rec = item.object();
+      p.instants.push_back(simt::InstantSample{
+          require_str(rec, "name"), require_str(rec, "cat"),
+          static_cast<std::uint64_t>(require_num(rec, "node"))});
+    }
+  }
+  return profile;
+}
+
+std::string write_profile_file(const SuiteProfile& profile,
+                               const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create profile directory '" + dir +
+                             "': " + ec.message());
+  }
+  const std::string path = dir + "/PROF_" + profile.suite + ".json";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  f << to_json(profile);
+  if (!f) throw std::runtime_error("write to '" + path + "' failed");
+  return path;
+}
+
+SuiteProfile load_profile_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open profile file '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  try {
+    return parse_profile_json(buf.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
 bool CompareReport::has_regression() const {
   if (missing > 0) return true;
   for (const MetricDelta& d : deltas) {
@@ -467,6 +459,7 @@ void diff_metric(CompareReport& report, const std::string& suite,
   d.current = current;
   d.rel_delta = rel_delta(baseline, current);
   d.regression = d.rel_delta * bad_direction > threshold;
+  d.improvement = d.rel_delta * bad_direction < -threshold;
   report.deltas.push_back(std::move(d));
 }
 

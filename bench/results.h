@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/simt/metrics.h"
+#include "src/simt/profiler.h"
 
 namespace nestpar::simt {
 struct RunReport;  // defined in src/simt/device.h
@@ -95,6 +96,35 @@ std::string write_result_file(const SuiteResult& result,
 /// parse/schema failure.
 SuiteResult load_result_file(const std::string& path);
 
+/// Version of the PROF_<suite>.json schema (independent of the result
+/// schema; bump on any incompatible layout change).
+inline constexpr int kProfileSchemaVersion = 1;
+
+/// One suite's profile: the simt::Profiler snapshot taken right after the
+/// suite ran with profiling on, written as one `PROF_<suite>.json` file.
+struct SuiteProfile {
+  std::string suite;  ///< Registry name, also the JSON file stem.
+  simt::ProfileSnapshot prof;
+};
+
+/// Serialize to the schema-versioned profile JSON document (stable field
+/// order and number formatting: identical profiles are byte-identical files).
+std::string to_json(const SuiteProfile& profile);
+
+/// Parse a document produced by `to_json(SuiteProfile)`. Throws
+/// std::runtime_error on malformed JSON, missing required fields, or a
+/// schema-version mismatch.
+SuiteProfile parse_profile_json(const std::string& text);
+
+/// Write `to_json(profile)` to `<dir>/PROF_<suite>.json`, creating `dir` if
+/// needed. Returns the path written. Throws std::runtime_error on I/O error.
+std::string write_profile_file(const SuiteProfile& profile,
+                               const std::string& dir);
+
+/// Read and parse one profile file. Throws std::runtime_error on I/O or
+/// parse/schema failure.
+SuiteProfile load_profile_file(const std::string& path);
+
 /// Comparator configuration: `threshold` is the relative delta above which a
 /// deterministic metric counts as a regression (0.05 = 5%).
 struct CompareOptions {
@@ -109,7 +139,8 @@ struct MetricDelta {
   double baseline = 0.0;
   double current = 0.0;
   double rel_delta = 0.0;  ///< (current - baseline) / max(|baseline|, eps).
-  bool regression = false;
+  bool regression = false;   ///< Moved the bad way past the threshold.
+  bool improvement = false;  ///< Moved the good way past the threshold.
 };
 
 /// Result of comparing one suite (or a whole directory of suites).

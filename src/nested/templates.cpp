@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "src/simt/aligned.h"
+#include "src/simt/profiler.h"
 
 namespace nestpar::nested {
 
@@ -288,6 +290,15 @@ void run_dual_queue(Device& dev, const NestedLoopWorkload& w,
                     const LoopParams& p) {
   const std::int64_t n = w.size();
   const QueuePlacement q = build_placement(w, p.lb_threshold);
+  // Profiling telemetry: the dual-queue split sizes, attributed to the build
+  // kernel about to launch. Gated here (not just inside prof_counter) because
+  // kname() allocates.
+  if (simt::Profiler::enabled()) {
+    dev.prof_counter(kname(w, LoopTemplate::kDualQueue, "small_count"),
+                     static_cast<double>(q.small_count));
+    dev.prof_counter(kname(w, LoopTemplate::kDualQueue, "big_count"),
+                     static_cast<double>(q.big_count));
+  }
   auto small_q = simt::make_segment_array<std::int64_t>(
       static_cast<std::size_t>(std::max<std::int64_t>(q.small_count, 1)));
   auto big_q = simt::make_segment_array<std::int64_t>(
@@ -316,6 +327,9 @@ void run_dual_queue(Device& dev, const NestedLoopWorkload& w,
   // Phase 2: the two queues are independent, so their kernels run in
   // separate streams gated on the build kernel's event (the natural CUDA
   // implementation: record after build, wait in both worker streams).
+  if (simt::Profiler::enabled()) {
+    dev.prof_instant(kname(w, LoopTemplate::kDualQueue, "flush"), "queue");
+  }
   const simt::StreamHandle small_stream{1}, big_stream{2};
   const simt::EventHandle after_build = dev.record_event({});
   dev.stream_wait(small_stream, after_build);
@@ -351,6 +365,10 @@ void run_dbuf_global(Device& dev, const NestedLoopWorkload& w,
                      const LoopParams& p) {
   const std::int64_t n = w.size();
   const QueuePlacement q = build_placement(w, p.lb_threshold);
+  if (simt::Profiler::enabled()) {
+    dev.prof_counter(kname(w, LoopTemplate::kDbufGlobal, "deferred"),
+                     static_cast<double>(q.big_count));
+  }
   auto buffer = simt::make_segment_array<std::int64_t>(
       static_cast<std::size_t>(std::max<std::int64_t>(q.big_count, 1)));
   auto count = std::make_shared<std::int64_t>(0);
@@ -376,6 +394,9 @@ void run_dbuf_global(Device& dev, const NestedLoopWorkload& w,
 
   // Phase 2: the buffer is partitioned fairly across a fresh grid of blocks
   // (the inter-block redistribution dbuf-shared cannot do).
+  if (simt::Profiler::enabled()) {
+    dev.prof_instant(kname(w, LoopTemplate::kDbufGlobal, "flush"), "queue");
+  }
   if (q.big_count > 0) {
     WorkList list;
     list.items = buffer;
@@ -401,6 +422,29 @@ void run_dbuf_shared(Device& dev, const NestedLoopWorkload& w,
   cfg.smem_bytes = shared_buffer_bytes(p, /*with_accumulators=*/true);
   const int cap = p.shared_buffer_entries;
   const auto thres = static_cast<std::uint32_t>(p.lb_threshold);
+
+  // Profiling telemetry: per-block delayed-buffer occupancy, recomputed on
+  // the host from the same ownership rule the kernel uses (thread g owns
+  // iterations g, g+grid_threads, ...; g's block is (g % grid_threads) /
+  // block_threads). Deferrals past the buffer capacity fall back to inline
+  // processing, so occupancy is clamped at `cap`.
+  if (simt::Profiler::enabled()) {
+    const std::int64_t grid_threads =
+        static_cast<std::int64_t>(cfg.grid_blocks) * cfg.block_threads;
+    std::vector<std::int64_t> deferred(
+        static_cast<std::size_t>(cfg.grid_blocks), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (w.inner_size(i) > thres) {
+        ++deferred[static_cast<std::size_t>((i % grid_threads) /
+                                            cfg.block_threads)];
+      }
+    }
+    const std::string track = kname(w, LoopTemplate::kDbufShared, "occupancy");
+    for (const std::int64_t d : deferred) {
+      dev.prof_value(track, static_cast<double>(
+                                std::min<std::int64_t>(d, cap)));
+    }
+  }
 
   dev.launch(cfg, [&w, n, cap, thres](BlockCtx& blk) {
     auto buf = blk.shared_array<std::int32_t>(static_cast<std::size_t>(cap));

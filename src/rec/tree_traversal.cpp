@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/simt/profiler.h"
+
 namespace nestpar::rec {
 
 using simt::BlockCtx;
@@ -318,6 +320,12 @@ void run_autoropes(Device& dev, const Tree& tr, std::uint32_t* values,
       choose_split_level(tr, 2 * dev.spec().num_sms * dev.spec().cores_per_sm);
   const auto [first, last] = tr.level_range(split);
   const std::uint32_t roots = last - first;
+  // Profiling telemetry: where the rope split landed and how many subtree
+  // roots it yielded. Gated at the call site because the track names allocate.
+  if (simt::Profiler::enabled()) {
+    dev.prof_counter(base + "/split_level", static_cast<double>(split));
+    dev.prof_counter(base + "/subtree_roots", static_cast<double>(roots));
+  }
 
   // Kernel 1: one thread per split-level subtree; explicit-stack post-order
   // DFS writing each node's final value on pop — no atomics anywhere.

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/simt/profiler.h"
+
 namespace nestpar::simt {
 
 namespace detail {
@@ -51,25 +53,40 @@ void Device::set_exec_policy(const ExecPolicy& policy) {
 Session Device::session() { return session(policy_); }
 
 Session Device::session(const ExecPolicy& policy) {
+  SessionOptions options;
+  options.policy = policy;
+  return session(options);
+}
+
+Session Device::session(const SessionOptions& options) {
   if (session_active_) {
     throw std::logic_error(
         "Device::session: a Session is already open on this Device");
   }
-  return Session(this, policy);
+  return Session(this, options);
 }
 
-Session::Session(Device* dev, const ExecPolicy& policy)
+Session::Session(Device* dev, const SessionOptions& options)
     : dev_(dev), restore_(dev->policy_) {
   dev_->session_active_ = true;
-  dev_->set_exec_policy(policy);
+  dev_->set_exec_policy(options.policy);
   dev_->recorder_.reset();
+  if (options.profile) {
+    profile_override_ = true;
+    profile_restore_ = Profiler::enabled();
+    Profiler::set_enabled(true);
+  }
 }
 
 Session::Session(Session&& other) noexcept
-    : dev_(std::exchange(other.dev_, nullptr)), restore_(other.restore_) {}
+    : dev_(std::exchange(other.dev_, nullptr)),
+      restore_(other.restore_),
+      profile_override_(other.profile_override_),
+      profile_restore_(other.profile_restore_) {}
 
 Session::~Session() {
   if (dev_ == nullptr) return;
+  if (profile_override_) Profiler::set_enabled(profile_restore_);
   dev_->recorder_.reset();
   dev_->set_exec_policy(restore_);
   dev_->session_active_ = false;
@@ -100,6 +117,21 @@ LaunchResult Device::try_launch_threads(const LaunchConfig& cfg, ThreadKernel k,
 
 void Device::reset() { recorder_.reset(); }
 
+void Device::prof_counter(std::string_view track, double value) {
+  if (!Profiler::enabled()) return;
+  Profiler::instance().counter(track, value, recorder_.graph().nodes.size());
+}
+
+void Device::prof_value(std::string_view track, double value) {
+  if (!Profiler::enabled()) return;
+  Profiler::instance().value(track, value);
+}
+
+void Device::prof_instant(std::string_view name, std::string_view cat) {
+  if (!Profiler::enabled()) return;
+  Profiler::instance().instant(name, cat, recorder_.graph().nodes.size());
+}
+
 int Device::blocks_for(std::int64_t items, int block_threads, int max_blocks) {
   if (items <= 0) return 1;
   const std::int64_t blocks = (items + block_threads - 1) / block_threads;
@@ -113,6 +145,7 @@ RunReport Device::report() {
   if (graph.nodes.empty()) return rep;
 
   const ScheduleResult sched = schedule(recorder_.spec(), graph);
+  if (Profiler::enabled()) Profiler::instance().observe_report(graph, sched);
   rep.total_cycles = sched.total_cycles;
   rep.total_us = recorder_.spec().cycles_to_us(sched.total_cycles);
   rep.grids = graph.nodes.size();

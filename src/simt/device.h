@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/simt/device_spec.h"
@@ -17,6 +18,15 @@
 namespace nestpar::simt {
 
 class Session;
+
+/// Options for opening a Session beyond the engine policy. `profile = true`
+/// turns the process-wide simt::Profiler on for the session's lifetime (and
+/// restores the previous state when the session closes) — the programmatic
+/// twin of the `NESTPAR_PROFILE` environment switch.
+struct SessionOptions {
+  ExecPolicy policy = ExecPolicy::from_env();
+  bool profile = false;
+};
 
 /// Per-kernel-name summary in a run report.
 struct KernelReport {
@@ -81,6 +91,8 @@ class Device {
   Session session();
   /// Same, with a per-session engine override.
   Session session(const ExecPolicy& policy);
+  /// Same, with full options (engine override + per-session profiling).
+  Session session(const SessionOptions& options);
 
   /// Launch a block-structured kernel from the host. Throws SimtException
   /// when the launch is refused (host-site fault injection).
@@ -121,7 +133,18 @@ class Device {
   }
 
   /// Run the timing pass over everything launched since the last reset.
+  /// When profiling is enabled (simt::Profiler), the timed graph is also
+  /// folded into the process-wide profile.
   RunReport report();
+
+  /// Profiling hooks: record a counter sample / distribution value / instant
+  /// event on the process-wide Profiler, stamped with this device's current
+  /// launch-graph watermark. All three are gated no-ops — zero cost, zero
+  /// allocation — when profiling is off; call sites that build track names
+  /// dynamically should gate on `Profiler::enabled()` themselves.
+  void prof_counter(std::string_view track, double value);
+  void prof_value(std::string_view track, double value);
+  void prof_instant(std::string_view name, std::string_view cat);
 
   /// Discard the recorded session.
   void reset();
@@ -191,6 +214,16 @@ class Session {
   }
   void synchronize() { dev_->synchronize(); }
 
+  void prof_counter(std::string_view track, double value) {
+    dev_->prof_counter(track, value);
+  }
+  void prof_value(std::string_view track, double value) {
+    dev_->prof_value(track, value);
+  }
+  void prof_instant(std::string_view name, std::string_view cat) {
+    dev_->prof_instant(name, cat);
+  }
+
   /// Timing pass over everything recorded in this session so far. Can be
   /// called repeatedly (e.g. once per convergence milestone).
   RunReport report() { return dev_->report(); }
@@ -199,10 +232,12 @@ class Session {
 
  private:
   friend class Device;
-  Session(Device* dev, const ExecPolicy& policy);
+  Session(Device* dev, const SessionOptions& options);
 
   Device* dev_;        ///< Null after being moved from.
   ExecPolicy restore_; ///< Device policy to reinstate on close.
+  bool profile_override_ = false;  ///< This session turned profiling on.
+  bool profile_restore_ = false;   ///< Profiler state to reinstate on close.
 };
 
 }  // namespace nestpar::simt

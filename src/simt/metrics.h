@@ -73,6 +73,14 @@ struct Metrics {
   // Fault-model counters (see RobustnessCounters).
   RobustnessCounters robustness;
 
+  /// Per-warp-instruction-group active-lane histogram: slot n counts issued
+  /// groups in which n lanes participated (compute groups weighted by their
+  /// step count), so slot 32 is fully converged execution and the low slots
+  /// are the divergence tail. Collected unconditionally — the increments are
+  /// deterministic and cheap — but only surfaced through the profiling
+  /// subsystem (simt::Profiler), never in default report output.
+  std::uint64_t active_lane_hist[33] = {};
+
   /// Ratio of average active lanes per step to the warp width.
   double warp_execution_efficiency() const {
     return warp_steps == 0 ? 0.0

@@ -1,0 +1,149 @@
+#include "src/simt/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+namespace nestpar::simt {
+
+int ProfHistogram::bucket_of(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN land in bucket 0
+  const auto u = static_cast<std::uint64_t>(std::min(v, 9.2e18));
+  return std::min(static_cast<int>(std::bit_width(u)), kBuckets - 1);
+}
+
+void ProfHistogram::add(double v) {
+  if (count == 0) {
+    min_value = v;
+    max_value = v;
+  } else {
+    min_value = std::min(min_value, v);
+    max_value = std::max(max_value, v);
+  }
+  ++count;
+  sum += v;
+  ++buckets[bucket_of(v)];
+}
+
+ProfHistogram& ProfHistogram::operator+=(const ProfHistogram& o) {
+  if (o.count == 0) return *this;
+  if (count == 0) {
+    min_value = o.min_value;
+    max_value = o.max_value;
+  } else {
+    min_value = std::min(min_value, o.min_value);
+    max_value = std::max(max_value, o.max_value);
+  }
+  count += o.count;
+  sum += o.sum;
+  for (int b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
+  return *this;
+}
+
+const KernelProfile* ProfileSnapshot::find(std::string_view name) const {
+  for (const KernelProfile& k : kernels) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool env_profile_enabled() {
+  const char* v = std::getenv("NESTPAR_PROFILE");
+  return v != nullptr && v[0] != '\0' &&
+         !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_profile_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+bool Profiler::enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void Profiler::set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void Profiler::counter(std::string_view track, double value,
+                       std::uint64_t node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.counters.push_back(CounterSample{std::string(track), value, node});
+  data_.tracks[std::string(track)].add(value);
+}
+
+void Profiler::value(std::string_view track, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.tracks[std::string(track)].add(v);
+}
+
+void Profiler::instant(std::string_view name, std::string_view cat,
+                       std::uint64_t node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.instants.push_back(
+      InstantSample{std::string(name), std::string(cat), node});
+}
+
+void Profiler::observe_report(const LaunchGraph& graph,
+                              const ScheduleResult& sched) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++data_.reports;
+  data_.total_cycles += sched.total_cycles;
+  for (const KernelNode& node : graph.nodes) {
+    KernelProfile& kp = kernels_[node.name];
+    if (kp.name.empty()) kp.name = node.name;
+    ++kp.invocations;
+    kp.busy_cycles += sched.node_end[node.id] - sched.node_start[node.id];
+    for (const BlockCost& b : node.blocks) kp.block_cycles.add(b.issue_cycles);
+    if (!node.blocks.empty()) {
+      double mx = 0.0;
+      double sum = 0.0;
+      for (const BlockCost& b : node.blocks) {
+        mx = std::max(mx, static_cast<double>(b.issue_cycles));
+        sum += static_cast<double>(b.issue_cycles);
+      }
+      kp.launch_max_cycles += mx;
+      kp.launch_mean_cycles += sum / static_cast<double>(node.blocks.size());
+    }
+    if (node.origin == LaunchOrigin::kDevice) {
+      kp.child_grid_blocks.add(static_cast<double>(node.grid_blocks));
+      ++data_.device_grids;
+    }
+    for (int i = 0; i < kLaneHistSlots; ++i) {
+      kp.lane_hist[i] += node.metrics.active_lane_hist[i];
+    }
+    kp.warp_steps += node.metrics.warp_steps;
+    kp.active_lane_ops += node.metrics.active_lane_ops;
+    ++kp.nest_depth_grids[node.nest_depth];
+    kp.robustness += node.metrics.robustness;
+    ++data_.depth_grids[node.nest_depth];
+    ++data_.grids;
+  }
+}
+
+ProfileSnapshot Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileSnapshot snap = data_;
+  snap.kernels.reserve(kernels_.size());
+  for (const auto& [name, kp] : kernels_) snap.kernels.push_back(kp);
+  return snap;  // std::map iteration order keeps kernels sorted by name
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  kernels_.clear();
+  data_ = ProfileSnapshot{};
+}
+
+}  // namespace nestpar::simt

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/simt/launch_graph.h"
+#include "src/simt/metrics.h"
+#include "src/simt/scheduler.h"
+
+namespace nestpar::simt {
+
+/// Number of histogram slots in an active-lane histogram: one per possible
+/// active-lane count of a 32-wide warp, plus the (unused) zero slot.
+inline constexpr int kLaneHistSlots = 33;
+
+/// Log2-bucketed value distribution used for every profiled quantity whose
+/// *spread* matters (per-block cycles, child grid sizes, buffer occupancy).
+/// Bucket 0 holds values < 1; bucket b >= 1 holds values in [2^(b-1), 2^b).
+struct ProfHistogram {
+  static constexpr int kBuckets = 64;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::uint64_t buckets[kBuckets] = {};
+
+  /// Bucket index for `v` (clamped; negative values land in bucket 0).
+  static int bucket_of(double v);
+
+  void add(double v);
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+  ProfHistogram& operator+=(const ProfHistogram& o);
+};
+
+/// Distribution profile of one kernel name, accumulated over every observed
+/// invocation. This is the paper's skew data: not just how many cycles a
+/// kernel cost, but how unevenly its blocks shared them.
+struct KernelProfile {
+  std::string name;
+  std::uint64_t invocations = 0;
+  double busy_cycles = 0.0;  ///< Sum of scheduled (end - start) per grid.
+
+  /// Per-block issue-cycle distribution — the load-imbalance signal.
+  ProfHistogram block_cycles;
+  /// Per-launch imbalance accumulators: the sum over launches of the
+  /// slowest block's cycles (what the grid actually waits for) and of the
+  /// mean block cycles (what a perfectly balanced grid would wait for).
+  /// Keeping the per-launch structure matters: folding all blocks of all
+  /// launches into one histogram would let iteration-to-iteration frontier
+  /// variation (large early SSSP waves, tiny late ones) drown out the
+  /// within-grid skew the LB templates actually remove.
+  double launch_max_cycles = 0.0;
+  double launch_mean_cycles = 0.0;
+  /// Grid sizes of device-side (CDP) invocations of this kernel: the
+  /// child-grid-size profile of the dpar/recursive templates.
+  ProfHistogram child_grid_blocks;
+
+  /// Active-lane histogram over issued warp-instruction groups (slot n =
+  /// groups with n active lanes), summed from the kernel's Metrics.
+  std::uint64_t lane_hist[kLaneHistSlots] = {};
+  std::uint64_t warp_steps = 0;
+  std::uint64_t active_lane_ops = 0;
+
+  /// Grids observed at each nesting depth.
+  std::map<std::uint32_t, std::uint64_t> nest_depth_grids;
+
+  /// Fault/retry/degradation activity attributed to this kernel's launches.
+  RobustnessCounters robustness;
+
+  /// Load-imbalance factor: actual busy time over ideally balanced time,
+  /// i.e. sum of per-launch max block cycles / sum of per-launch mean block
+  /// cycles (1.0 = perfectly balanced; the paper's motivation metric for
+  /// the LB templates).
+  double imbalance() const {
+    return launch_mean_cycles <= 0.0 ? 0.0
+                                     : launch_max_cycles / launch_mean_cycles;
+  }
+  double warp_efficiency() const {
+    return warp_steps == 0 ? 0.0
+                           : static_cast<double>(active_lane_ops) /
+                                 (32.0 * static_cast<double>(warp_steps));
+  }
+};
+
+/// One named counter sample recorded by a template (queue split sizes,
+/// autoropes split level, ...). `node` is the launch-graph watermark at
+/// record time — the number of grids already launched — which the trace
+/// exporter resolves to a timestamp.
+struct CounterSample {
+  std::string track;
+  double value = 0.0;
+  std::uint64_t node = 0;
+};
+
+/// One instant event (queue flush, phase transition) with the same
+/// launch-graph watermark attribution as CounterSample.
+struct InstantSample {
+  std::string name;
+  std::string cat;
+  std::uint64_t node = 0;
+};
+
+/// Everything the profiler collected since the last reset. Copyable value
+/// type: the bench driver snapshots once per suite and serializes the result
+/// as PROF_<suite>.json (see bench/results.h).
+struct ProfileSnapshot {
+  std::vector<KernelProfile> kernels;  ///< Sorted by kernel name.
+  /// Named value distributions (counter tracks aggregate here too).
+  std::map<std::string, ProfHistogram> tracks;
+  std::vector<CounterSample> counters;  ///< Time-series counter samples.
+  std::vector<InstantSample> instants;
+  double total_cycles = 0.0;    ///< Sum of observed reports' makespans.
+  std::uint64_t reports = 0;    ///< Device::report() calls observed.
+  std::uint64_t grids = 0;
+  std::uint64_t device_grids = 0;
+  std::map<std::uint32_t, std::uint64_t> depth_grids;
+
+  /// Kernel profile by exact name; nullptr when absent.
+  const KernelProfile* find(std::string_view name) const;
+};
+
+/// Process-wide profiling collector. Off by default: every hook is gated on
+/// `enabled()` (same discipline as RobustnessCounters) so a profile-off run
+/// performs no profiling allocations and produces byte-identical output.
+///
+/// Activation: the `NESTPAR_PROFILE` environment variable (any value other
+/// than empty/"0"), `set_enabled(true)`, or a Session opened with
+/// `SessionOptions::profile = true`.
+///
+/// The collector is global rather than per-Device so the combined bench
+/// driver can snapshot profiles from Devices created inside suite code it
+/// never sees; `Device::report()` feeds it, templates add counters through
+/// `Device::prof_*`. Call sites must gate any string building on
+/// `Profiler::enabled()` themselves to keep the profile-off path
+/// allocation-free.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// Global gate, initialized from NESTPAR_PROFILE on first use.
+  static bool enabled();
+  static void set_enabled(bool on);
+
+  /// Record a counter sample (time series + aggregate distribution).
+  void counter(std::string_view track, double value, std::uint64_t node);
+  /// Record a value into a named distribution only (no time series) — for
+  /// per-block quantities where the spread is the signal.
+  void value(std::string_view track, double v);
+  /// Record an instant event.
+  void instant(std::string_view name, std::string_view cat,
+               std::uint64_t node);
+
+  /// Fold one timed session into the per-kernel profiles. Called by
+  /// Device::report() when profiling is enabled; each call observes the
+  /// whole graph of that session.
+  void observe_report(const LaunchGraph& graph, const ScheduleResult& sched);
+
+  /// Copy of everything collected since the last reset.
+  ProfileSnapshot snapshot() const;
+  void reset();
+
+ private:
+  Profiler() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, KernelProfile> kernels_;
+  ProfileSnapshot data_;  ///< kernels member unused; map above is the source.
+};
+
+}  // namespace nestpar::simt

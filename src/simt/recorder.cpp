@@ -722,6 +722,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       m.warp_steps += comp_max;
       m.active_lane_ops += comp_sum;
       m.compute_ops += comp_sum;
+      m.active_lane_hist[comp_n] += comp_max;
     }
     if (ld_n > 0) {
       const int k = unique_count(ld_segs, ld_seg_n) + ld_extra;
@@ -730,6 +731,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       m.active_lane_ops += static_cast<std::uint64_t>(ld_n);
       m.gld_requested_bytes += ld_req;
       m.gld_transferred_bytes += static_cast<std::uint64_t>(k) * seg;
+      m.active_lane_hist[ld_n] += 1;
     }
     if (st_n > 0) {
       const int k = unique_count(st_segs, st_seg_n) + st_extra;
@@ -738,6 +740,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       m.active_lane_ops += static_cast<std::uint64_t>(st_n);
       m.gst_requested_bytes += st_req;
       m.gst_transferred_bytes += static_cast<std::uint64_t>(k) * seg;
+      m.active_lane_hist[st_n] += 1;
     }
     if (sh_n > 0) {
       // Bank-conflict ways: max lanes hitting the same 4-byte bank.
@@ -753,6 +756,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(sh_n);
       m.shared_ops += static_cast<std::uint64_t>(sh_n);
+      m.active_lane_hist[sh_n] += 1;
     }
     if (at_n > 0) {
       // Intra-warp serialization on identical addresses + transactions for
@@ -771,6 +775,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(at_n);
       m.atomic_ops += static_cast<std::uint64_t>(at_n);
+      m.active_lane_hist[at_n] += 1;
     }
     if (ln_n > 0) {
       // Device launches from one warp serialize through the launch queue.
@@ -782,6 +787,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(ln_n);
       m.device_launches += static_cast<std::uint64_t>(ln_n);
+      m.active_lane_hist[ln_n] += 1;
     }
     if (fail_n > 0) {
       // A refused launch still pays the issue cost (the lane did the work of
@@ -789,6 +795,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       cost += fail_n * spec.launch_issue_cycles;
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(fail_n);
+      m.active_lane_hist[fail_n] += 1;
     }
     if (stall_max > 0) {
       // Retry backoff: pure idle latency, no throughput metrics.

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "src/simt/profiler.h"
 #include "src/simt/scheduler.h"
 
 namespace nestpar::simt {
@@ -25,6 +26,29 @@ void write_escaped(std::ostream& out, const std::string& s) {
         }
     }
   }
+}
+
+/// Timestamp for a launch-graph watermark (see CounterSample::node): the
+/// start of the grid launched right after the sample was taken, or the end
+/// of the schedule when the sample came after the last launch (or from a
+/// different device's session — profiling is process-wide).
+double watermark_us(const DeviceSpec& spec, const ScheduleResult& sched,
+                    std::uint64_t node) {
+  if (node < sched.node_start.size()) {
+    return spec.cycles_to_us(sched.node_start[node]);
+  }
+  return spec.cycles_to_us(sched.total_cycles);
+}
+
+/// One Perfetto instant event attributing fault-model activity to a grid.
+void write_fault_instant(std::ostream& out, const char* name,
+                         std::uint64_t count, const KernelNode& node,
+                         double ts_us) {
+  out << ",{\"name\":\"" << name << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":"
+      << "\"g\",\"ts\":" << ts_us << ",\"pid\":0,\"tid\":" << node.stream
+      << ",\"args\":{\"kernel\":\"";
+  write_escaped(out, node.name);
+  out << "\",\"count\":" << count << "}}";
 }
 
 }  // namespace
@@ -59,6 +83,49 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
         << ",\"nest_depth\":" << node.nest_depth
         << ",\"atomics\":" << node.metrics.atomic_ops << ",\"warp_eff\":"
         << node.metrics.warp_execution_efficiency() << "}}";
+  }
+
+  // Profiling extension (gated so profile-off traces are byte-identical to
+  // the pre-profiler exporter): Perfetto counter tracks for template
+  // telemetry (queue split sizes, split levels, ...) plus instant events for
+  // template-emitted markers (queue flushes) and fault-model activity
+  // attributed to the grid it happened in.
+  if (!first && Profiler::enabled()) {
+    const ProfileSnapshot snap = Profiler::instance().snapshot();
+    for (const CounterSample& c : snap.counters) {
+      out << ",{\"name\":\"";
+      write_escaped(out, c.track);
+      out << "\",\"ph\":\"C\",\"ts\":" << watermark_us(spec, sched, c.node)
+          << ",\"pid\":0,\"args\":{\"value\":" << c.value << "}}";
+    }
+    for (const InstantSample& e : snap.instants) {
+      out << ",{\"name\":\"";
+      write_escaped(out, e.name);
+      out << "\",\"cat\":\"";
+      write_escaped(out, e.cat);
+      out << "\",\"ph\":\"i\",\"s\":\"g\",\"ts\":"
+          << watermark_us(spec, sched, e.node) << ",\"pid\":0,\"tid\":0}";
+    }
+    for (const KernelNode& node : graph.nodes) {
+      const RobustnessCounters& rb = node.metrics.robustness;
+      if (!rb.any_fault()) continue;
+      const double ts_us = spec.cycles_to_us(sched.node_start[node.id]);
+      if (rb.faults_injected > 0) {
+        write_fault_instant(out, "fault-injected", rb.faults_injected, node,
+                            ts_us);
+      }
+      const std::uint64_t refused =
+          rb.refused_pool + rb.refused_depth + rb.refused_heap;
+      if (refused > 0) {
+        write_fault_instant(out, "launch-refused", refused, node, ts_us);
+      }
+      if (rb.retries > 0) {
+        write_fault_instant(out, "retry", rb.retries, node, ts_us);
+      }
+      if (rb.degraded > 0) {
+        write_fault_instant(out, "degraded", rb.degraded, node, ts_us);
+      }
+    }
   }
   out << "],\"displayTimeUnit\":\"ms\"}";
 }

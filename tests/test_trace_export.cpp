@@ -1,0 +1,153 @@
+// Structural round-trip tests for write_chrome_trace: the exported document
+// must be valid JSON with one complete event per launched grid, one timeline
+// row (tid) per stream, and the per-grid metrics in the event args — parsed
+// back with the same bench JSON parser the results pipeline uses. Also
+// covers the profiling extension: counter/instant events appear only when
+// the profiler is on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "bench/json.h"
+#include "src/simt/device.h"
+#include "src/simt/profiler.h"
+#include "src/simt/trace_export.h"
+
+namespace simt = nestpar::simt;
+namespace bench = nestpar::bench;
+
+namespace {
+
+/// Trace tests must not inherit or leak global profiler state.
+class TraceExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = simt::Profiler::enabled();
+    simt::Profiler::set_enabled(false);
+    simt::Profiler::instance().reset();
+  }
+  void TearDown() override {
+    simt::Profiler::set_enabled(was_enabled_);
+    simt::Profiler::instance().reset();
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+void launch_named(simt::Device& dev, const std::string& name, int stream,
+                  int grid_blocks) {
+  simt::LaunchConfig cfg;
+  cfg.grid_blocks = grid_blocks;
+  cfg.block_threads = 32;
+  cfg.name = name;
+  dev.launch_threads(
+      cfg, [](simt::LaneCtx& t) { t.compute(1 + t.global_idx() % 3); },
+      simt::StreamHandle{stream});
+}
+
+bench::JsonValue export_and_parse(simt::Device& dev) {
+  std::ostringstream out;
+  simt::write_chrome_trace(out, dev);
+  return bench::parse_json(out.str());
+}
+
+TEST_F(TraceExportTest, OneCompleteEventPerGridOneRowPerStream) {
+  simt::Device dev;
+  simt::Session s = dev.session();
+  launch_named(dev, "trace/a", 0, 2);
+  launch_named(dev, "trace/b", 1, 3);
+  launch_named(dev, "trace/a", 0, 2);
+
+  const bench::JsonValue doc = export_and_parse(dev);
+  ASSERT_TRUE(doc.is_object());
+  const bench::JsonValue& events =
+      bench::require(doc.object(), "traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array().size(), dev.graph().nodes.size());
+  ASSERT_EQ(events.array().size(), 3u);
+
+  std::set<std::uint32_t> graph_streams;
+  for (const simt::KernelNode& n : dev.graph().nodes) {
+    graph_streams.insert(n.stream);
+  }
+  std::set<std::uint32_t> trace_tids;
+  for (std::size_t i = 0; i < events.array().size(); ++i) {
+    const bench::JsonValue& ev = events.array()[i];
+    ASSERT_TRUE(ev.is_object());
+    const bench::JsonObject& obj = ev.object();
+    EXPECT_EQ(bench::require_str(obj, "ph"), "X");
+    EXPECT_FALSE(bench::require_str(obj, "name").empty());
+    EXPECT_GE(bench::require_num(obj, "dur"), 0.0);
+    trace_tids.insert(
+        static_cast<std::uint32_t>(bench::require_num(obj, "tid")));
+
+    const bench::JsonValue& args = bench::require(obj, "args");
+    ASSERT_TRUE(args.is_object());
+    const simt::KernelNode& node = dev.graph().nodes[i];
+    EXPECT_EQ(bench::require_num(args.object(), "grid_blocks"),
+              node.grid_blocks);
+    EXPECT_EQ(bench::require_num(args.object(), "block_threads"),
+              node.block_threads);
+    EXPECT_EQ(bench::require_num(args.object(), "nest_depth"),
+              node.nest_depth);
+    // The exporter prints warp_eff at the stream's default 6-significant-
+    // digit precision, so compare with matching tolerance.
+    EXPECT_NEAR(bench::require_num(args.object(), "warp_eff"),
+                node.metrics.warp_execution_efficiency(), 1e-5);
+  }
+  EXPECT_EQ(trace_tids, graph_streams);
+}
+
+TEST_F(TraceExportTest, EmptySessionYieldsEmptyEventArray) {
+  simt::Device dev;
+  simt::Session s = dev.session();
+  const bench::JsonValue doc = export_and_parse(dev);
+  ASSERT_TRUE(doc.is_object());
+  const bench::JsonValue& events =
+      bench::require(doc.object(), "traceEvents");
+  ASSERT_TRUE(events.is_array());
+  EXPECT_TRUE(events.array().empty());
+}
+
+TEST_F(TraceExportTest, CounterAndInstantEventsAppearOnlyWhenProfiling) {
+  const auto count_phases = [](const bench::JsonValue& doc) {
+    std::map<std::string, int> by_ph;
+    for (const bench::JsonValue& ev :
+         bench::require(doc.object(), "traceEvents").array()) {
+      ++by_ph[bench::require_str(ev.object(), "ph")];
+    }
+    return by_ph;
+  };
+
+  // Profiling off: prof_counter is a no-op, only "X" events exist.
+  {
+    simt::Device dev;
+    simt::Session s = dev.session();
+    launch_named(dev, "trace/a", 0, 2);
+    s.prof_counter("trace/queue", 5.0);
+    auto by_ph = count_phases(export_and_parse(dev));
+    EXPECT_EQ(by_ph["X"], 1);
+    EXPECT_EQ(by_ph.count("C"), 0u);
+    EXPECT_EQ(by_ph.count("i"), 0u);
+  }
+
+  // Profiling on: the same calls materialize as counter + instant events.
+  simt::Profiler::set_enabled(true);
+  {
+    simt::Device dev;
+    simt::Session s = dev.session();
+    s.prof_counter("trace/queue", 5.0);
+    launch_named(dev, "trace/a", 0, 2);
+    s.prof_instant("trace/flush", "queue");
+    auto by_ph = count_phases(export_and_parse(dev));
+    EXPECT_EQ(by_ph["X"], 1);
+    EXPECT_EQ(by_ph["C"], 1);
+    EXPECT_EQ(by_ph["i"], 1);
+  }
+}
+
+}  // namespace

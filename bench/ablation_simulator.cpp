@@ -123,7 +123,8 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
       m.dataset = "uniform-random";
       m.scale = scale;
       m.params["pending_launch_pool"] = pool;
-      m.extra["cpu_slowdown"] = rep.total_us / cpu.us();  // cross-model ratio
+      // Cross-model ratio built on the ASLR-sensitive CPU model: volatile.
+      m.volatile_extra["cpu_slowdown"] = rep.total_us / cpu.us();
       out.measurements.push_back(std::move(m));
     }
   }

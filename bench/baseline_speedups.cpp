@@ -145,7 +145,8 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
     m.host_launches = r.host_launches;
     m.device_launches = r.device_launches;
     m.robustness = r.robustness;
-    m.extra["cpu_speedup"] = r.cpu_us / r.total_us;  // cross-model ratio
+    // Cross-model ratio built on wall-clock CPU time: volatile by nature.
+    m.volatile_extra["cpu_speedup"] = r.cpu_us / r.total_us;
     out.measurements.push_back(std::move(m));
   }
   return 0;

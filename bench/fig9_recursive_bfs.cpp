@@ -52,7 +52,8 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
       m.scale = static_cast<double>(nodes);
       m.params["outdeg_range"] = range;
       m.params["streams_per_block"] = streams;
-      m.extra["cpu_slowdown"] = rep.total_us / ref_us;  // cross-model ratio
+      // Cross-model ratio built on the ASLR-sensitive CPU model: volatile.
+      m.volatile_extra["cpu_slowdown"] = rep.total_us / ref_us;
       out.measurements.push_back(std::move(m));
     };
 

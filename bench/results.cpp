@@ -59,6 +59,13 @@ std::string to_json(const SuiteResult& result) {
     out += "\"robustness\": " + m.robustness.to_json() + ",\n     ";
     out += "\"extra\": ";
     append_num_map(out, m.extra);
+    // Volatile (wall-clock-derived) metrics live under their own key, and
+    // only when present, so deterministic records keep their exact v1 bytes
+    // and byte-stability tooling can drop the section structurally.
+    if (!m.volatile_extra.empty()) {
+      out += ",\n     \"extra_volatile\": ";
+      append_num_map(out, m.volatile_extra);
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";
@@ -111,6 +118,7 @@ SuiteResult parse_result_json(const std::string& text) {
     m.robustness.retries = opt_u64(rb, "retries");
     m.robustness.degraded = opt_u64(rb, "degraded");
     m.extra = num_map(rec, "extra");
+    m.volatile_extra = num_map(rec, "extra_volatile");
     result.measurements.push_back(std::move(m));
   }
   return result;
@@ -211,6 +219,37 @@ std::map<std::uint32_t, std::uint64_t> parse_u32_map(const JsonObject& rec,
   return out;
 }
 
+// -- Critical-path sections (profile schema v2) -----------------------------
+
+/// Longest binding chain serialized per profile; the tail (nearest the
+/// makespan) is kept because the chain is read top-down from the last-
+/// finishing grid. The cap is deterministic, so capped files stay
+/// byte-stable; `chain_dropped` records how many leading segments were cut.
+constexpr std::size_t kMaxSerializedChain = 512;
+
+std::string crit_attr_json(const simt::CritAttribution& a) {
+  std::string out = "{";
+  for (int i = 0; i < simt::kCritCategoryCount; ++i) {
+    if (i > 0) out += ", ";
+    out += "\"";
+    out += std::string(
+        simt::to_string(static_cast<simt::CritCategory>(i)));
+    out += "\": " + json_num(a.cycles[i]);
+  }
+  out += "}";
+  return out;
+}
+
+simt::CritAttribution parse_crit_attr(const JsonObject& rec,
+                                      const std::string& key) {
+  simt::CritAttribution a;
+  for (const auto& [name, value] : num_map(rec, key)) {
+    simt::CritCategory cat;
+    if (simt::parse_crit_category(name, cat)) a[cat] = value;
+  }
+  return a;
+}
+
 simt::RobustnessCounters parse_robustness(const JsonObject& rec) {
   simt::RobustnessCounters r;
   const auto rb = num_map(rec, "robustness");
@@ -296,7 +335,54 @@ std::string to_json(const SuiteProfile& profile) {
            ", \"cat\": " + json_str(e.cat) +
            ", \"node\": " + json_num(e.node) + "}";
   }
-  out += "\n  ]\n}\n";
+  out += "\n  ],\n";
+  // Schema v2: critical-path decomposition (see src/simt/critpath.h).
+  const std::size_t chain_total = p.crit_chain.size();
+  const std::size_t chain_from =
+      chain_total > kMaxSerializedChain ? chain_total - kMaxSerializedChain
+                                        : 0;
+  out += "  \"critical_path\": {\n";
+  out += "    \"makespan\": " + json_num(p.crit_chain_makespan) + ",\n";
+  out += "    \"chain_dropped\": " + json_num(chain_from) + ",\n";
+  out += "    \"chain\": [";
+  for (std::size_t i = chain_from; i < chain_total; ++i) {
+    const simt::CritSegment& s = p.crit_chain[i];
+    out += i == chain_from ? "\n" : ",\n";
+    out += "      {\"kernel\": " + json_str(s.kernel) +
+           ", \"node\": " + json_num(static_cast<std::uint64_t>(s.node)) +
+           ", \"depth\": " + json_num(static_cast<std::uint64_t>(s.depth)) +
+           ", \"category\": \"" +
+           std::string(simt::to_string(s.category)) +
+           "\", \"begin\": " + json_num(s.begin) +
+           ", \"cycles\": " + json_num(s.cycles) + "}";
+  }
+  out += "\n    ],\n";
+  out += "    \"folded\": ";
+  {
+    std::string folded = "{";
+    bool first = true;
+    for (const auto& [stack, cycles] : p.crit_folded) {
+      folded += first ? "\n      " : ",\n      ";
+      first = false;
+      folded += json_str(stack) + ": " + json_num(cycles);
+    }
+    folded += "\n    }";
+    out += folded;
+  }
+  out += "\n  },\n";
+  out += "  \"attribution\": {\n";
+  out += "    \"total\": " + crit_attr_json(p.crit_total) + ",\n";
+  out += "    \"kernels\": {";
+  {
+    bool first = true;
+    for (const auto& [name, attr] : p.crit_kernels) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "      " + json_str(name) + ": " + crit_attr_json(attr);
+    }
+  }
+  out += "\n    }\n";
+  out += "  }\n}\n";
   return out;
 }
 
@@ -307,14 +393,16 @@ SuiteProfile parse_profile_json(const std::string& text) {
   }
   const JsonObject& root = doc.object();
   const int version = static_cast<int>(require_num(root, "schema_version"));
-  if (version != kProfileSchemaVersion) {
+  if (version < kMinProfileSchemaVersion || version > kProfileSchemaVersion) {
     throw std::runtime_error(
         "profile JSON schema_version " + std::to_string(version) +
-        " does not match supported version " +
+        " is outside the supported range " +
+        std::to_string(kMinProfileSchemaVersion) + ".." +
         std::to_string(kProfileSchemaVersion) +
         " (regenerate the file with this build's nestpar_bench)");
   }
   SuiteProfile profile;
+  profile.schema_version = version;
   profile.suite = require_str(root, "suite");
   simt::ProfileSnapshot& p = profile.prof;
   p.total_cycles = require_num(root, "total_cycles");
@@ -395,6 +483,60 @@ SuiteProfile parse_profile_json(const std::string& text) {
       p.instants.push_back(simt::InstantSample{
           require_str(rec, "name"), require_str(rec, "cat"),
           static_cast<std::uint64_t>(require_num(rec, "node"))});
+    }
+  }
+
+  // Schema v2 sections; absent in v1 files, which read back empty.
+  const auto critical = root.find("critical_path");
+  if (critical != root.end()) {
+    if (!critical->second.is_object()) {
+      throw std::runtime_error(
+          "profile JSON 'critical_path' is not an object");
+    }
+    const JsonObject& cp = critical->second.object();
+    p.crit_chain_makespan = require_num(cp, "makespan");
+    const JsonValue& chain = require(cp, "chain");
+    if (!chain.is_array()) {
+      throw std::runtime_error("profile JSON 'chain' is not an array");
+    }
+    for (const JsonValue& item : chain.array()) {
+      const JsonObject& rec = item.object();
+      simt::CritSegment seg;
+      seg.kernel = require_str(rec, "kernel");
+      seg.node = static_cast<std::uint32_t>(require_num(rec, "node"));
+      seg.depth = static_cast<std::uint32_t>(require_num(rec, "depth"));
+      const std::string cat = require_str(rec, "category");
+      if (!simt::parse_crit_category(cat, seg.category)) {
+        throw std::runtime_error("profile JSON unknown chain category '" +
+                                 cat + "'");
+      }
+      seg.begin = require_num(rec, "begin");
+      seg.cycles = require_num(rec, "cycles");
+      p.crit_chain.push_back(std::move(seg));
+    }
+    for (const auto& [stack, cycles] : num_map(cp, "folded")) {
+      p.crit_folded[stack] = cycles;
+    }
+  }
+  const auto attribution = root.find("attribution");
+  if (attribution != root.end()) {
+    if (!attribution->second.is_object()) {
+      throw std::runtime_error("profile JSON 'attribution' is not an object");
+    }
+    const JsonObject& attr = attribution->second.object();
+    p.crit_total = parse_crit_attr(attr, "total");
+    const auto kernels_attr = attr.find("kernels");
+    if (kernels_attr != attr.end()) {
+      if (!kernels_attr->second.is_object()) {
+        throw std::runtime_error(
+            "profile JSON attribution 'kernels' is not an object");
+      }
+      JsonObject wrapper;
+      for (const auto& [name, value] : kernels_attr->second.object()) {
+        wrapper.clear();
+        wrapper.emplace("a", value);
+        p.crit_kernels[name] = parse_crit_attr(wrapper, "a");
+      }
     }
   }
   return profile;

@@ -29,9 +29,14 @@ inline constexpr int kResultSchemaVersion = 1;
 ///    `robustness`): pure functions of the workload and the device model,
 ///    bit-stable across runs, engines, and build types. The comparator gates
 ///    regressions on these.
-///  - *Informational* extras (`extra`, e.g. wall-clock-derived CPU speedups):
-///    carried through the JSON for plotting but never compared, because wall
-///    time is not reproducible.
+///  - *Informational* extras (`extra`): carried through the JSON for
+///    plotting but never compared by the regression gate.
+///  - *Volatile* extras (`volatile_extra`, e.g. wall-clock-derived CPU
+///    speedups): serialized under a separate `"extra_volatile"` key that
+///    byte-stability comparisons exclude structurally — wall/cpu time
+///    jitters run-to-run (heap ASLR), so tagging it at the serializer is
+///    what lets everything else stay byte-identical without special-casing
+///    columns in the comparison scripts.
 ///
 /// Typical producer code inside a suite run function:
 /// ```cpp
@@ -59,9 +64,14 @@ struct Measurement {
   std::uint64_t device_launches = 0;
   simt::RobustnessCounters robustness;
 
-  /// Informational metrics (serialized, never compared): speedups over
-  /// wall-clock CPU references, paper-reference values, etc.
+  /// Informational metrics (serialized, never compared): paper-reference
+  /// values and other deterministic side data.
   std::map<std::string, double> extra;
+
+  /// Wall-clock-derived metrics (CPU speedups, ...): serialized as
+  /// `"extra_volatile"` (only when non-empty) so byte-stability tooling can
+  /// strip the one non-deterministic section structurally. Never compared.
+  std::map<std::string, double> volatile_extra;
 
   /// Seed the deterministic fields from a finished run's report.
   static Measurement from_report(const simt::RunReport& rep);
@@ -97,13 +107,22 @@ std::string write_result_file(const SuiteResult& result,
 SuiteResult load_result_file(const std::string& path);
 
 /// Version of the PROF_<suite>.json schema (independent of the result
-/// schema; bump on any incompatible layout change).
-inline constexpr int kProfileSchemaVersion = 1;
+/// schema; bump on any incompatible layout change). v2 added the
+/// `critical_path` and `attribution` sections; v1 files still parse (those
+/// sections read back empty).
+inline constexpr int kProfileSchemaVersion = 2;
+
+/// Oldest profile schema `parse_profile_json` still accepts.
+inline constexpr int kMinProfileSchemaVersion = 1;
 
 /// One suite's profile: the simt::Profiler snapshot taken right after the
 /// suite ran with profiling on, written as one `PROF_<suite>.json` file.
 struct SuiteProfile {
   std::string suite;  ///< Registry name, also the JSON file stem.
+  /// Schema version the file was written under (parse sets it; to_json
+  /// always writes the current kProfileSchemaVersion). Lets consumers such
+  /// as `nestpar_prof --diff` note an upgraded baseline instead of guessing.
+  int schema_version = kProfileSchemaVersion;
   simt::ProfileSnapshot prof;
 };
 

@@ -58,7 +58,8 @@ inline void tree_sweep(rec::TreeAlgo algo,
       m.params["depth"] = shape.depth;
       m.params["outdegree"] = shape.outdegree;
       m.params["sparsity"] = shape.sparsity;
-      m.extra["cpu_speedup"] = cpu_us / rep.total_us;  // cross-model ratio
+      // Cross-model ratio built on wall-clock CPU time: volatile by nature.
+      m.volatile_extra["cpu_speedup"] = cpu_us / rep.total_us;
       out.measurements.push_back(std::move(m));
     }
     row.push_back(fmt_pct(flat_warp));

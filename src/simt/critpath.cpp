@@ -1,0 +1,292 @@
+#include "src/simt/critpath.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nestpar::simt {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+const char* const kCategoryNames[kCritCategoryCount] = {
+    "compute", "imbalance", "launch", "stream-wait",
+    "dep-wait", "occupancy", "fault",
+};
+
+const char* const kVerdictNames[4] = {
+    "compute-bound",
+    "launch-bound",
+    "imbalance-bound",
+    "dependency-bound",
+};
+
+/// Builds the walker's working state and accumulates segments emitted in
+/// reverse time order (the walk runs from makespan back to zero).
+class CritWalker {
+ public:
+  CritWalker(const LaunchGraph& graph, const ScheduleResult& sched)
+      : graph_(graph), sched_(sched) {}
+
+  CritPath run() {
+    CritPath cp;
+    const std::size_t n = graph_.nodes.size();
+    if (n == 0) return cp;
+    if (sched_.node_end.size() != n || sched_.node_queued.size() != n) {
+      throw std::logic_error(
+          "analyze_critical_path: ScheduleResult does not match the graph "
+          "(causal timestamps missing)");
+    }
+
+    // Stream FIFO predecessors: nodes are stored in seq order, so the
+    // predecessor of a node is the previous node seen on its stream.
+    std::vector<std::int64_t> pred(n, -1);
+    {
+      std::vector<std::int64_t> last(graph_.num_streams, -1);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t s = graph_.nodes[i].stream;
+        pred[i] = last[s];
+        last[s] = static_cast<std::int64_t>(i);
+      }
+    }
+
+    // Start at the last-finishing grid (first one on ties: deterministic).
+    std::size_t cur = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (sched_.node_end[i] > sched_.node_end[cur]) cur = i;
+    }
+    double t = sched_.node_end[cur];
+    cp.makespan = t;
+
+    // Walk backwards. Every iteration either moves `t` strictly earlier or
+    // hops to a lower-id stream predecessor, so the walk terminates; the
+    // guard is a safety net only.
+    const std::uint64_t max_iters = 8 * static_cast<std::uint64_t>(n) + 64;
+    std::uint64_t iters = 0;
+    while (t > kEps) {
+      if (++iters > max_iters) {
+        // Should be unreachable; keep the invariant by attributing the
+        // remainder rather than under-covering the makespan.
+        emit(cp, cur, CritCategory::kCompute, 0.0, t);
+        break;
+      }
+      const KernelNode& node = graph_.nodes[cur];
+
+      // (1) Execution span of the binding grid: split into balanced
+      // compute, the straggler (imbalance) tail, and the fault share.
+      const double start = sched_.node_start[cur];
+      if (t > start + kEps) {
+        const double span = t - start;
+        double max_bc = 0.0, sum_bc = 0.0;
+        for (const BlockCost& b : node.blocks) {
+          max_bc = std::max(max_bc, b.issue_cycles);
+          sum_bc += b.issue_cycles;
+        }
+        const double mean_bc =
+            node.blocks.empty()
+                ? 0.0
+                : sum_bc / static_cast<double>(node.blocks.size());
+        double imb = (node.blocks.size() > 1 && max_bc > 0.0)
+                         ? span * (1.0 - mean_bc / max_bc)
+                         : 0.0;
+        double fault =
+            sum_bc > 0.0
+                ? span * std::min(1.0, node.metrics.fault_cycles / sum_bc)
+                : 0.0;
+        fault = std::clamp(fault, 0.0, span - imb);
+        const double comp = span - imb - fault;
+        // The straggler tail sits at the end of the span, the fault share
+        // before it; emission is in reverse time order.
+        if (imb > 0.0) {
+          emit(cp, cur, CritCategory::kImbalance, start + comp + fault, imb);
+        }
+        if (fault > 0.0) {
+          emit(cp, cur, CritCategory::kFault, start + comp, fault);
+        }
+        if (comp > 0.0) emit(cp, cur, CritCategory::kCompute, start, comp);
+        t = start;
+      }
+
+      // (2) Gap between becoming eligible and starting: all grid slots were
+      // taken (max_concurrent_grids).
+      const double queued = sched_.node_queued[cur];
+      if (t > queued + kEps) {
+        emit(cp, cur, CritCategory::kOccupancy, queued, t - queued);
+        t = queued;
+      }
+
+      // (3) What bound the queue point: the latest of GMU activation, the
+      // stream predecessor's completion, and `depends_on` completions.
+      const double activated = sched_.node_activated[cur];
+      const double p_end =
+          pred[cur] >= 0
+              ? sched_.node_end[static_cast<std::size_t>(pred[cur])]
+              : -1.0;
+      double d_end = -1.0;
+      for (const std::uint32_t d : node.depends_on) {
+        d_end = std::max(d_end, sched_.node_end[d]);
+      }
+      const double others = std::max(activated, p_end);
+      if (d_end > others + kEps && t > others + kEps) {
+        // Cross-stream event dependency bound the tail of the wait.
+        emit(cp, cur, CritCategory::kDepWait, others, t - others);
+        t = others;
+      }
+
+      if (p_end > activated + kEps) {
+        // Stream FIFO binds: zero-duration marker, then walk into the
+        // predecessor — the wait is spent inside it (see critpath.h).
+        emit(cp, cur, CritCategory::kStreamWait, t, 0.0);
+        cur = static_cast<std::size_t>(pred[cur]);
+        t = std::min(t, sched_.node_end[cur]);
+        continue;
+      }
+
+      // (4) The launch chain binds: GMU queue + activation service (device
+      // grids only; activated == ready for host grids), then launch latency.
+      const double ready = sched_.node_ready[cur];
+      const double issued = sched_.node_issued[cur];
+      if (t > ready + kEps) {
+        emit(cp, cur, CritCategory::kLaunch, ready, t - ready);
+        t = ready;
+      }
+      if (t > issued + kEps) {
+        emit(cp, cur, CritCategory::kLaunch, issued, t - issued);
+        t = issued;
+      }
+      if (node.origin == LaunchOrigin::kDevice && node.parent_kernel >= 0) {
+        // The issue point lies inside the parent block's execution span;
+        // continue the walk there.
+        cur = static_cast<std::size_t>(node.parent_kernel);
+        continue;
+      }
+      // Host grid: what remains is the host launch loop issuing earlier
+      // launches back-to-back before this one.
+      if (t > kEps) emit(cp, cur, CritCategory::kLaunch, 0.0, t);
+      t = 0.0;
+    }
+
+    std::reverse(cp.chain.begin(), cp.chain.end());
+
+    const double covered = cp.total.total();
+    if (std::abs(covered - cp.makespan) >
+        1e-6 * std::max(1.0, cp.makespan)) {
+      throw std::logic_error(
+          "analyze_critical_path: attribution does not cover the makespan");
+    }
+    return cp;
+  }
+
+ private:
+  void emit(CritPath& cp, std::size_t node_id, CritCategory cat, double begin,
+            double cycles) {
+    const KernelNode& node = graph_.nodes[node_id];
+    cp.chain.push_back(CritSegment{static_cast<std::uint32_t>(node_id),
+                                   node.nest_depth, cat, begin, cycles,
+                                   node.name});
+    if (cycles <= 0.0) return;
+    cp.total[cat] += cycles;
+    cp.per_kernel[node.name][cat] += cycles;
+    cp.folded[folded_stack(node_id, cat)] += cycles;
+  }
+
+  /// "root;...;kernel;[category]" along the launch ancestry. Memoized per
+  /// node — chains revisit the same nodes across segments.
+  const std::string& ancestry(std::size_t node_id) {
+    auto it = ancestry_.find(node_id);
+    if (it != ancestry_.end()) return it->second;
+    const KernelNode& node = graph_.nodes[node_id];
+    std::string stack;
+    if (node.parent_kernel >= 0) {
+      stack = ancestry(static_cast<std::size_t>(node.parent_kernel));
+      stack += ';';
+    }
+    stack += node.name;
+    return ancestry_.emplace(node_id, std::move(stack)).first->second;
+  }
+
+  std::string folded_stack(std::size_t node_id, CritCategory cat) {
+    std::string s = ancestry(node_id);
+    s += ";[";
+    s += kCategoryNames[static_cast<int>(cat)];
+    s += ']';
+    return s;
+  }
+
+  const LaunchGraph& graph_;
+  const ScheduleResult& sched_;
+  std::unordered_map<std::size_t, std::string> ancestry_;
+};
+
+}  // namespace
+
+std::string_view to_string(CritCategory c) {
+  return kCategoryNames[static_cast<int>(c)];
+}
+
+bool parse_crit_category(std::string_view s, CritCategory& out) {
+  for (int i = 0; i < kCritCategoryCount; ++i) {
+    if (s == kCategoryNames[i]) {
+      out = static_cast<CritCategory>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+double CritAttribution::total() const {
+  double sum = 0.0;
+  for (const double c : cycles) sum += c;
+  return sum;
+}
+
+CritAttribution& CritAttribution::operator+=(const CritAttribution& o) {
+  for (int i = 0; i < kCritCategoryCount; ++i) cycles[i] += o.cycles[i];
+  return *this;
+}
+
+CritPath analyze_critical_path(const LaunchGraph& graph,
+                               const ScheduleResult& sched) {
+  return CritWalker(graph, sched).run();
+}
+
+std::string_view to_string(CritVerdict v) {
+  return kVerdictNames[static_cast<int>(v)];
+}
+
+CritVerdict classify_bottleneck(const CritAttribution& a) {
+  const double total = a.total();
+  if (total <= 0.0) return CritVerdict::kComputeBound;
+  const double launch =
+      (a[CritCategory::kLaunch] + a[CritCategory::kOccupancy]) / total;
+  const double dep =
+      (a[CritCategory::kDepWait] + a[CritCategory::kStreamWait]) / total;
+  const double imb = a[CritCategory::kImbalance] / total;
+  // Priority order: the mechanism whose removal frees the most cycles.
+  if (launch >= 0.30 && launch >= dep) return CritVerdict::kLaunchBound;
+  if (dep >= 0.25) return CritVerdict::kDependencyBound;
+  if (imb >= 0.15) return CritVerdict::kImbalanceBound;
+  return CritVerdict::kComputeBound;
+}
+
+std::map<std::string, CritAttribution> attribution_by_template(
+    const std::map<std::string, CritAttribution>& per_kernel) {
+  std::map<std::string, CritAttribution> out;
+  for (const auto& [name, attr] : per_kernel) {
+    // "workload/template/phase" -> "template"; "workload/template" ->
+    // "template"; no '/' -> the whole name (same rule as nestpar_prof).
+    std::string tmpl = name;
+    const auto first = name.find('/');
+    if (first != std::string::npos) {
+      const auto second = name.find('/', first + 1);
+      tmpl = second == std::string::npos
+                 ? name.substr(first + 1)
+                 : name.substr(first + 1, second - first - 1);
+    }
+    out[tmpl] += attr;
+  }
+  return out;
+}
+
+}  // namespace nestpar::simt

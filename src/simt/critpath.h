@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/simt/launch_graph.h"
+#include "src/simt/scheduler.h"
+
+namespace nestpar::simt {
+
+/// Edge categories of the critical-path decomposition. Every cycle of the
+/// session makespan is attributed to exactly one category on exactly one
+/// kernel node, so per-category (and per-kernel) totals sum to the makespan.
+///
+/// Taxonomy (matching the paper's Table 1 mechanisms):
+///  - kCompute:   balanced block execution on the binding grid.
+///  - kImbalance: the straggler share of a grid's span — the part that would
+///                vanish if every block cost the mean block cost.
+///  - kLaunch:    launch latency (host or device) plus grid-management-unit
+///                queueing/activation; the dpar-naive overhead mechanism.
+///  - kStreamWait: an intra-stream FIFO edge. The wait itself is spent inside
+///                the predecessor grid, so the analyzer records a
+///                zero-duration marker here and walks into the predecessor,
+///                attributing the time to *its* compute/imbalance/... — this
+///                is what lets a host-serialized template show up as
+///                imbalance-bound rather than as opaque "stream wait".
+///  - kDepWait:   waiting on a `depends_on` (cudaStreamWaitEvent) edge whose
+///                producer runs on another stream.
+///  - kOccupancy: eligible to start but waiting for one of the
+///                `max_concurrent_grids` slots.
+///  - kFault:     the share of a binding grid's execution span spent on
+///                refused-launch issue cost and retry backoff
+///                (Metrics::fault_cycles).
+enum class CritCategory : std::uint8_t {
+  kCompute = 0,
+  kImbalance,
+  kLaunch,
+  kStreamWait,
+  kDepWait,
+  kOccupancy,
+  kFault,
+};
+
+inline constexpr int kCritCategoryCount = 7;
+
+/// Stable lowercase names ("compute", "imbalance", "launch", "stream-wait",
+/// "dep-wait", "occupancy", "fault") used in JSON and folded stacks.
+std::string_view to_string(CritCategory c);
+
+/// Inverse of to_string(); returns false on an unknown name.
+bool parse_crit_category(std::string_view s, CritCategory& out);
+
+/// Cycle totals per category. Addition is element-wise, so attributions from
+/// multiple reports of one profiling run accumulate and the invariant
+/// `total() == sum of makespans` is preserved.
+struct CritAttribution {
+  double cycles[kCritCategoryCount] = {};
+
+  double& operator[](CritCategory c) { return cycles[static_cast<int>(c)]; }
+  double operator[](CritCategory c) const {
+    return cycles[static_cast<int>(c)];
+  }
+  double total() const;
+  CritAttribution& operator+=(const CritAttribution& o);
+};
+
+/// One segment of the binding chain: on kernel `node`, the interval
+/// [begin, begin + cycles) was bound by `category`. Stream-wait markers have
+/// cycles == 0 (see CritCategory::kStreamWait).
+struct CritSegment {
+  std::uint32_t node = 0;  ///< Kernel node id in the session's launch graph.
+  std::uint32_t depth = 0;  ///< Nest depth of that node.
+  CritCategory category = CritCategory::kCompute;
+  double begin = 0.0;   ///< Segment start, device cycles.
+  double cycles = 0.0;  ///< Segment length, device cycles.
+  std::string kernel;   ///< Kernel name (owned; outlives the graph).
+};
+
+/// Full critical-path decomposition of one scheduled session.
+struct CritPath {
+  double makespan = 0.0;
+  /// Category totals along the binding chain; sums exactly to `makespan`
+  /// (enforced by analyze_critical_path, up to float accumulation).
+  CritAttribution total;
+  /// The same cycles keyed by the kernel name they were attributed to.
+  std::map<std::string, CritAttribution> per_kernel;
+  /// Folded flamegraph stacks: "ancestor;...;kernel;[category]" -> cycles
+  /// (launch ancestry root-to-leaf, category as the leaf frame). Emitting
+  /// one line per entry in flamegraph.pl / speedscope folded format
+  /// reproduces the chain as a flamegraph.
+  std::map<std::string, double> folded;
+  /// The binding chain in ascending time order; walking it backwards reads
+  /// top-down from the last-finishing grid to the first binding launch.
+  std::vector<CritSegment> chain;
+};
+
+/// Walks the scheduled launch DAG backwards from the last-finishing grid,
+/// recovering at every step the edge that bound progress, and tiles the whole
+/// interval [0, makespan] with attributed segments. Requires a
+/// ScheduleResult produced by schedule() on the same graph (the causal
+/// timestamp vectors must be filled).
+///
+/// Throws std::logic_error if the attribution fails to cover the makespan
+/// (which would indicate a scheduler/analyzer invariant violation).
+CritPath analyze_critical_path(const LaunchGraph& graph,
+                               const ScheduleResult& sched);
+
+/// One-line causal verdict for a kernel/template/session attribution,
+/// reproducing the paper's Table 1 narrative: dpar-naive is launch-bound,
+/// thread-mapped baseline on a skewed graph is imbalance-bound.
+enum class CritVerdict : std::uint8_t {
+  kComputeBound = 0,
+  kLaunchBound,
+  kImbalanceBound,
+  kDependencyBound,
+};
+
+/// Stable names: "compute-bound", "launch-bound", "imbalance-bound",
+/// "dependency-bound".
+std::string_view to_string(CritVerdict v);
+
+/// Classifies which mechanism bounds the attributed cycles. Thresholds are
+/// shares of the attributed total: launch+occupancy >= 30% -> launch-bound;
+/// else dep+stream-wait >= 25% -> dependency-bound; else imbalance >= 15%
+/// -> imbalance-bound; else compute-bound.
+CritVerdict classify_bottleneck(const CritAttribution& a);
+
+/// Groups per-kernel attributions by template segment using the bench naming
+/// convention "workload/template/phase": the second '/'-separated segment
+/// when one exists, otherwise the whole name (matches nestpar_prof rollups).
+std::map<std::string, CritAttribution> attribution_by_template(
+    const std::map<std::string, CritAttribution>& per_kernel);
+
+}  // namespace nestpar::simt

@@ -145,7 +145,10 @@ RunReport Device::report() {
   if (graph.nodes.empty()) return rep;
 
   const ScheduleResult sched = schedule(recorder_.spec(), graph);
-  if (Profiler::enabled()) Profiler::instance().observe_report(graph, sched);
+  rep.critical_path = analyze_critical_path(graph, sched);
+  if (Profiler::enabled()) {
+    Profiler::instance().observe_report(graph, sched, rep.critical_path);
+  }
   rep.total_cycles = sched.total_cycles;
   rep.total_us = recorder_.spec().cycles_to_us(sched.total_cycles);
   rep.grids = graph.nodes.size();

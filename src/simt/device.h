@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/simt/critpath.h"
 #include "src/simt/device_spec.h"
 #include "src/simt/exec_policy.h"
 #include "src/simt/kernel.h"
@@ -44,6 +45,11 @@ struct RunReport {
   std::vector<KernelReport> per_kernel;
   std::uint64_t grids = 0;
   std::uint64_t device_grids = 0;
+  /// Critical-path decomposition of the scheduled session: the binding chain
+  /// from the last-finishing grid back to time zero, with every makespan
+  /// cycle attributed to an edge category (see critpath.h). Empty (makespan
+  /// 0, no chain) for an empty session.
+  CritPath critical_path;
   /// Per-run fault-model summary: launch attempts, refusals (by cause),
   /// retries, and template degradations — device-side counters plus
   /// host-launch faults. All-zero (except launches_attempted) by default.

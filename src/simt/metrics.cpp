@@ -34,6 +34,7 @@ Metrics& Metrics::operator+=(const Metrics& o) {
   warps += o.warps;
   resident_warp_cycles += o.resident_warp_cycles;
   sm_active_cycles += o.sm_active_cycles;
+  fault_cycles += o.fault_cycles;
   robustness += o.robustness;
   for (int i = 0; i < 33; ++i) active_lane_hist[i] += o.active_lane_hist[i];
   return *this;

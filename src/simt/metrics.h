@@ -70,6 +70,13 @@ struct Metrics {
   double resident_warp_cycles = 0.0;
   double sm_active_cycles = 0.0;
 
+  /// Modeled issue cycles lost to the fault path: refused-launch issue cost
+  /// plus retry-backoff stalls, already folded into the block costs. Kept as
+  /// a separate tally so the critical-path analyzer (critpath.h) can carve a
+  /// `fault` share out of a grid's execution span. Model-internal: not part
+  /// of to_string()/to_json() output (fault-free runs stay byte-identical).
+  double fault_cycles = 0.0;
+
   // Fault-model counters (see RobustnessCounters).
   RobustnessCounters robustness;
 

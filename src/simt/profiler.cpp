@@ -96,10 +96,22 @@ void Profiler::instant(std::string_view name, std::string_view cat,
 }
 
 void Profiler::observe_report(const LaunchGraph& graph,
-                              const ScheduleResult& sched) {
+                              const ScheduleResult& sched,
+                              const CritPath& crit) {
   std::lock_guard<std::mutex> lock(mu_);
   ++data_.reports;
   data_.total_cycles += sched.total_cycles;
+  data_.crit_total += crit.total;
+  for (const auto& [name, attr] : crit.per_kernel) {
+    data_.crit_kernels[name] += attr;
+  }
+  for (const auto& [stack, cycles] : crit.folded) {
+    data_.crit_folded[stack] += cycles;
+  }
+  if (crit.makespan > data_.crit_chain_makespan) {
+    data_.crit_chain_makespan = crit.makespan;
+    data_.crit_chain = crit.chain;
+  }
   for (const KernelNode& node : graph.nodes) {
     KernelProfile& kp = kernels_[node.name];
     if (kp.name.empty()) kp.name = node.name;

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/simt/critpath.h"
 #include "src/simt/launch_graph.h"
 #include "src/simt/metrics.h"
 #include "src/simt/scheduler.h"
@@ -120,6 +121,19 @@ struct ProfileSnapshot {
   std::uint64_t device_grids = 0;
   std::map<std::uint32_t, std::uint64_t> depth_grids;
 
+  // Critical-path accumulation (critpath.h). Attributions add across
+  // reports, so `crit_total.total() == total_cycles` — the per-report
+  // invariant survives aggregation.
+  CritAttribution crit_total;
+  /// Critical-path cycles by the kernel name they were attributed to.
+  std::map<std::string, CritAttribution> crit_kernels;
+  /// Folded flamegraph stacks merged across reports.
+  std::map<std::string, double> crit_folded;
+  /// Binding chain of the longest-makespan report observed (the session that
+  /// dominates the suite), and that report's makespan.
+  std::vector<CritSegment> crit_chain;
+  double crit_chain_makespan = 0.0;
+
   /// Kernel profile by exact name; nullptr when absent.
   const KernelProfile* find(std::string_view name) const;
 };
@@ -157,8 +171,10 @@ class Profiler {
 
   /// Fold one timed session into the per-kernel profiles. Called by
   /// Device::report() when profiling is enabled; each call observes the
-  /// whole graph of that session.
-  void observe_report(const LaunchGraph& graph, const ScheduleResult& sched);
+  /// whole graph of that session. `crit` is the session's critical-path
+  /// decomposition (computed once by the caller, shared with RunReport).
+  void observe_report(const LaunchGraph& graph, const ScheduleResult& sched,
+                      const CritPath& crit);
 
   /// Copy of everything collected since the last reset.
   ProfileSnapshot snapshot() const;

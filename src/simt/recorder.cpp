@@ -793,6 +793,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
       // A refused launch still pays the issue cost (the lane did the work of
       // trying) but produces no child grid and no device_launches count.
       cost += fail_n * spec.launch_issue_cycles;
+      m.fault_cycles += fail_n * spec.launch_issue_cycles;
       m.warp_steps += 1;
       m.active_lane_ops += static_cast<std::uint64_t>(fail_n);
       m.active_lane_hist[fail_n] += 1;
@@ -800,6 +801,7 @@ double combine_warp(const DeviceSpec& spec, Metrics& m,
     if (stall_max > 0) {
       // Retry backoff: pure idle latency, no throughput metrics.
       cost += static_cast<double>(stall_max);
+      m.fault_cycles += static_cast<double>(stall_max);
     }
   }
   return cost;

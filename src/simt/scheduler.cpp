@@ -62,6 +62,12 @@ struct NodeState {
   bool finished = false;
   double start = 0.0;
   double end = 0.0;
+  // Causal timeline for the critical-path analyzer (see ScheduleResult).
+  double issued_t = 0.0;
+  double ready_t = 0.0;
+  double activated_t = 0.0;
+  double queued_t = 0.0;
+  double blocks_done_t = 0.0;
   int blocks_done = 0;
   int deps_remaining = 0;  ///< Unfinished cross-stream (event) dependencies.
 };
@@ -92,13 +98,13 @@ class Scheduler {
   bool place_block(std::uint32_t node_id, std::uint32_t block_idx, double now);
   void try_dispatch(double now);
   void try_start(double now);
-  void make_eligible(std::uint32_t node_id);
+  void make_eligible(std::uint32_t node_id, double now);
   void start_grid(std::uint32_t node_id, double now);
   void complete_block(std::uint32_t node_id, double now);
   void finish_grid(std::uint32_t node_id, double now);
   void on_ready(std::uint32_t node_id, double now);
   void mark_ready(std::uint32_t node_id, double now);
-  void try_queue(std::uint32_t node_id);
+  void try_queue(std::uint32_t node_id, double now);
   void on_sm_check(std::uint32_t sm_id, std::uint64_t version, double now);
 
   const DeviceSpec& spec_;
@@ -234,10 +240,11 @@ void Scheduler::try_dispatch(double now) {
   }
 }
 
-void Scheduler::make_eligible(std::uint32_t node_id) {
+void Scheduler::make_eligible(std::uint32_t node_id, double now) {
   NodeState& ns = state_[node_id];
   if (ns.queued || ns.started) return;
   ns.queued = true;
+  ns.queued_t = now;
   eligible_.push_back(node_id);
 }
 
@@ -268,6 +275,7 @@ void Scheduler::complete_block(std::uint32_t node_id, double now) {
   NodeState& ns = state_[node_id];
   ++ns.blocks_done;
   if (ns.blocks_done == graph_.nodes[node_id].grid_blocks) {
+    ns.blocks_done_t = now;
     const double drain_end =
         ns.start + static_cast<double>(graph_.nodes[node_id].hottest_atomic_ops) *
                        spec_.atomic_drain_cycles;
@@ -290,12 +298,12 @@ void Scheduler::finish_grid(std::uint32_t node_id, double now) {
   std::size_t& head = stream_head_[stream];
   ++head;
   if (head < stream_nodes_[stream].size()) {
-    try_queue(stream_nodes_[stream][head]);
+    try_queue(stream_nodes_[stream][head], now);
   }
   // Release cross-stream (event) dependents.
   if (const auto it = dependents_.find(node_id); it != dependents_.end()) {
     for (const std::uint32_t dep : it->second) {
-      if (--state_[dep].deps_remaining == 0) try_queue(dep);
+      if (--state_[dep].deps_remaining == 0) try_queue(dep, now);
     }
     dependents_.erase(it);
   }
@@ -305,10 +313,14 @@ void Scheduler::finish_grid(std::uint32_t node_id, double now) {
 
 void Scheduler::on_ready(std::uint32_t node_id, double now) {
   NodeState& ns = state_[node_id];
+  const bool device = graph_.nodes[node_id].origin == LaunchOrigin::kDevice;
+  ns.ready_t = now;
+  ns.issued_t = now - (device ? spec_.device_launch_cycles()
+                              : spec_.host_launch_cycles());
   // Device-launched grids activate through the single grid-management-unit
   // queue; heavy CDP fan-out serializes here. Ready events fire in time
   // order, so processing them through a busy-until server models FIFO.
-  if (graph_.nodes[node_id].origin == LaunchOrigin::kDevice) {
+  if (device) {
     const double start = std::max(now, gmu_free_);
     // The pending pool holds every device-launched grid that has not begun
     // execution (including grids waiting on stream order); launches beyond
@@ -331,20 +343,21 @@ void Scheduler::on_ready(std::uint32_t node_id, double now) {
 void Scheduler::mark_ready(std::uint32_t node_id, double now) {
   NodeState& ns = state_[node_id];
   ns.ready = true;
-  try_queue(node_id);
+  ns.activated_t = now;
+  try_queue(node_id, now);
   try_start(now);
 }
 
 /// Queue the grid iff launch latency elapsed, it heads its stream, and all
 /// cross-stream event dependencies completed.
-void Scheduler::try_queue(std::uint32_t node_id) {
+void Scheduler::try_queue(std::uint32_t node_id, double now) {
   const NodeState& ns = state_[node_id];
   if (!ns.ready || ns.deps_remaining > 0) return;
   const std::uint32_t stream = graph_.nodes[node_id].stream;
   const std::size_t head = stream_head_[stream];
   if (head < stream_nodes_[stream].size() &&
       stream_nodes_[stream][head] == node_id) {
-    make_eligible(node_id);
+    make_eligible(node_id, now);
   }
 }
 
@@ -444,9 +457,19 @@ ScheduleResult Scheduler::run() {
   res.total_cycles = makespan_;
   res.node_start.resize(n);
   res.node_end.resize(n);
+  res.node_issued.resize(n);
+  res.node_ready.resize(n);
+  res.node_activated.resize(n);
+  res.node_queued.resize(n);
+  res.node_blocks_done.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     res.node_start[i] = state_[i].start;
     res.node_end[i] = state_[i].end;
+    res.node_issued[i] = state_[i].issued_t;
+    res.node_ready[i] = state_[i].ready_t;
+    res.node_activated[i] = state_[i].activated_t;
+    res.node_queued[i] = state_[i].queued_t;
+    res.node_blocks_done[i] = state_[i].blocks_done_t;
   }
   return res;
 }

@@ -9,10 +9,30 @@ namespace nestpar::simt {
 
 /// Timing of one scheduled run: per-kernel-node start/end times and the
 /// total makespan, all in device cycles.
+///
+/// Beyond start/end, the scheduler records the full causal timeline of each
+/// grid so the critical-path analyzer (critpath.h) can attribute every wait
+/// to its binding edge. All vectors are indexed by node id; times are device
+/// cycles. The causal order for any grid is
+///   issued <= ready <= activated <= queued <= start <= blocks_done <= end.
 struct ScheduleResult {
   double total_cycles = 0.0;
   std::vector<double> node_start;
   std::vector<double> node_end;
+  /// When the launch call began on the issuing timeline (host launch loop or
+  /// the parent block's issue point for device launches).
+  std::vector<double> node_issued;
+  /// When the launch latency (host_launch_us / device_launch_us) elapsed.
+  std::vector<double> node_ready;
+  /// When the grid-management unit finished activating the grid. Equal to
+  /// `ready` for host-launched grids, which bypass the GMU queue.
+  std::vector<double> node_activated;
+  /// When the grid became eligible to start: activated, heads its stream
+  /// FIFO, and all `depends_on` event dependencies completed.
+  std::vector<double> node_queued;
+  /// When the last block retired. `end` may exceed this by the atomic-
+  /// hotspot drain interval.
+  std::vector<double> node_blocks_done;
 };
 
 /// Timing pass: replays a recorded launch graph against the device model.

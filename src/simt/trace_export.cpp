@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "src/simt/critpath.h"
 #include "src/simt/profiler.h"
 #include "src/simt/scheduler.h"
 
@@ -125,6 +126,43 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
       if (rb.degraded > 0) {
         write_fault_instant(out, "degraded", rb.degraded, node, ts_us);
       }
+    }
+
+    // Launch-edge flow events: one s/f pair per device-launched grid, from
+    // the parent grid's row at the issue point to the child's row at its
+    // start — Perfetto draws these as arrows along the CDP launch edges.
+    for (const KernelNode& node : graph.nodes) {
+      if (node.origin != LaunchOrigin::kDevice || node.parent_kernel < 0) {
+        continue;
+      }
+      const KernelNode& parent =
+          graph.nodes[static_cast<std::size_t>(node.parent_kernel)];
+      out << ",{\"name\":\"launch\",\"cat\":\"launch\",\"ph\":\"s\",\"id\":"
+          << node.id << ",\"ts\":"
+          << spec.cycles_to_us(sched.node_issued[node.id])
+          << ",\"pid\":0,\"tid\":" << parent.stream << "}";
+      out << ",{\"name\":\"launch\",\"cat\":\"launch\",\"ph\":\"f\",\"bp\":"
+          << "\"e\",\"id\":" << node.id << ",\"ts\":"
+          << spec.cycles_to_us(sched.node_start[node.id])
+          << ",\"pid\":0,\"tid\":" << node.stream << "}";
+    }
+
+    // Critical-path track: a dedicated row (tid one past the stream rows)
+    // showing the binding chain, one slice per attributed segment named by
+    // its edge category. Zero-duration stream-wait markers are skipped.
+    const std::uint32_t crit_tid = graph.num_streams;
+    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+        << crit_tid << ",\"args\":{\"name\":\"critical path\"}}";
+    const CritPath crit = analyze_critical_path(graph, sched);
+    for (const CritSegment& seg : crit.chain) {
+      if (seg.cycles <= 0.0) continue;
+      out << ",{\"name\":\"" << to_string(seg.category)
+          << "\",\"cat\":\"critical-path\",\"ph\":\"X\",\"ts\":"
+          << spec.cycles_to_us(seg.begin)
+          << ",\"dur\":" << spec.cycles_to_us(seg.cycles)
+          << ",\"pid\":0,\"tid\":" << crit_tid << ",\"args\":{\"kernel\":\"";
+      write_escaped(out, seg.kernel);
+      out << "\",\"cycles\":" << seg.cycles << "}}";
     }
   }
   out << "],\"displayTimeUnit\":\"ms\"}";

@@ -73,6 +73,26 @@ TEST(BenchResults, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(m.extra, o.extra);
 }
 
+TEST(BenchResults, VolatileExtrasRoundTripUnderSeparateKey) {
+  SuiteResult r = sample_result();
+  r.measurements[0].volatile_extra["cpu_speedup"] = 8.21;
+  const std::string text = to_json(r);
+  // The wall-clock-derived section is structurally separated so byte-
+  // stability tooling can strip it without knowing column names.
+  EXPECT_NE(text.find("\"extra_volatile\""), std::string::npos);
+  const SuiteResult parsed = parse_result_json(text);
+  EXPECT_EQ(parsed.measurements[0].volatile_extra,
+            r.measurements[0].volatile_extra);
+  EXPECT_TRUE(parsed.measurements[1].volatile_extra.empty());
+}
+
+TEST(BenchResults, NoVolatileExtrasMeansNoKey) {
+  // Suites without wall-clock metrics keep their files byte-identical to
+  // the pre-volatile-extras schema.
+  const std::string text = to_json(sample_result());
+  EXPECT_EQ(text.find("extra_volatile"), std::string::npos);
+}
+
 TEST(BenchResults, SerializationIsByteStable) {
   // Identical results must produce identical files: serialize, parse, and
   // serialize again — the bytes may not change.

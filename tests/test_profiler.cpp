@@ -246,11 +246,40 @@ TEST_F(ProfilerTest, SchemaVersionMismatchIsRejected) {
   bench::SuiteProfile profile;
   profile.suite = "unit";
   std::string text = bench::to_json(profile);
-  const std::string tag = "\"schema_version\": 1";
+  const std::string tag =
+      "\"schema_version\": " + std::to_string(bench::kProfileSchemaVersion);
   const auto pos = text.find(tag);
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, tag.size(), "\"schema_version\": 999");
   EXPECT_THROW((void)bench::parse_profile_json(text), std::runtime_error);
+}
+
+// Files written under the previous schema (v1, no critical-path sections)
+// must still load: the sections read back empty and the recorded version is
+// surfaced so consumers can note the upgrade.
+TEST_F(ProfilerTest, SchemaV1ProfileStillParses) {
+  const std::string v1 =
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"generator\": \"nestpar_bench\",\n"
+      "  \"kind\": \"profile\",\n"
+      "  \"suite\": \"legacy\",\n"
+      "  \"total_cycles\": 123,\n"
+      "  \"reports\": 1,\n"
+      "  \"grids\": 2,\n"
+      "  \"device_grids\": 0,\n"
+      "  \"depth_grids\": {\"0\": 2},\n"
+      "  \"kernels\": [],\n"
+      "  \"tracks\": {},\n"
+      "  \"counters\": [],\n"
+      "  \"instants\": []\n}\n";
+  const bench::SuiteProfile parsed = bench::parse_profile_json(v1);
+  EXPECT_EQ(parsed.schema_version, 1);
+  EXPECT_EQ(parsed.suite, "legacy");
+  EXPECT_EQ(parsed.prof.total_cycles, 123.0);
+  EXPECT_EQ(parsed.prof.crit_total.total(), 0.0);
+  EXPECT_TRUE(parsed.prof.crit_chain.empty());
+  EXPECT_TRUE(parsed.prof.crit_folded.empty());
 }
 
 // The paper's Fig. 5 claim, reproduced as a profile assertion: on a skewed

@@ -14,6 +14,7 @@
 #include "bench/json.h"
 #include "src/simt/device.h"
 #include "src/simt/profiler.h"
+#include "src/simt/scheduler.h"
 #include "src/simt/trace_export.h"
 
 namespace simt = nestpar::simt;
@@ -135,7 +136,9 @@ TEST_F(TraceExportTest, CounterAndInstantEventsAppearOnlyWhenProfiling) {
     EXPECT_EQ(by_ph.count("i"), 0u);
   }
 
-  // Profiling on: the same calls materialize as counter + instant events.
+  // Profiling on: the same calls materialize as counter + instant events
+  // (plus the critical-path track: an M row-name event and one X slice per
+  // attributed chain segment).
   simt::Profiler::set_enabled(true);
   {
     simt::Device dev;
@@ -144,10 +147,83 @@ TEST_F(TraceExportTest, CounterAndInstantEventsAppearOnlyWhenProfiling) {
     launch_named(dev, "trace/a", 0, 2);
     s.prof_instant("trace/flush", "queue");
     auto by_ph = count_phases(export_and_parse(dev));
-    EXPECT_EQ(by_ph["X"], 1);
+    EXPECT_GE(by_ph["X"], 2);  // the grid slice + critical-path segments
     EXPECT_EQ(by_ph["C"], 1);
     EXPECT_EQ(by_ph["i"], 1);
+    EXPECT_EQ(by_ph["M"], 1);  // critical-path row name
   }
+}
+
+TEST_F(TraceExportTest, FlowEventsAndCritPathTrackOnlyWhenProfiling) {
+  const auto launch_tree = [](simt::Device& dev) {
+    simt::LaunchConfig cfg;
+    cfg.grid_blocks = 1;
+    cfg.block_threads = 1;
+    cfg.name = "trace/parent";
+    dev.launch_threads(cfg, [](simt::LaneCtx& t) {
+      t.compute(2000);
+      simt::LaunchConfig child;
+      child.grid_blocks = 2;
+      child.block_threads = 32;
+      child.name = "trace/child";
+      auto body = [](simt::LaneCtx& c) { c.compute(4000); };
+      t.launch_threads(child, body);
+      t.launch_threads(child, body);
+    });
+  };
+
+  // Profiling off: no flow events, no critical-path row — byte-layout parity
+  // with the pre-analyzer exporter.
+  {
+    simt::Device dev;
+    simt::Session s = dev.session();
+    launch_tree(dev);
+    const bench::JsonValue doc = export_and_parse(dev);
+    for (const bench::JsonValue& ev :
+         bench::require(doc.object(), "traceEvents").array()) {
+      const std::string ph = bench::require_str(ev.object(), "ph");
+      EXPECT_TRUE(ph != "s" && ph != "f" && ph != "M") << ph;
+    }
+  }
+
+  simt::Profiler::set_enabled(true);
+  simt::Device dev;
+  simt::Session s = dev.session();
+  launch_tree(dev);
+  const bench::JsonValue doc = export_and_parse(dev);
+
+  const std::uint32_t crit_tid = dev.graph().num_streams;
+  int flow_starts = 0, flow_ends = 0;
+  int crit_slices = 0;
+  double crit_us = 0.0;
+  for (const bench::JsonValue& ev :
+       bench::require(doc.object(), "traceEvents").array()) {
+    const bench::JsonObject& obj = ev.object();
+    const std::string ph = bench::require_str(obj, "ph");
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_ends;
+    if (ph == "X" &&
+        static_cast<std::uint32_t>(bench::require_num(obj, "tid")) ==
+            crit_tid) {
+      ++crit_slices;
+      crit_us += bench::require_num(obj, "dur");
+      EXPECT_EQ(bench::require_str(obj, "cat"), "critical-path");
+    }
+  }
+  // One s/f pair per device-launched grid.
+  std::uint64_t device_grids = 0;
+  for (const simt::KernelNode& n : dev.graph().nodes) {
+    if (n.origin == simt::LaunchOrigin::kDevice) ++device_grids;
+  }
+  EXPECT_EQ(device_grids, 2u);
+  EXPECT_EQ(flow_starts, static_cast<int>(device_grids));
+  EXPECT_EQ(flow_ends, static_cast<int>(device_grids));
+  // The critical-path slices tile the whole makespan (in trace µs).
+  ASSERT_GT(crit_slices, 0);
+  simt::LaunchGraph graph = dev.graph();
+  const simt::ScheduleResult sched = simt::schedule(dev.spec(), graph);
+  EXPECT_NEAR(crit_us, dev.spec().cycles_to_us(sched.total_cycles),
+              1e-3 * dev.spec().cycles_to_us(sched.total_cycles) + 1e-6);
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 // `nestpar_bench --profile --out=DIR` (see bench/results.h).
 //
 //   nestpar_prof PATH [--top=N]
+//   nestpar_prof --critpath PATH [--top=N] [--folded=FILE]
 //   nestpar_prof --diff BASELINE CURRENT [--top=N] [--threshold=0.05]
+//                [--strict]
 //
 // PATH is one profile file or a directory of PROF_*.json files. The report
 // shows, per suite: the top-N kernels by busy cycles with their
@@ -10,21 +12,35 @@
 // per-template warp-efficiency rollup, the nesting-depth table, and the
 // recorded counter tracks.
 //
+// `--critpath` switches to the critical-path report (schema v2 profiles):
+// the makespan attribution by edge category, a per-template bottleneck
+// verdict (launch-bound / imbalance-bound / dependency-bound /
+// compute-bound), and the binding chain of the longest session printed
+// top-down from the last-finishing grid. `--folded=FILE` additionally
+// writes the critical-path cycles as folded flamegraph stacks
+// ("suite;kernel-ancestry;[category] cycles" — flamegraph.pl / speedscope
+// format).
+//
 // `--diff` matches kernels by name across two profile sets and reports
 // busy-cycle and imbalance movements beyond the threshold as improvements or
-// regressions. The diff is an annotation, not a gate: it always exits 0
-// unless something failed to load.
+// regressions. By default the diff is an annotation and exits 0; `--strict`
+// turns annotated drift into exit code 1 so CI can gate on it. A schema
+// upgrade between the two sides is noted, never fatal.
 //
-// Exit codes: 0 report printed (even with diffs), 2 usage or I/O error.
+// Exit codes: 0 report printed (with --strict: no drift), 1 drift under
+// --strict, 2 usage or I/O error.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench/results.h"
+#include "src/simt/critpath.h"
 #include "src/simt/log.h"
 #include "src/simt/profiler.h"
 
@@ -37,8 +53,9 @@ namespace slog = nestpar::simt::log;
 
 constexpr const char* kUsage =
     "usage: nestpar_prof PATH [--top=N]\n"
+    "       nestpar_prof --critpath PATH [--top=N] [--folded=FILE]\n"
     "       nestpar_prof --diff BASELINE CURRENT [--top=N] "
-    "[--threshold=0.05]\n"
+    "[--threshold=0.05] [--strict]\n"
     "  PATH is a PROF_<suite>.json file or a directory of them";
 
 // Loads one file, or every PROF_*.json inside a directory, keyed by suite.
@@ -159,9 +176,103 @@ void report_suite(const bench::SuiteProfile& profile, std::size_t top) {
   std::printf("\n");
 }
 
+// -- Critical-path report (--critpath) --------------------------------------
+
+void report_critpath(const bench::SuiteProfile& profile, std::size_t top) {
+  const simt::ProfileSnapshot& p = profile.prof;
+  const double attributed = p.crit_total.total();
+  std::printf("suite %s: critical path over %llu report(s), %.0f cycles "
+              "attributed\n",
+              profile.suite.c_str(),
+              static_cast<unsigned long long>(p.reports), attributed);
+  if (attributed <= 0.0) {
+    std::printf("  no critical-path data (schema v%d profile; regenerate "
+                "with this build's nestpar_bench --profile)\n\n",
+                profile.schema_version);
+    return;
+  }
+
+  std::printf("  attribution (== sum of session makespans):\n");
+  for (int i = 0; i < simt::kCritCategoryCount; ++i) {
+    const auto cat = static_cast<simt::CritCategory>(i);
+    const double cycles = p.crit_total[cat];
+    std::printf("    %-12s %16.0f cycles  %5.1f%%\n",
+                std::string(simt::to_string(cat)).c_str(), cycles,
+                attributed > 0.0 ? 100.0 * cycles / attributed : 0.0);
+  }
+
+  const auto by_template = simt::attribution_by_template(p.crit_kernels);
+  std::printf("  per-template bottleneck verdicts:\n");
+  for (const auto& [tmpl, attr] : by_template) {
+    const simt::CritVerdict verdict = simt::classify_bottleneck(attr);
+    const double total = attr.total();
+    const auto share = [&](simt::CritCategory c) {
+      return total > 0.0 ? 100.0 * attr[c] / total : 0.0;
+    };
+    std::printf("    %-30s %-16s (compute %.1f%%, imbalance %.1f%%, "
+                "launch %.1f%%, dep %.1f%% of %.0f cycles)\n",
+                tmpl.c_str(),
+                std::string(simt::to_string(verdict)).c_str(),
+                share(simt::CritCategory::kCompute) +
+                    share(simt::CritCategory::kFault),
+                share(simt::CritCategory::kImbalance),
+                share(simt::CritCategory::kLaunch) +
+                    share(simt::CritCategory::kOccupancy),
+                share(simt::CritCategory::kDepWait) +
+                    share(simt::CritCategory::kStreamWait),
+                total);
+  }
+
+  if (!p.crit_chain.empty()) {
+    // Top-down: from the last-finishing grid backwards in time.
+    const std::size_t limit = std::max<std::size_t>(top * 2, 20);
+    std::printf("  binding chain (longest session, makespan %.0f cycles, "
+                "top-down):\n",
+                p.crit_chain_makespan);
+    std::printf("    %14s  %-12s %s\n", "cycles", "category",
+                "kernel (depth)");
+    std::size_t shown = 0;
+    for (auto it = p.crit_chain.rbegin();
+         it != p.crit_chain.rend() && shown < limit; ++it) {
+      if (it->cycles <= 0.0 &&
+          it->category != simt::CritCategory::kStreamWait) {
+        continue;
+      }
+      std::printf("    %14.0f  %-12s %s (%u)\n", it->cycles,
+                  std::string(simt::to_string(it->category)).c_str(),
+                  it->kernel.c_str(), it->depth);
+      ++shown;
+    }
+    if (p.crit_chain.size() > shown) {
+      std::printf("    ... %zu more segment(s)\n",
+                  p.crit_chain.size() - shown);
+    }
+  }
+  std::printf("\n");
+}
+
+/// Appends every suite's folded critical-path stacks to `out`, prefixing
+/// frames with the suite name so one file holds a whole run's flamegraph.
+void write_folded(std::FILE* out,
+                  const std::map<std::string, bench::SuiteProfile>& profiles) {
+  for (const auto& [suite, p] : profiles) {
+    for (const auto& [stack, cycles] : p.prof.crit_folded) {
+      std::fprintf(out, "%s;%s %lld\n", suite.c_str(), stack.c_str(),
+                   static_cast<long long>(std::llround(cycles)));
+    }
+  }
+}
+
 void diff_suite(const bench::SuiteProfile& base,
                 const bench::SuiteProfile& cur, double threshold,
                 int& moved) {
+  if (base.schema_version != cur.schema_version) {
+    // A regenerated baseline under a newer schema is expected, not drift:
+    // note it and keep comparing the metrics both versions carry.
+    std::printf("  note: schema upgraded (baseline v%d, current v%d); "
+                "comparing shared metrics only\n",
+                base.schema_version, cur.schema_version);
+  }
   for (const simt::KernelProfile& b : base.prof.kernels) {
     const simt::KernelProfile* c = cur.prof.find(b.name);
     if (c == nullptr) {
@@ -193,7 +304,7 @@ void diff_suite(const bench::SuiteProfile& base,
 }
 
 int run_diff(const std::string& base_path, const std::string& cur_path,
-             std::size_t top, double threshold) {
+             std::size_t top, double threshold, bool strict) {
   (void)top;
   std::map<std::string, bench::SuiteProfile> base;
   std::map<std::string, bench::SuiteProfile> cur;
@@ -222,15 +333,19 @@ int run_diff(const std::string& base_path, const std::string& cur_path,
   }
   std::printf("\n%d profile metric(s) moved beyond %.1f%%\n", moved,
               threshold * 100.0);
-  return 0;
+  // Annotation by default; a gate only when the caller asked for one.
+  return strict && moved > 0 ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool diff = false;
+  bool critpath = false;
+  bool strict = false;
   std::size_t top = 10;
   double threshold = 0.05;
+  std::string folded_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -239,6 +354,12 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--diff") {
       diff = true;
+    } else if (arg == "--critpath") {
+      critpath = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg.rfind("--folded=", 0) == 0) {
+      folded_path = arg.substr(9);
     } else if (arg.rfind("--top=", 0) == 0) {
       top = static_cast<std::size_t>(std::stoul(arg.substr(6)));
     } else if (arg.rfind("--threshold=", 0) == 0) {
@@ -256,7 +377,7 @@ int main(int argc, char** argv) {
       slog::error("--diff needs exactly two paths\n%s\n", kUsage);
       return 2;
     }
-    return run_diff(paths[0], paths[1], top, threshold);
+    return run_diff(paths[0], paths[1], top, threshold, strict);
   }
   if (paths.size() != 1) {
     slog::error("%s\n", kUsage);
@@ -269,6 +390,19 @@ int main(int argc, char** argv) {
     slog::error("error: %s\n", e.what());
     return 2;
   }
-  for (const auto& [suite, p] : profiles) report_suite(p, top);
+  for (const auto& [suite, p] : profiles) {
+    critpath ? report_critpath(p, top) : report_suite(p, top);
+  }
+  if (!folded_path.empty()) {
+    std::FILE* f = std::fopen(folded_path.c_str(), "wb");
+    if (f == nullptr) {
+      slog::error("error: cannot open '%s' for writing\n",
+                  folded_path.c_str());
+      return 2;
+    }
+    write_folded(f, profiles);
+    std::fclose(f);
+    std::printf("wrote folded stacks to %s\n", folded_path.c_str());
+  }
   return 0;
 }

@@ -93,11 +93,18 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
   std::printf("baseline (thread-mapped, no LB): %.0f us (model time)\n\n",
               base_us);
 
-  std::vector<LoopTemplate> templates = {
-      LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
-      LoopTemplate::kDbufGlobal, LoopTemplate::kDparNaive,
-      LoopTemplate::kDparOpt};
-  if (skip_naive) templates.erase(templates.begin() + 3);
+  // Registry-derived sweep order: the load-balancing family first (the
+  // paper's Figure 5), then the consolidation family head-to-head against
+  // dpar-naive/dpar-opt.
+  std::vector<LoopTemplate> templates =
+      nested::templates_in_family(nested::TemplateFamily::kLoadBalancing);
+  for (const LoopTemplate t :
+       nested::templates_in_family(nested::TemplateFamily::kConsolidation)) {
+    templates.push_back(t);
+  }
+  if (skip_naive) {
+    std::erase(templates, LoopTemplate::kDparNaive);
+  }
 
   bench::table_header({"template", "lbTHRES", "speedup", "nested-calls"});
   for (const LoopTemplate t : templates) {

@@ -26,16 +26,27 @@ void sweep(
     const std::function<simt::RunReport(LoopTemplate, const LoopParams&)>&
         run) {
   std::printf("\n-- %s --\n", title);
+  // Registry-derived column order: the load-balancing family minus
+  // dpar-naive (omitted as in the paper), then the consolidation family.
+  std::vector<LoopTemplate> templates;
+  for (const nested::LoopTemplateDesc& d : nested::loop_templates()) {
+    if (d.tmpl == LoopTemplate::kDparNaive) continue;
+    if (d.family == nested::TemplateFamily::kLoadBalancing ||
+        d.family == nested::TemplateFamily::kConsolidation) {
+      templates.push_back(d.tmpl);
+    }
+  }
   LoopParams base;
   const double base_us = run(LoopTemplate::kBaseline, base).total_us;
   std::printf("baseline: %.0f us (model time)\n", base_us);
-  bench::table_header({"lbTHRES", "dual-queue", "dbuf-shared", "dbuf-global",
-                       "dpar-opt"});
+  std::vector<std::string> header{"lbTHRES"};
+  for (const LoopTemplate t : templates) {
+    header.push_back(std::string(nested::name(t)));
+  }
+  bench::table_header(header);
   for (const int lb : {32, 64, 128, 256, 512, 1024}) {
     std::vector<std::string> row{std::to_string(lb)};
-    for (const LoopTemplate t :
-         {LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
-          LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt}) {
+    for (const LoopTemplate t : templates) {
       LoopParams p;
       p.lb_threshold = lb;
       const simt::RunReport rep = run(t, p);

@@ -105,8 +105,8 @@ int run(int argc, char** argv) {
   if (const auto tn = flag_value(argc, argv, "--template"); !tn.empty()) {
     const nested::LoopTemplate tmpl = nested::parse_loop_template(tn);
     simt::Device dev;
-    const nested::RunResult run =
-        nested::run_nested_loop(dev, w, tmpl, {}, dev.exec_policy());
+    const nested::RunResult run = nested::run_nested_loop(
+        dev, w, nested::LoopRun{.tmpl = tmpl, .policy = dev.exec_policy()});
     std::printf("\n%s: %.0f model-us (%zu kernels)\n",
                 std::string(nested::name(tmpl)).c_str(), run.report.total_us,
                 run.report.grids);
@@ -134,7 +134,8 @@ int run(int argc, char** argv) {
     } else {
       nested::LoopParams p;
       p.lb_threshold = res.best.lb_threshold;
-      nested::run_nested_loop(dev, w, res.best.tmpl, p);
+      nested::run_nested_loop(
+          dev, w, nested::LoopRun{.tmpl = res.best.tmpl, .params = p});
     }
     std::ofstream out(tf);
     simt::write_chrome_trace(out, dev);

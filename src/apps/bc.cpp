@@ -161,14 +161,16 @@ std::vector<double> run_bc(simt::Device& dev, const graph::Csr& g,
     while (*changed != 0) {
       *changed = 0;
       BcForwardWorkload fw(g, depth.data(), sigma.data(), level, changed.get());
-      nested::run_nested_loop(dev, fw, tmpl, p);
+      nested::run_nested_loop(
+          dev, fw, nested::LoopRun{.tmpl = tmpl, .params = p});
       ++level;
     }
 
     // Backward: dependency accumulation from the deepest level.
     for (std::uint32_t l = level; l-- > 0;) {
       BcBackwardWorkload bw(g, depth.data(), sigma.data(), delta.data(), l);
-      nested::run_nested_loop(dev, bw, tmpl, p);
+      nested::run_nested_loop(
+          dev, bw, nested::LoopRun{.tmpl = tmpl, .params = p});
     }
 
     dev.launch_threads(acc_cfg, [&, s, n](LaneCtx& t) {

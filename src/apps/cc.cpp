@@ -84,7 +84,8 @@ std::vector<std::uint32_t> run_cc(simt::Device& dev, const graph::Csr& g,
   int guard = 0;
   while (*changed != 0) {
     *changed = 0;
-    nested::run_nested_loop(dev, w, tmpl, p);
+    nested::run_nested_loop(
+        dev, w, nested::LoopRun{.tmpl = tmpl, .params = p});
     // Promote the next frontier (nodes whose label improved this sweep).
     dev.launch_threads(swap_cfg, [&, n](LaneCtx& t) {
       for (std::int64_t v = t.global_idx(); v < n; v += t.grid_threads()) {

@@ -109,7 +109,8 @@ std::vector<std::uint32_t> run_kcore(simt::Device& dev, const graph::Csr& g,
     for (std::uint32_t v = 0; v < n; ++v) peeled += peel[v];
     KcorePeelWorkload w(g, deg.data(), alive.data(), peel.data(), core.data(),
                         k);
-    nested::run_nested_loop(dev, w, tmpl, p);
+    nested::run_nested_loop(
+        dev, w, nested::LoopRun{.tmpl = tmpl, .params = p});
     remaining -= peeled;
   }
   return core;

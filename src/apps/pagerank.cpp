@@ -77,7 +77,8 @@ std::vector<double> run_pagerank(simt::Device& dev, const graph::Csr& g,
   for (int it = 0; it < opt.iterations; ++it) {
     PageRankWorkload w(gt, outdeg.data(), rank.data(), next.data(),
                        opt.damping);
-    nested::run_nested_loop(dev, w, tmpl, p);
+    nested::run_nested_loop(
+        dev, w, nested::LoopRun{.tmpl = tmpl, .params = p});
     rank.swap(next);
   }
   return rank;

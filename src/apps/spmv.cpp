@@ -37,7 +37,8 @@ std::vector<float> run_spmv(simt::Device& dev, const matrix::CsrMatrix& a,
   }
   std::vector<float> y(a.rows, 0.0f);
   SpmvWorkload w(a, x.data(), y.data());
-  nested::run_nested_loop(dev, w, tmpl, p);
+  nested::run_nested_loop(
+      dev, w, nested::LoopRun{.tmpl = tmpl, .params = p});
   return y;
 }
 

@@ -90,7 +90,8 @@ SsspResult run_sssp(simt::Device& dev, const graph::Csr& g, std::uint32_t src,
 
   while (*changed != 0) {
     *changed = 0;
-    nested::run_nested_loop(dev, w, tmpl, p);
+    nested::run_nested_loop(
+        dev, w, nested::LoopRun{.tmpl = tmpl, .params = p});
     // Update kernel of [5]: promote improved tentative distances and
     // re-activate their nodes. Identical for every template.
     dev.launch_threads(update_cfg, [&, n](LaneCtx& t) {

@@ -88,7 +88,8 @@ std::uint64_t run_triangle_count(simt::Device& dev, const graph::Csr& g,
                                  const nested::LoopParams& p) {
   std::vector<std::uint64_t> per_node(g.num_nodes(), 0);
   TriangleWorkload w(g, per_node.data());
-  nested::run_nested_loop(dev, w, tmpl, p);
+  nested::run_nested_loop(
+      dev, w, nested::LoopRun{.tmpl = tmpl, .params = p});
   std::uint64_t total = 0;
   for (const std::uint64_t c : per_node) total += c;
   return total;

@@ -31,7 +31,7 @@ AutotuneResult autotune_nested_loop(const NestedLoopWorkload& w,
     } else {
       LoopParams p = opt.base_params;
       p.lb_threshold = c.lb_threshold;
-      run_nested_loop(dev, w, c.tmpl, p);
+      run_nested_loop(dev, w, LoopRun{.tmpl = c.tmpl, .params = p});
     }
     c.model_us = session.report().total_us;
     res.all.push_back(c);

@@ -23,9 +23,10 @@ struct TuneCandidate {
 
 struct AutotuneOptions {
   /// Templates to consider (baseline is always evaluated as the reference).
-  std::vector<LoopTemplate> templates = {
-      LoopTemplate::kDualQueue, LoopTemplate::kDbufShared,
-      LoopTemplate::kDbufGlobal, LoopTemplate::kDparOpt};
+  /// Defaults to the registry rows flagged `autotune_default` — the
+  /// load-balancing templates minus dpar-naive, plus the consolidation
+  /// family.
+  std::vector<LoopTemplate> templates = default_autotune_templates();
   std::vector<int> thresholds = {16, 32, 64, 128, 256};
   bool include_flattened = true;
   LoopParams base_params;  ///< Block sizes etc. shared by all candidates.

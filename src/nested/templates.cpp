@@ -1,6 +1,7 @@
 #include "src/nested/templates.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -15,32 +16,15 @@ using simt::Device;
 using simt::Kernel;
 using simt::LaneCtx;
 using simt::LaunchConfig;
+using simt::ThreadKernel;
 
-std::string_view name(LoopTemplate t) {
-  switch (t) {
-    case LoopTemplate::kBaseline: return "baseline";
-    case LoopTemplate::kBlockMapped: return "block-mapped";
-    case LoopTemplate::kWarpMapped: return "warp-mapped";
-    case LoopTemplate::kDualQueue: return "dual-queue";
-    case LoopTemplate::kDbufShared: return "dbuf-shared";
-    case LoopTemplate::kDbufGlobal: return "dbuf-global";
-    case LoopTemplate::kDparNaive: return "dpar-naive";
-    case LoopTemplate::kDparOpt: return "dpar-opt";
+std::string_view name(TemplateFamily f) {
+  switch (f) {
+    case TemplateFamily::kBasic: return "basic";
+    case TemplateFamily::kLoadBalancing: return "load-balancing";
+    case TemplateFamily::kConsolidation: return "consolidation";
   }
   return "?";
-}
-
-LoopTemplate parse_loop_template(std::string_view s) {
-  for (const LoopTemplate t : kAllLoopTemplates) {
-    if (s == name(t)) return t;
-  }
-  std::string valid;
-  for (const LoopTemplate t : kAllLoopTemplates) {
-    if (!valid.empty()) valid += ", ";
-    valid += name(t);
-  }
-  throw std::invalid_argument("unknown loop template '" + std::string(s) +
-                              "' (valid: " + valid + ")");
 }
 
 void LoopParams::validate() const {
@@ -66,6 +50,14 @@ void LoopParams::validate() const {
   if (shared_buffer_entries < 1) {
     fail("shared_buffer_entries must be >= 1 (got " +
          std::to_string(shared_buffer_entries) + ")");
+  }
+  if (cons_buffer_entries < 1) {
+    fail("cons_buffer_entries must be >= 1 (got " +
+         std::to_string(cons_buffer_entries) + ")");
+  }
+  if (cons_min_descriptors < 1) {
+    fail("cons_min_descriptors must be >= 1 (got " +
+         std::to_string(cons_min_descriptors) + ")");
   }
 }
 
@@ -248,7 +240,7 @@ void run_warp_mapped(Device& dev, const NestedLoopWorkload& w,
   });
 }
 
-/// Host-side queue placement shared by dual-queue and dbuf-global.
+/// Host-side queue placement shared by dual-queue, dbuf-global and cons-grid.
 ///
 /// The CUDA originals place each deferred iteration at the slot an
 /// atomicAdd on a global counter returns — a valid but schedule-dependent
@@ -614,30 +606,482 @@ void run_dpar_opt(Device& dev, const NestedLoopWorkload& w,
   });
 }
 
+// --- Workload consolidation (cons-warp / cons-block / cons-grid) -------------
+//
+// Instead of one child grid per large iteration (dpar-naive) or per block
+// (dpar-opt), the deferred iterations of an aggregation scope are described
+// by an {outer index, inner-range} descriptor bundle in global memory, and
+// ONE consolidated child grid per scope processes the *concatenation* of all
+// inner ranges, evenly split across its lanes (a merge-path-style split:
+// each lane binary-searches the prefix-offset array for its starting
+// descriptor, then walks forward). The launch carries
+// `aggregated_descriptors = K` so the GMU charges one activation plus K-1
+// cheap per-descriptor services instead of K activations.
+
+/// Descriptor bundle staged to global memory for one consolidated child
+/// launch: the deferred outer indices, the exclusive prefix offsets of their
+/// inner sizes (count+1 entries), and one accumulator per descriptor.
+struct ConsBundle {
+  std::shared_ptr<std::int64_t[]> items;
+  std::shared_ptr<std::int64_t[]> offsets;
+  std::shared_ptr<double[]> acc;
+  std::int64_t count = 0;
+  std::int64_t total = 0;  ///< Concatenated inner elements (offsets[count]).
+};
+
+/// The consolidated child: lane g owns the contiguous element chunk
+/// [g*total/T, (g+1)*total/T) of the concatenation, so the child is balanced
+/// regardless of how skewed the individual descriptors are. Partials flush
+/// to the per-descriptor accumulator at each descriptor boundary; commits
+/// stay with the parent (which knows when the child has finished).
+ThreadKernel make_consolidated_kernel(const NestedLoopWorkload& w,
+                                      ConsBundle b) {
+  return [&w, b = std::move(b)](LaneCtx& t) {
+    const std::int64_t threads = t.grid_threads();
+    const std::int64_t begin = t.global_idx() * b.total / threads;
+    const std::int64_t end = (t.global_idx() + 1) * b.total / threads;
+    if (begin >= end) return;
+    // Binary-search the last descriptor whose range starts at or before
+    // `begin`; each probe is a real global load of the offsets array.
+    std::int64_t lo = 0, hi = b.count - 1;
+    while (lo < hi) {
+      const std::int64_t mid = lo + (hi - lo + 1) / 2;
+      if (t.ld(&b.offsets[static_cast<std::size_t>(mid)]) <= begin) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    std::int64_t e = begin;
+    for (std::int64_t k = lo; k < b.count && e < end; ++k) {
+      const std::int64_t i = t.ld(&b.items[static_cast<std::size_t>(k)]);
+      const std::int64_t kbegin =
+          t.ld(&b.offsets[static_cast<std::size_t>(k)]);
+      const std::int64_t kend =
+          t.ld(&b.offsets[static_cast<std::size_t>(k + 1)]);
+      if (kend <= e) continue;  // Empty descriptor range.
+      w.load_outer(t, i);
+      double partial = 0.0;
+      const std::int64_t stop = std::min(end, kend);
+      for (; e < stop; ++e) {
+        partial += w.body(t, i, static_cast<std::uint32_t>(e - kbegin));
+      }
+      if (partial != 0.0) {
+        t.atomic_add(&b.acc[static_cast<std::size_t>(k)], partial);
+      }
+    }
+  };
+}
+
+/// Serial drain of one deferred iteration by the scope leader (used below
+/// the launch threshold and on refused launches). load_outer must already
+/// have been charged for `i` in this lane.
+void process_serial_deferred(const NestedLoopWorkload& w, LaneCtx& t,
+                             std::int64_t i) {
+  const std::uint32_t f = w.inner_size(i);
+  double acc = 0.0;
+  for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+  w.commit(t, i, acc);
+}
+
+/// Phase-2 leader path shared by cons-warp and cons-block: stage the `c`
+/// deferred iterations (read via `item`) into a descriptor bundle, then
+/// either drain them serially in this lane (below cons_min_descriptors — the
+/// consolidation papers' thresholding heuristic, not a degradation) or
+/// launch one consolidated child grid and commit its per-descriptor results.
+template <class ItemFn>
+void consolidate_scope(LaneCtx& t, const NestedLoopWorkload& w,
+                       const LoopParams& p, LoopTemplate tmpl,
+                       std::int32_t c, const ItemFn& item) {
+  ConsBundle b;
+  b.count = c;
+  b.items = simt::make_segment_array<std::int64_t>(
+      static_cast<std::size_t>(c));
+  b.offsets = simt::make_segment_array<std::int64_t>(
+      static_cast<std::size_t>(c) + 1);
+  b.acc = simt::make_segment_array<double>(static_cast<std::size_t>(c));
+  std::int64_t total = 0;
+  for (std::int32_t k = 0; k < c; ++k) {
+    const std::int64_t i = item(t, k);
+    w.load_outer(t, i);
+    t.st(&b.items[static_cast<std::size_t>(k)], i);
+    t.st(&b.offsets[static_cast<std::size_t>(k)], total);
+    total += w.inner_size(i);
+  }
+  t.st(&b.offsets[static_cast<std::size_t>(c)], total);
+  b.total = total;
+
+  if (c < p.cons_min_descriptors || total == 0) {
+    for (std::int32_t k = 0; k < c; ++k) {
+      process_serial_deferred(w, t,
+                              t.ld(&b.items[static_cast<std::size_t>(k)]));
+    }
+    return;
+  }
+  LaunchConfig child;
+  child.block_threads = p.block_block_size;
+  child.grid_blocks =
+      Device::blocks_for(total, p.block_block_size, p.max_grid_blocks);
+  child.aggregated_descriptors = c;
+  child.name = kname(w, tmpl, "child");
+  if (t.launch_threads_with_retry(child, make_consolidated_kernel(w, b))) {
+    // Child done (synchronizing launch): one commit per descriptor from the
+    // leader, which already holds each iteration's outer data.
+    for (std::int32_t k = 0; k < c; ++k) {
+      w.commit(t, t.ld(&b.items[static_cast<std::size_t>(k)]),
+               t.ld(&b.acc[static_cast<std::size_t>(k)]));
+    }
+  } else {
+    // Aggregated launch refused: drain the whole scope inline — slow but
+    // correct, mirroring dpar-opt's degradation path.
+    t.note_degraded();
+    for (std::int32_t k = 0; k < c; ++k) {
+      process_serial_deferred(w, t,
+                              t.ld(&b.items[static_cast<std::size_t>(k)]));
+    }
+  }
+}
+
+/// cons-warp: per-warp delayed buffers in shared memory; lane 0 of each warp
+/// aggregates its warp's deferred iterations into one consolidated child.
+void run_cons_warp(Device& dev, const NestedLoopWorkload& w,
+                   const LoopParams& p) {
+  const std::int64_t n = w.size();
+  LaunchConfig cfg = thread_cfg(w, LoopTemplate::kConsWarp, "main", n, p);
+  const int warps = (p.thread_block_size + 31) / 32;
+  cfg.smem_bytes = static_cast<std::size_t>(warps) *
+                       (static_cast<std::size_t>(p.cons_buffer_entries) *
+                            sizeof(std::int32_t) +
+                        sizeof(std::int32_t));
+  const int cap = p.cons_buffer_entries;
+  const auto thres = static_cast<std::uint32_t>(p.lb_threshold);
+
+  dev.launch(cfg, [&w, n, cap, thres, &p](BlockCtx& blk) {
+    const int warps_per_block = (blk.block_dim() + 31) / 32;
+    auto buf = blk.shared_array<std::int32_t>(
+        static_cast<std::size_t>(warps_per_block) * cap);
+    auto count = blk.shared_array<std::int32_t>(
+        static_cast<std::size_t>(warps_per_block));
+    const std::int64_t grid_threads =
+        static_cast<std::int64_t>(blk.grid_dim()) * blk.block_dim();
+
+    // Phase 1: thread-mapped; large iterations are delayed into this warp's
+    // slice of the shared buffer (overflow falls back to inline processing,
+    // like dbuf-shared).
+    blk.each_thread([&](LaneCtx& t) {
+      for (std::int64_t i = t.global_idx(); i < n; i += grid_threads) {
+        w.load_outer(t, i);
+        const std::uint32_t f = w.inner_size(i);
+        bool deferred = false;
+        if (f > thres) {
+          const std::int32_t idx = t.sh_atomic_add(&count[t.warp()], 1);
+          if (idx < cap) {
+            t.sh_st(&buf[static_cast<std::size_t>(t.warp()) * cap + idx],
+                    static_cast<std::int32_t>(i));
+            deferred = true;
+          }
+        }
+        if (!deferred) {
+          double acc = 0.0;
+          for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+          w.commit(t, i, acc);
+        }
+      }
+    });
+
+    // Phase 2: each warp leader launches one consolidated child covering its
+    // warp's deferred iterations.
+    blk.each_thread([&](LaneCtx& t) {
+      if (t.lane() != 0) return;
+      const std::int32_t c = std::min(t.sh_ld(&count[t.warp()]),
+                                      static_cast<std::int32_t>(cap));
+      if (c == 0) return;
+      consolidate_scope(
+          t, w, p, LoopTemplate::kConsWarp, c,
+          [&buf, cap](LaneCtx& lt, std::int32_t k) -> std::int64_t {
+            return lt.sh_ld(
+                &buf[static_cast<std::size_t>(lt.warp()) * cap + k]);
+          });
+    });
+  });
+}
+
+/// cons-block: dpar-opt's per-block deferral, but the child is a single
+/// consolidated grid with a balanced lane split instead of one block per
+/// deferred iteration.
+void run_cons_block(Device& dev, const NestedLoopWorkload& w,
+                    const LoopParams& p) {
+  const std::int64_t n = w.size();
+  LaunchConfig cfg = thread_cfg(w, LoopTemplate::kConsBlock, "main", n, p);
+  cfg.smem_bytes = static_cast<std::size_t>(p.cons_buffer_entries) *
+                       sizeof(std::int32_t) +
+                   sizeof(std::int32_t);
+  const int cap = p.cons_buffer_entries;
+  const auto thres = static_cast<std::uint32_t>(p.lb_threshold);
+
+  dev.launch(cfg, [&w, n, cap, thres, &p](BlockCtx& blk) {
+    auto buf = blk.shared_array<std::int32_t>(static_cast<std::size_t>(cap));
+    auto count = blk.shared_array<std::int32_t>(1);
+    const std::int64_t grid_threads =
+        static_cast<std::int64_t>(blk.grid_dim()) * blk.block_dim();
+
+    // Phase 1: identical deferral to dbuf-shared / dpar-opt.
+    blk.each_thread([&](LaneCtx& t) {
+      for (std::int64_t i = t.global_idx(); i < n; i += grid_threads) {
+        w.load_outer(t, i);
+        const std::uint32_t f = w.inner_size(i);
+        bool deferred = false;
+        if (f > thres) {
+          const std::int32_t idx = t.sh_atomic_add(&count[0], 1);
+          if (idx < cap) {
+            t.sh_st(&buf[idx], static_cast<std::int32_t>(i));
+            deferred = true;
+          }
+        }
+        if (!deferred) {
+          double acc = 0.0;
+          for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+          w.commit(t, i, acc);
+        }
+      }
+    });
+
+    // Phase 2: thread 0 launches one consolidated child for the block.
+    blk.each_thread([&](LaneCtx& t) {
+      if (t.thread_idx() != 0) return;
+      const std::int32_t c =
+          std::min(t.sh_ld(&count[0]), static_cast<std::int32_t>(cap));
+      if (c == 0) return;
+      consolidate_scope(t, w, p, LoopTemplate::kConsBlock, c,
+                        [&buf](LaneCtx& lt, std::int32_t k) -> std::int64_t {
+                          return lt.sh_ld(&buf[k]);
+                        });
+    });
+  });
+}
+
+/// cons-grid: the whole kernel's deferred iterations aggregate into a single
+/// consolidated child, launched by a one-block "launch" kernel (modeling the
+/// one parent thread that fires the aggregated grid).
+void run_cons_grid(Device& dev, const NestedLoopWorkload& w,
+                   const LoopParams& p) {
+  const std::int64_t n = w.size();
+  const QueuePlacement q = build_placement(w, p.lb_threshold);
+  if (simt::Profiler::enabled()) {
+    dev.prof_counter(kname(w, LoopTemplate::kConsGrid, "deferred"),
+                     static_cast<double>(q.big_count));
+  }
+
+  if (q.big_count < p.cons_min_descriptors) {
+    // Too few large iterations to be worth an aggregated launch: process
+    // everything inline, thread-mapped (the thresholding heuristic).
+    dev.launch_threads(
+        thread_cfg(w, LoopTemplate::kConsGrid, "main", n, p),
+        [&w, n](LaneCtx& t) {
+          for (std::int64_t i = t.global_idx(); i < n;
+               i += t.grid_threads()) {
+            process_thread_mapped(w, t, i);
+          }
+        });
+    return;
+  }
+
+  ConsBundle b;
+  b.count = q.big_count;
+  b.items = simt::make_segment_array<std::int64_t>(
+      static_cast<std::size_t>(q.big_count));
+  b.offsets = simt::make_segment_array<std::int64_t>(
+      static_cast<std::size_t>(q.big_count) + 1);
+  b.acc = simt::make_segment_array<double>(
+      static_cast<std::size_t>(q.big_count));
+  // Host-precomputed prefix offsets (deterministic, like the placement
+  // itself); the launch kernel charges the scan's loads below.
+  {
+    std::int64_t total = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t s = q.slot[static_cast<std::size_t>(i)];
+      if (s < 0) {
+        b.offsets[static_cast<std::size_t>(~s)] = total;
+        total += w.inner_size(i);
+      }
+    }
+    b.offsets[static_cast<std::size_t>(q.big_count)] = total;
+    b.total = total;
+  }
+
+  // Phase 1: thread-mapped; large iterations are delayed to the global
+  // descriptor buffer (same mechanics as dbuf-global's main kernel).
+  auto count = std::make_shared<std::int64_t>(0);
+  dev.launch_threads(
+      thread_cfg(w, LoopTemplate::kConsGrid, "main", n, p),
+      [&w, n, b, count, q](LaneCtx& t) {
+        for (std::int64_t i = t.global_idx(); i < n; i += t.grid_threads()) {
+          w.load_outer(t, i);
+          const std::uint32_t f = w.inner_size(i);
+          const std::int64_t s = q.slot[static_cast<std::size_t>(i)];
+          if (s < 0) {
+            t.atomic_add(count.get(), std::int64_t{1});
+            t.st(&b.items[static_cast<std::size_t>(~s)], i);
+          } else {
+            double acc = 0.0;
+            for (std::uint32_t j = 0; j < f; ++j) acc += w.body(t, i, j);
+            w.commit(t, i, acc);
+          }
+        }
+      });
+
+  // Phase 2: a one-block launch kernel. Thread 0 reads the descriptor
+  // bundle (charging the scan) and fires the single consolidated child;
+  // after it completes, all threads of the block stride the commits.
+  LaunchConfig lcfg;
+  lcfg.grid_blocks = 1;
+  lcfg.block_threads = p.block_block_size;
+  lcfg.smem_bytes = sizeof(std::int32_t);
+  lcfg.name = kname(w, LoopTemplate::kConsGrid, "launch");
+  dev.launch(lcfg, [&w, b, &p](BlockCtx& blk) {
+    auto ok = blk.shared_array<std::int32_t>(1);
+    blk.each_thread([&](LaneCtx& t) {
+      if (t.thread_idx() != 0) return;
+      // The aggregating thread walks the staged descriptors (items and the
+      // prefix-offset scan) before issuing the launch.
+      t.charge_load(b.items.get(),
+                    static_cast<std::uint32_t>(b.count * sizeof(std::int64_t)));
+      t.charge_load(b.offsets.get(), static_cast<std::uint32_t>(
+                                         (b.count + 1) * sizeof(std::int64_t)));
+      t.compute(static_cast<std::uint32_t>(b.count));
+      LaunchConfig child;
+      child.block_threads = p.block_block_size;
+      child.grid_blocks =
+          Device::blocks_for(b.total, p.block_block_size, p.max_grid_blocks);
+      child.aggregated_descriptors = static_cast<int>(
+          std::min<std::int64_t>(b.count, std::numeric_limits<int>::max()));
+      child.name = kname(w, LoopTemplate::kConsGrid, "child");
+      if (t.launch_threads_with_retry(child,
+                                      make_consolidated_kernel(w, b))) {
+        t.sh_st(&ok[0], 1);
+      } else {
+        // Aggregated launch refused: this lane drains every descriptor
+        // serially — the degradation path.
+        t.note_degraded();
+        t.sh_st(&ok[0], 0);
+        for (std::int64_t k = 0; k < b.count; ++k) {
+          const std::int64_t i =
+              t.ld(&b.items[static_cast<std::size_t>(k)]);
+          w.load_outer(t, i);
+          process_serial_deferred(w, t, i);
+        }
+      }
+    });
+    blk.each_thread([&](LaneCtx& t) {
+      if (t.sh_ld(&ok[0]) == 0) return;  // Serial drain already committed.
+      for (std::int64_t k = t.thread_idx(); k < b.count;
+           k += t.block_dim()) {
+        const std::int64_t i = t.ld(&b.items[static_cast<std::size_t>(k)]);
+        w.load_outer(t, i);
+        w.commit(t, i, t.ld(&b.acc[static_cast<std::size_t>(k)]));
+      }
+    });
+  });
+}
+
 }  // namespace
+
+// --- The template registry ---------------------------------------------------
+//
+// One row per template; names, parsers, family listings, autotune defaults
+// and the dispatch below all derive from this table. Adding a template is a
+// one-row change (plus its run function).
+namespace {
+constexpr LoopTemplateDesc kLoopTemplateRegistry[] = {
+    {LoopTemplate::kBaseline, "baseline", TemplateFamily::kBasic, false,
+     &run_baseline},
+    {LoopTemplate::kBlockMapped, "block-mapped", TemplateFamily::kBasic, false,
+     &run_block_mapped},
+    {LoopTemplate::kWarpMapped, "warp-mapped", TemplateFamily::kBasic, false,
+     &run_warp_mapped},
+    {LoopTemplate::kDualQueue, "dual-queue", TemplateFamily::kLoadBalancing,
+     true, &run_dual_queue},
+    {LoopTemplate::kDbufShared, "dbuf-shared", TemplateFamily::kLoadBalancing,
+     true, &run_dbuf_shared},
+    {LoopTemplate::kDbufGlobal, "dbuf-global", TemplateFamily::kLoadBalancing,
+     true, &run_dbuf_global},
+    {LoopTemplate::kDparNaive, "dpar-naive", TemplateFamily::kLoadBalancing,
+     false, &run_dpar_naive},
+    {LoopTemplate::kDparOpt, "dpar-opt", TemplateFamily::kLoadBalancing, true,
+     &run_dpar_opt},
+    {LoopTemplate::kConsWarp, "cons-warp", TemplateFamily::kConsolidation,
+     true, &run_cons_warp},
+    {LoopTemplate::kConsBlock, "cons-block", TemplateFamily::kConsolidation,
+     true, &run_cons_block},
+    {LoopTemplate::kConsGrid, "cons-grid", TemplateFamily::kConsolidation,
+     true, &run_cons_grid},
+};
+}  // namespace
+
+std::span<const LoopTemplateDesc> loop_templates() {
+  return kLoopTemplateRegistry;
+}
+
+const LoopTemplateDesc& describe(LoopTemplate t) {
+  for (const LoopTemplateDesc& d : kLoopTemplateRegistry) {
+    if (d.tmpl == t) return d;
+  }
+  throw std::invalid_argument("unknown loop template");
+}
+
+std::vector<LoopTemplate> templates_in_family(TemplateFamily f) {
+  std::vector<LoopTemplate> out;
+  for (const LoopTemplateDesc& d : kLoopTemplateRegistry) {
+    if (d.family == f) out.push_back(d.tmpl);
+  }
+  return out;
+}
+
+std::vector<LoopTemplate> default_autotune_templates() {
+  std::vector<LoopTemplate> out;
+  for (const LoopTemplateDesc& d : kLoopTemplateRegistry) {
+    if (d.autotune_default) out.push_back(d.tmpl);
+  }
+  return out;
+}
+
+std::string_view name(LoopTemplate t) { return describe(t).name; }
+
+LoopTemplate parse_loop_template(std::string_view s) {
+  for (const LoopTemplateDesc& d : kLoopTemplateRegistry) {
+    if (s == d.name) return d.tmpl;
+  }
+  std::string valid;
+  for (const LoopTemplateDesc& d : kLoopTemplateRegistry) {
+    if (!valid.empty()) valid += ", ";
+    valid += d.name;
+  }
+  throw std::invalid_argument("unknown loop template '" + std::string(s) +
+                              "' (valid: " + valid + ")");
+}
+
+RunResult run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
+                          const LoopRun& run) {
+  run.params.validate();
+  const LoopTemplateDesc& d = describe(run.tmpl);
+  if (run.policy.has_value()) {
+    simt::Session session = dev.session(*run.policy);
+    d.run(dev, w, run.params);
+    return RunResult{session.report()};
+  }
+  d.run(dev, w, run.params);
+  return RunResult{};
+}
 
 void run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
                      LoopTemplate tmpl, const LoopParams& p) {
-  p.validate();
-  switch (tmpl) {
-    case LoopTemplate::kBaseline: return run_baseline(dev, w, p);
-    case LoopTemplate::kBlockMapped: return run_block_mapped(dev, w, p);
-    case LoopTemplate::kWarpMapped: return run_warp_mapped(dev, w, p);
-    case LoopTemplate::kDualQueue: return run_dual_queue(dev, w, p);
-    case LoopTemplate::kDbufShared: return run_dbuf_shared(dev, w, p);
-    case LoopTemplate::kDbufGlobal: return run_dbuf_global(dev, w, p);
-    case LoopTemplate::kDparNaive: return run_dpar_naive(dev, w, p);
-    case LoopTemplate::kDparOpt: return run_dpar_opt(dev, w, p);
-  }
-  throw std::invalid_argument("unknown template");
+  run_nested_loop(dev, w, LoopRun{tmpl, p, std::nullopt});
 }
 
 RunResult run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
                           LoopTemplate tmpl, const LoopParams& p,
                           const simt::ExecPolicy& policy) {
-  simt::Session session = dev.session(policy);
-  run_nested_loop(dev, w, tmpl, p);
-  return RunResult{session.report()};
+  return run_nested_loop(dev, w, LoopRun{tmpl, p, policy});
 }
 
 }  // namespace nestpar::nested

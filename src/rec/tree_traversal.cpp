@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/simt/aligned.h"
 #include "src/simt/profiler.h"
 
 namespace nestpar::rec {
@@ -22,6 +23,7 @@ std::string_view name(RecTemplate t) {
     case RecTemplate::kRecNaive: return "rec-naive";
     case RecTemplate::kRecHier: return "rec-hier";
     case RecTemplate::kAutoropes: return "autoropes";
+    case RecTemplate::kRecCons: return "rec-cons";
   }
   return "?";
 }
@@ -403,6 +405,116 @@ void run_autoropes(Device& dev, const Tree& tr, std::uint32_t* values,
   }
 }
 
+// --- Workload-consolidation recursion (rec-cons) -----------------------------
+
+/// The recursion analogue of the cons-* loop templates: instead of one child
+/// grid per internal node (rec-naive) or per block (rec-hier), a single
+/// controller thread walks the tree's levels bottom-up and launches ONE
+/// aggregated child grid per level, carrying that level's internal nodes as
+/// descriptors. The child's lanes are evenly split over the level's
+/// concatenated child edges (merge-path style), so each aggregated grid is
+/// itself balanced; the launch carries `aggregated_descriptors` so the GMU
+/// charges one activation plus cheap per-descriptor services. Bottom-up
+/// order means every child value is final when its parent's level runs, so
+/// combines need no accumulator staging.
+void run_cons(Device& dev, const Tree& tr, std::uint32_t* values,
+              const TraversalOps& ops, const RecOptions& opt,
+              const std::string& base) {
+  LaunchConfig cfg;
+  cfg.grid_blocks = 1;
+  cfg.block_threads = 1;
+  cfg.name = base + "/controller";
+  const Tree* tp = &tr;
+  dev.launch_threads(cfg, [tp, values, ops, opt, base](LaneCtx& t) {
+    const Tree& tr = *tp;
+    for (std::uint32_t l = tr.max_level(); l-- > 0;) {
+      const auto [first, last] = tr.level_range(l);
+      const std::uint32_t width = last - first;
+      if (width == 0) continue;
+      // Stage the level's descriptor bundle: internal nodes plus exclusive
+      // prefix offsets of their child-edge counts (the aggregated child's
+      // search structure). The controller's loads/stores here are the real
+      // cost of building the aggregation.
+      auto items = simt::make_segment_array<std::int64_t>(width);
+      auto offsets = simt::make_segment_array<std::int64_t>(
+          static_cast<std::size_t>(width) + 1);
+      std::int64_t count = 0;
+      std::int64_t total = 0;
+      for (std::uint32_t v = first; v < last; ++v) {
+        const std::uint32_t off = t.ld(&tr.child_offsets[v]);
+        const std::uint32_t end = t.ld(&tr.child_offsets[v + 1]);
+        if (end == off) continue;
+        t.st(&items[static_cast<std::size_t>(count)],
+             static_cast<std::int64_t>(v));
+        t.st(&offsets[static_cast<std::size_t>(count)], total);
+        total += end - off;
+        ++count;
+      }
+      if (count == 0) continue;
+      t.st(&offsets[static_cast<std::size_t>(count)], total);
+
+      LaunchConfig cc;
+      cc.block_threads = opt.rec_block_size;
+      cc.grid_blocks =
+          Device::blocks_for(total, opt.rec_block_size, opt.max_grid_blocks);
+      cc.aggregated_descriptors = static_cast<int>(count);
+      cc.name = base + "/level";
+      auto child = [tp, values, ops, items, offsets, count,
+                    total](LaneCtx& c) {
+        const Tree& tr = *tp;
+        const std::int64_t threads = c.grid_threads();
+        const std::int64_t begin = c.global_idx() * total / threads;
+        const std::int64_t end = (c.global_idx() + 1) * total / threads;
+        if (begin >= end) return;
+        // Binary-search the starting descriptor for this lane's chunk.
+        std::int64_t lo = 0, hi = count - 1;
+        while (lo < hi) {
+          const std::int64_t mid = lo + (hi - lo + 1) / 2;
+          if (c.ld(&offsets[static_cast<std::size_t>(mid)]) <= begin) {
+            lo = mid;
+          } else {
+            hi = mid - 1;
+          }
+        }
+        std::int64_t e = begin;
+        for (std::int64_t k = lo; k < count && e < end; ++k) {
+          const auto v = static_cast<std::uint32_t>(
+              c.ld(&items[static_cast<std::size_t>(k)]));
+          const std::int64_t kbegin =
+              c.ld(&offsets[static_cast<std::size_t>(k)]);
+          const std::int64_t kend =
+              c.ld(&offsets[static_cast<std::size_t>(k + 1)]);
+          if (kend <= e) continue;
+          const std::uint32_t coff = c.ld(&tr.child_offsets[v]);
+          const std::int64_t stop = std::min(end, kend);
+          for (; e < stop; ++e) {
+            const std::uint32_t ch = c.ld(
+                &tr.children[coff + static_cast<std::uint32_t>(e - kbegin)]);
+            const std::uint32_t cv = c.ld(&values[ch]);
+            ops.combine(c, &values[v], cv);
+          }
+        }
+      };
+      if (!t.launch_threads_with_retry(cc, child)) {
+        // Aggregated level launch refused: the controller folds the level
+        // serially — slow but correct, and children are already final.
+        t.note_degraded();
+        for (std::int64_t k = 0; k < count; ++k) {
+          const auto v = static_cast<std::uint32_t>(
+              t.ld(&items[static_cast<std::size_t>(k)]));
+          const std::uint32_t off = t.ld(&tr.child_offsets[v]);
+          const std::uint32_t end = t.ld(&tr.child_offsets[v + 1]);
+          for (std::uint32_t j = off; j < end; ++j) {
+            const std::uint32_t ch = t.ld(&tr.children[j]);
+            const std::uint32_t cv = t.ld(&values[ch]);
+            ops.combine(t, &values[v], cv);
+          }
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
 
 std::vector<std::uint32_t> run_tree_traversal(Device& dev, const Tree& tr,
@@ -451,6 +563,9 @@ std::vector<std::uint32_t> run_tree_traversal(Device& dev, const Tree& tr,
     }
     case RecTemplate::kAutoropes:
       run_autoropes(dev, tr, values.data(), ops, opt, base);
+      break;
+    case RecTemplate::kRecCons:
+      run_cons(dev, tr, values.data(), ops, opt, base);
       break;
   }
   return values;

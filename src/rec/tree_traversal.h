@@ -26,14 +26,21 @@ enum class RecTemplate {
   /// (no atomics at all); the small crown above the split level is folded
   /// level by level afterwards.
   kAutoropes,
+  /// Workload-consolidation analogue for recursion: a controller thread
+  /// walks the tree's levels bottom-up and launches ONE aggregated child
+  /// grid per level carrying every internal node of that level as a work
+  /// descriptor (lanes evenly split over the level's concatenated child
+  /// edges) — device launches scale with tree depth, not node count.
+  kRecCons,
 };
 
-/// All four, in presentation order.
+/// All five, in presentation order.
 inline constexpr RecTemplate kAllRecTemplates[] = {
     RecTemplate::kFlat,
     RecTemplate::kRecNaive,
     RecTemplate::kRecHier,
     RecTemplate::kAutoropes,
+    RecTemplate::kRecCons,
 };
 
 /// Canonical template name ("flat", "rec-naive", ...). Points at a string

@@ -79,6 +79,11 @@ struct DeviceSpec {
   /// (CUDA's cudaLimitDevRuntimePendingLaunchCount behaviour).
   int pending_launch_pool = 2048;
   double virtualized_launch_service_us = 300.0;
+  /// GMU service time per *extra* work descriptor carried by a consolidated
+  /// nested launch (workload consolidation): a grid aggregating K descriptors
+  /// costs one base activation plus (K-1) of these — far cheaper than K
+  /// separate activations, which is the whole point of consolidating.
+  double aggregated_descriptor_service_us = 0.2;
 
   /// Hard launch-resource limits (refusals, not slowdowns); default is
   /// unlimited pool/heap with the architectural 24-level depth limit.
@@ -121,6 +126,10 @@ struct DeviceSpec {
   /// Activation cost once the pending-launch pool has overflowed.
   double virtualized_launch_service_cycles() const {
     return virtualized_launch_service_us * 1e3 * clock_ghz;
+  }
+  /// Incremental GMU cost per extra descriptor in a consolidated launch.
+  double aggregated_descriptor_service_cycles() const {
+    return aggregated_descriptor_service_us * 1e3 * clock_ghz;
   }
 
   /// Convert model cycles to microseconds.

@@ -37,6 +37,12 @@ struct LaunchConfig {
   int block_threads = 128;
   std::size_t smem_bytes = 0;     ///< Static+dynamic shared memory per block.
   int regs_per_thread = 24;       ///< For the occupancy calculator.
+  /// Number of deferred work descriptors this grid aggregates (workload
+  /// consolidation). 0/1 = an ordinary launch; K > 1 means the launch stands
+  /// in for K individual child launches and the GMU model charges extra
+  /// per-descriptor service time on top of the single launch (device_spec.h:
+  /// aggregated_descriptor_service_us).
+  int aggregated_descriptors = 0;
   std::string name = "kernel";    ///< Label used for per-kernel metrics.
 };
 

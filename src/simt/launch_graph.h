@@ -39,6 +39,10 @@ struct KernelNode {
   int block_threads = 0;
   std::size_t smem_bytes = 0;
   int regs_per_thread = 24;
+  /// Deferred work descriptors carried by a consolidated launch (see
+  /// LaunchConfig::aggregated_descriptors); the GMU charges per-descriptor
+  /// service on top of the base launch cost when > 1.
+  int aggregated_descriptors = 0;
   /// Stream identity: host launches use the user stream id; device launches
   /// default to a per-(parent grid, parent block) stream, or to explicit
   /// per-block extra streams. Encoded as a dense id by the recorder.

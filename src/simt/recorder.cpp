@@ -81,6 +81,9 @@ void validate_config(const DeviceSpec& spec, const LaunchConfig& cfg) {
   if (cfg.smem_bytes > spec.shared_mem_per_block) {
     throw std::invalid_argument("smem_bytes exceeds device limit");
   }
+  if (cfg.aggregated_descriptors < 0) {
+    throw std::invalid_argument("aggregated_descriptors < 0");
+  }
 }
 
 /// BlockEnv backing one running block. `node_local` selects the grid the
@@ -443,6 +446,7 @@ std::uint32_t Recorder::create_host_node(const LaunchConfig& cfg,
   node.block_threads = cfg.block_threads;
   node.smem_bytes = cfg.smem_bytes;
   node.regs_per_thread = cfg.regs_per_thread;
+  node.aggregated_descriptors = cfg.aggregated_descriptors;
   node.stream = stream;
   node.seq = seq_++;
   graph_.nodes.push_back(std::move(node));
@@ -582,6 +586,7 @@ void Recorder::merge_grid(std::uint32_t node_id,
       node.block_threads = ln.cfg.block_threads;
       node.smem_bytes = ln.cfg.smem_bytes;
       node.regs_per_thread = ln.cfg.regs_per_thread;
+      node.aggregated_descriptors = ln.cfg.aggregated_descriptors;
       node.parent_kernel =
           ln.parent_local < 0
               ? static_cast<std::int64_t>(node_id)

@@ -331,7 +331,13 @@ void Scheduler::on_ready(std::uint32_t node_id, double now) {
     const double pool = static_cast<double>(spec_.pending_launch_pool);
     const double overflow =
         std::clamp((gmu_pending_ - pool) / (9.0 * pool), 0.0, 1.0);
-    const double service = base + (virt - base) * overflow;
+    // A consolidated launch carries K work descriptors in one grid: the GMU
+    // activates it once, then streams the remaining K-1 descriptors at the
+    // (much cheaper) per-descriptor rate instead of K full activations.
+    const double service =
+        base + (virt - base) * overflow +
+        spec_.aggregated_descriptor_service_cycles() *
+            std::max(0, graph_.nodes[node_id].aggregated_descriptors - 1);
     gmu_free_ = start + service;
     ++gmu_pending_;
     push_event(gmu_free_, EventType::kKernelActivated, node_id);

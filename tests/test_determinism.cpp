@@ -140,9 +140,10 @@ TEST_P(LoopDeterminism, SpmvBundledRunMatches) {
   nested::LoopParams p;
   p.lb_threshold = 16;
   const nested::RunResult rs = nested::run_nested_loop(
-      dev, ws, GetParam(), p, simt::ExecPolicy::serial());
-  const nested::RunResult rp =
-      nested::run_nested_loop(dev, wp, GetParam(), p, kParallel);
+      dev, ws,
+      nested::LoopRun{GetParam(), p, simt::ExecPolicy::serial()});
+  const nested::RunResult rp = nested::run_nested_loop(
+      dev, wp, nested::LoopRun{GetParam(), p, kParallel});
 
   EXPECT_EQ(ys, yp);
   expect_identical(rs.report, rp.report);

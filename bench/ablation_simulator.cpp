@@ -144,12 +144,15 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
       s.atomic_drain_cycles = drain;
       simt::Device dev(s);
       const rec::TreeRunResult flat_run = rec::run_tree_traversal(
-          dev, tr, rec::TreeAlgo::kDescendants, rec::RecTemplate::kFlat, {},
-          dev.exec_policy());
+          dev, tr,
+          {.algo = rec::TreeAlgo::kDescendants,
+           .tmpl = rec::RecTemplate::kFlat, .policy = dev.exec_policy()});
       const double flat = t_iter.us() / flat_run.report.total_us;
       const rec::TreeRunResult hier_run = rec::run_tree_traversal(
-          dev, tr, rec::TreeAlgo::kDescendants, rec::RecTemplate::kRecHier, {},
-          dev.exec_policy());
+          dev, tr,
+          {.algo = rec::TreeAlgo::kDescendants,
+           .tmpl = rec::RecTemplate::kRecHier,
+           .policy = dev.exec_policy()});
       const double hier = t_iter.us() / hier_run.report.total_us;
       bench::table_row({bench::fmt(drain, 1), bench::fmt(flat) + "x",
                         bench::fmt(hier) + "x"});

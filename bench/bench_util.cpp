@@ -126,6 +126,7 @@ int standalone_main(std::string_view suite, int argc, char** argv) {
   if (rc == 0 && !out.empty()) {
     try {
       write_result_file(result, out);
+      if (!result.serve.empty()) write_serve_file(result, out);
     } catch (const std::runtime_error& e) {
       slog::error("error: %s\n", e.what());
       return 2;

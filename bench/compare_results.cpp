@@ -1,12 +1,15 @@
-// Regression comparator for BENCH_<suite>.json result files.
+// Regression comparator for BENCH_<suite>.json and SERVE_<suite>.json
+// result files.
 //
 //   compare_results --baseline=PATH --current=PATH [--threshold=0.05]
 //                   [--json]
 //
-// Each PATH is either one result file or a directory of BENCH_*.json files.
-// Records are matched by (suite, template, dataset, scale, params) and the
-// deterministic metrics diffed; a relative delta in the bad direction beyond
-// the threshold — or a baseline record that disappeared — is a regression.
+// Each PATH is either one result file or a directory of BENCH_*.json (and
+// optionally SERVE_*.json) files. BENCH records are matched by (suite,
+// template, dataset, scale, params), SERVE records by (suite, scenario,
+// params), and the deterministic metrics diffed; a relative delta in the bad
+// direction beyond the threshold — or a baseline record that disappeared —
+// is a regression.
 // Deltas past the threshold in the *good* direction are reported as
 // improvements. `--json` replaces the human-readable report with a single
 // JSON document on stdout, for CI annotation.
@@ -36,6 +39,7 @@ constexpr const char* kUsage =
     "  PATH is a BENCH_<suite>.json file or a directory of them";
 
 // Loads one file, or every BENCH_*.json inside a directory, keyed by suite.
+// A lone SERVE_*.json file path loads as a serve-only result.
 std::map<std::string, bench::SuiteResult> load(const std::string& path) {
   std::map<std::string, bench::SuiteResult> by_suite;
   std::vector<std::string> files;
@@ -52,7 +56,10 @@ std::map<std::string, bench::SuiteResult> load(const std::string& path) {
     files.push_back(path);
   }
   for (const std::string& f : files) {
-    bench::SuiteResult r = bench::load_result_file(f);
+    const std::string name = fs::path(f).filename().string();
+    bench::SuiteResult r = name.rfind("SERVE_", 0) == 0
+                               ? bench::load_serve_file(f)
+                               : bench::load_result_file(f);
     if (by_suite.count(r.suite)) {
       throw std::runtime_error("duplicate suite '" + r.suite + "' in " + path);
     }
@@ -62,6 +69,36 @@ std::map<std::string, bench::SuiteResult> load(const std::string& path) {
     throw std::runtime_error("no BENCH_*.json files found in " + path);
   }
   return by_suite;
+}
+
+// Folds every SERVE_*.json in a directory into the already-loaded suites
+// (matching by suite name; a serve file without a BENCH sibling gets its own
+// entry). Absence of serve files is fine — most suites don't serve.
+void load_serve_dir(const std::string& path,
+                    std::map<std::string, bench::SuiteResult>& by_suite) {
+  if (!fs::is_directory(path)) return;
+  std::vector<std::string> files;
+  for (const fs::directory_entry& e : fs::directory_iterator(path)) {
+    const std::string name = e.path().filename().string();
+    if (e.is_regular_file() && name.rfind("SERVE_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+      files.push_back(e.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    bench::SuiteResult r = bench::load_serve_file(f);
+    const auto it = by_suite.find(r.suite);
+    if (it == by_suite.end()) {
+      by_suite.emplace(r.suite, std::move(r));
+    } else {
+      if (!it->second.serve.empty()) {
+        throw std::runtime_error("duplicate serve records for suite '" +
+                                 r.suite + "' in " + path);
+      }
+      it->second.serve = std::move(r.serve);
+    }
+  }
 }
 
 void print_json(const bench::CompareReport& total, int missing_suites,
@@ -126,6 +163,8 @@ int main(int argc, char** argv) {
   try {
     baseline = load(baseline_path);
     current = load(current_path);
+    load_serve_dir(baseline_path, baseline);
+    load_serve_dir(current_path, current);
   } catch (const std::runtime_error& e) {
     slog::error("error: %s\n", e.what());
     return 2;
@@ -144,8 +183,9 @@ int main(int argc, char** argv) {
       ++missing_suites;
       continue;
     }
-    const bench::CompareReport rep =
-        bench::compare_results(base, it->second, opt);
+    bench::CompareReport rep = bench::compare_results(base, it->second, opt);
+    bench::merge_compare_reports(
+        rep, bench::compare_serve(base, it->second, opt));
     if (!json_output) {
       std::printf("suite %-24s matched=%d missing=%d added=%d%s\n",
                   suite.c_str(), rep.matched, rep.missing, rep.added,

@@ -90,12 +90,26 @@ int run_suite(const bench::SuiteSpec& spec,
         slog::error("suite '%s': JSON round-trip mismatch\n", name.c_str());
         return 1;
       }
+      if (!result.serve.empty()) {
+        const bench::SuiteResult sparsed =
+            bench::parse_serve_json(bench::to_serve_json(result));
+        if (sparsed.suite != result.suite ||
+            sparsed.serve.size() != result.serve.size()) {
+          slog::error("suite '%s': serve JSON round-trip mismatch\n",
+                      name.c_str());
+          return 1;
+        }
+      }
       std::printf("[smoke] %s: %zu records, JSON ok\n", name.c_str(),
                   result.measurements.size());
     }
     if (!out_dir.empty()) {
       const std::string path = bench::write_result_file(result, out_dir);
       std::printf("[out] wrote %s\n", path.c_str());
+      if (!result.serve.empty()) {
+        const std::string spath = bench::write_serve_file(result, out_dir);
+        std::printf("[out] wrote %s\n", spath.c_str());
+      }
       if (simt::Profiler::enabled()) {
         bench::SuiteProfile profile;
         profile.suite = name;

@@ -152,6 +152,146 @@ SuiteResult load_result_file(const std::string& path) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SERVE_<suite>.json: serving-scenario outcome records.
+
+std::string ServeRecord::key() const {
+  std::string k = scenario + "|";
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (!first) k += ',';
+    first = false;
+    k += name + "=" + json_num(value);
+  }
+  return k;
+}
+
+std::string to_serve_json(const SuiteResult& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": " + std::to_string(kServeSchemaVersion) +
+         ",\n";
+  out += "  \"generator\": \"nestpar_bench\",\n";
+  out += "  \"kind\": \"serve\",\n";
+  out += "  \"suite\": " + json_str(result.suite) + ",\n";
+  out += "  \"figure\": " + json_str(result.figure) + ",\n";
+  out += "  \"records\": [";
+  for (std::size_t i = 0; i < result.serve.size(); ++i) {
+    const ServeRecord& r = result.serve[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"scenario\": " + json_str(r.scenario) + ",\n     ";
+    out += "\"params\": ";
+    append_num_map(out, r.params);
+    out += ",\n     ";
+    out += "\"submitted\": " + json_num(r.submitted) + ", ";
+    out += "\"ok\": " + json_num(r.ok) + ", ";
+    out += "\"expired\": " + json_num(r.expired) + ", ";
+    out += "\"shed\": " + json_num(r.shed) + ", ";
+    out += "\"wrong\": " + json_num(r.wrong) + ",\n     ";
+    out += "\"attempts\": " + json_num(r.attempts) + ", ";
+    out += "\"retries\": " + json_num(r.retries) + ", ";
+    out += "\"hedges\": " + json_num(r.hedges) + ", ";
+    out += "\"batches\": " + json_num(r.batches) + ", ";
+    out += "\"probes\": " + json_num(r.probes) + ",\n     ";
+    out += "\"breaker_trips\": " + json_num(r.breaker_trips) + ", ";
+    out += "\"faults_injected\": " + json_num(r.faults_injected) + ", ";
+    out += "\"degraded\": " + json_num(r.degraded) + ",\n     ";
+    out += "\"makespan_us\": " + json_num(r.makespan_us) + ", ";
+    out += "\"qps_ok\": " + json_num(r.qps_ok) + ",\n     ";
+    out += "\"p50_us\": " + json_num(r.p50_us) + ", ";
+    out += "\"p95_us\": " + json_num(r.p95_us) + ", ";
+    out += "\"p99_us\": " + json_num(r.p99_us) + ", ";
+    out += "\"mean_us\": " + json_num(r.mean_us) + ", ";
+    out += "\"max_us\": " + json_num(r.max_us) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+SuiteResult parse_serve_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("serve JSON root is not an object");
+  }
+  const JsonObject& root = doc.object();
+  const int version = static_cast<int>(require_num(root, "schema_version"));
+  if (version != kServeSchemaVersion) {
+    throw std::runtime_error(
+        "serve JSON schema_version " + std::to_string(version) +
+        " does not match supported version " +
+        std::to_string(kServeSchemaVersion) +
+        " (regenerate the file with this build's nestpar_bench)");
+  }
+  SuiteResult result;
+  result.suite = require_str(root, "suite");
+  result.figure = require_str(root, "figure");
+  const JsonValue& arr = require(root, "records");
+  if (!arr.is_array()) {
+    throw std::runtime_error("serve JSON 'records' is not an array");
+  }
+  for (const JsonValue& item : arr.array()) {
+    if (!item.is_object()) {
+      throw std::runtime_error("serve JSON record is not an object");
+    }
+    const JsonObject& rec = item.object();
+    ServeRecord r;
+    r.scenario = require_str(rec, "scenario");
+    r.params = num_map(rec, "params");
+    r.submitted = static_cast<std::uint64_t>(require_num(rec, "submitted"));
+    r.ok = static_cast<std::uint64_t>(require_num(rec, "ok"));
+    r.expired = static_cast<std::uint64_t>(require_num(rec, "expired"));
+    r.shed = static_cast<std::uint64_t>(require_num(rec, "shed"));
+    r.wrong = static_cast<std::uint64_t>(require_num(rec, "wrong"));
+    r.attempts = static_cast<std::uint64_t>(require_num(rec, "attempts"));
+    r.retries = static_cast<std::uint64_t>(require_num(rec, "retries"));
+    r.hedges = static_cast<std::uint64_t>(require_num(rec, "hedges"));
+    r.batches = static_cast<std::uint64_t>(require_num(rec, "batches"));
+    r.probes = static_cast<std::uint64_t>(require_num(rec, "probes"));
+    r.breaker_trips =
+        static_cast<std::uint64_t>(require_num(rec, "breaker_trips"));
+    r.faults_injected =
+        static_cast<std::uint64_t>(require_num(rec, "faults_injected"));
+    r.degraded = static_cast<std::uint64_t>(require_num(rec, "degraded"));
+    r.makespan_us = require_num(rec, "makespan_us");
+    r.qps_ok = require_num(rec, "qps_ok");
+    r.p50_us = require_num(rec, "p50_us");
+    r.p95_us = require_num(rec, "p95_us");
+    r.p99_us = require_num(rec, "p99_us");
+    r.mean_us = require_num(rec, "mean_us");
+    r.max_us = require_num(rec, "max_us");
+    result.serve.push_back(std::move(r));
+  }
+  return result;
+}
+
+std::string write_serve_file(const SuiteResult& result,
+                             const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create serve directory '" + dir +
+                             "': " + ec.message());
+  }
+  const std::string path = dir + "/SERVE_" + result.suite + ".json";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  f << to_serve_json(result);
+  if (!f) throw std::runtime_error("write to '" + path + "' failed");
+  return path;
+}
+
+SuiteResult load_serve_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open serve file '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  try {
+    return parse_serve_json(buf.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -646,6 +786,57 @@ CompareReport compare_results(const SuiteResult& baseline,
                 opt.threshold);
   }
   for (const Measurement& c : current.measurements) {
+    if (!baseline_keys.count(c.key())) ++report.added;
+  }
+  return report;
+}
+
+CompareReport compare_serve(const SuiteResult& baseline,
+                            const SuiteResult& current,
+                            const CompareOptions& opt) {
+  CompareReport report;
+  std::map<std::string, const ServeRecord*> current_by_key;
+  for (const ServeRecord& r : current.serve) {
+    current_by_key[r.key()] = &r;
+  }
+  std::map<std::string, bool> baseline_keys;
+  for (const ServeRecord& b : baseline.serve) {
+    const std::string key = b.key();
+    baseline_keys[key] = true;
+    const auto it = current_by_key.find(key);
+    if (it == current_by_key.end()) {
+      ++report.missing;
+      continue;
+    }
+    ++report.matched;
+    const ServeRecord& c = *it->second;
+    const std::string suite = baseline.suite + " [serve]";
+    diff_metric(report, suite, key, "wrong", static_cast<double>(b.wrong),
+                static_cast<double>(c.wrong), +1, opt.threshold);
+    diff_metric(report, suite, key, "ok", static_cast<double>(b.ok),
+                static_cast<double>(c.ok), -1, opt.threshold);
+    diff_metric(report, suite, key, "expired",
+                static_cast<double>(b.expired), static_cast<double>(c.expired),
+                +1, opt.threshold);
+    diff_metric(report, suite, key, "shed", static_cast<double>(b.shed),
+                static_cast<double>(c.shed), +1, opt.threshold);
+    diff_metric(report, suite, key, "retries",
+                static_cast<double>(b.retries), static_cast<double>(c.retries),
+                +1, opt.threshold);
+    diff_metric(report, suite, key, "breaker_trips",
+                static_cast<double>(b.breaker_trips),
+                static_cast<double>(c.breaker_trips), +1, opt.threshold);
+    diff_metric(report, suite, key, "faults_injected",
+                static_cast<double>(b.faults_injected),
+                static_cast<double>(c.faults_injected), +1, opt.threshold);
+    diff_metric(report, suite, key, "p50_us", b.p50_us, c.p50_us, +1,
+                opt.threshold);
+    diff_metric(report, suite, key, "p99_us", b.p99_us, c.p99_us, +1,
+                opt.threshold);
+    diff_metric(report, suite, key, "qps_ok", b.qps_ok, c.qps_ok, -1,
+                opt.threshold);
+  }
+  for (const ServeRecord& c : current.serve) {
     if (!baseline_keys.count(c.key())) ++report.added;
   }
   return report;

@@ -81,12 +81,57 @@ struct Measurement {
   std::string key() const;
 };
 
+/// Version of the SERVE_<suite>.json schema (independent of the result
+/// schema; bump on any incompatible layout change). SERVE files carry the
+/// serving runtime's per-scenario outcome records — request counts by
+/// terminal status, retry/hedge/breaker activity, and latency percentiles.
+inline constexpr int kServeSchemaVersion = 1;
+
+/// One serving-scenario record: the deterministic outcome of one Server run
+/// (see src/serve/server.h). All counters and percentiles are pure functions
+/// of (config, workload, pool), so the comparator can gate them exactly like
+/// the model-side bench metrics.
+struct ServeRecord {
+  std::string scenario;  ///< Load point name ("steady", "overload", ...).
+  /// Identity coordinates (qps, shards, fault rates, ...). Part of the match
+  /// key, so chaos records never compare against clean baselines.
+  std::map<std::string, double> params;
+
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t wrong = 0;  ///< Verification failures among Ok (must be 0).
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t degraded = 0;
+  double makespan_us = 0.0;
+  double qps_ok = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+
+  /// Identity within a suite: "scenario|k=v,k=v".
+  std::string key() const;
+};
+
 /// All measurements one registered suite produced in one run, written as one
 /// `BENCH_<suite>.json` file.
 struct SuiteResult {
   std::string suite;   ///< Registry name, also the JSON file stem.
   std::string figure;  ///< Paper anchor ("Figure 5", "Table I", "—").
   std::vector<Measurement> measurements;
+  /// Serving-scenario records, written as a separate `SERVE_<suite>.json`
+  /// file (never part of the BENCH JSON — BENCH bytes stay untouched for
+  /// suites that don't serve).
+  std::vector<ServeRecord> serve;
 };
 
 /// Serialize to the schema-versioned JSON document (stable field order and
@@ -105,6 +150,24 @@ std::string write_result_file(const SuiteResult& result,
 /// Read and parse one result file. Throws std::runtime_error on I/O or
 /// parse/schema failure.
 SuiteResult load_result_file(const std::string& path);
+
+/// Serialize the suite's serving records to the schema-versioned SERVE JSON
+/// document (stable field order and number formatting).
+std::string to_serve_json(const SuiteResult& result);
+
+/// Parse a document produced by `to_serve_json` (fills suite/figure/serve;
+/// measurements stay empty). Throws std::runtime_error on malformed JSON,
+/// missing fields, or a schema-version mismatch.
+SuiteResult parse_serve_json(const std::string& text);
+
+/// Write `to_serve_json(result)` to `<dir>/SERVE_<suite>.json`, creating
+/// `dir` if needed. Returns the path written.
+std::string write_serve_file(const SuiteResult& result,
+                             const std::string& dir);
+
+/// Read and parse one SERVE file. Throws std::runtime_error on I/O or
+/// parse/schema failure.
+SuiteResult load_serve_file(const std::string& path);
 
 /// Version of the PROF_<suite>.json schema (independent of the result
 /// schema; bump on any incompatible layout change). v2 added the
@@ -178,6 +241,14 @@ struct CompareReport {
 CompareReport compare_results(const SuiteResult& baseline,
                               const SuiteResult& current,
                               const CompareOptions& opt);
+
+/// Match serving records by ServeRecord::key() and diff the outcome metrics.
+/// Wrong results, expirations, sheds, retries, breaker trips, fault activity,
+/// or latency percentiles going *up* — or Ok count / Ok throughput going
+/// *down* — beyond `threshold` count as regressions.
+CompareReport compare_serve(const SuiteResult& baseline,
+                            const SuiteResult& current,
+                            const CompareOptions& opt);
 
 /// Merge `b` into `a` (summing match counts and concatenating deltas).
 void merge_compare_reports(CompareReport& a, const CompareReport& b);

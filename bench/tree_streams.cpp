@@ -38,7 +38,9 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
       rec::RecOptions opt;
       opt.streams_per_block = streams;
       const rec::TreeRunResult r = rec::run_tree_traversal(
-          dev, tr, TreeAlgo::kDescendants, t, opt, dev.exec_policy());
+          dev, tr,
+          {.algo = TreeAlgo::kDescendants, .tmpl = t, .opt = opt,
+           .policy = dev.exec_policy()});
       bench::Measurement m = bench::Measurement::from_report(r.report);
       m.tmpl = std::string(rec::name(t));
       m.dataset = "tree";

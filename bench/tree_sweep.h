@@ -38,8 +38,8 @@ inline void tree_sweep(rec::TreeAlgo algo,
          {rec::RecTemplate::kFlat, rec::RecTemplate::kRecNaive,
           rec::RecTemplate::kRecHier, rec::RecTemplate::kAutoropes}) {
       simt::Device dev;
-      const rec::TreeRunResult run =
-          rec::run_tree_traversal(dev, tr, algo, t, {}, dev.exec_policy());
+      const rec::TreeRunResult run = rec::run_tree_traversal(
+          dev, tr, {.algo = algo, .tmpl = t, .policy = dev.exec_policy()});
       const simt::RunReport& rep = run.report;
       row.push_back(fmt(cpu_us / rep.total_us) + "x");
       if (t == rec::RecTemplate::kFlat) {

@@ -35,8 +35,9 @@ int run() {
     for (int i = 0; i < 3; ++i) {
       simt::Device dev;
       const rec::TreeRunResult run = rec::run_tree_traversal(
-          dev, tr, TreeAlgo::kDescendants, templates[i], {},
-          dev.exec_policy());
+          dev, tr,
+          {.algo = TreeAlgo::kDescendants, .tmpl = templates[i],
+           .policy = dev.exec_policy()});
       if (run.values != expect) {
         std::printf("MISMATCH for %s\n",
                     std::string(rec::name(templates[i])).c_str());
@@ -61,7 +62,9 @@ int run() {
        {RecTemplate::kFlat, RecTemplate::kRecNaive, RecTemplate::kRecHier}) {
     simt::Device dev;
     const rec::TreeRunResult run = rec::run_tree_traversal(
-        dev, tr, TreeAlgo::kDescendants, t, {}, dev.exec_policy());
+        dev, tr,
+        {.algo = TreeAlgo::kDescendants, .tmpl = t,
+         .policy = dev.exec_policy()});
     const simt::RunReport& rep = run.report;
     std::printf("  %-10s atomics=%-10llu nested-kernels=%-8llu warp-eff=%.0f%%",
                 std::string(rec::name(t)).c_str(),

@@ -1073,15 +1073,4 @@ RunResult run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
   return RunResult{};
 }
 
-void run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
-                     LoopTemplate tmpl, const LoopParams& p) {
-  run_nested_loop(dev, w, LoopRun{tmpl, p, std::nullopt});
-}
-
-RunResult run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
-                          LoopTemplate tmpl, const LoopParams& p,
-                          const simt::ExecPolicy& policy) {
-  return run_nested_loop(dev, w, LoopRun{tmpl, p, policy});
-}
-
 }  // namespace nestpar::nested

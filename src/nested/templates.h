@@ -110,26 +110,6 @@ std::string_view name(LoopTemplate t);
 /// message verbatim.
 LoopTemplate parse_loop_template(std::string_view s);
 
-/// DEPRECATED: prefer iterating `loop_templates()`. Kept for one PR as a
-/// thin alias of the registry's presentation order.
-inline constexpr LoopTemplate kAllLoopTemplates[] = {
-    LoopTemplate::kBaseline,   LoopTemplate::kBlockMapped,
-    LoopTemplate::kWarpMapped, LoopTemplate::kDualQueue,
-    LoopTemplate::kDbufShared, LoopTemplate::kDbufGlobal,
-    LoopTemplate::kDparNaive,  LoopTemplate::kDparOpt,
-    LoopTemplate::kConsWarp,   LoopTemplate::kConsBlock,
-    LoopTemplate::kConsGrid,
-};
-
-/// DEPRECATED: prefer `templates_in_family(TemplateFamily::kLoadBalancing)`.
-/// The five load-balancing templates compared against the baseline in
-/// Figs. 5/6 (dual-queue, dbuf-shared, dbuf-global, dpar-naive, dpar-opt).
-inline constexpr LoopTemplate kLoadBalancingTemplates[] = {
-    LoopTemplate::kDualQueue,  LoopTemplate::kDbufShared,
-    LoopTemplate::kDbufGlobal, LoopTemplate::kDparNaive,
-    LoopTemplate::kDparOpt,
-};
-
 /// Everything one execution needs: the template, its tuning knobs, and —
 /// optionally — an ExecPolicy. With a policy set, run_nested_loop opens a
 /// fresh session under it and the returned RunResult carries the report for
@@ -152,14 +132,5 @@ struct RunResult {
 /// by `run`. Functional results land in the workload's arrays immediately.
 RunResult run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
                           const LoopRun& run);
-
-/// DEPRECATED: thin wrapper over the LoopRun form (ambient session).
-void run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
-                     LoopTemplate tmpl, const LoopParams& p = {});
-
-/// DEPRECATED: thin wrapper over the LoopRun form with a policy.
-RunResult run_nested_loop(simt::Device& dev, const NestedLoopWorkload& w,
-                          LoopTemplate tmpl, const LoopParams& p,
-                          const simt::ExecPolicy& policy);
 
 }  // namespace nestpar::nested

@@ -515,11 +515,10 @@ void run_cons(Device& dev, const Tree& tr, std::uint32_t* values,
   });
 }
 
-}  // namespace
-
-std::vector<std::uint32_t> run_tree_traversal(Device& dev, const Tree& tr,
-                                              TreeAlgo algo, RecTemplate tmpl,
-                                              const RecOptions& opt) {
+// Executes one traversal into the device's current session.
+std::vector<std::uint32_t> traverse(Device& dev, const Tree& tr,
+                                    TreeAlgo algo, RecTemplate tmpl,
+                                    const RecOptions& opt) {
   tr.validate();
   opt.validate();
   const std::uint32_t n = tr.num_nodes();
@@ -571,13 +570,18 @@ std::vector<std::uint32_t> run_tree_traversal(Device& dev, const Tree& tr,
   return values;
 }
 
-TreeRunResult run_tree_traversal(Device& dev, const Tree& tr, TreeAlgo algo,
-                                 RecTemplate tmpl, const RecOptions& opt,
-                                 const simt::ExecPolicy& policy) {
-  simt::Session session = dev.session(policy);
+}  // namespace
+
+TreeRunResult run_tree_traversal(Device& dev, const Tree& tr,
+                                 const TreeRun& run) {
   TreeRunResult res;
-  res.values = run_tree_traversal(dev, tr, algo, tmpl, opt);
-  res.report = session.report();
+  if (run.policy.has_value()) {
+    simt::Session session = dev.session(*run.policy);
+    res.values = traverse(dev, tr, run.algo, run.tmpl, run.opt);
+    res.report = session.report();
+    return res;
+  }
+  res.values = traverse(dev, tr, run.algo, run.tmpl, run.opt);
   return res;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -85,27 +86,30 @@ struct RecOptions {
   void validate() const;
 };
 
-/// Run a traversal on the simulated GPU; returns the per-node values.
-/// Launches land in `dev`'s current session (reset before, report after).
-std::vector<std::uint32_t> run_tree_traversal(simt::Device& dev,
-                                              const tree::Tree& t,
-                                              TreeAlgo algo, RecTemplate tmpl,
-                                              const RecOptions& opt = {});
+/// Everything one traversal needs: the algorithm, the template, its tuning
+/// knobs, and — optionally — an ExecPolicy. Mirrors nested::LoopRun: with a
+/// policy set, run_tree_traversal opens a fresh session under it and the
+/// returned report covers exactly that traversal; without one, launches land
+/// in `dev`'s ambient session (callers time it via dev.report()) and the
+/// returned report is empty.
+struct TreeRun {
+  TreeAlgo algo = TreeAlgo::kDescendants;
+  RecTemplate tmpl = RecTemplate::kFlat;
+  RecOptions opt;
+  std::optional<simt::ExecPolicy> policy;
+};
 
-/// Result of a bundled run: per-node values plus the timing report for
-/// exactly this traversal.
+/// Result of a run: per-node values, plus the timing report when
+/// `TreeRun::policy` was set (empty otherwise).
 struct TreeRunResult {
   std::vector<std::uint32_t> values;
   simt::RunReport report;
 };
 
-/// One-call form: opens a fresh session on `dev` under `policy`, runs the
-/// traversal, and returns values + report. The device's policy is restored
-/// afterwards.
+/// The single entry point: execute the traversal once on `dev` as described
+/// by `run`.
 TreeRunResult run_tree_traversal(simt::Device& dev, const tree::Tree& t,
-                                 TreeAlgo algo, RecTemplate tmpl,
-                                 const RecOptions& opt,
-                                 const simt::ExecPolicy& policy);
+                                 const TreeRun& run);
 
 /// Serial CPU references (charging `timer` if given). The recursive form is
 /// the paper's Figure 3(a); the iterative form is the recursion-eliminated

@@ -1,0 +1,32 @@
+#include "src/serve/batcher.h"
+
+#include <algorithm>
+
+namespace nestpar::serve {
+
+BatchDecision Batcher::decide(std::size_t queue_len, double oldest_enqueue_us,
+                              const ServeConfig& cfg, double now_us,
+                              bool probe) {
+  BatchDecision d;
+  if (queue_len == 0) return d;
+  if (probe) {
+    d.dispatch = true;
+    d.take = 1;
+    return d;
+  }
+  if (queue_len >= static_cast<std::size_t>(cfg.batch_max)) {
+    d.dispatch = true;
+    d.take = cfg.batch_max;
+    return d;
+  }
+  const double linger_closes = oldest_enqueue_us + cfg.batch_linger_us;
+  if (linger_closes <= now_us) {
+    d.dispatch = true;
+    d.take = static_cast<int>(queue_len);
+    return d;
+  }
+  d.wake_us = linger_closes;
+  return d;
+}
+
+}  // namespace nestpar::serve

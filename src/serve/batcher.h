@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/serve/policy.h"
+
+namespace nestpar::serve {
+
+/// What an idle shard with a non-empty queue should do right now.
+struct BatchDecision {
+  bool dispatch = false;  ///< Dispatch `take` queries immediately.
+  int take = 0;
+  /// When !dispatch: virtual time at which the linger window of the oldest
+  /// queued query closes (the server arms a wakeup there).
+  double wake_us = 0.0;
+};
+
+/// Batching policy, factored out of the event loop so it is unit-testable
+/// and swappable. Pure function of (queue state, config, now): dispatch a
+/// full batch immediately; otherwise hold a partial batch until the oldest
+/// query has lingered `batch_linger_us`, trading a bounded latency hit for
+/// better consolidation. Probe dispatches (half-open breaker) always take
+/// exactly one query.
+class Batcher {
+ public:
+  static BatchDecision decide(std::size_t queue_len, double oldest_enqueue_us,
+                              const ServeConfig& cfg, double now_us,
+                              bool probe);
+};
+
+}  // namespace nestpar::serve

@@ -1,0 +1,66 @@
+#include "src/serve/breaker.h"
+
+namespace nestpar::serve {
+
+std::string_view to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::transition(BreakerState to, double now_us) {
+  log_.push_back(BreakerTransition{now_us, state_, to});
+  state_ = to;
+}
+
+bool CircuitBreaker::record_attempt(bool faulted, double now_us) {
+  switch (state_) {
+    case BreakerState::kClosed: {
+      window_.push_back(faulted);
+      if (faulted) ++window_faults_;
+      while (window_.size() > static_cast<std::size_t>(cfg_.window)) {
+        if (window_.front()) --window_faults_;
+        window_.pop_front();
+      }
+      if (window_.size() >= static_cast<std::size_t>(cfg_.min_samples)) {
+        const double frac = static_cast<double>(window_faults_) /
+                            static_cast<double>(window_.size());
+        if (frac >= cfg_.trip_threshold) {
+          transition(BreakerState::kOpen, now_us);
+          open_until_us_ = now_us + cfg_.cooldown_us;
+          ++trips_;
+          window_.clear();
+          window_faults_ = 0;
+          return true;
+        }
+      }
+      return false;
+    }
+    case BreakerState::kHalfOpen: {
+      if (faulted) {
+        transition(BreakerState::kOpen, now_us);
+        open_until_us_ = now_us + cfg_.cooldown_us;
+        ++trips_;
+        return true;
+      }
+      transition(BreakerState::kClosed, now_us);
+      return false;
+    }
+    case BreakerState::kOpen:
+      // Attempts finishing after a mid-batch trip; the verdict is already
+      // made, so they neither extend nor shorten the quarantine.
+      return false;
+  }
+  return false;
+}
+
+bool CircuitBreaker::try_begin_probe(double now_us) {
+  if (state_ != BreakerState::kOpen || now_us < open_until_us_) return false;
+  transition(BreakerState::kHalfOpen, now_us);
+  return true;
+}
+
+}  // namespace nestpar::serve

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/policy.h"
+
+namespace nestpar::serve {
+
+/// Circuit-breaker state machine (closed -> open -> half-open -> ...).
+enum class BreakerState : std::uint8_t {
+  kClosed,    ///< Healthy: admitting and executing normally.
+  kOpen,      ///< Quarantined: no dispatch until the cooldown passes.
+  kHalfOpen,  ///< Probing: one query decides recovery vs re-quarantine.
+};
+
+std::string_view to_string(BreakerState s);
+
+/// One logged state change, on the virtual timeline.
+struct BreakerTransition {
+  double time_us = 0.0;
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+};
+
+/// Per-shard circuit breaker over execution-attempt outcomes. Pure state
+/// machine: no clock of its own (the server feeds virtual timestamps), no
+/// randomness — the same attempt sequence always produces the same
+/// transitions, which is what lets breaker trips be baseline-pinned.
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(const BreakerConfig& cfg) : cfg_(cfg) {}
+
+  BreakerState state() const { return state_; }
+  double open_until_us() const { return open_until_us_; }
+  int trips() const { return trips_; }
+  const std::vector<BreakerTransition>& transitions() const { return log_; }
+
+  /// False only while quarantined — half-open shards still accept queue
+  /// admissions (they drain one probe at a time until the verdict).
+  bool admits() const { return state_ != BreakerState::kOpen; }
+
+  /// Record one execution attempt's outcome at virtual time `now_us`.
+  /// Returns true when this attempt transitioned the breaker to kOpen
+  /// (closed-state window crossing the threshold, or a failed probe) — the
+  /// caller must then stop dispatching and schedule a probe at
+  /// `open_until_us()`.
+  bool record_attempt(bool faulted, double now_us);
+
+  /// Cooldown-expiry hook: kOpen with `now_us >= open_until_us()` moves to
+  /// kHalfOpen and returns true (dispatch one probe). Any other state is a
+  /// stale wakeup; returns false.
+  bool try_begin_probe(double now_us);
+
+ private:
+  void transition(BreakerState to, double now_us);
+
+  BreakerConfig cfg_;
+  BreakerState state_ = BreakerState::kClosed;
+  double open_until_us_ = 0.0;
+  int trips_ = 0;
+  std::deque<bool> window_;  ///< Recent attempt outcomes; true = faulted.
+  int window_faults_ = 0;
+  std::vector<BreakerTransition> log_;
+};
+
+}  // namespace nestpar::serve

@@ -1,0 +1,36 @@
+#include "src/serve/policy.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace nestpar::serve {
+
+namespace {
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("ServeConfig: " + what);
+}
+}  // namespace
+
+void ServeConfig::validate() const {
+  if (num_shards < 1) bad("num_shards must be >= 1");
+  if (queue_capacity < 1) bad("queue_capacity must be >= 1");
+  if (batch_max < 1) bad("batch_max must be >= 1");
+  if (batch_linger_us < 0.0) bad("batch_linger_us must be >= 0");
+  if (deadline_us <= 0.0) bad("deadline_us must be > 0");
+  if (max_attempts < 1 || max_attempts > 20) {
+    bad("max_attempts must be in [1, 20]");
+  }
+  if (backoff_base_us < 0.0) bad("backoff_base_us must be >= 0");
+  if (breaker.window < 1) bad("breaker.window must be >= 1");
+  if (breaker.min_samples < 1 || breaker.min_samples > breaker.window) {
+    bad("breaker.min_samples must be in [1, breaker.window]");
+  }
+  if (breaker.trip_threshold <= 0.0 || breaker.trip_threshold > 1.0) {
+    bad("breaker.trip_threshold must be in (0, 1]");
+  }
+  if (breaker.cooldown_us <= 0.0) bad("breaker.cooldown_us must be > 0");
+  if (pagerank_iterations < 1) bad("pagerank_iterations must be >= 1");
+  loop_params.validate();
+}
+
+}  // namespace nestpar::serve

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/nested/templates.h"
+#include "src/simt/fault.h"
+
+namespace nestpar::serve {
+
+/// Per-shard circuit-breaker tuning. The breaker watches a sliding window of
+/// execution-attempt outcomes; when the faulted fraction crosses
+/// `trip_threshold` (with at least `min_samples` observed) the shard is
+/// quarantined (`kOpen`) for `cooldown_us`, after which a single probe query
+/// decides between recovery (`kClosed`) and another cooldown.
+struct BreakerConfig {
+  int window = 16;              ///< Sliding window of attempt outcomes.
+  int min_samples = 8;          ///< Don't trip on fewer observations.
+  double trip_threshold = 0.5;  ///< Faulted fraction that trips the breaker.
+  double cooldown_us = 20000.0; ///< Quarantine length per trip.
+};
+
+/// Serving-runtime policy: sharding, batching, deadlines, retry/hedging, and
+/// admission control. Everything that shapes scheduling decisions lives here
+/// so that (config, workload, pool) fully determine a run — the determinism
+/// contract the tests and SERVE_* baselines pin.
+struct ServeConfig {
+  int num_shards = 4;        ///< Simulated devices the runtime shards over.
+  int queue_capacity = 32;   ///< Bounded per-shard queue (admission control).
+  int batch_max = 8;         ///< Max queries consolidated into one dispatch.
+  double batch_linger_us = 200.0;  ///< Wait this long to fill a batch.
+  double deadline_us = 150000.0;   ///< Per-query latency budget.
+  int max_attempts = 3;            ///< Execution attempts per query.
+  double backoff_base_us = 500.0;  ///< Retry backoff (doubles per attempt).
+  /// Re-dispatch retries to a sibling shard instead of backing off in place —
+  /// the hedging knob. Retries forced off-shard by a breaker trip re-dispatch
+  /// regardless of this flag.
+  bool hedge = true;
+  BreakerConfig breaker;
+
+  /// How queries execute on a shard: the parallelization template (the
+  /// consolidation family is the natural fit — many small queries, few
+  /// aggregated launches) and its tuning knobs.
+  nested::LoopTemplate tmpl = nested::LoopTemplate::kConsGrid;
+  nested::LoopParams loop_params;
+  int pagerank_iterations = 3;  ///< Fixed power iterations per PR query.
+
+  /// Chaos configuration (PR 2 fault model). The runtime re-seeds this per
+  /// (shard, attempt) so a retried query sees fresh fault decisions — without
+  /// that, the recorder's per-session attempt keys would make an identical
+  /// retry hit the exact same injected faults forever.
+  simt::FaultConfig faults;
+
+  std::uint64_t seed = 2026;  ///< Workload/placement seed.
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+}  // namespace nestpar::serve

@@ -1,0 +1,103 @@
+#include "src/serve/pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "src/apps/sssp.h"
+#include "src/graph/generators.h"
+#include "src/simt/fault.h"
+
+namespace nestpar::serve {
+
+SubgraphPool::SubgraphPool(const PoolSpec& spec) {
+  if (spec.num_graphs < 1) {
+    throw std::invalid_argument("PoolSpec: num_graphs must be >= 1");
+  }
+  if (spec.scale <= 0.0) {
+    throw std::invalid_argument("PoolSpec: scale must be > 0");
+  }
+  entries_.reserve(static_cast<std::size_t>(spec.num_graphs));
+  for (int i = 0; i < spec.num_graphs; ++i) {
+    const auto u = static_cast<std::uint64_t>(i);
+    const std::uint64_t gseed = simt::fault_mix(spec.seed + u);
+    // Vary size and skew per entry so the pool mixes light and heavy tenants.
+    const double size_factor = 1.0 + 0.5 * static_cast<double>(i % 3);
+    const auto nodes = std::max<std::uint32_t>(
+        32, static_cast<std::uint32_t>(static_cast<double>(spec.base_nodes) *
+                                       spec.scale * size_factor));
+    const std::uint32_t min_deg = 1 + static_cast<std::uint32_t>(i % 2);
+    const std::uint32_t max_deg = 8u << (i % 3);
+    const double mean_deg = 3.0 + 2.0 * static_cast<double>(i % 3);
+    Entry e;
+    e.g = graph::generate_power_law(nodes, min_deg, max_deg, mean_deg, gseed,
+                                    /*weighted=*/true);
+    e.a = matrix::CsrMatrix::from_graph(e.g);
+    e.x = matrix::make_dense_vector(e.g.num_nodes(),
+                                    simt::fault_mix(gseed ^ 0x5eedull));
+    e.spmv = matrix::spmv_serial(e.a, e.x);
+    entries_.push_back(std::move(e));
+  }
+}
+
+const SubgraphPool::Entry& SubgraphPool::entry(std::uint32_t id) const {
+  if (id >= entries_.size()) {
+    throw std::out_of_range("SubgraphPool: graph id " + std::to_string(id) +
+                            " out of range (pool size " +
+                            std::to_string(entries_.size()) + ")");
+  }
+  return entries_[id];
+}
+
+const graph::Csr& SubgraphPool::graph(std::uint32_t id) const {
+  return entry(id).g;
+}
+
+const matrix::CsrMatrix& SubgraphPool::matrix(std::uint32_t id) const {
+  return entry(id).a;
+}
+
+std::span<const float> SubgraphPool::dense_x(std::uint32_t id) const {
+  return entry(id).x;
+}
+
+std::uint32_t SubgraphPool::pick_source(std::uint32_t id,
+                                        std::uint64_t salt) const {
+  const graph::Csr& g = entry(id).g;
+  const std::uint32_t n = g.num_nodes();
+  if (n == 0) return 0;
+  const auto start =
+      static_cast<std::uint32_t>(simt::fault_mix(salt) % n);
+  for (std::uint32_t probe = 0; probe < n; ++probe) {
+    const std::uint32_t v = (start + probe) % n;
+    if (g.row_offsets[v + 1] > g.row_offsets[v]) return v;
+  }
+  return 0;  // Edgeless graph: any source yields the trivial answer.
+}
+
+const std::vector<float>& SubgraphPool::sssp_ref(std::uint32_t id,
+                                                 std::uint32_t src) const {
+  const Entry& e = entry(id);
+  auto it = e.sssp.find(src);
+  if (it == e.sssp.end()) {
+    it = e.sssp.emplace(src, apps::sssp_serial(e.g, src)).first;
+  }
+  return it->second;
+}
+
+const std::vector<double>& SubgraphPool::pagerank_ref(
+    std::uint32_t id, const apps::PageRankOptions& opt) const {
+  const Entry& e = entry(id);
+  auto it = e.pagerank.find(opt.iterations);
+  if (it == e.pagerank.end()) {
+    it = e.pagerank.emplace(opt.iterations, apps::pagerank_serial(e.g, opt))
+             .first;
+  }
+  return it->second;
+}
+
+const std::vector<float>& SubgraphPool::spmv_ref(std::uint32_t id) const {
+  return entry(id).spmv;
+}
+
+}  // namespace nestpar::serve

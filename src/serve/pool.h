@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/apps/pagerank.h"
+#include "src/graph/csr.h"
+#include "src/matrix/csr_matrix.h"
+
+namespace nestpar::serve {
+
+/// Shape of the shared subgraph pool. All entries are deterministic for a
+/// given spec (generator-seeded), so every shard — and every engine — sees
+/// identical inputs.
+struct PoolSpec {
+  int num_graphs = 4;             ///< Distinct subgraphs in the pool.
+  std::uint32_t base_nodes = 256; ///< Node count before scaling/variation.
+  double scale = 1.0;             ///< Node-count scale factor.
+  std::uint64_t seed = 1234;
+};
+
+/// The tenants' data: a fixed set of small weighted subgraphs with their
+/// matrix/vector views and cached serial reference answers. References are
+/// what the runtime verifies every `Ok` result against — the "never wrong
+/// data" contract is checked, not assumed.
+class SubgraphPool {
+ public:
+  explicit SubgraphPool(const PoolSpec& spec = {});
+
+  int size() const { return static_cast<int>(entries_.size()); }
+  const graph::Csr& graph(std::uint32_t id) const;
+  const matrix::CsrMatrix& matrix(std::uint32_t id) const;
+  std::span<const float> dense_x(std::uint32_t id) const;
+
+  /// Deterministic source node with at least one outgoing edge (salt-hashed
+  /// start, linear probe) — guarantees an SSSP query does real work.
+  std::uint32_t pick_source(std::uint32_t id, std::uint64_t salt) const;
+
+  /// Serial references (computed once, cached). Used for result verification;
+  /// lazily filled, but the values are pure functions of the pool spec.
+  const std::vector<float>& sssp_ref(std::uint32_t id,
+                                     std::uint32_t src) const;
+  const std::vector<double>& pagerank_ref(
+      std::uint32_t id, const apps::PageRankOptions& opt) const;
+  const std::vector<float>& spmv_ref(std::uint32_t id) const;
+
+ private:
+  struct Entry {
+    graph::Csr g;
+    matrix::CsrMatrix a;
+    std::vector<float> x;
+    std::vector<float> spmv;
+    mutable std::map<std::uint32_t, std::vector<float>> sssp;
+    mutable std::map<int, std::vector<double>> pagerank;  ///< By iterations.
+  };
+  const Entry& entry(std::uint32_t id) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace nestpar::serve

@@ -1,0 +1,23 @@
+#include "src/serve/request.h"
+
+namespace nestpar::serve {
+
+std::string_view to_string(QueryKind k) {
+  switch (k) {
+    case QueryKind::kSssp: return "sssp";
+    case QueryKind::kPageRank: return "pagerank";
+    case QueryKind::kSpmv: return "spmv";
+  }
+  return "?";
+}
+
+std::string_view to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kShed: return "shed";
+  }
+  return "?";
+}
+
+}  // namespace nestpar::serve

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/simt/virtual_clock.h"
+
+namespace nestpar::serve {
+
+/// The small per-user query shapes the serving runtime accepts. Each runs
+/// one of the paper's applications on a pooled subgraph (SubgraphPool).
+enum class QueryKind : std::uint8_t {
+  kSssp,      ///< Single-source shortest paths from `Request::source`.
+  kPageRank,  ///< Fixed-iteration PageRank on the whole subgraph.
+  kSpmv,      ///< y = A*x with the subgraph's matrix and pooled x.
+};
+
+std::string_view to_string(QueryKind k);
+
+/// Terminal status of a request. This is the serving layer's correctness
+/// contract: a query either completes with verified data (`kOk`), runs out
+/// of deadline budget / retry budget (`kExpired`), or is dropped by
+/// admission control (`kShed`). There is no status that returns wrong data.
+enum class RequestStatus : std::uint8_t {
+  kOk,       ///< Completed within deadline, result verified.
+  kExpired,  ///< Deadline or retry budget exhausted; no data returned.
+  kShed,     ///< Dropped by admission control; counted, never silent.
+};
+
+std::string_view to_string(RequestStatus s);
+
+/// One user query: what to compute, on which pooled subgraph, and the
+/// latency budget it arrived with (virtual-clock microseconds).
+struct Request {
+  std::uint64_t id = 0;
+  QueryKind kind = QueryKind::kSssp;
+  std::uint32_t graph_id = 0;  ///< SubgraphPool entry index.
+  std::uint32_t source = 0;    ///< SSSP source node (ignored otherwise).
+  simt::Deadline deadline;     ///< arrival_us + budget_us.
+};
+
+/// Terminal record of one request, emitted exactly once per request.
+struct Completion {
+  std::uint64_t id = 0;
+  QueryKind kind = QueryKind::kSssp;
+  RequestStatus status = RequestStatus::kOk;
+  double finish_us = 0.0;   ///< Virtual time the terminal state was reached.
+  double latency_us = 0.0;  ///< finish_us - arrival_us.
+  int attempts = 0;         ///< Execution attempts across all shards.
+  int shard = -1;           ///< Completing shard (-1 = shed at admission).
+  bool hedged = false;      ///< A retry was re-dispatched to a sibling shard.
+  bool correct = false;     ///< Ok only: result matched the serial reference.
+  std::uint64_t faults_seen = 0;  ///< Injected faults across all attempts.
+};
+
+}  // namespace nestpar::serve

@@ -1,0 +1,338 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/serve/batcher.h"
+#include "src/simt/fault.h"
+
+namespace nestpar::serve {
+
+double percentile_nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0 || q > 1.0) {
+    throw std::invalid_argument("percentile_nearest_rank: q must be in (0,1]");
+  }
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+std::vector<Request> make_open_loop_workload(const SubgraphPool& pool,
+                                             const ServeConfig& cfg,
+                                             int num_requests,
+                                             double arrival_qps) {
+  if (num_requests < 0) {
+    throw std::invalid_argument("make_open_loop_workload: negative count");
+  }
+  if (arrival_qps <= 0.0) {
+    throw std::invalid_argument("make_open_loop_workload: qps must be > 0");
+  }
+  const double base_gap_us = 1e6 / arrival_qps;
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(num_requests));
+  double t = 0.0;
+  for (int i = 0; i < num_requests; ++i) {
+    const std::uint64_t h = simt::fault_mix(
+        cfg.seed ^ (0xa5a5a5a5a5a5a5a5ull +
+                    static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull));
+    // Uniform jitter in [0.5, 1.5) of the base gap: open-loop arrivals with
+    // burstiness, no libm involved (keeps the schedule bit-stable).
+    const double jitter =
+        0.5 + static_cast<double>(h & 1023ull) / 1024.0;
+    t += base_gap_us * jitter;
+    const std::uint64_t h2 = simt::fault_mix(h);
+    Request q;
+    q.id = static_cast<std::uint64_t>(i);
+    const std::uint64_t mix = h2 % 10;
+    q.kind = mix < 5   ? QueryKind::kSssp
+             : mix < 8 ? QueryKind::kSpmv
+                       : QueryKind::kPageRank;
+    q.graph_id = static_cast<std::uint32_t>(
+        (h2 >> 8) % static_cast<std::uint64_t>(pool.size()));
+    q.source = pool.pick_source(q.graph_id, h2 >> 16);
+    q.deadline.arrival_us = t;
+    q.deadline.budget_us = cfg.deadline_us;
+    out.push_back(q);
+  }
+  return out;
+}
+
+Server::Server(const ServeConfig& cfg, const SubgraphPool& pool,
+               const simt::ExecPolicy& policy)
+    : cfg_(cfg), pool_(&pool) {
+  cfg_.validate();
+  shards_.reserve(static_cast<std::size_t>(cfg_.num_shards));
+  for (int i = 0; i < cfg_.num_shards; ++i) {
+    shards_.emplace_back(i, cfg_, pool, policy);
+  }
+}
+
+void Server::push_event(double t, EvKind kind, std::uint64_t arg, int shard) {
+  heap_.push(Event{t, event_seq_++, kind, arg, shard});
+}
+
+void Server::complete(std::uint64_t idx, RequestStatus status, double t,
+                      int shard, bool correct) {
+  QueryState& q = states_[idx];
+  if (q.done) {
+    throw std::logic_error("serve: request completed twice (id " +
+                           std::to_string(q.req.id) + ")");
+  }
+  q.done = true;
+  ++done_count_;
+  Completion c;
+  c.id = q.req.id;
+  c.kind = q.req.kind;
+  c.status = status;
+  c.finish_us = t;
+  c.latency_us = t - q.req.deadline.arrival_us;
+  c.attempts = q.attempts;
+  c.shard = shard;
+  c.hedged = q.hedged;
+  c.correct = correct;
+  c.faults_seen = q.faults_seen;
+  completions_.push_back(c);
+  switch (status) {
+    case RequestStatus::kOk: ++stats_.ok; break;
+    case RequestStatus::kExpired: ++stats_.expired; break;
+    case RequestStatus::kShed: ++stats_.shed; break;
+  }
+}
+
+void Server::admit(std::uint64_t idx, double now, int avoid) {
+  // Least-loaded healthy shard, lowest id on ties; a hedged retry avoids the
+  // shard it just failed on when any other healthy shard exists.
+  int best = -1;
+  int best_avoided = -1;
+  for (Shard& s : shards_) {
+    if (!s.breaker().admits()) continue;
+    auto consider = [&](int& slot) {
+      if (slot < 0 ||
+          s.queue().size() < shards_[static_cast<std::size_t>(slot)]
+                                 .queue()
+                                 .size()) {
+        slot = s.id();
+      }
+    };
+    if (s.id() == avoid) {
+      consider(best_avoided);
+    } else {
+      consider(best);
+    }
+  }
+  if (best < 0) best = best_avoided;
+  if (best < 0) {
+    complete(idx, RequestStatus::kShed, now, -1, false);
+    return;
+  }
+  Shard& s = shards_[static_cast<std::size_t>(best)];
+  if (s.queue().size() >= static_cast<std::size_t>(cfg_.queue_capacity)) {
+    // Bounded queue: shed the *oldest* waiter — it is the most likely to
+    // miss its deadline anyway — rather than refusing the newcomer.
+    const std::uint64_t evict = s.queue().front();
+    s.queue().pop_front();
+    complete(evict, RequestStatus::kShed, now, s.id(), false);
+  }
+  s.queue().push_back(idx);
+  states_[idx].enqueue_us = now;
+  maybe_dispatch(s, now);
+}
+
+void Server::maybe_dispatch(Shard& s, double now) {
+  if (s.busy_until_us() > now) return;  // kBatchDone will re-trigger.
+  if (s.queue().empty()) return;
+  const BreakerState bs = s.breaker().state();
+  if (bs == BreakerState::kOpen) return;  // kProbe will re-trigger.
+  const bool probe = bs == BreakerState::kHalfOpen;
+  const double oldest = states_[s.queue().front()].enqueue_us;
+  const BatchDecision d =
+      Batcher::decide(s.queue().size(), oldest, cfg_, now, probe);
+  if (!d.dispatch) {
+    // Arm one wakeup for the linger window; re-arming the same instant is
+    // suppressed so bursts don't flood the heap.
+    if (s.pending_linger_us() != d.wake_us) {
+      s.set_pending_linger(d.wake_us);
+      push_event(d.wake_us, EvKind::kLinger, 0, s.id());
+    }
+    return;
+  }
+  dispatch_batch(s, now, probe);
+}
+
+void Server::dispatch_batch(Shard& s, double now, bool probe) {
+  s.set_pending_linger(-1.0);
+  const double oldest = states_[s.queue().front()].enqueue_us;
+  const BatchDecision d =
+      Batcher::decide(s.queue().size(), oldest, cfg_, now, probe);
+  std::vector<std::uint64_t> batch;
+  batch.reserve(static_cast<std::size_t>(d.take));
+  for (int i = 0; i < d.take && !s.queue().empty(); ++i) {
+    batch.push_back(s.queue().front());
+    s.queue().pop_front();
+  }
+  ++stats_.batches;
+  s.note_batch();
+  if (probe) ++stats_.probes;
+
+  double t = now;
+  bool tripped = false;
+  std::vector<std::uint64_t> leftover;
+  for (const std::uint64_t idx : batch) {
+    if (tripped) {
+      leftover.push_back(idx);
+      continue;
+    }
+    QueryState& q = states_[idx];
+    while (true) {
+      if (q.req.deadline.expired_at(t)) {
+        // Budget gone (queueing or earlier attempts ate it): typed expiry,
+        // no execution, never stale data.
+        complete(idx, RequestStatus::kExpired, t, s.id(), false);
+        break;
+      }
+      ++q.attempts;
+      ++stats_.attempts;
+      const AttemptResult ar = s.run_query(q.req, attempt_seq_++);
+      t += ar.exec_us;
+      q.faults_seen += ar.faults_injected;
+      stats_.faults_injected += ar.faults_injected;
+      stats_.degraded += ar.degraded;
+      if (s.breaker().record_attempt(!ar.ok, t)) {
+        ++stats_.breaker_trips;
+        push_event(s.breaker().open_until_us(), EvKind::kProbe, 0, s.id());
+        tripped = true;
+      }
+      if (ar.ok) {
+        const RequestStatus status = q.req.deadline.expired_at(t)
+                                         ? RequestStatus::kExpired
+                                         : RequestStatus::kOk;
+        if (status == RequestStatus::kOk && !ar.correct) ++stats_.wrong;
+        complete(idx, status, t, s.id(),
+                 status == RequestStatus::kOk && ar.correct);
+        break;
+      }
+      // Failed attempt. Resource refusals are deterministic — retrying
+      // cannot help — so only transient faults earn a retry.
+      if (!simt::is_transient(ar.error) || q.attempts >= cfg_.max_attempts) {
+        complete(idx, RequestStatus::kExpired, t, s.id(), false);
+        break;
+      }
+      ++stats_.retries;
+      const double wake =
+          t + cfg_.backoff_base_us * std::ldexp(1.0, q.attempts - 1);
+      if (tripped || cfg_.hedge) {
+        // Hedged (or forced off a quarantined shard): the retry re-enters
+        // admission after the backoff and prefers a sibling.
+        if (!tripped) {
+          ++stats_.hedges;
+          q.hedged = true;
+        }
+        q.avoid_shard = s.id();
+        push_event(wake, EvKind::kRetry, idx, -1);
+        break;
+      }
+      t = wake;  // In-place backoff: the shard stalls, then retries.
+    }
+  }
+
+  s.set_busy_until(t);
+  push_event(t, EvKind::kBatchDone, 0, s.id());
+
+  if (tripped) {
+    // Quarantine drain: everything this shard still holds is re-admitted to
+    // healthy shards (or shed when none exists) right now.
+    leftover.insert(leftover.end(), s.queue().begin(), s.queue().end());
+    s.queue().clear();
+    for (const std::uint64_t idx : leftover) {
+      admit(idx, t, s.id());
+    }
+  }
+}
+
+ServeStats Server::run(std::span<const Request> requests) {
+  if (ran_) {
+    throw std::logic_error("serve: Server::run is one-shot; build a new "
+                           "Server for another run");
+  }
+  ran_ = true;
+  states_.reserve(requests.size());
+  for (const Request& r : requests) {
+    QueryState st;
+    st.req = r;
+    states_.push_back(st);
+  }
+  completions_.reserve(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    push_event(states_[i].req.deadline.arrival_us, EvKind::kArrival,
+               static_cast<std::uint64_t>(i), -1);
+  }
+
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    clock_.advance_to(ev.t);
+    const double now = clock_.now_us();
+    switch (ev.kind) {
+      case EvKind::kArrival:
+        ++stats_.submitted;
+        admit(ev.arg, now, -1);
+        break;
+      case EvKind::kBatchDone:
+        maybe_dispatch(shards_[static_cast<std::size_t>(ev.shard)], now);
+        break;
+      case EvKind::kLinger: {
+        Shard& s = shards_[static_cast<std::size_t>(ev.shard)];
+        if (s.pending_linger_us() == now) s.set_pending_linger(-1.0);
+        maybe_dispatch(s, now);
+        break;
+      }
+      case EvKind::kRetry:
+        admit(ev.arg, now, states_[ev.arg].avoid_shard);
+        break;
+      case EvKind::kProbe: {
+        Shard& s = shards_[static_cast<std::size_t>(ev.shard)];
+        if (s.breaker().try_begin_probe(now)) maybe_dispatch(s, now);
+        break;
+      }
+    }
+  }
+
+  if (done_count_ != states_.size()) {
+    throw std::logic_error(
+        "serve: event loop drained with " +
+        std::to_string(states_.size() - done_count_) +
+        " request(s) not terminal — scheduling bug");
+  }
+  finalize_stats();
+  return stats_;
+}
+
+void Server::finalize_stats() {
+  stats_.makespan_us = clock_.now_us();
+  std::vector<double> ok_latencies;
+  ok_latencies.reserve(static_cast<std::size_t>(stats_.ok));
+  double sum = 0.0;
+  for (const Completion& c : completions_) {
+    if (c.status != RequestStatus::kOk) continue;
+    ok_latencies.push_back(c.latency_us);
+    sum += c.latency_us;
+    stats_.max_us = std::max(stats_.max_us, c.latency_us);
+  }
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  stats_.p50_us = percentile_nearest_rank(ok_latencies, 0.50);
+  stats_.p95_us = percentile_nearest_rank(ok_latencies, 0.95);
+  stats_.p99_us = percentile_nearest_rank(ok_latencies, 0.99);
+  stats_.mean_us = ok_latencies.empty()
+                       ? 0.0
+                       : sum / static_cast<double>(ok_latencies.size());
+  stats_.qps_ok = stats_.makespan_us > 0.0
+                      ? static_cast<double>(stats_.ok) /
+                            (stats_.makespan_us / 1e6)
+                      : 0.0;
+}
+
+}  // namespace nestpar::serve

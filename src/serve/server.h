@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "src/serve/pool.h"
+#include "src/serve/request.h"
+#include "src/serve/shard.h"
+#include "src/simt/exec_policy.h"
+#include "src/simt/virtual_clock.h"
+
+namespace nestpar::serve {
+
+/// Aggregate outcome of one serving run. Every field is a pure function of
+/// (config, workload, pool): counters are exact, latency percentiles are
+/// nearest-rank over Ok completions — bit-stable across host engines, which
+/// is what makes SERVE_* files baseline-pinnable.
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t wrong = 0;  ///< Ok results failing verification (must be 0).
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t degraded = 0;  ///< Template-level inline degradations.
+  double makespan_us = 0.0;
+  double qps_ok = 0.0;  ///< Ok completions per second of makespan.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Nearest-rank percentile over an ascending-sorted sample (q in (0, 1]).
+/// Returns 0 for an empty sample.
+double percentile_nearest_rank(const std::vector<double>& sorted, double q);
+
+/// Synthesize a deterministic open-loop workload: `num_requests` queries
+/// with hash-jittered inter-arrival gaps averaging ~1/arrival_qps, a fixed
+/// kind mix (50% SSSP, 30% SpMV, 20% PageRank), hash-picked pool graphs and
+/// sources, and `cfg.deadline_us` budgets. Same (cfg.seed, pool) -> same
+/// workload, byte for byte.
+std::vector<Request> make_open_loop_workload(const SubgraphPool& pool,
+                                             const ServeConfig& cfg,
+                                             int num_requests,
+                                             double arrival_qps);
+
+/// The serving runtime: a deterministic discrete-event loop over virtual
+/// time. Requests arrive open-loop, are admitted to the least-loaded healthy
+/// shard (bounded queue, oldest-first shed), consolidated into batches, and
+/// executed; transient launch faults retry with exponential backoff —
+/// re-dispatched to a sibling shard when hedging is on or the breaker
+/// tripped — and every request terminates as exactly one of Ok / Expired /
+/// Shed. Single-threaded by construction; the only nondeterminism the
+/// underlying simulator could exhibit (host engine choice) is erased by the
+/// device model's bit-identical reports.
+class Server {
+ public:
+  Server(const ServeConfig& cfg, const SubgraphPool& pool,
+         const simt::ExecPolicy& policy);
+
+  /// Run the request schedule to completion and return the stats. One-shot:
+  /// a Server instance serves exactly one run (throws std::logic_error on
+  /// reuse) so breaker and queue state can never leak between experiments.
+  ServeStats run(std::span<const Request> requests);
+
+  /// Terminal records, one per request, in completion-processing order.
+  const std::vector<Completion>& completions() const { return completions_; }
+  const std::vector<Shard>& shards() const { return shards_; }
+  const simt::VirtualClock& clock() const { return clock_; }
+
+ private:
+  enum class EvKind : std::uint8_t {
+    kArrival,    ///< arg = query index.
+    kBatchDone,  ///< shard finished its batch; try to dispatch again.
+    kLinger,     ///< a partial batch's linger window closed.
+    kRetry,      ///< arg = query index; re-admit for its next attempt.
+    kProbe,      ///< a breaker cooldown expired; begin the probe.
+  };
+  struct Event {
+    double t = 0.0;
+    std::uint64_t seq = 0;  ///< Tie-break: schedule order.
+    EvKind kind = EvKind::kArrival;
+    std::uint64_t arg = 0;
+    int shard = -1;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  struct QueryState {
+    Request req;
+    int attempts = 0;
+    bool hedged = false;
+    bool done = false;
+    std::uint64_t faults_seen = 0;
+    double enqueue_us = 0.0;  ///< Last time it entered a shard queue.
+    int avoid_shard = -1;     ///< Hedged retries prefer a different shard.
+  };
+
+  void push_event(double t, EvKind kind, std::uint64_t arg, int shard);
+  /// Queue `idx` on the best healthy shard (skipping `avoid` when another
+  /// choice exists); shed when no shard admits. Full queues shed their
+  /// oldest entry to make room.
+  void admit(std::uint64_t idx, double now, int avoid);
+  void maybe_dispatch(Shard& s, double now);
+  void dispatch_batch(Shard& s, double now, bool probe);
+  void complete(std::uint64_t idx, RequestStatus status, double t, int shard,
+                bool correct);
+  void finalize_stats();
+
+  ServeConfig cfg_;
+  const SubgraphPool* pool_;
+  std::vector<Shard> shards_;
+  simt::VirtualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  std::vector<QueryState> states_;
+  std::vector<Completion> completions_;
+  ServeStats stats_;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t attempt_seq_ = 0;
+  std::uint64_t done_count_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace nestpar::serve

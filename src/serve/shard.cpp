@@ -1,0 +1,105 @@
+#include "src/serve/shard.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "src/apps/pagerank.h"
+#include "src/apps/spmv.h"
+#include "src/apps/sssp.h"
+#include "src/simt/fault.h"
+
+namespace nestpar::serve {
+
+namespace {
+
+// Result verification against the serial references. Summation order differs
+// between templates and the serial code, so floating-point results match to a
+// tolerance; infinities (unreachable SSSP nodes) must agree exactly.
+template <typename T>
+bool values_match(const std::vector<T>& got, const std::vector<T>& want,
+                  double tol) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double a = static_cast<double>(got[i]);
+    const double b = static_cast<double>(want[i]);
+    if (std::isinf(a) || std::isinf(b)) {
+      if (a != b) return false;
+      continue;
+    }
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    if (std::abs(a - b) > tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Shard::Shard(int id, const ServeConfig& cfg, const SubgraphPool& pool,
+             const simt::ExecPolicy& policy)
+    : id_(id),
+      cfg_(&cfg),
+      pool_(&pool),
+      policy_(policy),
+      dev_(std::make_unique<simt::Device>()),
+      breaker_(cfg.breaker) {}
+
+AttemptResult Shard::run_query(const Request& q, std::uint64_t attempt_seq) {
+  // Fresh fault decisions per (shard, attempt): see class comment.
+  simt::FaultConfig fc = cfg_->faults;
+  fc.seed = simt::fault_mix(
+      cfg_->faults.seed ^
+      (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(id_) + 1)) ^
+      attempt_seq);
+  dev_->set_fault_config(fc);
+
+  AttemptResult out;
+  simt::Session s = dev_->session(policy_);
+  try {
+    switch (q.kind) {
+      case QueryKind::kSssp: {
+        const apps::SsspResult r =
+            apps::run_sssp(*dev_, pool_->graph(q.graph_id), q.source,
+                           cfg_->tmpl, cfg_->loop_params);
+        out.correct = values_match(
+            r.dist, pool_->sssp_ref(q.graph_id, q.source), 1e-4);
+        break;
+      }
+      case QueryKind::kPageRank: {
+        apps::PageRankOptions opt;
+        opt.iterations = cfg_->pagerank_iterations;
+        const std::vector<double> r =
+            apps::run_pagerank(*dev_, pool_->graph(q.graph_id), cfg_->tmpl,
+                               cfg_->loop_params, opt);
+        out.correct =
+            values_match(r, pool_->pagerank_ref(q.graph_id, opt), 1e-6);
+        break;
+      }
+      case QueryKind::kSpmv: {
+        const std::vector<float> y =
+            apps::run_spmv(*dev_, pool_->matrix(q.graph_id),
+                           pool_->dense_x(q.graph_id), cfg_->tmpl,
+                           cfg_->loop_params);
+        out.correct = values_match(y, pool_->spmv_ref(q.graph_id), 1e-3);
+        break;
+      }
+    }
+    out.ok = true;
+  } catch (const simt::SimtException& e) {
+    out.ok = false;
+    out.error = e.error();
+  }
+  // The timing pass covers whatever was recorded before a refusal too: a
+  // failed attempt's partial work still spends modeled time.
+  const simt::RunReport rep = s.report();
+  out.exec_us = rep.total_us;
+  out.faults_injected = rep.robustness.faults_injected;
+  out.degraded = rep.robustness.degraded;
+
+  ++counters_.attempts;
+  if (!out.ok) ++counters_.failed_attempts;
+  counters_.faults_injected += out.faults_injected;
+  return out;
+}
+
+}  // namespace nestpar::serve

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/serve/breaker.h"
+#include "src/serve/policy.h"
+#include "src/serve/pool.h"
+#include "src/serve/request.h"
+#include "src/simt/device.h"
+
+namespace nestpar::serve {
+
+/// Outcome of one execution attempt of one query on one shard.
+struct AttemptResult {
+  bool ok = false;
+  bool correct = false;      ///< Ok only: matched the pool's serial reference.
+  double exec_us = 0.0;      ///< Modeled time this attempt consumed.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t degraded = 0;  ///< Template-level inline degradations.
+  simt::SimtError error = simt::SimtError::kOk;
+};
+
+/// Lifetime counters one shard accumulates (reported per shard by the CLI,
+/// aggregated into ServeStats by the server).
+struct ShardCounters {
+  std::uint64_t batches = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t faults_injected = 0;
+};
+
+/// One simulated device plus its queue and breaker. The shard knows how to
+/// execute a single query attempt; all scheduling (batching, retries,
+/// draining) is the server's job.
+///
+/// Each attempt runs in a fresh Session under a fault seed derived from
+/// (config seed, shard id, global attempt sequence). The derivation matters:
+/// `Recorder::reset()` — which every new session performs — restarts the
+/// host-launch attempt counter the injector keys on, so without re-seeding, a
+/// retried query would deterministically re-hit the identical faults and
+/// retries could never succeed.
+class Shard {
+ public:
+  Shard(int id, const ServeConfig& cfg, const SubgraphPool& pool,
+        const simt::ExecPolicy& policy);
+
+  int id() const { return id_; }
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  std::deque<std::uint64_t>& queue() { return queue_; }
+  const std::deque<std::uint64_t>& queue() const { return queue_; }
+  const ShardCounters& counters() const { return counters_; }
+  void note_batch() { ++counters_.batches; }
+
+  double busy_until_us() const { return busy_until_us_; }
+  void set_busy_until(double t_us) { busy_until_us_ = t_us; }
+  double pending_linger_us() const { return pending_linger_us_; }
+  void set_pending_linger(double t_us) { pending_linger_us_ = t_us; }
+
+  /// Execute one attempt of `q` now. Catches the fault model's transient
+  /// launch refusals (SimtException) and reports them as a failed attempt —
+  /// the partial work's modeled time still counts against the timeline.
+  AttemptResult run_query(const Request& q, std::uint64_t attempt_seq);
+
+ private:
+  int id_;
+  const ServeConfig* cfg_;
+  const SubgraphPool* pool_;
+  simt::ExecPolicy policy_;
+  std::unique_ptr<simt::Device> dev_;
+  CircuitBreaker breaker_;
+  std::deque<std::uint64_t> queue_;  ///< Query indices, front = oldest.
+  double busy_until_us_ = 0.0;
+  double pending_linger_us_ = -1.0;
+  ShardCounters counters_;
+};
+
+}  // namespace nestpar::serve

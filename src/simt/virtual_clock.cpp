@@ -1,0 +1,25 @@
+#include "src/simt/virtual_clock.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace nestpar::simt {
+
+void VirtualClock::advance_to(double t_us) {
+  if (t_us < now_us_) {
+    throw std::logic_error("VirtualClock::advance_to: time went backwards (" +
+                           std::to_string(now_us_) + " -> " +
+                           std::to_string(t_us) + " us)");
+  }
+  now_us_ = t_us;
+}
+
+void VirtualClock::advance_by(double delta_us) {
+  if (delta_us < 0.0) {
+    throw std::logic_error("VirtualClock::advance_by: negative delta " +
+                           std::to_string(delta_us));
+  }
+  now_us_ += delta_us;
+}
+
+}  // namespace nestpar::simt

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nestpar::simt {
+
+/// Deterministic virtual clock for layers that compose many modeled runs
+/// into one timeline (the serving runtime stitches per-batch `RunReport`
+/// times together with queueing and backoff delays). Time is modeled
+/// microseconds — the same unit as `RunReport::total_us` — and only ever
+/// moves forward, so two runs with the same inputs replay the same instants
+/// regardless of the host engine or wall-clock speed.
+class VirtualClock {
+ public:
+  double now_us() const { return now_us_; }
+
+  /// Move the clock to `t_us`. Throws std::logic_error if `t_us` is in the
+  /// past — a virtual timeline that rewinds is a scheduling bug, never a
+  /// legitimate state.
+  void advance_to(double t_us);
+
+  /// Move the clock forward by `delta_us` (must be >= 0).
+  void advance_by(double delta_us);
+
+ private:
+  double now_us_ = 0.0;
+};
+
+/// A per-request latency budget on the virtual timeline. A request admitted
+/// at `arrival_us` with budget `budget_us` expires at `expiry_us()`;
+/// deadline checks are pure reads of the clock, so the same run always
+/// expires the same requests.
+struct Deadline {
+  double arrival_us = 0.0;
+  double budget_us = 0.0;
+
+  double expiry_us() const { return arrival_us + budget_us; }
+  bool expired_at(double now_us) const { return now_us > expiry_us(); }
+  /// Budget left at `now_us` (negative once expired).
+  double remaining_us(double now_us) const { return expiry_us() - now_us; }
+};
+
+}  // namespace nestpar::simt

@@ -24,6 +24,7 @@
 #include "src/simt/critpath.h"
 #include "src/simt/device.h"
 #include "src/simt/exec_policy.h"
+#include "src/simt/fault.h"
 
 namespace simt = nestpar::simt;
 namespace bench = nestpar::bench;
@@ -71,9 +72,19 @@ TEST(TemplateRegistry, ConsolidationFamilyIsCompleteAndNamed) {
 }
 
 TEST(TemplateRegistry, RegistryCoversEveryTemplateExactlyOnce) {
+  // Independent enumeration of every LoopTemplate value, so a template added
+  // to the enum but not the registry (or registered twice) fails here.
+  constexpr LoopTemplate kEveryTemplate[] = {
+      LoopTemplate::kBaseline,   LoopTemplate::kBlockMapped,
+      LoopTemplate::kWarpMapped, LoopTemplate::kDualQueue,
+      LoopTemplate::kDbufShared, LoopTemplate::kDbufGlobal,
+      LoopTemplate::kDparNaive,  LoopTemplate::kDparOpt,
+      LoopTemplate::kConsWarp,   LoopTemplate::kConsBlock,
+      LoopTemplate::kConsGrid,
+  };
   const auto all = nested::loop_templates();
-  EXPECT_EQ(all.size(), std::size(nested::kAllLoopTemplates));
-  for (const LoopTemplate t : nested::kAllLoopTemplates) {
+  EXPECT_EQ(all.size(), std::size(kEveryTemplate));
+  for (const LoopTemplate t : kEveryTemplate) {
     EXPECT_EQ(std::count_if(all.begin(), all.end(),
                             [t](const auto& d) { return d.tmpl == t; }),
               1)
@@ -225,6 +236,100 @@ TEST_P(ConsCorrectness, RefusedAggregatedLaunchDegradesInline) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Family, ConsCorrectness,
+                         testing::ValuesIn(cons_templates()), test_name);
+
+// --- injected transient faults -------------------------------------------------
+
+// Named *Fault* so the `nestpar_faults` ctest entry reruns this suite with an
+// ambient NESTPAR_FAULTS config on top; the configs pinned here win anyway.
+class ConsFaultInjection : public testing::TestWithParam<LoopTemplate> {};
+
+TEST_P(ConsFaultInjection, InjectedLaunchFaultsDegradeByteIdentically) {
+  const auto g = graph::generate_power_law(1500, 0, 350, 16.0, 37, true);
+  const auto a = matrix::CsrMatrix::from_graph(g);
+  const auto x = matrix::make_dense_vector(a.cols, 3);
+  nested::LoopParams p;
+  p.lb_threshold = 32;
+
+  // Clean reference run, faults pinned off.
+  simt::Device dev;
+  dev.set_fault_config(simt::FaultConfig{});
+  std::vector<float> clean(a.rows, 0.0f);
+  {
+    apps::SpmvWorkload w(a, x.data(), clean.data());
+    nested::run_nested_loop(
+        dev, w, nested::LoopRun{GetParam(), p, simt::ExecPolicy::serial()});
+  }
+
+  // Past the retry budget most of the time: the aggregated child launches
+  // get refused and the scopes must drain their descriptors inline — byte
+  // identical results, populated robustness counters, and the same on both
+  // host engines. The rate is near 1 because cons-grid performs only a
+  // handful of aggregated launches — at lower rates its few site hashes
+  // can all come up clean and nothing would be exercised.
+  simt::FaultConfig fc;
+  fc.device_launch_rate = 0.97;
+  fc.seed = 41;
+  dev.set_fault_config(fc);
+  simt::RunReport reports[2];
+  int i = 0;
+  for (const simt::ExecPolicy& policy :
+       {simt::ExecPolicy::serial(), kParallel}) {
+    std::vector<float> y(a.rows, 0.0f);
+    apps::SpmvWorkload w(a, x.data(), y.data());
+    const nested::RunResult run =
+        nested::run_nested_loop(dev, w, nested::LoopRun{GetParam(), p,
+                                                        policy});
+    reports[i++] = run.report;
+    EXPECT_GT(run.report.robustness.faults_injected, 0u);
+    EXPECT_GT(run.report.robustness.launches_attempted, 0u);
+    EXPECT_EQ(y, clean);  // bitwise-equal floats, degraded path included
+  }
+  // Retries happened (or every refusal degraded); either way the counters
+  // must be populated and engine-identical.
+  EXPECT_GT(reports[0].robustness.retries + reports[0].robustness.degraded,
+            0u);
+  EXPECT_EQ(reports[0].total_cycles, reports[1].total_cycles);
+  EXPECT_EQ(reports[0].robustness.faults_injected,
+            reports[1].robustness.faults_injected);
+  EXPECT_EQ(reports[0].robustness.retries, reports[1].robustness.retries);
+  EXPECT_EQ(reports[0].robustness.degraded, reports[1].robustness.degraded);
+}
+
+TEST_P(ConsFaultInjection, ModerateFaultRateStillAggregates) {
+  // At a modest rate the retry budget absorbs most refusals: results stay
+  // byte-correct and at least some aggregated children still launch.
+  const auto g = graph::generate_power_law(1500, 0, 350, 16.0, 37, true);
+  const auto a = matrix::CsrMatrix::from_graph(g);
+  const auto x = matrix::make_dense_vector(a.cols, 3);
+  nested::LoopParams p;
+  p.lb_threshold = 32;
+
+  simt::Device dev;
+  dev.set_fault_config(simt::FaultConfig{});
+  std::vector<float> clean(a.rows, 0.0f);
+  {
+    apps::SpmvWorkload w(a, x.data(), clean.data());
+    nested::run_nested_loop(
+        dev, w, nested::LoopRun{GetParam(), p, simt::ExecPolicy::serial()});
+  }
+
+  simt::FaultConfig fc;
+  fc.device_launch_rate = 0.1;
+  fc.seed = 17;
+  dev.set_fault_config(fc);
+  std::vector<float> y(a.rows, 0.0f);
+  apps::SpmvWorkload w(a, x.data(), y.data());
+  const nested::RunResult run = nested::run_nested_loop(
+      dev, w, nested::LoopRun{GetParam(), p, simt::ExecPolicy::serial()});
+  EXPECT_GT(run.report.robustness.faults_injected, 0u);
+  EXPECT_GT(run.report.robustness.retries, 0u);
+  EXPECT_GT(run.report.device_grids, 0u)
+      << "every aggregated launch was refused at a 10% rate";
+  EXPECT_EQ(y, clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, ConsFaultInjection,
                          testing::ValuesIn(cons_templates()), test_name);
 
 // --- launch aggregation --------------------------------------------------------

@@ -159,8 +159,16 @@ std::string test_name(std::string_view canonical) {
   return s;
 }
 
+std::vector<nested::LoopTemplate> all_loop_templates() {
+  std::vector<nested::LoopTemplate> v;
+  for (const nested::LoopTemplateDesc& d : nested::loop_templates()) {
+    v.push_back(d.tmpl);
+  }
+  return v;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTemplates, LoopDeterminism,
-                         testing::ValuesIn(nested::kAllLoopTemplates),
+                         testing::ValuesIn(all_loop_templates()),
                          [](const auto& info) {
                            return test_name(nested::name(info.param));
                          });
@@ -176,9 +184,11 @@ TEST_P(RecDeterminism, TreeTraversalMatchesSerialEngineExactly) {
        {rec::TreeAlgo::kDescendants, rec::TreeAlgo::kHeights}) {
     simt::Device dev;
     const rec::TreeRunResult s = rec::run_tree_traversal(
-        dev, tr, algo, GetParam(), {}, simt::ExecPolicy::serial());
-    const rec::TreeRunResult p =
-        rec::run_tree_traversal(dev, tr, algo, GetParam(), {}, kParallel);
+        dev, tr,
+        {.algo = algo, .tmpl = GetParam(),
+         .policy = simt::ExecPolicy::serial()});
+    const rec::TreeRunResult p = rec::run_tree_traversal(
+        dev, tr, {.algo = algo, .tmpl = GetParam(), .policy = kParallel});
     EXPECT_EQ(s.values, p.values) << rec::name(algo);
     expect_identical(s.report, p.report);
   }

@@ -165,8 +165,9 @@ TEST(FaultLimits, DepthLimitRefusesDeepRecursion) {
   dev.set_fault_config(simt::FaultConfig{});
   for (const simt::ExecPolicy& policy : {kSerial, kParallel}) {
     const rec::TreeRunResult run = rec::run_tree_traversal(
-        dev, tr, rec::TreeAlgo::kDescendants, rec::RecTemplate::kRecNaive, {},
-        policy);
+        dev, tr,
+        {.algo = rec::TreeAlgo::kDescendants,
+         .tmpl = rec::RecTemplate::kRecNaive, .policy = policy});
     EXPECT_GT(run.report.robustness.refused_depth, 0u);
     EXPECT_GT(run.report.robustness.degraded, 0u);
     EXPECT_EQ(run.values, expect);
@@ -178,8 +179,9 @@ TEST(FaultLimits, DepthLimitRefusesDeepRecursion) {
   simt::Device dev2(spec);
   dev2.set_fault_config(simt::FaultConfig{});
   const rec::TreeRunResult run2 = rec::run_tree_traversal(
-      dev2, tr, rec::TreeAlgo::kDescendants, rec::RecTemplate::kRecNaive, {},
-      kSerial);
+      dev2, tr,
+      {.algo = rec::TreeAlgo::kDescendants,
+       .tmpl = rec::RecTemplate::kRecNaive, .policy = kSerial});
   EXPECT_GT(run2.report.robustness.refused_depth, 0u);
   EXPECT_EQ(run2.values, expect);
 }
@@ -196,8 +198,9 @@ TEST(FaultLimits, HeapExhaustionDegradesRecHierCorrectly) {
   simt::Device dev(spec);
   dev.set_fault_config(simt::FaultConfig{});
   const rec::TreeRunResult run = rec::run_tree_traversal(
-      dev, tr, rec::TreeAlgo::kHeights, rec::RecTemplate::kRecHier, {},
-      kSerial);
+      dev, tr,
+      {.algo = rec::TreeAlgo::kHeights, .tmpl = rec::RecTemplate::kRecHier,
+       .policy = kSerial});
   EXPECT_GT(run.report.robustness.refused_heap, 0u);
   EXPECT_GT(run.report.robustness.degraded, 0u);
   EXPECT_EQ(run.values, expect);
@@ -288,11 +291,16 @@ TEST(FaultInjectionDeterminism, SerialAndParallelEnginesAgreeUnderFaults) {
   const tree::Tree tr =
       tree::generate_tree({.depth = 4, .outdegree = 6, .sparsity = 1}, 7);
   for (const rec::RecTemplate tmpl :
-       {rec::RecTemplate::kRecNaive, rec::RecTemplate::kRecHier}) {
+       {rec::RecTemplate::kRecNaive, rec::RecTemplate::kRecHier,
+        rec::RecTemplate::kRecCons}) {
     const rec::TreeRunResult s = rec::run_tree_traversal(
-        dev, tr, rec::TreeAlgo::kDescendants, tmpl, {}, kSerial);
+        dev, tr,
+        {.algo = rec::TreeAlgo::kDescendants, .tmpl = tmpl,
+         .policy = kSerial});
     const rec::TreeRunResult p = rec::run_tree_traversal(
-        dev, tr, rec::TreeAlgo::kDescendants, tmpl, {}, kParallel);
+        dev, tr,
+        {.algo = rec::TreeAlgo::kDescendants, .tmpl = tmpl,
+         .policy = kParallel});
     EXPECT_EQ(s.values, p.values) << rec::name(tmpl);
     EXPECT_EQ(s.report.total_cycles, p.report.total_cycles)
         << rec::name(tmpl);
@@ -313,9 +321,12 @@ TEST(FaultInjectionDeterminism, RecursiveTemplatesSurviveHighFaultRates) {
   fc.seed = 3;
   dev.set_fault_config(fc);
   for (const rec::RecTemplate tmpl :
-       {rec::RecTemplate::kRecNaive, rec::RecTemplate::kRecHier}) {
+       {rec::RecTemplate::kRecNaive, rec::RecTemplate::kRecHier,
+        rec::RecTemplate::kRecCons}) {
     const rec::TreeRunResult run = rec::run_tree_traversal(
-        dev, tr, rec::TreeAlgo::kDescendants, tmpl, {}, kSerial);
+        dev, tr,
+        {.algo = rec::TreeAlgo::kDescendants, .tmpl = tmpl,
+         .policy = kSerial});
     EXPECT_GT(run.report.robustness.degraded, 0u) << rec::name(tmpl);
     EXPECT_EQ(run.values, expect) << rec::name(tmpl);
   }

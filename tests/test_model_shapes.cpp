@@ -86,11 +86,12 @@ TEST_F(ModelShapes, RecHierBeatsFlatOnWideRegularTrees) {
   const tree::Tree tr =
       tree::generate_tree({.depth = 3, .outdegree = 96, .sparsity = 0}, 2);
   simt::Device dev;
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants, RecTemplate::kFlat);
+  rec::run_tree_traversal(
+      dev, tr, {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kFlat});
   const double flat = dev.report().total_us;
   dev.reset();
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                          RecTemplate::kRecHier);
+  rec::run_tree_traversal(
+      dev, tr, {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecHier});
   const double hier = dev.report().total_us;
   EXPECT_LT(hier, flat);
 }
@@ -101,8 +102,9 @@ TEST_F(ModelShapes, RecNaiveLosesToSerialCpuOnTrees) {
   simt::CpuTimer cpu;
   rec::tree_traversal_serial_iterative(tr, TreeAlgo::kDescendants, &cpu);
   simt::Device dev;
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                          RecTemplate::kRecNaive);
+  rec::run_tree_traversal(
+      dev, tr,
+      {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecNaive});
   EXPECT_GT(dev.report().total_us, cpu.us());
 }
 
@@ -114,8 +116,9 @@ TEST_F(ModelShapes, SparsityErodesRecHierAdvantage) {
       tree::generate_tree({.depth = 3, .outdegree = 96, .sparsity = 3}, 2);
   const auto hier_eff = [](const tree::Tree& tr) {
     simt::Device dev;
-    rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                            RecTemplate::kRecHier);
+    rec::run_tree_traversal(
+        dev, tr,
+        {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecHier});
     return dev.report().aggregate.warp_execution_efficiency();
   };
   EXPECT_GT(hier_eff(dense), hier_eff(sparse));

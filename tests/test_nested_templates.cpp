@@ -39,9 +39,9 @@ std::string case_name(const testing::TestParamInfo<Case>& info) {
 
 std::vector<Case> all_cases() {
   std::vector<Case> cases;
-  for (LoopTemplate t : nested::kAllLoopTemplates) {
+  for (const nested::LoopTemplateDesc& d : nested::loop_templates()) {
     for (int lb : {4, 32, 256}) {
-      cases.push_back(Case{t, lb});
+      cases.push_back(Case{d.tmpl, lb});
     }
   }
   return cases;
@@ -210,7 +210,8 @@ TEST_F(TemplateStructure, EmptyWorkloadRuns) {
   const matrix::CsrMatrix empty = matrix::CsrMatrix::from_graph(
       graph::build_csr(1, std::span<const graph::Edge>{}));
   const std::vector<float> x(1, 1.0f);
-  for (LoopTemplate t : nested::kAllLoopTemplates) {
+  for (const nested::LoopTemplateDesc& d : nested::loop_templates()) {
+    const LoopTemplate t = d.tmpl;
     simt::Device dev;
     const auto y = apps::run_spmv(dev, empty, x, t);
     EXPECT_EQ(y.size(), 1u);

@@ -82,7 +82,8 @@ TEST_P(SeedSweep, AllTemplatesAgreeOnRandomSpmv) {
           << label << " row " << i;
     }
   };
-  for (const nested::LoopTemplate t : nested::kAllLoopTemplates) {
+  for (const nested::LoopTemplateDesc& d : nested::loop_templates()) {
+    const nested::LoopTemplate t = d.tmpl;
     simt::Device dev;
     nested::LoopParams p;
     p.lb_threshold = static_cast<int>(1 + seed % 128);

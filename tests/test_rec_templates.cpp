@@ -70,9 +70,9 @@ TEST_P(RecCorrectness, MatchesSerialReference) {
   EXPECT_EQ(rec::tree_traversal_serial_iterative(tr, GetParam().algo), expect);
 
   simt::Device dev;
-  const auto got =
-      rec::run_tree_traversal(dev, tr, GetParam().algo, GetParam().tmpl);
-  EXPECT_EQ(got, expect);
+  const auto got = rec::run_tree_traversal(
+      dev, tr, {.algo = GetParam().algo, .tmpl = GetParam().tmpl});
+  EXPECT_EQ(got.values, expect);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRecTemplates, RecCorrectness,
@@ -105,8 +105,8 @@ TEST(RecStructure, HierSpawnsOutdegreePlusOneGrids) {
   const int d = 8;
   const tree::Tree tr = tree::generate_tree({.depth = 3, .outdegree = d}, 2);
   simt::Device dev;
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                          RecTemplate::kRecHier);
+  rec::run_tree_traversal(
+      dev, tr, {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecHier});
   const auto rep = dev.report();
   EXPECT_EQ(rep.device_grids, static_cast<std::uint64_t>(d));
 }
@@ -116,8 +116,8 @@ TEST(RecStructure, HierGridCountGrowsOneLevelPerExtraDepth) {
   const int d = 4;
   const tree::Tree tr = tree::generate_tree({.depth = 4, .outdegree = d}, 2);
   simt::Device dev;
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                          RecTemplate::kRecHier);
+  rec::run_tree_traversal(
+      dev, tr, {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecHier});
   EXPECT_EQ(dev.report().device_grids, static_cast<std::uint64_t>(d + d * d));
 }
 
@@ -130,8 +130,9 @@ TEST(RecStructure, NaiveSpawnsOneGridPerInternalNode) {
     if (!tr.is_leaf(v)) ++internal;
   }
   simt::Device dev;
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                          RecTemplate::kRecNaive);
+  rec::run_tree_traversal(
+      dev, tr,
+      {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecNaive});
   const auto rep = dev.report();
   // Every internal node except the (host-launched) root spawns one grid.
   EXPECT_EQ(rep.device_grids, internal - 1);
@@ -141,11 +142,12 @@ TEST(RecStructure, FlatDoesFarMoreAtomicsThanHier) {
   // Paper Figs. 7/8(c): flat atomics ~ sum of node depths; hier ~ #nodes.
   const tree::Tree tr = tree::generate_tree({.depth = 4, .outdegree = 8}, 3);
   simt::Device dev;
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants, RecTemplate::kFlat);
+  rec::run_tree_traversal(
+      dev, tr, {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kFlat});
   const auto flat_atomics = dev.report().aggregate.atomic_ops;
   dev.reset();
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                          RecTemplate::kRecHier);
+  rec::run_tree_traversal(
+      dev, tr, {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecHier});
   const auto hier_atomics = dev.report().aggregate.atomic_ops;
   EXPECT_GT(flat_atomics, 3 * hier_atomics);
 }
@@ -156,12 +158,16 @@ TEST(RecStructure, StreamsOptionChangesStreamAssignment) {
   rec::RecOptions two;
   two.streams_per_block = 2;
   simt::Device dev;
-  const auto a = rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                                         RecTemplate::kRecNaive, one);
+  const auto a = rec::run_tree_traversal(
+      dev, tr,
+      {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecNaive,
+       .opt = one});
   dev.reset();
-  const auto b = rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                                         RecTemplate::kRecNaive, two);
-  EXPECT_EQ(a, b);  // Streams change timing, never results.
+  const auto b = rec::run_tree_traversal(
+      dev, tr,
+      {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecNaive,
+       .opt = two});
+  EXPECT_EQ(a.values, b.values);  // Streams change timing, never results.
 }
 
 TEST(RecStructure, RejectsBadOptions) {
@@ -169,16 +175,20 @@ TEST(RecStructure, RejectsBadOptions) {
   simt::Device dev;
   rec::RecOptions bad;
   bad.streams_per_block = 0;
-  EXPECT_THROW(rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                                       RecTemplate::kRecNaive, bad),
-               std::invalid_argument);
+  EXPECT_THROW(
+      rec::run_tree_traversal(
+          dev, tr,
+          {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kRecNaive,
+           .opt = bad}),
+      std::invalid_argument);
 }
 
 TEST(RecStructure, AutoropesUsesNoAtomicsOrNestedKernels) {
   const tree::Tree tr = tree::generate_tree({.depth = 3, .outdegree = 24}, 6);
   simt::Device dev;
-  rec::run_tree_traversal(dev, tr, TreeAlgo::kDescendants,
-                          RecTemplate::kAutoropes);
+  rec::run_tree_traversal(
+      dev, tr,
+      {.algo = TreeAlgo::kDescendants, .tmpl = RecTemplate::kAutoropes});
   const auto rep = dev.report();
   EXPECT_EQ(rep.aggregate.atomic_ops, 0u);
   EXPECT_EQ(rep.device_grids, 0u);
@@ -193,8 +203,11 @@ TEST(RecStructure, AutoropesHandlesDegenerateTrees) {
     const auto want =
         rec::tree_traversal_serial_iterative(tr, TreeAlgo::kHeights);
     simt::Device dev;
-    EXPECT_EQ(rec::run_tree_traversal(dev, tr, TreeAlgo::kHeights,
-                                      RecTemplate::kAutoropes),
+    EXPECT_EQ(rec::run_tree_traversal(
+                  dev, tr,
+                  {.algo = TreeAlgo::kHeights,
+                   .tmpl = RecTemplate::kAutoropes})
+                  .values,
               want);
   }
 }

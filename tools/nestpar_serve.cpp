@@ -1,0 +1,162 @@
+// nestpar_serve: drive the src/serve runtime once and print a full serving
+// report — terminal-status counts, latency percentiles, per-shard activity,
+// and every breaker transition on the virtual timeline. The interactive twin
+// of the serve_latency bench suite: same deterministic runtime, human-first
+// output for poking at one configuration.
+//
+//   nestpar_serve [--requests=N] [--qps=Q] [--shards=N] [--queue=N]
+//                 [--batch=N] [--linger-us=X] [--deadline-us=X]
+//                 [--attempts=N] [--no-hedge] [--tmpl=NAME] [--graphs=N]
+//                 [--scale=F] [--seed=N] [--faults=SPEC] [--completions]
+//
+// Exit codes: 0 success (all queries terminal, zero wrong results),
+// 1 verification or accounting failure, 2 usage error.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serve/pool.h"
+#include "src/serve/server.h"
+#include "src/simt/exec_policy.h"
+#include "src/simt/log.h"
+
+using namespace nestpar;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: nestpar_serve [--requests=N] [--qps=Q] [--shards=N] [--queue=N]\n"
+    "  [--batch=N] [--linger-us=X] [--deadline-us=X] [--attempts=N]\n"
+    "  [--no-hedge] [--tmpl=NAME] [--graphs=N] [--scale=F] [--seed=N]\n"
+    "  [--faults=SPEC] [--completions]\n"
+    "  --requests=N     queries to serve (default 200)\n"
+    "  --qps=Q          open-loop arrival rate (default 3000)\n"
+    "  --shards=N       simulated devices (default 4)\n"
+    "  --queue=N        per-shard queue capacity (default 24)\n"
+    "  --batch=N        max queries per consolidated dispatch (default 8)\n"
+    "  --linger-us=X    partial-batch linger window (default 200)\n"
+    "  --deadline-us=X  per-query latency budget (default 150000)\n"
+    "  --attempts=N     execution attempts per query (default 3)\n"
+    "  --no-hedge       back off in place instead of sibling re-dispatch\n"
+    "  --tmpl=NAME      loop template for query execution (cons-grid)\n"
+    "  --graphs=N       subgraph pool size (default 4)\n"
+    "  --scale=F        subgraph size scale (default 0.5)\n"
+    "  --seed=N         workload seed (default 2026)\n"
+    "  --faults=SPEC    fault injection (NESTPAR_FAULTS syntax; default from\n"
+    "                   the environment)\n"
+    "  --completions    also print one line per completed request";
+
+int run(const bench::Args& args) {
+  const auto requests = static_cast<int>(args.get_int("requests", 200));
+  const double qps = args.get_double("qps", 3000.0);
+
+  serve::ServeConfig cfg;
+  cfg.num_shards = static_cast<int>(args.get_int("shards", 4));
+  cfg.queue_capacity = static_cast<int>(args.get_int("queue", 24));
+  cfg.batch_max = static_cast<int>(args.get_int("batch", 8));
+  cfg.batch_linger_us = args.get_double("linger-us", 200.0);
+  cfg.deadline_us = args.get_double("deadline-us", 150000.0);
+  cfg.max_attempts = static_cast<int>(args.get_int("attempts", 3));
+  cfg.hedge = !args.get_flag("no-hedge");
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  cfg.tmpl = nested::parse_loop_template(args.get_string("tmpl", "cons-grid"));
+  const std::string faults_spec = args.get_string("faults", "");
+  cfg.faults = faults_spec.empty() ? simt::FaultConfig::from_env()
+                                   : simt::FaultConfig::parse(faults_spec);
+
+  serve::PoolSpec pspec;
+  pspec.num_graphs = static_cast<int>(args.get_int("graphs", 4));
+  pspec.scale = args.get_double("scale", 0.5);
+  pspec.seed = cfg.seed ^ 0x700full;
+
+  const serve::SubgraphPool pool(pspec);
+  const std::vector<serve::Request> workload =
+      serve::make_open_loop_workload(pool, cfg, requests, qps);
+  serve::Server server(cfg, pool, simt::ExecPolicy::from_env());
+  const serve::ServeStats s = server.run(workload);
+
+  std::printf("serving run: %d requests at %.0f qps over %d shard(s), "
+              "template %s%s\n",
+              requests, qps, cfg.num_shards,
+              std::string(nested::name(cfg.tmpl)).c_str(),
+              cfg.faults.enabled() ? " [chaos]" : "");
+  std::printf("  outcome    ok=%llu expired=%llu shed=%llu wrong=%llu "
+              "(submitted=%llu)\n",
+              static_cast<unsigned long long>(s.ok),
+              static_cast<unsigned long long>(s.expired),
+              static_cast<unsigned long long>(s.shed),
+              static_cast<unsigned long long>(s.wrong),
+              static_cast<unsigned long long>(s.submitted));
+  std::printf("  activity   attempts=%llu retries=%llu hedges=%llu "
+              "batches=%llu probes=%llu trips=%llu faults=%llu "
+              "degraded=%llu\n",
+              static_cast<unsigned long long>(s.attempts),
+              static_cast<unsigned long long>(s.retries),
+              static_cast<unsigned long long>(s.hedges),
+              static_cast<unsigned long long>(s.batches),
+              static_cast<unsigned long long>(s.probes),
+              static_cast<unsigned long long>(s.breaker_trips),
+              static_cast<unsigned long long>(s.faults_injected),
+              static_cast<unsigned long long>(s.degraded));
+  std::printf("  latency-us p50=%.0f p95=%.0f p99=%.0f mean=%.0f max=%.0f\n",
+              s.p50_us, s.p95_us, s.p99_us, s.mean_us, s.max_us);
+  std::printf("  throughput %.0f ok-qps over %.1f ms makespan\n", s.qps_ok,
+              s.makespan_us / 1000.0);
+
+  std::printf("\nper-shard:\n");
+  for (const serve::Shard& sh : server.shards()) {
+    const serve::ShardCounters& c = sh.counters();
+    std::printf("  shard %d: batches=%llu attempts=%llu failed=%llu "
+                "faults=%llu trips=%d final=%s\n",
+                sh.id(), static_cast<unsigned long long>(c.batches),
+                static_cast<unsigned long long>(c.attempts),
+                static_cast<unsigned long long>(c.failed_attempts),
+                static_cast<unsigned long long>(c.faults_injected),
+                sh.breaker().trips(),
+                std::string(serve::to_string(sh.breaker().state())).c_str());
+    for (const serve::BreakerTransition& t : sh.breaker().transitions()) {
+      std::printf("    %12.1f us  %s -> %s\n", t.time_us,
+                  std::string(serve::to_string(t.from)).c_str(),
+                  std::string(serve::to_string(t.to)).c_str());
+    }
+  }
+
+  if (args.get_flag("completions")) {
+    std::printf("\ncompletions:\n");
+    for (const serve::Completion& c : server.completions()) {
+      std::printf("  #%llu %-8s %-7s shard=%d attempts=%d latency=%.0f us%s%s\n",
+                  static_cast<unsigned long long>(c.id),
+                  std::string(serve::to_string(c.kind)).c_str(),
+                  std::string(serve::to_string(c.status)).c_str(), c.shard,
+                  c.attempts, c.latency_us, c.hedged ? " hedged" : "",
+                  c.status == serve::RequestStatus::kOk && !c.correct
+                      ? " WRONG"
+                      : "");
+    }
+  }
+
+  if (s.wrong > 0) {
+    simt::log::error("FAIL: %llu Ok result(s) failed verification\n",
+                     static_cast<unsigned long long>(s.wrong));
+    return 1;
+  }
+  if (s.ok + s.expired + s.shed != s.submitted) {
+    simt::log::error("FAIL: request accounting broken\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const bench::Args args(argc, argv, kUsage);
+    return run(args);
+  } catch (const std::invalid_argument& e) {
+    nestpar::simt::log::error("error: %s\n%s\n", e.what(), kUsage);
+    return 2;
+  }
+}

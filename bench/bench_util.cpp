@@ -114,7 +114,24 @@ int standalone_main(std::string_view suite, int argc, char** argv) {
                 static_cast<int>(suite.size()), suite.data());
     return 2;
   }
-  const Args args(argc, argv, spec->usage);
+  // `--smoke` expands to the suite's registered smoke flags (as in the
+  // combined driver), so CI can run a standalone binary on its fast
+  // configuration without repeating the flag values. Explicit flags given
+  // alongside it are parsed after the smoke set and therefore win.
+  std::vector<std::string> flags;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      flags.emplace_back(argv[i]);
+    }
+  }
+  if (smoke) {
+    flags.insert(flags.begin(), spec->smoke_flags.begin(),
+                 spec->smoke_flags.end());
+  }
+  const Args args(flags, spec->usage);
   SuiteResult result;
   const int rc = spec->run(args, result);
   // Identity strings are filled in only after the run: the serial-CPU cache

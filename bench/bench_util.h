@@ -97,8 +97,9 @@ struct Registration {
 
 /// Entry point of a standalone suite binary: parse argv against the suite's
 /// usage, run it, and — when `--out=DIR` was given — write
-/// `DIR/BENCH_<suite>.json`. Returns the suite's exit code (2 on usage or
-/// I/O errors).
+/// `DIR/BENCH_<suite>.json`. `--smoke` expands to the suite's registered
+/// smoke flags (explicit flags still win). Returns the suite's exit code
+/// (2 on usage or I/O errors).
 int standalone_main(std::string_view suite, int argc, char** argv);
 
 /// Expands to the standalone `main` unless the file is being compiled into

@@ -33,6 +33,12 @@ std::string Measurement::key() const {
   return k;
 }
 
+bool Measurement::is_wall_derived(const std::string& metric) {
+  return metric.find("wall") != std::string::npos ||
+         metric.find("cpu_") != std::string::npos ||
+         metric.ends_with("_per_sec");
+}
+
 std::string to_json(const SuiteResult& result) {
   std::string out;
   out += "{\n";
@@ -57,14 +63,42 @@ std::string to_json(const SuiteResult& result) {
     out += "\"host_launches\": " + json_num(m.host_launches) + ", ";
     out += "\"device_launches\": " + json_num(m.device_launches) + ",\n     ";
     out += "\"robustness\": " + m.robustness.to_json() + ",\n     ";
+    // Route wall-clock-derived names out of `extra` even when a suite put
+    // them there: a checked-in baseline must never become byte-unstable on
+    // host timing, and the route has to be structural (by key name, at the
+    // serializer) rather than a per-suite convention.
+    bool misplaced = false;
+    for (const auto& [name, value] : m.extra) {
+      (void)value;
+      if (Measurement::is_wall_derived(name)) {
+        misplaced = true;
+        break;
+      }
+    }
+    const std::map<std::string, double>* extra = &m.extra;
+    const std::map<std::string, double>* vol = &m.volatile_extra;
+    std::map<std::string, double> extra_fixed;
+    std::map<std::string, double> vol_fixed;
+    if (misplaced) {
+      vol_fixed = m.volatile_extra;
+      for (const auto& [name, value] : m.extra) {
+        if (Measurement::is_wall_derived(name)) {
+          vol_fixed.emplace(name, value);  // an explicit volatile copy wins
+        } else {
+          extra_fixed.emplace(name, value);
+        }
+      }
+      extra = &extra_fixed;
+      vol = &vol_fixed;
+    }
     out += "\"extra\": ";
-    append_num_map(out, m.extra);
+    append_num_map(out, *extra);
     // Volatile (wall-clock-derived) metrics live under their own key, and
     // only when present, so deterministic records keep their exact v1 bytes
     // and byte-stability tooling can drop the section structurally.
-    if (!m.volatile_extra.empty()) {
+    if (!vol->empty()) {
       out += ",\n     \"extra_volatile\": ";
-      append_num_map(out, m.volatile_extra);
+      append_num_map(out, *vol);
     }
     out += "}";
   }

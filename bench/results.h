@@ -76,6 +76,14 @@ struct Measurement {
   /// Seed the deterministic fields from a finished run's report.
   static Measurement from_report(const simt::RunReport& rep);
 
+  /// True when a metric name denotes a wall-clock-derived quantity
+  /// ("wall_us", "sim_cycles_per_sec", "cpu_speedup", ...). The serializer
+  /// routes such keys into the `"extra_volatile"` section even when a suite
+  /// put them in `extra`, so a checked-in baseline can never become
+  /// byte-unstable — and the comparator can never gate — on host timing. The
+  /// convention: the name contains "wall" or "cpu_", or ends in "_per_sec".
+  static bool is_wall_derived(const std::string& metric);
+
   /// Identity within a suite: "tmpl|dataset|scale|k=v,k=v". The comparator
   /// matches baseline and current records by (suite, key()).
   std::string key() const;

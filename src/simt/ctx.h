@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
 #include <type_traits>
-#include <unordered_map>
 #include <vector>
 
+#include "src/simt/arena.h"
 #include "src/simt/device_spec.h"
 #include "src/simt/fault.h"
 #include "src/simt/kernel.h"
@@ -18,10 +18,23 @@
 namespace nestpar::simt {
 
 class BlockCtx;
+class LaneCtx;
 
 /// Per-grid histogram of atomic operations (atomic-segment granularity);
-/// feeds the hotspot serialization term of the timing model.
-using AtomicHist = std::unordered_map<std::uint64_t, std::uint64_t>;
+/// feeds the hotspot serialization term of the timing model. Backed by the
+/// open-addressing FlatHist (arena.h): only order-independent reductions
+/// (per-key sum, global max) are ever taken from it.
+using AtomicHist = FlatHist;
+
+/// Internal: a child launch noted during warp combining, with the issue
+/// offset in block cycles (converted to a fraction when the block ends).
+/// Records are appended in lane-ascending order within a warp step and in
+/// step order within a block — the order the scheduler's event timeline and
+/// every checked-in baseline depend on.
+struct ChildLaunchRecord {
+  std::uint32_t child_kernel;
+  double offset_cycles;
+};
 
 namespace detail {
 
@@ -31,6 +44,29 @@ struct LaunchOutcome {
   std::uint32_t local_id = kInvalidLaunchNode;
   SimtError error = SimtError::kOk;
 };
+
+/// Reusable per-block recording storage: the warp's SoA op trace, the bump
+/// arena backing shared-memory arrays, and the block's pending child-launch
+/// records.
+///
+/// Ownership/lifetime: scratches are owned by a per-host-thread stack indexed
+/// by nesting depth (recorder.cpp); a BlockCtx borrows one for its lifetime
+/// via acquire/release. A nested grid launched mid-phase runs its blocks with
+/// the next-deeper scratch, so the parent's live trace and shared arrays are
+/// never disturbed. Recycling is invisible to the cost model because every
+/// slot the model can see is kModelAlignment-aligned (host_alloc.h).
+struct BlockScratch {
+  WarpTrace trace;
+  Arena shared;
+  std::vector<ChildLaunchRecord> pending_children;
+};
+
+/// Borrow the calling thread's scratch for the current nesting depth
+/// (allocating one the first time that depth is reached). Must be paired
+/// with release_block_scratch in strict LIFO order — BlockCtx's constructor
+/// and destructor are the only callers.
+BlockScratch* acquire_block_scratch();
+void release_block_scratch();
 
 /// Execution backend a running block records into. The engine (recorder.cpp)
 /// provides one per block task; routing everything through this interface is
@@ -55,6 +91,13 @@ class BlockEnv {
   /// Fault-injector configuration (retry/backoff parameters); a default
   /// FaultConfig when no injector is active.
   virtual const FaultConfig& fault_config() const = 0;
+  /// True when this block — and everything launched beneath it — runs with
+  /// no other block executing on a concurrent host thread (serial engine,
+  /// or a single-block grid with no parallel ancestor). Lane RMW ops may
+  /// then use plain memory accesses instead of lock-prefixed atomics; the
+  /// values produced are identical, only the host-side data-race protection
+  /// (unneeded on one thread) is skipped.
+  virtual bool exclusive_mem() const = 0;
 };
 
 /// True when T can be updated through std::atomic_ref without locks — the
@@ -66,6 +109,31 @@ inline constexpr bool kLaneAtomicEligible =
 
 }  // namespace detail
 
+/// Non-owning reference to a per-lane phase body, `void(LaneCtx&)`.
+/// BlockCtx::each_thread takes this instead of a std::function so that the
+/// (very hot) per-phase call carries no heap allocation and no virtual-ish
+/// dispatch setup: call sites keep passing lambdas unchanged, and the
+/// referenced callable only needs to outlive the each_thread call itself.
+class ThreadBodyRef {
+ public:
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, ThreadBodyRef> &&
+                std::is_invocable_v<F&, LaneCtx&>>>
+  ThreadBodyRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* o, LaneCtx& t) {
+          (*static_cast<std::remove_reference_t<F>*>(o))(t);
+        }) {}
+
+  void operator()(LaneCtx& t) const { call_(obj_, t); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, LaneCtx&);
+};
+
 /// Per-lane execution context handed to kernel bodies by the functional pass.
 ///
 /// Every method both *performs* the operation on host memory (so results are
@@ -73,6 +141,12 @@ inline constexpr bool kLaneAtomicEligible =
 /// into cost and nvprof-like metrics. Addresses are real host addresses;
 /// coalescing is computed from their relative layout, which matches the data
 /// layout a CUDA kernel would see.
+///
+/// Recorded ops land in the warp's shared structure-of-arrays trace
+/// (WarpTrace): lanes of a warp execute sequentially, so each lane's ops are
+/// a contiguous column range delimited by lane offsets — no per-lane
+/// containers, no per-op allocation. The trace is only alive until the warp
+/// is combined; nothing may retain it.
 ///
 /// Global-memory accesses go through std::atomic_ref (relaxed) so that the
 /// parallel host engine — which runs blocks of a grid on concurrent host
@@ -92,14 +166,14 @@ class LaneCtx {
 
   /// `n` arithmetic instructions.
   void compute(std::uint32_t n = 1) {
-    trace_->push_back(Op{OpKind::kCompute, n, 0, 0});
+    trace_->push_count(OpKind::kCompute, n);
   }
 
   /// Global-memory load: returns `*p` and records the access.
   template <class T>
   T ld(const T* p) {
-    trace_->push_back(Op{OpKind::kGlobalLoad, 1, sizeof(T),
-                         reinterpret_cast<std::uint64_t>(p)});
+    trace_->push_mem(OpKind::kGlobalLoad, sizeof(T),
+                     reinterpret_cast<std::uint64_t>(p));
     if constexpr (detail::kLaneAtomicEligible<T>) {
       // atomic_ref has no const overload; the load itself never writes.
       return std::atomic_ref<T>(*const_cast<T*>(p))
@@ -117,8 +191,8 @@ class LaneCtx {
   /// Global-memory store.
   template <class T>
   void st(T* p, T v) {
-    trace_->push_back(Op{OpKind::kGlobalStore, 1, sizeof(T),
-                         reinterpret_cast<std::uint64_t>(p)});
+    trace_->push_mem(OpKind::kGlobalStore, sizeof(T),
+                     reinterpret_cast<std::uint64_t>(p));
     if constexpr (detail::kLaneAtomicEligible<T>) {
       std::atomic_ref<T>(*p).store(v, std::memory_order_relaxed);
     } else {
@@ -130,12 +204,12 @@ class LaneCtx {
   /// touching memory — for aggregate accounting of long scans whose
   /// per-element trace would be wastefully large.
   void charge_load(const void* p, std::uint32_t bytes) {
-    trace_->push_back(Op{OpKind::kGlobalLoad, 1, bytes,
-                         reinterpret_cast<std::uint64_t>(p)});
+    trace_->push_mem(OpKind::kGlobalLoad, bytes,
+                     reinterpret_cast<std::uint64_t>(p));
   }
   void charge_store(const void* p, std::uint32_t bytes) {
-    trace_->push_back(Op{OpKind::kGlobalStore, 1, bytes,
-                         reinterpret_cast<std::uint64_t>(p)});
+    trace_->push_mem(OpKind::kGlobalStore, bytes,
+                     reinterpret_cast<std::uint64_t>(p));
   }
 
   /// Shared-memory load (use with spans from BlockCtx::shared_array).
@@ -143,103 +217,115 @@ class LaneCtx {
   /// under the parallel engine.
   template <class T>
   T sh_ld(const T* p) {
-    trace_->push_back(Op{OpKind::kSharedLoad, 1, sizeof(T),
-                         reinterpret_cast<std::uint64_t>(p)});
+    trace_->push_addr(OpKind::kSharedLoad,
+                      reinterpret_cast<std::uint64_t>(p));
     return *p;
   }
   template <class T>
   void sh_st(T* p, T v) {
-    trace_->push_back(Op{OpKind::kSharedStore, 1, sizeof(T),
-                         reinterpret_cast<std::uint64_t>(p)});
+    trace_->push_addr(OpKind::kSharedStore,
+                      reinterpret_cast<std::uint64_t>(p));
     *p = v;
   }
 
   /// Atomic read-modify-writes on global memory. Return the old value, as in
   /// CUDA. Lanes executing atomics to the same address serialize in the model.
+  ///
+  /// When the engine guarantees single-threaded execution
+  /// (BlockEnv::exclusive_mem), each falls through to the plain
+  /// read-modify-write below its atomic form: lock-prefixed RMWs cost ~20
+  /// cycles each even uncontended, and graph workloads issue one per edge.
+  /// The plain path computes the identical value — only the (unneeded)
+  /// host-side race protection is skipped.
   template <class T>
   T atomic_add(T* p, T v) {
     record_atomic(p);
     if constexpr (detail::kLaneAtomicEligible<T>) {
-      std::atomic_ref<T> a(*p);
-      if constexpr (std::is_integral_v<T>) {
-        return a.fetch_add(v, std::memory_order_relaxed);
-      } else {
-        T old = a.load(std::memory_order_relaxed);
-        while (!a.compare_exchange_weak(old, static_cast<T>(old + v),
-                                        std::memory_order_relaxed)) {
+      if (!exclusive_mem_) {
+        std::atomic_ref<T> a(*p);
+        if constexpr (std::is_integral_v<T>) {
+          return a.fetch_add(v, std::memory_order_relaxed);
+        } else {
+          T old = a.load(std::memory_order_relaxed);
+          while (!a.compare_exchange_weak(old, static_cast<T>(old + v),
+                                          std::memory_order_relaxed)) {
+          }
+          return old;
         }
-        return old;
       }
-    } else {
-      T old = *p;
-      *p = static_cast<T>(old + v);
-      return old;
     }
+    T old = *p;
+    *p = static_cast<T>(old + v);
+    return old;
   }
   template <class T>
   T atomic_min(T* p, T v) {
     record_atomic(p);
     if constexpr (detail::kLaneAtomicEligible<T>) {
-      std::atomic_ref<T> a(*p);
-      T old = a.load(std::memory_order_relaxed);
-      while (v < old &&
-             !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+      if (!exclusive_mem_) {
+        std::atomic_ref<T> a(*p);
+        T old = a.load(std::memory_order_relaxed);
+        while (v < old &&
+               !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+        }
+        return old;
       }
-      return old;
-    } else {
-      T old = *p;
-      if (v < old) *p = v;
-      return old;
     }
+    T old = *p;
+    if (v < old) *p = v;
+    return old;
   }
   template <class T>
   T atomic_max(T* p, T v) {
     record_atomic(p);
     if constexpr (detail::kLaneAtomicEligible<T>) {
-      std::atomic_ref<T> a(*p);
-      T old = a.load(std::memory_order_relaxed);
-      while (old < v &&
-             !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+      if (!exclusive_mem_) {
+        std::atomic_ref<T> a(*p);
+        T old = a.load(std::memory_order_relaxed);
+        while (old < v &&
+               !a.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+        }
+        return old;
       }
-      return old;
-    } else {
-      T old = *p;
-      if (old < v) *p = v;
-      return old;
     }
+    T old = *p;
+    if (old < v) *p = v;
+    return old;
   }
   template <class T>
   T atomic_exch(T* p, T v) {
     record_atomic(p);
     if constexpr (detail::kLaneAtomicEligible<T>) {
-      return std::atomic_ref<T>(*p).exchange(v, std::memory_order_relaxed);
-    } else {
-      T old = *p;
-      *p = v;
-      return old;
+      if (!exclusive_mem_) {
+        return std::atomic_ref<T>(*p).exchange(v, std::memory_order_relaxed);
+      }
     }
+    T old = *p;
+    *p = v;
+    return old;
   }
   template <class T>
   T atomic_cas(T* p, T expected, T val) {
     record_atomic(p);
     if constexpr (detail::kLaneAtomicEligible<T>) {
-      T old = expected;
-      std::atomic_ref<T>(*p).compare_exchange_strong(
-          old, val, std::memory_order_relaxed);
-      return old;
-    } else {
-      T old = *p;
-      if (old == expected) *p = val;
-      return old;
+      if (!exclusive_mem_) {
+        T old = expected;
+        std::atomic_ref<T>(*p).compare_exchange_strong(
+            old, val, std::memory_order_relaxed);
+        return old;
+      }
     }
+    T old = *p;
+    if (old == expected) *p = val;
+    return old;
   }
 
   /// Shared-memory atomic (cheap; does not hit the global atomic units).
   /// Block-local, so a plain read-modify-write suffices.
   template <class T>
   T sh_atomic_add(T* p, T v) {
-    trace_->push_back(Op{OpKind::kSharedStore, 1, sizeof(T),
-                         reinterpret_cast<std::uint64_t>(p)});
+    trace_->push_addr(OpKind::kSharedStore,
+                      reinterpret_cast<std::uint64_t>(p));
     T old = *p;
     *p = static_cast<T>(old + v);
     return old;
@@ -300,7 +386,7 @@ class LaneCtx {
 
   /// Record `cycles` of idle wait in this lane (retry backoff).
   void stall(std::uint32_t cycles) {
-    trace_->push_back(Op{OpKind::kStall, cycles, 0, 0});
+    trace_->push_count(OpKind::kStall, cycles);
   }
 
   /// Note that this lane fell back to a degraded (launch-free) path after a
@@ -309,27 +395,22 @@ class LaneCtx {
 
  private:
   friend class BlockCtx;
-  LaneCtx(BlockCtx* blk, std::vector<Op>* trace, int thread_idx);
+  LaneCtx(BlockCtx* blk, WarpTrace* trace, int thread_idx);
 
   template <class T>
   void record_atomic(T* p) {
-    trace_->push_back(Op{OpKind::kAtomic, 1, sizeof(T),
-                         reinterpret_cast<std::uint64_t>(p)});
+    trace_->push_addr(OpKind::kAtomic,
+                      reinterpret_cast<std::uint64_t>(p));
   }
 
   BlockCtx* blk_;
-  std::vector<Op>* trace_;
+  WarpTrace* trace_;
   int thread_idx_;
   int block_idx_;
   int block_dim_;
   int grid_dim_;
-};
-
-/// Internal: a child launch noted during warp combining, with the issue
-/// offset in block cycles (converted to a fraction when the block ends).
-struct ChildLaunchRecord {
-  std::uint32_t child_kernel;
-  double offset_cycles;
+  /// Cached BlockEnv::exclusive_mem() (via BlockCtx): plain RMWs allowed.
+  bool exclusive_mem_;
 };
 
 /// Per-block execution context. A kernel body structures its work as one or
@@ -337,6 +418,11 @@ struct ChildLaunchRecord {
 /// block-wide barrier, which is how `__syncthreads()`-delimited CUDA code is
 /// expressed here (the functional pass runs lanes sequentially, so a phase
 /// boundary is the only correct way to order cross-thread communication).
+///
+/// Recording storage (the warp trace, the shared-memory arena, pending child
+/// records) is borrowed from a per-thread, per-nesting-depth BlockScratch
+/// for the duration of the block and recycled afterwards; see
+/// detail::BlockScratch for the lifetime rules.
 class BlockCtx {
  public:
   /// Internal: constructed by the execution engine with the backend this
@@ -349,11 +435,16 @@ class BlockCtx {
   int grid_dim() const { return grid_dim_; }
   const DeviceSpec& spec() const;
 
-  /// Run one per-lane phase over all threads of the block.
-  void each_thread(const std::function<void(LaneCtx&)>& fn);
+  /// Run one per-lane phase over all threads of the block. The body is
+  /// called once per thread, warp by warp in ascending lane order; it only
+  /// needs to be valid for the duration of this call (ThreadBodyRef does not
+  /// own it).
+  void each_thread(ThreadBodyRef fn);
 
   /// Allocate a zero-initialized shared-memory array for this block. Counts
-  /// against the 48KB shared-memory budget (checked).
+  /// against the 48KB shared-memory budget (checked). The storage lives in
+  /// the block's scratch arena: it is valid until the block finishes, and
+  /// must not be retained beyond that (exactly like __shared__ memory).
   template <class T>
   std::span<T> shared_array(std::size_t n) {
     void* p = shared_alloc(n * sizeof(T), alignof(T));
@@ -372,20 +463,21 @@ class BlockCtx {
   friend class LaneCtx;
 
   void* shared_alloc(std::size_t bytes, std::size_t align);
-  /// Combine and flush the per-lane traces of the warp starting at `first`.
+  /// Combine and flush the per-lane traces of the warp just recorded.
   void flush_warp(int first_thread, int lanes);
 
   detail::BlockEnv* env_;
+  detail::BlockScratch* scratch_;  ///< Borrowed; released in the destructor.
   int block_idx_;
   int block_dim_;
   int grid_dim_;
+  /// BlockEnv::exclusive_mem(), fetched once per block so each LaneCtx
+  /// copies a bool instead of making a virtual call.
+  bool exclusive_mem_;
   int phase_ = 0;
-  std::vector<std::vector<Op>> lane_traces_;  ///< 32 reusable trace buffers.
-  std::vector<std::vector<char>> shared_chunks_;
   std::size_t shared_used_ = 0;
   // Accumulated block cost; reduced into a BlockCost when the block ends.
   double issue_cycles_ = 0.0;
-  std::vector<ChildLaunchRecord> pending_children_;
 };
 
 }  // namespace nestpar::simt

@@ -5,13 +5,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/simt/host_alloc.h"
 #include "src/simt/profiler.h"
 
 namespace nestpar::simt {
-
-namespace detail {
-bool host_allocator_active();  // defined in host_alloc.cpp
-}
 
 const KernelReport& RunReport::kernel(const std::string& name) const {
   for (const KernelReport& k : per_kernel) {

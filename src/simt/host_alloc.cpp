@@ -14,6 +14,8 @@
 //
 // posix_memalign keeps the per-allocation overhead to the alignment padding
 // alone; all delete forms funnel into free(), which accepts that memory.
+#include "src/simt/host_alloc.h"
+
 #include <cstdlib>
 #include <new>
 
@@ -21,9 +23,6 @@
 
 namespace nestpar::simt::detail {
 
-// Anchor referenced from Device's constructor so that linking any simulator
-// user pulls this translation unit — and with it the operator new/delete
-// replacements below — out of the static archive.
 bool host_allocator_active() { return true; }
 
 }  // namespace nestpar::simt::detail

@@ -1,0 +1,34 @@
+#pragma once
+
+/// Interface of the model-alignment heap (host_alloc.cpp).
+///
+/// Linking the simulator replaces the global `operator new`/`operator delete`
+/// family so that *every* heap allocation in the binary is aligned to
+/// `kModelAlignment` (128 bytes — one memory segment, one full cycle of the
+/// 32x4-byte shared-memory banks). This is load-bearing for determinism, not
+/// an optimization: the timing model consumes raw host addresses, and with a
+/// plain malloc a buffer's segment phase (`base % 128`) would depend on heap
+/// history — which differs between the serial and the multi-threaded host
+/// engine, whose worker threads draw from separate malloc arenas. Pinning the
+/// phase to zero makes every modeled cost a function of intra-buffer offsets
+/// only, which is what lets both engines charge bit-identical cycles. See
+/// docs/SIMULATOR.md ("Why allocator alignment is load-bearing").
+///
+/// Consequences the rest of the engine relies on:
+///  - Distinct allocations never share a 128-byte coalescing segment or an
+///    8-byte atomic unit, so the cost model cannot observe *where* internal
+///    bookkeeping (arenas, scratch buffers) happens to live — only workload
+///    addresses matter. This is what makes the arena/scratch reuse in
+///    `ctx.h`/`recorder.cpp` safe: recycling trace and shared-memory storage
+///    across blocks cannot perturb a single modeled cycle.
+///  - `aligned.h`'s `make_segment_array` and BlockCtx's shared-memory arena
+///    inherit the same guarantee without extra work.
+
+namespace nestpar::simt::detail {
+
+/// Anchor referenced from Device's constructor so that linking any simulator
+/// user pulls host_alloc.cpp — and with it the operator new/delete
+/// replacements — out of the static archive. Always returns true.
+bool host_allocator_active();
+
+}  // namespace nestpar::simt::detail

@@ -9,6 +9,18 @@
 
 namespace nestpar::simt {
 
+/// Launch DAG of one recorded session: the durable output of the functional
+/// pass and the sole input of the timing pass (scheduler.cpp).
+///
+/// Ownership/lifetime: everything in this graph is owned *by value* — node
+/// names, block costs, child-launch lists. The functional pass records into
+/// transient, recycled storage (the SoA warp trace and per-block scratch
+/// arenas of ctx.h/arena.h), and each block's trace is reduced warp-by-warp
+/// into a BlockCost before that storage is reused; nothing here points back
+/// into an arena. A LaunchGraph therefore stays valid for as long as the
+/// Recorder that built it (Device::graph() borrows it per session) and is
+/// freely copyable. See docs/SIMULATOR.md for the full pipeline.
+
 /// A device-side launch performed by some lane of a block: which kernel node
 /// it created and where within the block's execution it was issued (as a
 /// fraction of the block's total issue work, used by the timing pass to place
@@ -19,8 +31,10 @@ struct ChildLaunch {
 };
 
 /// Cost summary of one executed block, produced by the functional pass and
-/// consumed by the timing pass. Lane traces are reduced warp-by-warp into
-/// this summary and then discarded.
+/// consumed by the timing pass. Warp traces are reduced warp-by-warp into
+/// this summary and the backing trace storage recycled; `children` preserves
+/// the lane-ascending, step-ordered issue order the scheduler's event
+/// timeline depends on.
 struct BlockCost {
   double issue_cycles = 0.0;  ///< Sum of warp step costs across the block.
   std::uint32_t warps = 0;

@@ -1,7 +1,9 @@
 #include "src/simt/recorder.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -95,17 +97,20 @@ class EngineEnv final : public detail::BlockEnv {
  public:
   EngineEnv(detail::BlockRecord* rec, const DeviceSpec* spec, int max_depth,
             std::int64_t node_local, std::uint32_t nest_depth,
-            AtomicHist* hist, const FaultInjector* injector)
+            AtomicHist* hist, const FaultInjector* injector,
+            bool exclusive_mem)
       : rec_(rec),
         spec_(spec),
         max_depth_(max_depth),
         node_local_(node_local),
         nest_depth_(nest_depth),
         hist_(hist),
-        injector_(injector) {}
+        injector_(injector),
+        exclusive_mem_(exclusive_mem) {}
 
   const DeviceSpec& spec() const override { return *spec_; }
   AtomicHist& hist() override { return *hist_; }
+  bool exclusive_mem() const override { return exclusive_mem_; }
   Metrics& metrics() override {
     return node_local_ < 0
                ? rec_->metrics
@@ -176,9 +181,12 @@ class EngineEnv final : public detail::BlockEnv {
     AtomicHist grid_hist;
     std::vector<BlockCost> costs(static_cast<std::size_t>(nblocks));
     for (int b = 0; b < nblocks; ++b) {
+      // Nested grids run inline on the parent block's thread, so they
+      // inherit the parent's exclusivity: concurrent sibling blocks of the
+      // enclosing host grid may still be touching the same global memory.
       EngineEnv env(rec_, spec_, max_depth_,
                     static_cast<std::int64_t>(local), depth, &grid_hist,
-                    injector_);
+                    injector_, exclusive_mem_);
       BlockCtx blk(&env, b, nthreads, nblocks);
       k(blk);
       costs[static_cast<std::size_t>(b)] = blk.finish();
@@ -186,9 +194,8 @@ class EngineEnv final : public detail::BlockEnv {
     // Re-fetch: the kernel body may have grown the arena.
     detail::ArenaNode& n = rec_->nodes[local];
     n.blocks = std::move(costs);
-    for (const auto& [addr, count] : grid_hist) {
-      n.hottest_atomic_ops = std::max(n.hottest_atomic_ops, count);
-    }
+    n.hottest_atomic_ops = std::max(n.hottest_atomic_ops,
+                                    grid_hist.max_count());
   }
 
   detail::BlockRecord* rec_;
@@ -198,6 +205,7 @@ class EngineEnv final : public detail::BlockEnv {
   std::uint32_t nest_depth_;
   AtomicHist* hist_;
   const FaultInjector* injector_;
+  bool exclusive_mem_;
 };
 
 }  // namespace
@@ -206,13 +214,14 @@ class EngineEnv final : public detail::BlockEnv {
 // LaneCtx
 // ---------------------------------------------------------------------------
 
-LaneCtx::LaneCtx(BlockCtx* blk, std::vector<Op>* trace, int thread_idx)
+LaneCtx::LaneCtx(BlockCtx* blk, WarpTrace* trace, int thread_idx)
     : blk_(blk),
       trace_(trace),
       thread_idx_(thread_idx),
       block_idx_(blk->block_idx_),
       block_dim_(blk->block_dim_),
-      grid_dim_(blk->grid_dim_) {}
+      grid_dim_(blk->grid_dim_),
+      exclusive_mem_(blk->exclusive_mem_) {}
 
 namespace {
 
@@ -230,10 +239,10 @@ LaunchResult LaneCtx::try_launch(const LaunchConfig& cfg, Kernel k,
       cfg, std::move(k), blk_->block_idx_, extra_stream_slot,
       /*deferred=*/false);
   if (out.error != SimtError::kOk) {
-    trace_->push_back(Op{OpKind::kLaunchFail, 1, 0, 0});
+    trace_->push(OpKind::kLaunchFail, 1, 0, 0);
     return LaunchResult{kInvalidLaunchNode, out.error};
   }
-  trace_->push_back(Op{OpKind::kLaunch, 1, 0, out.local_id});
+  trace_->push_addr(OpKind::kLaunch, out.local_id);
   return LaunchResult{out.local_id, SimtError::kOk};
 }
 
@@ -243,10 +252,10 @@ LaunchResult LaneCtx::try_launch_async(const LaunchConfig& cfg, Kernel k,
       cfg, std::move(k), blk_->block_idx_, extra_stream_slot,
       /*deferred=*/true);
   if (out.error != SimtError::kOk) {
-    trace_->push_back(Op{OpKind::kLaunchFail, 1, 0, 0});
+    trace_->push(OpKind::kLaunchFail, 1, 0, 0);
     return LaunchResult{kInvalidLaunchNode, out.error};
   }
-  trace_->push_back(Op{OpKind::kLaunch, 1, 0, out.local_id});
+  trace_->push_addr(OpKind::kLaunch, out.local_id);
   return LaunchResult{out.local_id, SimtError::kOk};
 }
 
@@ -322,15 +331,49 @@ void LaneCtx::launch_threads_async(const LaunchConfig& cfg, ThreadKernel k,
 // BlockCtx
 // ---------------------------------------------------------------------------
 
+namespace detail {
+
+namespace {
+
+/// Per-host-thread stack of BlockScratch, indexed by live BlockCtx nesting
+/// depth: a nested grid launched mid-phase runs its blocks one level deeper,
+/// so the parent's live trace and shared arrays stay untouched. Scratches
+/// are allocated once per (thread, depth) and recycled for every subsequent
+/// block — steady-state recording performs no heap allocation at all.
+struct ScratchStack {
+  std::vector<std::unique_ptr<BlockScratch>> levels;
+  std::size_t depth = 0;
+};
+
+thread_local ScratchStack g_scratch_stack;
+
+}  // namespace
+
+BlockScratch* acquire_block_scratch() {
+  ScratchStack& st = g_scratch_stack;
+  if (st.depth == st.levels.size()) {
+    st.levels.push_back(std::make_unique<BlockScratch>());
+  }
+  BlockScratch* s = st.levels[st.depth++].get();
+  s->pending_children.clear();
+  s->shared.reset();
+  return s;
+}
+
+void release_block_scratch() { --g_scratch_stack.depth; }
+
+}  // namespace detail
+
 BlockCtx::BlockCtx(detail::BlockEnv* env, int block_idx, int block_dim,
                    int grid_dim)
     : env_(env),
+      scratch_(detail::acquire_block_scratch()),
       block_idx_(block_idx),
       block_dim_(block_dim),
       grid_dim_(grid_dim),
-      lane_traces_(32) {}
+      exclusive_mem_(env->exclusive_mem()) {}
 
-BlockCtx::~BlockCtx() = default;
+BlockCtx::~BlockCtx() { detail::release_block_scratch(); }
 
 const DeviceSpec& BlockCtx::spec() const { return env_->spec(); }
 
@@ -342,27 +385,27 @@ void* BlockCtx::shared_alloc(std::size_t bytes, std::size_t align) {
   }
   // Shared arrays start on a full bank cycle (32 banks x 4 bytes), like the
   // statically laid out shared memory of a real SM. This also keeps the
-  // bank-conflict model independent of where the host heap placed the chunk,
-  // so every block — on any engine thread — charges identical costs.
-  align = std::max(align, std::size_t{128});
-  shared_chunks_.emplace_back(bytes + align, 0);
-  auto* base = shared_chunks_.back().data();
-  auto misalign = reinterpret_cast<std::uintptr_t>(base) % align;
-  return base + (misalign == 0 ? 0 : align - misalign);
+  // bank-conflict model independent of where the host heap placed the
+  // arena's chunk, so every block — on any engine thread — charges identical
+  // costs. (Arena::alloc raises the alignment to 128 itself; passing the
+  // natural alignment through keeps over-aligned element types honest.)
+  return scratch_->shared.alloc(bytes, align);
 }
 
-void BlockCtx::each_thread(const std::function<void(LaneCtx&)>& fn) {
+void BlockCtx::each_thread(ThreadBodyRef fn) {
   const int warps = (block_dim_ + 31) / 32;
   if (phase_ > 0) {
     // Implicit __syncthreads() between phases.
     issue_cycles_ += env_->spec().sync_cycles * warps;
   }
   ++phase_;
+  WarpTrace& tr = scratch_->trace;
   for (int first = 0; first < block_dim_; first += 32) {
     const int lanes = std::min(32, block_dim_ - first);
+    tr.begin_warp();
     for (int l = 0; l < lanes; ++l) {
-      lane_traces_[l].clear();
-      LaneCtx lc(this, &lane_traces_[l], first + l);
+      tr.begin_lane();
+      LaneCtx lc(this, &tr, first + l);
       fn(lc);
     }
     flush_warp(first, lanes);
@@ -370,18 +413,19 @@ void BlockCtx::each_thread(const std::function<void(LaneCtx&)>& fn) {
 }
 
 void BlockCtx::flush_warp(int /*first_thread*/, int lanes) {
-  issue_cycles_ +=
-      detail::combine_warp(env_->spec(), env_->metrics(), lane_traces_, lanes,
-                           issue_cycles_, pending_children_, env_->hist());
+  issue_cycles_ += detail::combine_warp(
+      env_->spec(), env_->metrics(), scratch_->trace, lanes, issue_cycles_,
+      scratch_->pending_children, env_->hist());
 }
 
 BlockCost BlockCtx::finish() {
   BlockCost bc;
   bc.issue_cycles = issue_cycles_;
   bc.warps = static_cast<std::uint32_t>((block_dim_ + 31) / 32);
-  bc.children.reserve(pending_children_.size());
+  const std::vector<ChildLaunchRecord>& pending = scratch_->pending_children;
+  bc.children.reserve(pending.size());
   const double total = issue_cycles_ > 0 ? issue_cycles_ : 1.0;
-  for (const ChildLaunchRecord& c : pending_children_) {
+  for (const ChildLaunchRecord& c : pending) {
     bc.children.push_back(ChildLaunch{
         c.child_kernel, std::clamp(c.offset_cycles / total, 0.0, 1.0)});
   }
@@ -415,9 +459,11 @@ void Recorder::reset() {
 }
 
 std::uint32_t Recorder::intern_stream(std::uint64_t key) {
-  auto [it, inserted] = stream_ids_.emplace(key, graph_.num_streams);
+  bool inserted = false;
+  const std::uint32_t id =
+      stream_ids_.get_or_insert(key, graph_.num_streams, inserted);
   if (inserted) ++graph_.num_streams;
-  return it->second;
+  return id;
 }
 
 std::uint32_t Recorder::stream_id_for_host(int user_stream) {
@@ -459,8 +505,8 @@ constexpr std::uint32_t kNoNode = 0xffffffffu;
 
 EventHandle Recorder::record_event(StreamHandle stream) {
   const std::uint32_t sid = stream_id_for_host(stream.id);
-  const auto it = stream_tail_.find(sid);
-  events_.push_back(it == stream_tail_.end() ? kNoNode : it->second);
+  const std::uint32_t* tail = stream_tail_.find(sid);
+  events_.push_back(tail == nullptr ? kNoNode : *tail);
   return EventHandle{static_cast<std::uint32_t>(events_.size() - 1)};
 }
 
@@ -493,7 +539,7 @@ LaunchResult Recorder::launch_host(const LaunchConfig& cfg, const Kernel& k,
     graph_.nodes[id].depends_on = std::move(it->second);
     pending_waits_.erase(it);
   }
-  stream_tail_[sid] = id;
+  stream_tail_.put(sid, id);
   run_grid(id, k);
   // Drain fire-and-forget device launches. The hardware gives no ordering
   // guarantee across blocks, so the drain picks pending grids pseudo-randomly
@@ -543,8 +589,11 @@ void Recorder::run_grid(std::uint32_t node_id, const Kernel& k) {
     r.budget.grid_key = fault_mix(
         (static_cast<std::uint64_t>(node_id) << 24) ^
         static_cast<std::uint64_t>(b));
+    // Exclusive when this grid's blocks run back-to-back on one thread
+    // (serial engine, or a single-block grid — host grids never overlap
+    // each other, so no other thread can be touching global memory).
     EngineEnv env(&r, &spec_, max_depth_, /*node_local=*/-1, depth, &r.hist,
-                  &injector_);
+                  &injector_, !(pool_ != nullptr && nblocks > 1));
     BlockCtx blk(&env, static_cast<int>(b), nthreads, nblocks);
     k(blk);
     r.cost = blk.finish();
@@ -566,6 +615,15 @@ void Recorder::merge_grid(std::uint32_t node_id,
   // interning happens here too, so dense stream ids come out identical.
   graph_.nodes[node_id].blocks.resize(blocks.size());
   AtomicHist grid_hist;
+  {
+    // One reservation for every node this merge appends: KernelNode is heavy
+    // to move (five vectors and a string), so letting the vector double its
+    // way up through a launch-storm grid (dpar-naive spawns one child per
+    // heavy row) wastes measurable time in the merge path.
+    std::size_t incoming = 0;
+    for (const detail::BlockRecord& r : blocks) incoming += r.nodes.size();
+    graph_.nodes.reserve(graph_.nodes.size() + incoming);
+  }
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     detail::BlockRecord& r = blocks[b];
     const std::uint32_t base = static_cast<std::uint32_t>(graph_.nodes.size());
@@ -575,10 +633,15 @@ void Recorder::merge_grid(std::uint32_t node_id,
       root.blocks[b] = std::move(r.cost);
       root.metrics += r.metrics;
     }
-    for (const auto& [addr, count] : r.hist) grid_hist[addr] += count;
+    r.hist.for_each([&grid_hist](std::uint64_t addr, std::uint64_t count) {
+      grid_hist.add(addr, count);
+    });
     for (std::size_t j = 0; j < r.nodes.size(); ++j) {
       detail::ArenaNode& ln = r.nodes[j];
-      KernelNode node;
+      // Built in place: KernelNode is five vectors and a string, so
+      // emplace-then-fill skips a full move of every freshly merged node.
+      // The reserve above guarantees no reallocation happens mid-merge.
+      KernelNode& node = graph_.nodes.emplace_back();
       node.id = base + static_cast<std::uint32_t>(j);
       node.name = std::move(ln.cfg.name);
       node.origin = LaunchOrigin::kDevice;
@@ -603,18 +666,13 @@ void Recorder::merge_grid(std::uint32_t node_id,
       for (BlockCost& bc : node.blocks) {
         for (ChildLaunch& c : bc.children) c.child_kernel += base;
       }
-      graph_.nodes.push_back(std::move(node));
       if (ln.deferred) {
         deferred_.emplace_back(base + static_cast<std::uint32_t>(j),
                                std::move(ln.kernel));
       }
     }
   }
-  std::uint64_t hottest = 0;
-  for (const auto& [addr, count] : grid_hist) {
-    hottest = std::max(hottest, count);
-  }
-  graph_.nodes[node_id].hottest_atomic_ops = hottest;
+  graph_.nodes[node_id].hottest_atomic_ops = grid_hist.max_count();
 }
 
 // ---------------------------------------------------------------------------
@@ -623,193 +681,483 @@ void Recorder::merge_grid(std::uint32_t node_id,
 
 namespace {
 
-/// Count unique values in the first `n` slots of `v` (sorts in place).
-int unique_count(std::uint64_t* v, int n) {
-  std::sort(v, v + n);
+/// Count unique values in the first `n` slots of `v` (n <= 64) with a
+/// generation-stamped open-addressing probe — O(n) against the insertion
+/// sort it replaced. Distinct-count is order-invariant, so this is exactly
+/// the old sort-then-scan result. Only reached for genuinely out-of-order
+/// steps; sorted steps resolve inline in UniqTracker.
+int unique_count(const std::uint64_t* v, int n) {
+  static thread_local std::uint64_t keys[128];
+  static thread_local std::uint32_t gens[128];
+  static thread_local std::uint32_t gen = 0;
+  if (++gen == 0) {
+    // u32 stamp wrapped: stale slots could alias the new generation.
+    std::memset(gens, 0, sizeof(gens));
+    gen = 1;
+  }
   int u = 0;
   for (int i = 0; i < n; ++i) {
-    if (i == 0 || v[i] != v[i - 1]) ++u;
+    const std::uint64_t x = v[i];
+    std::uint64_t h = (x * 0x9e3779b97f4a7c15ull) >> 57;  // top 7 bits
+    for (;;) {
+      if (gens[h] != gen) {
+        gens[h] = gen;
+        keys[h] = x;
+        ++u;
+        break;
+      }
+      if (keys[h] == x) break;
+      h = (h + 1) & 127;
+    }
   }
   return u;
 }
 
 }  // namespace
 
-namespace detail {
+namespace {
 
-double combine_warp(const DeviceSpec& spec, Metrics& m,
-                    const std::vector<std::vector<Op>>& lanes,
-                    int active_lanes, double issue_base,
-                    std::vector<ChildLaunchRecord>& children,
-                    AtomicHist& hist) {
-  std::size_t steps = 0;
-  for (int l = 0; l < active_lanes; ++l) {
-    steps = std::max(steps, lanes[l].size());
+/// Running unique-count over a step's segment pushes. Coalesced accesses
+/// arrive in ascending segment order, so the count is maintained inline and
+/// `resolve` is free; only an out-of-order step pays the insertion-sort
+/// fallback. Either path produces exactly the old sort-then-scan result.
+/// Max multiplicity of any one value in v[0..n): the atomic serialization
+/// "ways" of a warp step. Same generation-stamped open-addressing scheme as
+/// unique_count above — multiplicity is order-invariant, so this reproduces
+/// the old pairwise O(n^2) scan's result exactly. n <= 32, so a 64-slot
+/// table never exceeds half load.
+int max_multiplicity(const std::uint64_t* v, int n) {
+  static thread_local std::uint64_t keys[64];
+  static thread_local std::uint8_t cnt[64];
+  static thread_local std::uint32_t gens[64];
+  static thread_local std::uint32_t gen = 0;
+  if (++gen == 0) {
+    std::memset(gens, 0, sizeof(gens));
+    gen = 1;
   }
-  if (steps == 0) return 0.0;
+  int best = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t x = v[i];
+    std::uint64_t h = (x * 0x9e3779b97f4a7c15ull) >> 58;  // top 6 bits
+    for (;;) {
+      if (gens[h] != gen) {
+        gens[h] = gen;
+        keys[h] = x;
+        cnt[h] = 1;
+        break;
+      }
+      if (keys[h] == x) {
+        best = std::max<int>(best, ++cnt[h]);
+        break;
+      }
+      h = (h + 1) & 63;
+    }
+  }
+  return best;
+}
+
+struct UniqTracker {
+  std::uint64_t prev = 0;
+  int uniq = 0;
+  bool sorted = true;
+
+  void push(std::uint64_t* arr, int& n, std::uint64_t s) {
+    // Branchless on the s-vs-prev comparisons: segment order between lanes
+    // is data-dependent (scattered graph accesses make it a coin flip), so
+    // compare-and-branch here costs a mispredict per op. setcc/cmov
+    // arithmetic computes the same uniq/sorted values.
+    const bool first = (n == 0);
+    uniq += static_cast<int>(first | (s > prev));
+    sorted &= first | (s >= prev);
+    arr[n++] = s;
+    prev = s;
+  }
+  int resolve(std::uint64_t* arr, int n) const {
+    return sorted ? uniq : unique_count(arr, n);
+  }
+};
+
+/// The combine_warp loop, specialized on whether the segment sizes are
+/// powers of two (they are for every shipped DeviceSpec) so the per-access
+/// address->segment mapping is a shift instead of a 64-bit division — the
+/// single hottest arithmetic op of the functional pass.
+template <bool kPow2>
+double combine_warp_impl(const DeviceSpec& spec, Metrics& m,
+                         const WarpTrace& trace, int active_lanes,
+                         double issue_base,
+                         std::vector<ChildLaunchRecord>& children,
+                         AtomicHist& hist, int seg_shift, int aseg_shift) {
+  // Live-lane cursors into the SoA columns, in ascending lane order. A lane
+  // whose trace is exhausted is compacted out, so divergent tails cost
+  // nothing per step; compaction preserves the ascending order the
+  // launch-record sequence depends on.
+  std::uint32_t cur[32], end[32];
+  int alive = 0;
+  for (int l = 0; l < active_lanes; ++l) {
+    const std::uint32_t b = trace.lane_begin(l);
+    const std::uint32_t e = trace.lane_end(l);
+    if (b != e) {
+      cur[alive] = b;
+      end[alive] = e;
+      ++alive;
+    }
+  }
+  if (alive == 0) return 0.0;
+
+  const std::uint8_t* kinds = trace.kinds();
+  const std::uint32_t* counts = trace.counts();
+  const std::uint32_t* op_bytes = trace.bytes();
+  const std::uint64_t* addrs = trace.addrs();
 
   const std::uint64_t seg = static_cast<std::uint64_t>(spec.mem_segment_bytes);
   const std::uint64_t aseg =
       static_cast<std::uint64_t>(spec.atomic_segment_bytes);
+  const auto seg_of = [&](std::uint64_t a) -> std::uint64_t {
+    if constexpr (kPow2) return a >> seg_shift;
+    return a / seg;
+  };
+  const auto aseg_of = [&](std::uint64_t a) -> std::uint64_t {
+    if constexpr (kPow2) return a >> aseg_shift;
+    return a / aseg;
+  };
   double cost = 0.0;
 
+  // Per-op cycle costs, hoisted so the loop reads registers instead of
+  // re-loading through the spec reference (the compiler cannot prove the
+  // children.push_back call leaves them unchanged). All are double, so the
+  // arithmetic below is bit-identical to reading the fields directly.
+  const double compute_cyc = spec.compute_op_cycles;
+  const double shared_cyc = spec.shared_op_cycles;
+  const double mem_base_cyc = spec.mem_base_cycles;
+  const double mem_tx_cyc = spec.mem_transaction_cycles;
+  const double atomic_cyc = spec.atomic_op_cycles;
+  const double launch_cyc = spec.launch_issue_cycles;
+
   std::uint64_t ld_segs[64], st_segs[64], at_addrs[32], at_segs[64];
-  std::uint32_t bank_of[32];
+  std::uint32_t bank_count[32];
   std::uint32_t launch_children[32];
 
-  for (std::size_t t = 0; t < steps; ++t) {
-    std::uint32_t comp_n = 0, comp_sum = 0, comp_max = 0;
-    std::uint32_t fail_n = 0, stall_max = 0;
-    int ld_n = 0, st_n = 0, sh_n = 0, at_n = 0, ln_n = 0;
-    int ld_seg_n = 0, st_seg_n = 0, at_seg_n = 0;
-    int ld_extra = 0, st_extra = 0;
-    std::uint64_t ld_req = 0, st_req = 0;
+  // Integer metrics accumulate in locals and flush once at the end —
+  // u64 addition is associative, so batching is exact; it keeps ~10 memory
+  // read-modify-writes per step out of the loop. The double-valued fields
+  // (cost, m.fault_cycles) keep their per-step accumulation order: float
+  // addition is not associative and the bit patterns feed the baselines.
+  std::uint64_t ws = 0, alo = 0, comp_ops = 0, sh_ops = 0, at_ops = 0,
+                dev_launches = 0;
+  std::uint64_t gld_req_b = 0, gld_xfer_b = 0, gst_req_b = 0, gst_xfer_b = 0;
+  // Local active-lane histogram (u64 counts, associative) flushed once.
+  std::uint64_t lh[33] = {};
 
-    for (int l = 0; l < active_lanes; ++l) {
-      const auto& tr = lanes[l];
-      if (tr.size() <= t) continue;
-      const Op& op = tr[t];
-      switch (op.kind) {
-        case OpKind::kCompute:
-          ++comp_n;
-          comp_sum += op.count;
-          comp_max = std::max(comp_max, op.count);
-          break;
-        case OpKind::kGlobalLoad: {
-          ++ld_n;
-          ld_req += op.bytes;
-          const std::uint64_t s0 = op.addr / seg;
-          const std::uint64_t s1 = (op.addr + op.bytes - 1) / seg;
-          ld_segs[ld_seg_n++] = s0;
-          if (s1 != s0) ld_segs[ld_seg_n++] = s1;
-          // Long ranged charges (charge_load) span contiguous segments that
-          // cannot collide with other lanes' — count them directly.
-          if (s1 > s0 + 1) ld_extra += static_cast<int>(s1 - s0 - 1);
-          break;
+  while (alive > 0) {
+    if (alive == 1) {
+      // Straggler fast path: one live lane left — the dominant tail of any
+      // skewed workload (a hub lane outliving its warp by hundreds of
+      // steps). Every remaining op forms a single-op step group, so the
+      // general loop's gather/group machinery reduces to one switch per op;
+      // each arm reproduces its group block exactly (same cost terms, same
+      // accumulation order — at most one float add per step).
+      const std::uint32_t e = end[0];
+      for (std::uint32_t idx = cur[0]; idx < e; ++idx) {
+        switch (static_cast<OpKind>(kinds[idx])) {
+          case OpKind::kCompute: {
+            const std::uint32_t n = counts[idx];
+            cost += n * compute_cyc;
+            ws += n;
+            alo += n;
+            comp_ops += n;
+            lh[1] += n;
+            break;
+          }
+          case OpKind::kGlobalLoad: {
+            const std::uint64_t addr = addrs[idx];
+            const std::uint32_t nbytes = op_bytes[idx];
+            const std::uint64_t s0 = seg_of(addr);
+            const std::uint64_t s1 = seg_of(addr + nbytes - 1);
+            const auto k = static_cast<int>(s1 - s0) + 1;
+            cost += mem_base_cyc + k * mem_tx_cyc;
+            ws += 1;
+            alo += 1;
+            gld_req_b += nbytes;
+            gld_xfer_b += static_cast<std::uint64_t>(k) * seg;
+            lh[1] += 1;
+            break;
+          }
+          case OpKind::kGlobalStore: {
+            const std::uint64_t addr = addrs[idx];
+            const std::uint32_t nbytes = op_bytes[idx];
+            const std::uint64_t s0 = seg_of(addr);
+            const std::uint64_t s1 = seg_of(addr + nbytes - 1);
+            const auto k = static_cast<int>(s1 - s0) + 1;
+            cost += mem_base_cyc + k * mem_tx_cyc;
+            ws += 1;
+            alo += 1;
+            gst_req_b += nbytes;
+            gst_xfer_b += static_cast<std::uint64_t>(k) * seg;
+            lh[1] += 1;
+            break;
+          }
+          case OpKind::kSharedLoad:
+          case OpKind::kSharedStore:
+            cost += shared_cyc;  // one lane: ways == 1
+            ws += 1;
+            alo += 1;
+            sh_ops += 1;
+            lh[1] += 1;
+            break;
+          case OpKind::kAtomic:
+            hist.bump(aseg_of(addrs[idx]));
+            // One lane: ways == 1, one distinct segment.
+            cost += atomic_cyc + mem_tx_cyc;
+            ws += 1;
+            alo += 1;
+            at_ops += 1;
+            lh[1] += 1;
+            break;
+          case OpKind::kLaunch:
+            cost += launch_cyc;
+            children.push_back(
+                ChildLaunchRecord{static_cast<std::uint32_t>(addrs[idx]),
+                                  issue_base + cost});
+            ws += 1;
+            alo += 1;
+            dev_launches += 1;
+            lh[1] += 1;
+            break;
+          case OpKind::kLaunchFail:
+            cost += launch_cyc;
+            m.fault_cycles += launch_cyc;
+            ws += 1;
+            alo += 1;
+            lh[1] += 1;
+            break;
+          case OpKind::kStall:
+            cost += static_cast<double>(counts[idx]);
+            m.fault_cycles += static_cast<double>(counts[idx]);
+            break;
         }
-        case OpKind::kGlobalStore: {
-          ++st_n;
-          st_req += op.bytes;
-          const std::uint64_t s0 = op.addr / seg;
-          const std::uint64_t s1 = (op.addr + op.bytes - 1) / seg;
-          st_segs[st_seg_n++] = s0;
-          if (s1 != s0) st_segs[st_seg_n++] = s1;
-          if (s1 > s0 + 1) st_extra += static_cast<int>(s1 - s0 - 1);
-          break;
+      }
+      break;
+    }
+    // Steps until some lane's trace runs out: within this window the live
+    // set is fixed, so the per-lane exhaustion test (and its two cursor
+    // stores) stays out of the scan entirely; cursors advance once when the
+    // window closes. Fully converged warps (uniform workloads) retire their
+    // whole trace in a single window.
+    std::uint32_t window = end[0] - cur[0];
+    for (int i = 1; i < alive; ++i) {
+      window = std::min(window, end[i] - cur[i]);
+    }
+    for (std::uint32_t s = 0; s < window; ++s) {
+      std::uint32_t comp_n = 0, comp_sum = 0, comp_max = 0;
+      std::uint32_t fail_n = 0, stall_max = 0;
+      int ld_n = 0, st_n = 0, sh_n = 0, at_n = 0, ln_n = 0;
+      int ld_seg_n = 0, st_seg_n = 0, at_seg_n = 0;
+      int ld_extra = 0, st_extra = 0;
+      std::uint64_t ld_req = 0, st_req = 0;
+      std::uint32_t sh_ways = 1;
+      UniqTracker ld_uc, st_uc, at_uc;
+
+      for (int i = 0; i < alive; ++i) {
+        const std::uint32_t idx = cur[i] + s;
+        switch (static_cast<OpKind>(kinds[idx])) {
+          case OpKind::kCompute: {
+            const std::uint32_t n = counts[idx];
+            ++comp_n;
+            comp_sum += n;
+            comp_max = std::max(comp_max, n);
+            break;
+          }
+          case OpKind::kGlobalLoad: {
+            const std::uint64_t addr = addrs[idx];
+            const std::uint32_t nbytes = op_bytes[idx];
+            ++ld_n;
+            ld_req += nbytes;
+            const std::uint64_t s0 = seg_of(addr);
+            const std::uint64_t s1 = seg_of(addr + nbytes - 1);
+            ld_uc.push(ld_segs, ld_seg_n, s0);
+            if (s1 != s0) ld_uc.push(ld_segs, ld_seg_n, s1);
+            // Long ranged charges (charge_load) span contiguous segments
+            // that cannot collide with other lanes' — count them directly.
+            if (s1 > s0 + 1) ld_extra += static_cast<int>(s1 - s0 - 1);
+            break;
+          }
+          case OpKind::kGlobalStore: {
+            const std::uint64_t addr = addrs[idx];
+            const std::uint32_t nbytes = op_bytes[idx];
+            ++st_n;
+            st_req += nbytes;
+            const std::uint64_t s0 = seg_of(addr);
+            const std::uint64_t s1 = seg_of(addr + nbytes - 1);
+            st_uc.push(st_segs, st_seg_n, s0);
+            if (s1 != s0) st_uc.push(st_segs, st_seg_n, s1);
+            if (s1 > s0 + 1) st_extra += static_cast<int>(s1 - s0 - 1);
+            break;
+          }
+          case OpKind::kSharedLoad:
+          case OpKind::kSharedStore: {
+            // Bank-conflict ways = max lanes on one 4-byte bank; counting
+            // per bank in one pass matches the old pairwise max exactly.
+            const auto bank =
+                static_cast<std::uint32_t>((addrs[idx] / 4) % 32);
+            if (sh_n == 0) std::memset(bank_count, 0, sizeof(bank_count));
+            ++sh_n;
+            sh_ways = std::max(sh_ways, ++bank_count[bank]);
+            break;
+          }
+          case OpKind::kAtomic: {
+            at_addrs[at_n] = aseg_of(addrs[idx]);
+            at_uc.push(at_segs, at_seg_n, seg_of(addrs[idx]));
+            ++at_n;
+            break;
+          }
+          case OpKind::kLaunch:
+            launch_children[ln_n++] = static_cast<std::uint32_t>(addrs[idx]);
+            break;
+          case OpKind::kLaunchFail:
+            ++fail_n;
+            break;
+          case OpKind::kStall:
+            stall_max = std::max(stall_max, counts[idx]);
+            break;
         }
-        case OpKind::kSharedLoad:
-        case OpKind::kSharedStore:
-          bank_of[sh_n++] = static_cast<std::uint32_t>((op.addr / 4) % 32);
-          break;
-        case OpKind::kAtomic: {
-          at_addrs[at_n] = op.addr / aseg;
-          const std::uint64_t s0 = op.addr / seg;
-          at_segs[at_seg_n++] = s0;
-          ++at_n;
-          break;
+      }
+
+      // Each op-kind group at this step is a separately issued (serialized)
+      // instruction with only its lanes active — matching SIMT divergence.
+      if (comp_n > 0) {
+        cost += comp_max * compute_cyc;
+        ws += comp_max;
+        alo += comp_sum;
+        comp_ops += comp_sum;
+        lh[comp_n] += comp_max;
+      }
+      if (ld_n > 0) {
+        const int k = ld_uc.resolve(ld_segs, ld_seg_n) + ld_extra;
+        cost += mem_base_cyc + k * mem_tx_cyc;
+        ws += 1;
+        alo += static_cast<std::uint64_t>(ld_n);
+        gld_req_b += ld_req;
+        gld_xfer_b += static_cast<std::uint64_t>(k) * seg;
+        lh[ld_n] += 1;
+      }
+      if (st_n > 0) {
+        const int k = st_uc.resolve(st_segs, st_seg_n) + st_extra;
+        cost += mem_base_cyc + k * mem_tx_cyc;
+        ws += 1;
+        alo += static_cast<std::uint64_t>(st_n);
+        gst_req_b += st_req;
+        gst_xfer_b += static_cast<std::uint64_t>(k) * seg;
+        lh[st_n] += 1;
+      }
+      if (sh_n > 0) {
+        // Bank-conflict ways (sh_ways): max lanes hitting the same 4-byte
+        // bank, counted during the lane scan above.
+        cost += shared_cyc * static_cast<int>(sh_ways);
+        ws += 1;
+        alo += static_cast<std::uint64_t>(sh_n);
+        sh_ops += static_cast<std::uint64_t>(sh_n);
+        lh[sh_n] += 1;
+      }
+      if (at_n > 0) {
+        // Intra-warp serialization on identical addresses + transactions
+        // for the distinct memory segments touched. Multiplicity is
+        // order-invariant, so the hashed count below matches the pairwise
+        // scan exactly; the scan stays cheaper for tiny groups.
+        int ways = 1;
+        if (at_n <= 4) {
+          for (int i = 1; i < at_n; ++i) {
+            int same = 1;
+            for (int j = 0; j < i; ++j) {
+              if (at_addrs[j] == at_addrs[i]) ++same;
+            }
+            ways = std::max(ways, same);
+          }
+        } else {
+          ways = max_multiplicity(at_addrs, at_n);
         }
-        case OpKind::kLaunch:
-          launch_children[ln_n++] = static_cast<std::uint32_t>(op.addr);
-          break;
-        case OpKind::kLaunchFail:
-          ++fail_n;
-          break;
-        case OpKind::kStall:
-          stall_max = std::max(stall_max, op.count);
-          break;
+        for (int i = 0; i < at_n; ++i) hist.bump(at_addrs[i]);
+        const int k = at_uc.resolve(at_segs, at_seg_n);
+        cost += atomic_cyc * ways + k * mem_tx_cyc;
+        ws += 1;
+        alo += static_cast<std::uint64_t>(at_n);
+        at_ops += static_cast<std::uint64_t>(at_n);
+        lh[at_n] += 1;
+      }
+      if (ln_n > 0) {
+        // Device launches from one warp serialize through the launch queue.
+        for (int i = 0; i < ln_n; ++i) {
+          cost += launch_cyc;
+          children.push_back(
+              ChildLaunchRecord{launch_children[i], issue_base + cost});
+        }
+        ws += 1;
+        alo += static_cast<std::uint64_t>(ln_n);
+        dev_launches += static_cast<std::uint64_t>(ln_n);
+        lh[ln_n] += 1;
+      }
+      if (fail_n > 0) {
+        // A refused launch still pays the issue cost (the lane did the work
+        // of trying) but produces no child grid and no device_launches.
+        cost += fail_n * launch_cyc;
+        m.fault_cycles += fail_n * launch_cyc;
+        ws += 1;
+        alo += static_cast<std::uint64_t>(fail_n);
+        lh[fail_n] += 1;
+      }
+      if (stall_max > 0) {
+        // Retry backoff: pure idle latency, no throughput metrics.
+        cost += static_cast<double>(stall_max);
+        m.fault_cycles += static_cast<double>(stall_max);
       }
     }
 
-    // Each op-kind group at this step is a separately issued (serialized)
-    // instruction with only its lanes active — matching SIMT divergence.
-    if (comp_n > 0) {
-      cost += comp_max * spec.compute_op_cycles;
-      m.warp_steps += comp_max;
-      m.active_lane_ops += comp_sum;
-      m.compute_ops += comp_sum;
-      m.active_lane_hist[comp_n] += comp_max;
-    }
-    if (ld_n > 0) {
-      const int k = unique_count(ld_segs, ld_seg_n) + ld_extra;
-      cost += spec.mem_base_cycles + k * spec.mem_transaction_cycles;
-      m.warp_steps += 1;
-      m.active_lane_ops += static_cast<std::uint64_t>(ld_n);
-      m.gld_requested_bytes += ld_req;
-      m.gld_transferred_bytes += static_cast<std::uint64_t>(k) * seg;
-      m.active_lane_hist[ld_n] += 1;
-    }
-    if (st_n > 0) {
-      const int k = unique_count(st_segs, st_seg_n) + st_extra;
-      cost += spec.mem_base_cycles + k * spec.mem_transaction_cycles;
-      m.warp_steps += 1;
-      m.active_lane_ops += static_cast<std::uint64_t>(st_n);
-      m.gst_requested_bytes += st_req;
-      m.gst_transferred_bytes += static_cast<std::uint64_t>(k) * seg;
-      m.active_lane_hist[st_n] += 1;
-    }
-    if (sh_n > 0) {
-      // Bank-conflict ways: max lanes hitting the same 4-byte bank.
-      int ways = 1;
-      for (int i = 0; i < sh_n; ++i) {
-        int same = 1;
-        for (int j = 0; j < i; ++j) {
-          if (bank_of[j] == bank_of[i]) ++same;
-        }
-        ways = std::max(ways, same);
+    // Close the window: advance every cursor and compact out the lanes that
+    // just exhausted (at least one always does, by construction of window).
+    int next_alive = 0;
+    for (int i = 0; i < alive; ++i) {
+      const std::uint32_t c = cur[i] + window;
+      if (c != end[i]) {
+        cur[next_alive] = c;
+        end[next_alive] = end[i];
+        ++next_alive;
       }
-      cost += spec.shared_op_cycles * ways;
-      m.warp_steps += 1;
-      m.active_lane_ops += static_cast<std::uint64_t>(sh_n);
-      m.shared_ops += static_cast<std::uint64_t>(sh_n);
-      m.active_lane_hist[sh_n] += 1;
     }
-    if (at_n > 0) {
-      // Intra-warp serialization on identical addresses + transactions for
-      // the distinct memory segments touched.
-      int ways = 1;
-      for (int i = 0; i < at_n; ++i) {
-        int same = 1;
-        for (int j = 0; j < i; ++j) {
-          if (at_addrs[j] == at_addrs[i]) ++same;
-        }
-        ways = std::max(ways, same);
-        ++hist[at_addrs[i]];
-      }
-      const int k = unique_count(at_segs, at_seg_n);
-      cost += spec.atomic_op_cycles * ways + k * spec.mem_transaction_cycles;
-      m.warp_steps += 1;
-      m.active_lane_ops += static_cast<std::uint64_t>(at_n);
-      m.atomic_ops += static_cast<std::uint64_t>(at_n);
-      m.active_lane_hist[at_n] += 1;
-    }
-    if (ln_n > 0) {
-      // Device launches from one warp serialize through the launch queue.
-      for (int i = 0; i < ln_n; ++i) {
-        cost += spec.launch_issue_cycles;
-        children.push_back(
-            ChildLaunchRecord{launch_children[i], issue_base + cost});
-      }
-      m.warp_steps += 1;
-      m.active_lane_ops += static_cast<std::uint64_t>(ln_n);
-      m.device_launches += static_cast<std::uint64_t>(ln_n);
-      m.active_lane_hist[ln_n] += 1;
-    }
-    if (fail_n > 0) {
-      // A refused launch still pays the issue cost (the lane did the work of
-      // trying) but produces no child grid and no device_launches count.
-      cost += fail_n * spec.launch_issue_cycles;
-      m.fault_cycles += fail_n * spec.launch_issue_cycles;
-      m.warp_steps += 1;
-      m.active_lane_ops += static_cast<std::uint64_t>(fail_n);
-      m.active_lane_hist[fail_n] += 1;
-    }
-    if (stall_max > 0) {
-      // Retry backoff: pure idle latency, no throughput metrics.
-      cost += static_cast<double>(stall_max);
-      m.fault_cycles += static_cast<double>(stall_max);
-    }
+    alive = next_alive;
   }
+
+  for (int i = 1; i <= 32; ++i) {
+    if (lh[i] != 0) m.active_lane_hist[i] += lh[i];
+  }
+  m.warp_steps += ws;
+  m.active_lane_ops += alo;
+  m.compute_ops += comp_ops;
+  m.shared_ops += sh_ops;
+  m.atomic_ops += at_ops;
+  m.device_launches += dev_launches;
+  m.gld_requested_bytes += gld_req_b;
+  m.gld_transferred_bytes += gld_xfer_b;
+  m.gst_requested_bytes += gst_req_b;
+  m.gst_transferred_bytes += gst_xfer_b;
   return cost;
+}
+
+}  // namespace
+
+namespace detail {
+
+double combine_warp(const DeviceSpec& spec, Metrics& m, const WarpTrace& trace,
+                    int active_lanes, double issue_base,
+                    std::vector<ChildLaunchRecord>& children,
+                    AtomicHist& hist) {
+  const auto seg = static_cast<std::uint64_t>(spec.mem_segment_bytes);
+  const auto aseg = static_cast<std::uint64_t>(spec.atomic_segment_bytes);
+  if (std::has_single_bit(seg) && std::has_single_bit(aseg)) {
+    return combine_warp_impl<true>(spec, m, trace, active_lanes, issue_base,
+                                   children, hist, std::countr_zero(seg),
+                                   std::countr_zero(aseg));
+  }
+  return combine_warp_impl<false>(spec, m, trace, active_lanes, issue_base,
+                                  children, hist, 0, 0);
 }
 
 }  // namespace detail

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/simt/arena.h"
 #include "src/simt/ctx.h"
 #include "src/simt/device_spec.h"
 #include "src/simt/fault.h"
@@ -19,13 +20,15 @@ namespace detail {
 
 struct BlockRecord;
 
-/// Warp combine: reduce one warp's lane traces into cost and metrics.
+/// Warp combine: reduce one warp's recorded SoA trace into cost and metrics.
 /// `issue_base` is the block's accumulated cost before this warp; child
-/// launches found in the traces are appended with issue offsets. Returns the
-/// warp's issue cost in cycles. Pure function of its arguments, so blocks on
-/// different host threads can combine concurrently into their own sinks.
-double combine_warp(const DeviceSpec& spec, Metrics& m,
-                    const std::vector<std::vector<Op>>& lanes,
+/// launches found in the trace are appended to `children` with issue offsets,
+/// in lane-ascending order per step (the order the scheduler's event timeline
+/// depends on). Returns the warp's issue cost in cycles. Pure function of its
+/// arguments, so blocks on different host threads can combine concurrently
+/// into their own sinks. The trace is consumed read-only and may be recycled
+/// by the caller immediately afterwards.
+double combine_warp(const DeviceSpec& spec, Metrics& m, const WarpTrace& trace,
                     int active_lanes, double issue_base,
                     std::vector<ChildLaunchRecord>& children, AtomicHist& hist);
 
@@ -112,9 +115,9 @@ class Recorder {
   /// cross-block launch ordering guarantees).
   std::mt19937_64 drain_rng_{0x9e3779b97f4a7c15ull};
   std::uint64_t seq_ = 0;
-  std::unordered_map<std::uint64_t, std::uint32_t> stream_ids_;
+  FlatIdMap stream_ids_;
   /// Tail (last node id) per dense stream id, for event recording.
-  std::unordered_map<std::uint32_t, std::uint32_t> stream_tail_;
+  FlatIdMap stream_tail_;
   /// Events: captured kernel node (or kNoNode if the stream was empty).
   std::vector<std::uint32_t> events_;
   /// Waits registered per stream, attached to the stream's next launch.

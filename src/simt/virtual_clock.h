@@ -9,7 +9,14 @@ namespace nestpar::simt {
 /// times together with queueing and backoff delays). Time is modeled
 /// microseconds — the same unit as `RunReport::total_us` — and only ever
 /// moves forward, so two runs with the same inputs replay the same instants
-/// regardless of the host engine or wall-clock speed.
+/// regardless of the host engine or wall-clock speed. Never mix these
+/// instants with host wall time: wall-clock measurements (e.g. the
+/// simulator_throughput self-benchmark) live outside the model and are
+/// tagged volatile in the results pipeline (see docs/SIMULATOR.md).
+///
+/// A VirtualClock is a plain value type — no global state, no threads;
+/// whoever owns the composition (e.g. serve::Server) owns the clock, and
+/// Deadlines are value snapshots that never reference it.
 class VirtualClock {
  public:
   double now_us() const { return now_us_; }

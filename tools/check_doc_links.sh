@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Verify that documentation references resolve to real files:
+#   1. relative markdown links ([text](target)), resolved against the
+#      directory of the doc that contains them;
+#   2. bare `path/file.ext` references to checked-in files, limited to paths
+#      rooted at a repo top-level directory (src/, docs/, bench/, tests/,
+#      tools/, examples/) so prose mentions of external repos don't trip it.
+# External (http/https) links and intra-page anchors are skipped. Exits
+# non-zero listing broken references, so CI can gate on documentation rot.
+set -u
+
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md EXPERIMENTS.md DESIGN.md ROADMAP.md CHANGES.md docs/*.md)
+
+fail=0
+
+# 1. Markdown links, resolved relative to the referencing document.
+for doc in "${DOCS[@]}"; do
+  [ -f "$doc" ] || continue
+  docdir=$(dirname "$doc")
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"   # strip intra-page anchor
+    [ -z "$path" ] && continue
+    if [ ! -e "$docdir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" 2>/dev/null |
+           sed 's/.*](\([^)]*\))/\1/')
+done
+
+# 2. Bare file references rooted at a repo top-level directory.
+for doc in "${DOCS[@]}"; do
+  [ -f "$doc" ] || continue
+  while IFS= read -r ref; do
+    case "$ref" in
+      src/*|docs/*|bench/*|tests/*|tools/*|examples/*) ;;
+      *) continue ;;
+    esac
+    if [ ! -e "$ref" ]; then
+      echo "BROKEN FILE REF: $doc -> $ref"
+      fail=1
+    fi
+  done < <(grep -o '`[A-Za-z0-9_./-]*\.\(md\|h\|cpp\|sh\|yml\|json\|txt\)`' \
+             "$doc" 2>/dev/null | tr -d '\`' | grep '/' | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "Documentation link check FAILED."
+  exit 1
+fi
+echo "Documentation link check passed."

@@ -200,6 +200,26 @@ std::string ServeRecord::key() const {
   return k;
 }
 
+namespace {
+
+/// Serve records are pure virtual-time artifacts; a wall-derived key is a
+/// producer bug, rejected at serialization so it can never reach a baseline.
+void reject_wall_derived(const ServeRecord& r,
+                         const std::map<std::string, double>& m,
+                         const char* section) {
+  for (const auto& [name, value] : m) {
+    (void)value;
+    if (Measurement::is_wall_derived(name)) {
+      throw std::invalid_argument(
+          "serve record '" + r.scenario + "': wall-derived metric '" + name +
+          "' in " + section +
+          " must be tagged volatile (put it in volatile_extra)");
+    }
+  }
+}
+
+}  // namespace
+
 std::string to_serve_json(const SuiteResult& result) {
   std::string out;
   out += "{\n";
@@ -236,7 +256,39 @@ std::string to_serve_json(const SuiteResult& result) {
     out += "\"p95_us\": " + json_num(r.p95_us) + ", ";
     out += "\"p99_us\": " + json_num(r.p99_us) + ", ";
     out += "\"mean_us\": " + json_num(r.mean_us) + ", ";
-    out += "\"max_us\": " + json_num(r.max_us) + "}";
+    out += "\"max_us\": " + json_num(r.max_us) + ",\n     ";
+    // Schema v2: tail-latency attribution — where the p99 went.
+    out += "\"p99_split\": {\"queue\": " + json_num(r.p99_queue_us) +
+           ", \"batch\": " + json_num(r.p99_batch_us) +
+           ", \"exec\": " + json_num(r.p99_exec_us) +
+           ", \"retry\": " + json_num(r.p99_retry_us) + "}";
+    reject_wall_derived(r, r.params, "params");
+    reject_wall_derived(r, r.extra, "extra");
+    if (!r.extra.empty()) {
+      out += ",\n     \"extra\": ";
+      append_num_map(out, r.extra);
+    }
+    if (!r.volatile_extra.empty()) {
+      out += ",\n     \"extra_volatile\": ";
+      append_num_map(out, r.volatile_extra);
+    }
+    if (!r.telemetry.empty()) {
+      out += ",\n     \"telemetry\": [";
+      for (std::size_t si = 0; si < r.telemetry.size(); ++si) {
+        const ServeSeries& s = r.telemetry[si];
+        out += si == 0 ? "\n" : ",\n";
+        out += "      {\"name\": " + json_str(s.name) +
+               ", \"unit\": " + json_str(s.unit) + ", \"points\": [";
+        for (std::size_t pi = 0; pi < s.points.size(); ++pi) {
+          if (pi != 0) out += ", ";
+          out += "[" + json_num(s.points[pi].first) + ", " +
+                 json_num(s.points[pi].second) + "]";
+        }
+        out += "]}";
+      }
+      out += "\n     ]";
+    }
+    out += "}";
   }
   out += "\n  ]\n}\n";
   return out;
@@ -249,10 +301,11 @@ SuiteResult parse_serve_json(const std::string& text) {
   }
   const JsonObject& root = doc.object();
   const int version = static_cast<int>(require_num(root, "schema_version"));
-  if (version != kServeSchemaVersion) {
+  if (version < kMinServeSchemaVersion || version > kServeSchemaVersion) {
     throw std::runtime_error(
         "serve JSON schema_version " + std::to_string(version) +
-        " does not match supported version " +
+        " is outside the supported range " +
+        std::to_string(kMinServeSchemaVersion) + ".." +
         std::to_string(kServeSchemaVersion) +
         " (regenerate the file with this build's nestpar_bench)");
   }
@@ -293,6 +346,49 @@ SuiteResult parse_serve_json(const std::string& text) {
     r.p99_us = require_num(rec, "p99_us");
     r.mean_us = require_num(rec, "mean_us");
     r.max_us = require_num(rec, "max_us");
+    // Schema v2 sections; absent in v1 files, which read back zero/empty.
+    const auto split = num_map(rec, "p99_split");
+    const auto split_val = [&split](const char* k) {
+      const auto it = split.find(k);
+      return it == split.end() ? 0.0 : it->second;
+    };
+    r.p99_queue_us = split_val("queue");
+    r.p99_batch_us = split_val("batch");
+    r.p99_exec_us = split_val("exec");
+    r.p99_retry_us = split_val("retry");
+    r.extra = num_map(rec, "extra");
+    r.volatile_extra = num_map(rec, "extra_volatile");
+    const auto telemetry = rec.find("telemetry");
+    if (telemetry != rec.end()) {
+      if (!telemetry->second.is_array()) {
+        throw std::runtime_error("serve JSON 'telemetry' is not an array");
+      }
+      for (const JsonValue& sv : telemetry->second.array()) {
+        if (!sv.is_object()) {
+          throw std::runtime_error(
+              "serve JSON telemetry series is not an object");
+        }
+        const JsonObject& sobj = sv.object();
+        ServeSeries series;
+        series.name = require_str(sobj, "name");
+        series.unit = require_str(sobj, "unit");
+        const JsonValue& pts = require(sobj, "points");
+        if (!pts.is_array()) {
+          throw std::runtime_error("serve JSON series '" + series.name +
+                                   "' points is not an array");
+        }
+        for (const JsonValue& pv : pts.array()) {
+          if (!pv.is_array() || pv.array().size() != 2 ||
+              !pv.array()[0].is_number() || !pv.array()[1].is_number()) {
+            throw std::runtime_error("serve JSON series '" + series.name +
+                                     "' point is not a [t, value] pair");
+          }
+          series.points.emplace_back(pv.array()[0].number(),
+                                     pv.array()[1].number());
+        }
+        r.telemetry.push_back(std::move(series));
+      }
+    }
     result.serve.push_back(std::move(r));
   }
   return result;
@@ -760,8 +856,10 @@ double rel_delta(double baseline, double current) {
 }
 
 /// Append a delta row when the metric moved; `bad_direction` is +1 when an
-/// increase is a regression (cycles, launches, faults) and -1 when a
-/// decrease is (warp efficiency).
+/// increase is a regression (cycles, launches, faults), -1 when a decrease
+/// is (warp efficiency), and 0 when *any* move beyond the threshold is a
+/// regression (two-sided: deterministic telemetry series where drift in
+/// either direction means the schedule changed — there is no "improvement").
 void diff_metric(CompareReport& report, const std::string& suite,
                  const std::string& key, const std::string& metric,
                  double baseline, double current, int bad_direction,
@@ -774,8 +872,13 @@ void diff_metric(CompareReport& report, const std::string& suite,
   d.baseline = baseline;
   d.current = current;
   d.rel_delta = rel_delta(baseline, current);
-  d.regression = d.rel_delta * bad_direction > threshold;
-  d.improvement = d.rel_delta * bad_direction < -threshold;
+  if (bad_direction == 0) {
+    d.regression = std::abs(d.rel_delta) > threshold;
+    d.improvement = false;
+  } else {
+    d.regression = d.rel_delta * bad_direction > threshold;
+    d.improvement = d.rel_delta * bad_direction < -threshold;
+  }
   report.deltas.push_back(std::move(d));
 }
 
@@ -869,6 +972,41 @@ CompareReport compare_serve(const SuiteResult& baseline,
                 opt.threshold);
     diff_metric(report, suite, key, "qps_ok", b.qps_ok, c.qps_ok, -1,
                 opt.threshold);
+    // Tail-latency attribution: growth in any single phase's share is a
+    // regression even when the total p99 held (it means time moved between
+    // phases — a scheduling change worth a look).
+    diff_metric(report, suite, key, "p99_queue_us", b.p99_queue_us,
+                c.p99_queue_us, +1, opt.threshold);
+    diff_metric(report, suite, key, "p99_batch_us", b.p99_batch_us,
+                c.p99_batch_us, +1, opt.threshold);
+    diff_metric(report, suite, key, "p99_exec_us", b.p99_exec_us,
+                c.p99_exec_us, +1, opt.threshold);
+    diff_metric(report, suite, key, "p99_retry_us", b.p99_retry_us,
+                c.p99_retry_us, +1, opt.threshold);
+    // Telemetry series rollups, two-sided: the series are pure functions of
+    // the schedule, so any drift (up or down) in sample count, peak, or mean
+    // flags a behavioral change. A series the current run dropped entirely
+    // diffs its sample count against zero.
+    for (const ServeSeries& bs : b.telemetry) {
+      const ServeSeries* cs = nullptr;
+      for (const ServeSeries& cand : c.telemetry) {
+        if (cand.name == bs.name) {
+          cs = &cand;
+          break;
+        }
+      }
+      const std::string prefix = "telemetry/" + bs.name + "/";
+      diff_metric(report, suite, key, prefix + "samples",
+                  static_cast<double>(bs.points.size()),
+                  cs ? static_cast<double>(cs->points.size()) : 0.0, 0,
+                  opt.threshold);
+      if (cs != nullptr) {
+        diff_metric(report, suite, key, prefix + "max", bs.max_value(),
+                    cs->max_value(), 0, opt.threshold);
+        diff_metric(report, suite, key, prefix + "mean", bs.mean_value(),
+                    cs->mean_value(), 0, opt.threshold);
+      }
+    }
   }
   for (const ServeRecord& c : current.serve) {
     if (!baseline_keys.count(c.key())) ++report.added;

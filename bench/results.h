@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/simt/metrics.h"
@@ -93,7 +94,36 @@ struct Measurement {
 /// schema; bump on any incompatible layout change). SERVE files carry the
 /// serving runtime's per-scenario outcome records — request counts by
 /// terminal status, retry/hedge/breaker activity, and latency percentiles.
-inline constexpr int kServeSchemaVersion = 1;
+/// v2 added the p99 latency-attribution split, optional extra/extra_volatile
+/// maps, and optional telemetry time-series; v1 files still parse (the new
+/// sections read back zero/empty).
+inline constexpr int kServeSchemaVersion = 2;
+
+/// Oldest serve schema `parse_serve_json` still accepts.
+inline constexpr int kMinServeSchemaVersion = 1;
+
+/// One telemetry time-series as carried in a SERVE record: the bench-side
+/// mirror of serve::TimeSeries (kept separate so the results pipeline does
+/// not depend on src/serve headers). Points are (virtual µs, value) pairs;
+/// the whole series is deterministic, so the comparator gates its rollups.
+struct ServeSeries {
+  std::string name;
+  std::string unit;
+  std::vector<std::pair<double, double>> points;  ///< (t_us, value).
+
+  /// Rollups the comparator gates (two-sided) per baseline series.
+  double max_value() const {
+    double m = 0.0;
+    for (const auto& [t, v] : points) m = v > m ? v : m;
+    return m;
+  }
+  double mean_value() const {
+    if (points.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& [t, v] : points) sum += v;
+    return sum / static_cast<double>(points.size());
+  }
+};
 
 /// One serving-scenario record: the deterministic outcome of one Server run
 /// (see src/serve/server.h). All counters and percentiles are pure functions
@@ -125,6 +155,29 @@ struct ServeRecord {
   double p99_us = 0.0;
   double mean_us = 0.0;
   double max_us = 0.0;
+
+  /// Tail-latency attribution (schema v2): the queue/batch/exec/retry phase
+  /// shares of the p99 completion, summing to p99_us within rounding. Gated
+  /// by the comparator so a regression shows *where* the tail moved.
+  double p99_queue_us = 0.0;
+  double p99_batch_us = 0.0;
+  double p99_exec_us = 0.0;
+  double p99_retry_us = 0.0;
+
+  /// Informational metrics (serialized when non-empty, never compared).
+  /// Unlike the BENCH serializer — which silently reroutes — the serve
+  /// serializer *rejects* wall-derived keys here and in `params` (throws
+  /// std::invalid_argument naming the key): serve records are pure virtual-
+  /// time artifacts, so a wall-derived key is a bug at the producer, not a
+  /// routing problem.
+  std::map<std::string, double> extra;
+
+  /// Wall-clock-derived metrics, serialized as `"extra_volatile"` (only when
+  /// non-empty) so byte-stability tooling can strip them structurally.
+  std::map<std::string, double> volatile_extra;
+
+  /// Telemetry time-series (schema v2; serialized when non-empty).
+  std::vector<ServeSeries> telemetry;
 
   /// Identity within a suite: "scenario|k=v,k=v".
   std::string key() const;
@@ -253,7 +306,10 @@ CompareReport compare_results(const SuiteResult& baseline,
 /// Match serving records by ServeRecord::key() and diff the outcome metrics.
 /// Wrong results, expirations, sheds, retries, breaker trips, fault activity,
 /// or latency percentiles going *up* — or Ok count / Ok throughput going
-/// *down* — beyond `threshold` count as regressions.
+/// *down* — beyond `threshold` count as regressions. The v2 sections gate
+/// too: each p99 attribution share going up, and any telemetry series whose
+/// sample count, max, or mean drifts in *either* direction (the series are
+/// bit-stable, so any drift is a determinism or scheduling change).
 CompareReport compare_serve(const SuiteResult& baseline,
                             const SuiteResult& current,
                             const CompareOptions& opt);

@@ -29,6 +29,22 @@ struct Scenario {
   double qps;
 };
 
+std::vector<bench::ServeSeries> to_series(const serve::Telemetry& telemetry) {
+  std::vector<bench::ServeSeries> out;
+  out.reserve(telemetry.series().size());
+  for (const serve::TimeSeries& ts : telemetry.series()) {
+    bench::ServeSeries s;
+    s.name = ts.name;
+    s.unit = ts.unit;
+    s.points.reserve(ts.points.size());
+    for (const serve::TimePoint& p : ts.points) {
+      s.points.emplace_back(p.t_us, p.value);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 bench::ServeRecord to_record(const serve::ServeStats& s) {
   bench::ServeRecord r;
   r.submitted = s.submitted;
@@ -51,6 +67,10 @@ bench::ServeRecord to_record(const serve::ServeStats& s) {
   r.p99_us = s.p99_us;
   r.mean_us = s.mean_us;
   r.max_us = s.max_us;
+  r.p99_queue_us = s.p99_queue_us;
+  r.p99_batch_us = s.p99_batch_us;
+  r.p99_exec_us = s.p99_exec_us;
+  r.p99_retry_us = s.p99_retry_us;
   return r;
 }
 
@@ -67,6 +87,10 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
   cfg.max_attempts = static_cast<int>(args.get_int("attempts", 3));
   cfg.hedge = !args.get_flag("no-hedge");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  // Observability knobs. The interval is deliberately NOT a record param:
+  // changing how often we *observe* must never re-key a record, and the
+  // series themselves are gated per-name by the comparator.
+  cfg.metrics_interval_us = args.get_double("metrics-interval-us", 1000.0);
   cfg.tmpl = nested::parse_loop_template(args.get_string("tmpl", "cons-grid"));
   const std::string faults_spec = args.get_string("faults", "");
   cfg.faults = faults_spec.empty() ? simt::FaultConfig::from_env()
@@ -105,6 +129,7 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
                       bench::fmt(stats.qps_ok, 0)});
 
     bench::ServeRecord rec = to_record(stats);
+    rec.telemetry = to_series(server.telemetry());
     rec.scenario = sc.name;
     rec.params["requests"] = requests;
     rec.params["qps"] = sc.qps;
@@ -150,7 +175,8 @@ const bench::Registration reg{{
         "usage: serve_latency [--requests=N] [--qps=Q] [--shards=N]\n"
         "  [--queue=N] [--batch=N] [--linger-us=X] [--deadline-us=X]\n"
         "  [--attempts=N] [--no-hedge] [--tmpl=NAME] [--graphs=N]\n"
-        "  [--scale=F] [--seed=N] [--faults=SPEC] [--out=DIR]\n"
+        "  [--scale=F] [--seed=N] [--metrics-interval-us=X] [--faults=SPEC]\n"
+        "  [--out=DIR]\n"
         "  --requests=N     queries per scenario (default 400)\n"
         "  --qps=Q          steady arrival rate (overload runs 8x; def 3000)\n"
         "  --shards=N       simulated devices (default 4)\n"
@@ -164,6 +190,8 @@ const bench::Registration reg{{
         "  --graphs=N       subgraph pool size (default 4)\n"
         "  --scale=F        subgraph size scale (default 1.0)\n"
         "  --seed=N         workload seed (default 2026)\n"
+        "  --metrics-interval-us=X  telemetry sampling tick in virtual us\n"
+        "                   (default 1000; 0 disables the series)\n"
         "  --faults=SPEC    fault injection (NESTPAR_FAULTS syntax; default\n"
         "                   from the environment)\n"
         "  --out=DIR        write BENCH_/SERVE_serve_latency.json to DIR",

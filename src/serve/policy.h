@@ -52,6 +52,18 @@ struct ServeConfig {
 
   std::uint64_t seed = 2026;  ///< Workload/placement seed.
 
+  /// Observability (PR 9). Both default off so an unconfigured run is
+  /// byte-identical to pre-observability builds; neither influences a single
+  /// scheduling decision — they read the timeline, never steer it.
+  ///
+  /// Gauge-sampling interval for the telemetry registry (queue depth,
+  /// in-flight, breaker state per shard; cumulative outcome counters),
+  /// virtual microseconds between samples. 0 disables telemetry.
+  double metrics_interval_us = 0.0;
+  /// Record per-request typed spans (admission/queue/batch/exec/backoff/
+  /// terminal) for Perfetto export via write_serve_trace.
+  bool trace = false;
+
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
 };

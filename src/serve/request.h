@@ -51,6 +51,16 @@ struct Completion {
   bool hedged = false;      ///< A retry was re-dispatched to a sibling shard.
   bool correct = false;     ///< Ok only: result matched the serial reference.
   std::uint64_t faults_seen = 0;  ///< Injected faults across all attempts.
+
+  /// Latency attribution: where the request's lifetime went. The four
+  /// shares tile [arrival, finish] exactly (up to floating-point rounding):
+  /// queue_us + batch_us + exec_us + retry_us == latency_us. Always
+  /// accounted — this is how "why was this query slow?" gets answered
+  /// without turning tracing on.
+  double queue_us = 0.0;  ///< Waiting in shard queues (all stays).
+  double batch_us = 0.0;  ///< Dispatched but waiting for its batch turn.
+  double exec_us = 0.0;   ///< Simulated execution across all attempts.
+  double retry_us = 0.0;  ///< Backoff waits between attempts.
 };
 
 }  // namespace nestpar::serve

@@ -63,7 +63,12 @@ std::vector<Request> make_open_loop_workload(const SubgraphPool& pool,
 
 Server::Server(const ServeConfig& cfg, const SubgraphPool& pool,
                const simt::ExecPolicy& policy)
-    : cfg_(cfg), pool_(&pool) {
+    : cfg_(cfg),
+      pool_(&pool),
+      tracer_(cfg.trace),
+      telemetry_(cfg.metrics_interval_us < 0.0 ? 0.0
+                                               : cfg.metrics_interval_us),
+      sampler_(cfg.metrics_interval_us < 0.0 ? 0.0 : cfg.metrics_interval_us) {
   cfg_.validate();
   shards_.reserve(static_cast<std::size_t>(cfg_.num_shards));
   for (int i = 0; i < cfg_.num_shards; ++i) {
@@ -95,12 +100,61 @@ void Server::complete(std::uint64_t idx, RequestStatus status, double t,
   c.hedged = q.hedged;
   c.correct = correct;
   c.faults_seen = q.faults_seen;
+  c.queue_us = q.queue_us;
+  c.batch_us = q.batch_us;
+  c.exec_us = q.exec_us;
+  c.retry_us = q.retry_us;
   completions_.push_back(c);
   switch (status) {
     case RequestStatus::kOk: ++stats_.ok; break;
     case RequestStatus::kExpired: ++stats_.expired; break;
     case RequestStatus::kShed: ++stats_.shed; break;
   }
+  if (tracer_.enabled()) {
+    tracer_.record(ServeSpan{q.req.id, SpanKind::kRequest,
+                             q.req.deadline.arrival_us, t, shard, q.attempts,
+                             q.hedged, 0});
+    if (status == RequestStatus::kOk) {
+      tracer_.record(ServeSpan{q.req.id, SpanKind::kVerify, t, t, shard,
+                               q.attempts, correct, 0});
+    }
+    const SpanKind terminal = status == RequestStatus::kOk ? SpanKind::kOk
+                              : status == RequestStatus::kExpired
+                                  ? SpanKind::kExpired
+                                  : SpanKind::kShed;
+    tracer_.record(
+        ServeSpan{q.req.id, terminal, t, t, shard, q.attempts, false, 0});
+  }
+}
+
+void Server::leave_queue(std::uint64_t idx, double now, int shard) {
+  QueryState& q = states_[idx];
+  q.queue_us += now - q.enqueue_us;
+  tracer_.record(ServeSpan{q.req.id, SpanKind::kQueue, q.enqueue_us, now,
+                           shard, 0, false, 0});
+}
+
+void Server::sample_telemetry(double upto_us) {
+  double tick = 0.0;
+  while (sampler_.next_due(upto_us, &tick)) sample_telemetry_at(tick);
+}
+
+void Server::sample_telemetry_at(double tick_us) {
+  for (const Shard& s : shards_) {
+    const std::string prefix = "shard" + std::to_string(s.id());
+    telemetry_.append(prefix + "/queue_depth", "queries", tick_us,
+                      static_cast<double>(s.queue().size()));
+    telemetry_.append(prefix + "/inflight", "queries", tick_us,
+                      s.busy_until_us() > tick_us ? 1.0 : 0.0);
+    telemetry_.append(prefix + "/breaker", "state", tick_us,
+                      static_cast<double>(static_cast<int>(s.breaker().state())));
+  }
+  telemetry_.append("requests/ok", "queries", tick_us,
+                    static_cast<double>(stats_.ok));
+  telemetry_.append("requests/expired", "queries", tick_us,
+                    static_cast<double>(stats_.expired));
+  telemetry_.append("requests/shed", "queries", tick_us,
+                    static_cast<double>(stats_.shed));
 }
 
 void Server::admit(std::uint64_t idx, double now, int avoid) {
@@ -135,10 +189,13 @@ void Server::admit(std::uint64_t idx, double now, int avoid) {
     // miss its deadline anyway — rather than refusing the newcomer.
     const std::uint64_t evict = s.queue().front();
     s.queue().pop_front();
+    leave_queue(evict, now, s.id());
     complete(evict, RequestStatus::kShed, now, s.id(), false);
   }
   s.queue().push_back(idx);
   states_[idx].enqueue_us = now;
+  tracer_.record(ServeSpan{states_[idx].req.id, SpanKind::kAdmit, now, now,
+                           s.id(), 0, false, s.queue().size()});
   maybe_dispatch(s, now);
 }
 
@@ -173,10 +230,13 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
   for (int i = 0; i < d.take && !s.queue().empty(); ++i) {
     batch.push_back(s.queue().front());
     s.queue().pop_front();
+    leave_queue(batch.back(), now, s.id());
   }
   ++stats_.batches;
   s.note_batch();
   if (probe) ++stats_.probes;
+  telemetry_.append("batch/occupancy", "queries", now,
+                    static_cast<double>(batch.size()));
 
   double t = now;
   bool tripped = false;
@@ -187,6 +247,16 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
       continue;
     }
     QueryState& q = states_[idx];
+    // The query's turn starts now: everything since dispatch was batch
+    // serialization wait (zero for the head of the batch).
+    q.batch_us += t - now;
+    tracer_.record(
+        ServeSpan{q.req.id, SpanKind::kBatch, now, t, s.id(), 0, false, 0});
+    if (telemetry_.enabled() && q.req.deadline.budget_us > 0.0) {
+      telemetry_.append("deadline/budget_frac", "fraction", t,
+                        q.req.deadline.remaining_us(t) /
+                            q.req.deadline.budget_us);
+    }
     while (true) {
       if (q.req.deadline.expired_at(t)) {
         // Budget gone (queueing or earlier attempts ate it): typed expiry,
@@ -196,8 +266,12 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
       }
       ++q.attempts;
       ++stats_.attempts;
+      const double exec_begin = t;
       const AttemptResult ar = s.run_query(q.req, attempt_seq_++);
       t += ar.exec_us;
+      q.exec_us += ar.exec_us;
+      tracer_.record(ServeSpan{q.req.id, SpanKind::kExec, exec_begin, t,
+                               s.id(), q.attempts, ar.ok, ar.launches});
       q.faults_seen += ar.faults_injected;
       stats_.faults_injected += ar.faults_injected;
       stats_.degraded += ar.degraded;
@@ -224,6 +298,9 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
       ++stats_.retries;
       const double wake =
           t + cfg_.backoff_base_us * std::ldexp(1.0, q.attempts - 1);
+      q.retry_us += wake - t;
+      tracer_.record(ServeSpan{q.req.id, SpanKind::kBackoff, t, wake, s.id(),
+                               q.attempts, false, 0});
       if (tripped || cfg_.hedge) {
         // Hedged (or forced off a quarantined shard): the retry re-enters
         // admission after the backoff and prefers a sibling.
@@ -239,12 +316,24 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
     }
   }
 
+  s.note_busy(t - now);
   s.set_busy_until(t);
   push_event(t, EvKind::kBatchDone, 0, s.id());
 
   if (tripped) {
     // Quarantine drain: everything this shard still holds is re-admitted to
-    // healthy shards (or shed when none exists) right now.
+    // healthy shards (or shed when none exists) right now. Attribution:
+    // batch members that never got a turn waited in the aborted batch from
+    // dispatch to the drain; queue entries waited in the queue until now.
+    for (const std::uint64_t idx : leftover) {
+      QueryState& q = states_[idx];
+      q.batch_us += t - now;
+      tracer_.record(
+          ServeSpan{q.req.id, SpanKind::kBatch, now, t, s.id(), 0, false, 0});
+    }
+    for (const std::uint64_t idx : s.queue()) {
+      leave_queue(idx, t, s.id());
+    }
     leftover.insert(leftover.end(), s.queue().begin(), s.queue().end());
     s.queue().clear();
     for (const std::uint64_t idx : leftover) {
@@ -274,6 +363,10 @@ ServeStats Server::run(std::span<const Request> requests) {
   while (!heap_.empty()) {
     const Event ev = heap_.top();
     heap_.pop();
+    // Drain sampling boundaries at or before this event first: the gauges
+    // observe the state *between* events, which is constant, so the series
+    // is a pure function of the schedule.
+    sample_telemetry(ev.t);
     clock_.advance_to(ev.t);
     const double now = clock_.now_us();
     switch (ev.kind) {
@@ -300,6 +393,10 @@ ServeStats Server::run(std::span<const Request> requests) {
       }
     }
   }
+
+  // One last drain so the series ends on the boundary at (or just before)
+  // the makespan, observing the final state.
+  sample_telemetry(clock_.now_us());
 
   if (done_count_ != states_.size()) {
     throw std::logic_error(
@@ -333,6 +430,21 @@ void Server::finalize_stats() {
                       ? static_cast<double>(stats_.ok) /
                             (stats_.makespan_us / 1e6)
                       : 0.0;
+  // Tail attribution: the phase split of the completion sitting at the p99
+  // rank. Ties break to the first completion in processing order — a
+  // deterministic choice, so the split is baseline-pinnable.
+  if (!ok_latencies.empty()) {
+    for (const Completion& c : completions_) {
+      if (c.status != RequestStatus::kOk || c.latency_us != stats_.p99_us) {
+        continue;
+      }
+      stats_.p99_queue_us = c.queue_us;
+      stats_.p99_batch_us = c.batch_us;
+      stats_.p99_exec_us = c.exec_us;
+      stats_.p99_retry_us = c.retry_us;
+      break;
+    }
+  }
 }
 
 }  // namespace nestpar::serve

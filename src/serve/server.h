@@ -8,6 +8,8 @@
 #include "src/serve/pool.h"
 #include "src/serve/request.h"
 #include "src/serve/shard.h"
+#include "src/serve/telemetry.h"
+#include "src/serve/trace.h"
 #include "src/simt/exec_policy.h"
 #include "src/simt/virtual_clock.h"
 
@@ -38,6 +40,17 @@ struct ServeStats {
   double p99_us = 0.0;
   double mean_us = 0.0;
   double max_us = 0.0;
+
+  /// Tail-latency attribution: the four phase shares of the Ok completion
+  /// sitting at the p99 nearest-rank position (first completion in
+  /// processing order with that latency — deterministic tie-break). They sum
+  /// to p99_us up to floating-point rounding, so a scheduling regression
+  /// shows *where* the tail moved (queue vs batch vs exec vs retry), not
+  /// just that it moved.
+  double p99_queue_us = 0.0;
+  double p99_batch_us = 0.0;
+  double p99_exec_us = 0.0;
+  double p99_retry_us = 0.0;
 };
 
 /// Nearest-rank percentile over an ascending-sorted sample (q in (0, 1]).
@@ -77,6 +90,10 @@ class Server {
   const std::vector<Completion>& completions() const { return completions_; }
   const std::vector<Shard>& shards() const { return shards_; }
   const simt::VirtualClock& clock() const { return clock_; }
+  /// Span recorder (populated when cfg.trace; see write_serve_trace).
+  const ServeTracer& tracer() const { return tracer_; }
+  /// Metrics registry (populated when cfg.metrics_interval_us > 0).
+  const Telemetry& telemetry() const { return telemetry_; }
 
  private:
   enum class EvKind : std::uint8_t {
@@ -107,6 +124,12 @@ class Server {
     std::uint64_t faults_seen = 0;
     double enqueue_us = 0.0;  ///< Last time it entered a shard queue.
     int avoid_shard = -1;     ///< Hedged retries prefer a different shard.
+    // Latency-attribution accumulators (see Completion): together they tile
+    // [arrival, finish], each segment accounted exactly once.
+    double queue_us = 0.0;
+    double batch_us = 0.0;
+    double exec_us = 0.0;
+    double retry_us = 0.0;
   };
 
   void push_event(double t, EvKind kind, std::uint64_t arg, int shard);
@@ -119,11 +142,21 @@ class Server {
   void complete(std::uint64_t idx, RequestStatus status, double t, int shard,
                 bool correct);
   void finalize_stats();
+  /// Close one queue stay ending at `now`: fold it into the attribution
+  /// accumulator and record the span. Call *before* anything resets
+  /// enqueue_us (i.e. before a re-admission).
+  void leave_queue(std::uint64_t idx, double now, int shard);
+  /// Drain every telemetry sampling boundary at or before `upto_us`.
+  void sample_telemetry(double upto_us);
+  void sample_telemetry_at(double tick_us);
 
   ServeConfig cfg_;
   const SubgraphPool* pool_;
   std::vector<Shard> shards_;
   simt::VirtualClock clock_;
+  ServeTracer tracer_;
+  Telemetry telemetry_;
+  simt::TickSampler sampler_;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
   std::vector<QueryState> states_;
   std::vector<Completion> completions_;

@@ -93,6 +93,7 @@ AttemptResult Shard::run_query(const Request& q, std::uint64_t attempt_seq) {
   // failed attempt's partial work still spends modeled time.
   const simt::RunReport rep = s.report();
   out.exec_us = rep.total_us;
+  out.launches = rep.aggregate.host_launches + rep.aggregate.device_launches;
   out.faults_injected = rep.robustness.faults_injected;
   out.degraded = rep.robustness.degraded;
 

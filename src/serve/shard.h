@@ -17,6 +17,7 @@ struct AttemptResult {
   bool ok = false;
   bool correct = false;      ///< Ok only: matched the pool's serial reference.
   double exec_us = 0.0;      ///< Modeled time this attempt consumed.
+  std::uint64_t launches = 0;  ///< Grids (host + device) the attempt ran.
   std::uint64_t faults_injected = 0;
   std::uint64_t degraded = 0;  ///< Template-level inline degradations.
   simt::SimtError error = simt::SimtError::kOk;
@@ -29,6 +30,9 @@ struct ShardCounters {
   std::uint64_t attempts = 0;
   std::uint64_t failed_attempts = 0;
   std::uint64_t faults_injected = 0;
+  /// Virtual time the shard spent executing batches — utilization is
+  /// busy_us / makespan (nestpar_serve --metrics prints the rollup).
+  double busy_us = 0.0;
 };
 
 /// One simulated device plus its queue and breaker. The shard knows how to
@@ -53,6 +57,7 @@ class Shard {
   const std::deque<std::uint64_t>& queue() const { return queue_; }
   const ShardCounters& counters() const { return counters_; }
   void note_batch() { ++counters_.batches; }
+  void note_busy(double us) { counters_.busy_us += us; }
 
   double busy_until_us() const { return busy_until_us_; }
   void set_busy_until(double t_us) { busy_until_us_ = t_us; }

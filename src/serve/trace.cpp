@@ -1,0 +1,179 @@
+#include "src/serve/trace.h"
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "src/simt/trace_json.h"
+
+namespace nestpar::serve {
+
+namespace tj = simt::trace_json;
+
+std::string_view to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kQueue: return "queue";
+    case SpanKind::kBatch: return "batch";
+    case SpanKind::kExec: return "exec";
+    case SpanKind::kBackoff: return "backoff";
+    case SpanKind::kAdmit: return "admit";
+    case SpanKind::kVerify: return "verify";
+    case SpanKind::kOk: return "ok";
+    case SpanKind::kExpired: return "expired";
+    case SpanKind::kShed: return "shed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// All serve events live in their own trace process, so a serve trace and a
+/// simulator trace (pid 0, one row per stream) concatenate into one Perfetto
+/// timeline without row collisions.
+constexpr int kServePid = 1;
+
+/// Row 0 is the per-request async track; shard s executes on row 1 + s.
+constexpr std::uint32_t kRequestsTid = 0;
+
+std::uint32_t shard_tid(int shard) {
+  return 1 + static_cast<std::uint32_t>(shard < 0 ? 0 : shard);
+}
+
+bool is_instant(SpanKind k) {
+  switch (k) {
+    case SpanKind::kAdmit:
+    case SpanKind::kVerify:
+    case SpanKind::kOk:
+    case SpanKind::kExpired:
+    case SpanKind::kShed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Async begin with an open args object the caller fills and closes.
+void open_async_begin(std::ostream& out, std::string_view name,
+                      std::uint64_t id, double ts_us) {
+  out << "{\"name\":\"" << name << "\",\"cat\":\"serve\",\"ph\":\"b\",\"id\":"
+      << id << ",\"ts\":" << ts_us << ",\"pid\":" << kServePid
+      << ",\"tid\":" << kRequestsTid << ",\"args\":{";
+}
+
+void write_async_end(std::ostream& out, std::string_view name,
+                     std::uint64_t id, double ts_us) {
+  out << "{\"name\":\"" << name << "\",\"cat\":\"serve\",\"ph\":\"e\",\"id\":"
+      << id << ",\"ts\":" << ts_us << ",\"pid\":" << kServePid
+      << ",\"tid\":" << kRequestsTid << "}";
+}
+
+/// Instant marker with an open args object.
+void open_instant(std::ostream& out, std::string_view name, double ts_us) {
+  out << "{\"name\":\"" << name << "\",\"cat\":\"serve\",\"ph\":\"i\",\"s\":"
+      << "\"t\",\"ts\":" << ts_us << ",\"pid\":" << kServePid
+      << ",\"tid\":" << kRequestsTid << ",\"args\":{";
+}
+
+}  // namespace
+
+void write_serve_trace(std::ostream& out, const ServeTracer& tracer,
+                       const Telemetry* telemetry, int num_shards) {
+  out << "{\"traceEvents\":[";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kServePid
+      << ",\"args\":{\"name\":\"serve\"}}";
+  out << ",";
+  tj::write_thread_name(out, kServePid, kRequestsTid, "requests");
+  for (int s = 0; s < num_shards; ++s) {
+    out << ",";
+    tj::write_thread_name(out, kServePid, shard_tid(s),
+                          "shard " + std::to_string(s));
+  }
+
+  // (request, attempt) -> exec span, for the winning-attempt flow arrows.
+  // Attempt numbers are global per request (they keep counting across
+  // shards), so the pair is unique.
+  std::map<std::pair<std::uint64_t, int>, const ServeSpan*> exec_by_attempt;
+
+  for (const ServeSpan& sp : tracer.spans()) {
+    const std::string_view name = to_string(sp.kind);
+    if (is_instant(sp.kind)) {
+      out << ",";
+      open_instant(out, name, sp.begin_us);
+      out << "\"request\":" << sp.request << ",\"shard\":" << sp.shard;
+      if (sp.kind == SpanKind::kAdmit) {
+        out << ",\"depth\":" << sp.aux;
+      } else if (sp.kind == SpanKind::kVerify) {
+        out << ",\"correct\":" << (sp.flag ? 1 : 0);
+      } else {
+        out << ",\"attempt\":" << sp.attempt;
+      }
+      out << "}}";
+      continue;
+    }
+    // Duration span: one nested async b/e pair on the request row.
+    out << ",";
+    open_async_begin(out, name, sp.request, sp.begin_us);
+    switch (sp.kind) {
+      case SpanKind::kRequest:
+        out << "\"hedged\":" << (sp.flag ? 1 : 0);
+        break;
+      case SpanKind::kExec:
+        out << "\"shard\":" << sp.shard << ",\"attempt\":" << sp.attempt
+            << ",\"ok\":" << (sp.flag ? 1 : 0);
+        break;
+      case SpanKind::kBackoff:
+        out << "\"shard\":" << sp.shard << ",\"attempt\":" << sp.attempt;
+        break;
+      default:
+        out << "\"shard\":" << sp.shard;
+        break;
+    }
+    out << "}}";
+    out << ",";
+    write_async_end(out, name, sp.request, sp.end_us);
+
+    if (sp.kind == SpanKind::kExec) {
+      exec_by_attempt[{sp.request, sp.attempt}] = &sp;
+      // The shard-row mirror: a complete slice on the executing shard's
+      // timeline, the serve-side analogue of the simulator's per-grid
+      // tracks.
+      out << ",{\"name\":\"exec\",\"cat\":\"serve-shard\",\"ph\":\"X\","
+          << "\"ts\":" << sp.begin_us
+          << ",\"dur\":" << (sp.end_us - sp.begin_us)
+          << ",\"pid\":" << kServePid << ",\"tid\":" << shard_tid(sp.shard)
+          << ",\"args\":{\"request\":" << sp.request
+          << ",\"attempt\":" << sp.attempt << ",\"ok\":" << (sp.flag ? 1 : 0)
+          << ",\"launches\":" << sp.aux << "}}";
+    }
+  }
+
+  // Winning-attempt flow arrows: Ok markers know which (shard, attempt)
+  // produced the result; draw shard-row exec slice -> request completion.
+  for (const ServeSpan& sp : tracer.spans()) {
+    if (sp.kind != SpanKind::kOk) continue;
+    const auto it = exec_by_attempt.find({sp.request, sp.attempt});
+    if (it == exec_by_attempt.end()) continue;
+    const ServeSpan& exec = *it->second;
+    out << ",";
+    tj::write_flow_start(out, "win", "serve-flow", sp.request, exec.begin_us,
+                         kServePid, shard_tid(exec.shard));
+    out << ",";
+    tj::write_flow_end(out, "win", "serve-flow", sp.request, sp.begin_us,
+                       kServePid, kRequestsTid);
+  }
+
+  if (telemetry != nullptr && telemetry->enabled()) {
+    for (const TimeSeries& series : telemetry->series()) {
+      for (const TimePoint& p : series.points) {
+        out << ",";
+        tj::write_counter(out, series.name, p.t_us, kServePid, p.value);
+      }
+    }
+  }
+
+  out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace nestpar::serve

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/telemetry.h"
+
+namespace nestpar::serve {
+
+/// Typed phases of a request's life in the serving runtime. Duration kinds
+/// carry a [begin, end] interval; instant kinds mark a single point
+/// (begin == end). Together they form the span taxonomy documented in
+/// docs/ARCHITECTURE.md — the request-level tier of the observability stack,
+/// above the kernel profiler and the critical-path analyzer.
+enum class SpanKind : std::uint8_t {
+  // Duration spans.
+  kRequest,  ///< Root: arrival -> terminal state (one per request).
+  kQueue,    ///< One stay in a shard queue (repeats on re-admission).
+  kBatch,    ///< Dispatch -> this query's turn inside the batch.
+  kExec,     ///< One simulated execution attempt on a shard.
+  kBackoff,  ///< Retry backoff wait (in-place or hedged re-dispatch).
+  // Instant markers.
+  kAdmit,    ///< Admission decision: which shard took the query.
+  kVerify,   ///< Result verification verdict (Ok completions only).
+  kOk,       ///< Terminal: completed within deadline, verified.
+  kExpired,  ///< Terminal: deadline or retry budget exhausted.
+  kShed,     ///< Terminal: dropped by admission control.
+};
+
+std::string_view to_string(SpanKind k);
+
+/// One recorded span. Field meaning varies by kind (see the accessors used
+/// in trace.cpp): `shard` is the executing/queueing shard (-1 when none),
+/// `attempt` the 1-based execution attempt for kExec/kBackoff and the
+/// *winning* attempt for terminal markers, `flag` is kExec's "attempt ok" /
+/// kVerify's "correct" / kRequest's "hedged", and `aux` carries kExec's
+/// simulated launch count (kAdmit: queue depth after enqueue).
+struct ServeSpan {
+  std::uint64_t request = 0;  ///< Request id.
+  SpanKind kind = SpanKind::kRequest;
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  int shard = -1;
+  int attempt = 0;
+  bool flag = false;
+  std::uint64_t aux = 0;
+};
+
+/// Span recorder for one serving run. Off by default: a disabled tracer
+/// drops every record at one branch of cost, so tracing can stay compiled
+/// into the hot path while trace-off runs remain byte-identical to
+/// pre-tracer builds. Recording order is the server's deterministic
+/// event-processing order, which is what makes exported traces
+/// byte-identical across host engines, chaos included.
+class ServeTracer {
+ public:
+  ServeTracer() = default;
+  explicit ServeTracer(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void record(const ServeSpan& span) {
+    if (enabled_) spans_.push_back(span);
+  }
+  const std::vector<ServeSpan>& spans() const { return spans_; }
+
+ private:
+  bool enabled_ = false;
+  std::vector<ServeSpan> spans_;
+};
+
+/// Export one run's spans (plus optional telemetry counter tracks) as Chrome
+/// trace-event JSON, Perfetto-compatible with the simulator traces from
+/// src/simt/trace_export.cpp:
+///  - row 0 ("requests"): nested async spans per request — request/queue/
+///    batch/exec/backoff phases share the request id and nest by timestamp —
+///    plus instant markers for admit/verify/terminal events;
+///  - rows 1..num_shards ("shard N"): one complete slice per execution
+///    attempt, with attempt number, outcome, and simulated launch count in
+///    the args (the serve-side mirror of the per-grid tracks);
+///  - a flow arrow per Ok completion from the *winning* execution attempt's
+///    slice on its shard row to the completion point on the request row —
+///    under hedging this is what shows which attempt won;
+///  - one counter track per telemetry series (when `telemetry` is non-null
+///    and enabled).
+void write_serve_trace(std::ostream& out, const ServeTracer& tracer,
+                       const Telemetry* telemetry, int num_shards);
+
+}  // namespace nestpar::serve

@@ -5,29 +5,13 @@
 #include "src/simt/critpath.h"
 #include "src/simt/profiler.h"
 #include "src/simt/scheduler.h"
+#include "src/simt/trace_json.h"
 
 namespace nestpar::simt {
 
 namespace {
 
-/// Minimal JSON string escaping (kernel names are library-controlled, but a
-/// user-provided name must not break the file).
-void write_escaped(std::ostream& out, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out << ' ';
-        } else {
-          out << c;
-        }
-    }
-  }
-}
+using trace_json::write_escaped;
 
 /// Timestamp for a launch-graph watermark (see CounterSample::node): the
 /// start of the grid launched right after the sample was taken, or the end
@@ -94,18 +78,14 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
   if (!first && Profiler::enabled()) {
     const ProfileSnapshot snap = Profiler::instance().snapshot();
     for (const CounterSample& c : snap.counters) {
-      out << ",{\"name\":\"";
-      write_escaped(out, c.track);
-      out << "\",\"ph\":\"C\",\"ts\":" << watermark_us(spec, sched, c.node)
-          << ",\"pid\":0,\"args\":{\"value\":" << c.value << "}}";
+      out << ",";
+      trace_json::write_counter(out, c.track,
+                                watermark_us(spec, sched, c.node), 0, c.value);
     }
     for (const InstantSample& e : snap.instants) {
-      out << ",{\"name\":\"";
-      write_escaped(out, e.name);
-      out << "\",\"cat\":\"";
-      write_escaped(out, e.cat);
-      out << "\",\"ph\":\"i\",\"s\":\"g\",\"ts\":"
-          << watermark_us(spec, sched, e.node) << ",\"pid\":0,\"tid\":0}";
+      out << ",";
+      trace_json::write_instant(out, e.name, e.cat, "g",
+                                watermark_us(spec, sched, e.node), 0, 0);
     }
     for (const KernelNode& node : graph.nodes) {
       const RobustnessCounters& rb = node.metrics.robustness;
@@ -137,22 +117,22 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
       }
       const KernelNode& parent =
           graph.nodes[static_cast<std::size_t>(node.parent_kernel)];
-      out << ",{\"name\":\"launch\",\"cat\":\"launch\",\"ph\":\"s\",\"id\":"
-          << node.id << ",\"ts\":"
-          << spec.cycles_to_us(sched.node_issued[node.id])
-          << ",\"pid\":0,\"tid\":" << parent.stream << "}";
-      out << ",{\"name\":\"launch\",\"cat\":\"launch\",\"ph\":\"f\",\"bp\":"
-          << "\"e\",\"id\":" << node.id << ",\"ts\":"
-          << spec.cycles_to_us(sched.node_start[node.id])
-          << ",\"pid\":0,\"tid\":" << node.stream << "}";
+      out << ",";
+      trace_json::write_flow_start(
+          out, "launch", "launch", node.id,
+          spec.cycles_to_us(sched.node_issued[node.id]), 0, parent.stream);
+      out << ",";
+      trace_json::write_flow_end(out, "launch", "launch", node.id,
+                                 spec.cycles_to_us(sched.node_start[node.id]),
+                                 0, node.stream);
     }
 
     // Critical-path track: a dedicated row (tid one past the stream rows)
     // showing the binding chain, one slice per attributed segment named by
     // its edge category. Zero-duration stream-wait markers are skipped.
     const std::uint32_t crit_tid = graph.num_streams;
-    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
-        << crit_tid << ",\"args\":{\"name\":\"critical path\"}}";
+    out << ",";
+    trace_json::write_thread_name(out, 0, crit_tid, "critical path");
     const CritPath crit = analyze_critical_path(graph, sched);
     for (const CritSegment& seg : crit.chain) {
       if (seg.cycles <= 0.0) continue;

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+/// Shared Chrome trace-event JSON emitters, used by both trace exporters —
+/// the simulator's per-grid timeline (src/simt/trace_export.cpp) and the
+/// serving layer's per-request span trees (src/serve/trace.cpp) — so the two
+/// traces speak byte-for-byte the same dialect and open side by side in one
+/// Perfetto timeline. Every emitter writes exactly one event object with no
+/// separators; the caller owns commas and the surrounding `traceEvents`
+/// array. Timestamps stream through `operator<<` (6 significant digits, the
+/// format the exporters have always used), so extracting these helpers
+/// changed no output byte.
+namespace nestpar::simt::trace_json {
+
+/// Minimal JSON string escaping (event names are mostly library-controlled,
+/// but a user-provided kernel name must not break the file).
+inline void write_escaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+/// Metadata event naming a timeline row (Perfetto shows it as the track
+/// title for `tid` within `pid`).
+inline void write_thread_name(std::ostream& out, int pid, std::uint32_t tid,
+                              const std::string& name) {
+  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
+  write_escaped(out, name);
+  out << "\"}}";
+}
+
+/// Flow-start event: the tail of an arrow drawn from (`ts_us`, row `tid`).
+/// Pair with `write_flow_end` under the same (`name`, `cat`, `id`).
+inline void write_flow_start(std::ostream& out, const char* name,
+                             const char* cat, std::uint64_t id, double ts_us,
+                             int pid, std::uint32_t tid) {
+  out << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
+      << "\",\"ph\":\"s\",\"id\":" << id << ",\"ts\":" << ts_us
+      << ",\"pid\":" << pid << ",\"tid\":" << tid << "}";
+}
+
+/// Flow-end event: the arrow head. `"bp":"e"` binds to the enclosing slice
+/// rather than the next one, which is what launch/completion edges want.
+inline void write_flow_end(std::ostream& out, const char* name,
+                           const char* cat, std::uint64_t id, double ts_us,
+                           int pid, std::uint32_t tid) {
+  out << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
+      << "\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << id << ",\"ts\":" << ts_us
+      << ",\"pid\":" << pid << ",\"tid\":" << tid << "}";
+}
+
+/// Counter event: one sample of a numeric track (Perfetto draws the series
+/// named `name` as a filled line chart per `pid`).
+inline void write_counter(std::ostream& out, const std::string& name,
+                          double ts_us, int pid, double value) {
+  out << "{\"name\":\"";
+  write_escaped(out, name);
+  out << "\",\"ph\":\"C\",\"ts\":" << ts_us << ",\"pid\":" << pid
+      << ",\"args\":{\"value\":" << value << "}}";
+}
+
+/// Instant event without args; `scope` is "g" (global line across all rows)
+/// or "t" (marker on one row).
+inline void write_instant(std::ostream& out, const std::string& name,
+                          const std::string& cat, const char* scope,
+                          double ts_us, int pid, std::uint32_t tid) {
+  out << "{\"name\":\"";
+  write_escaped(out, name);
+  out << "\",\"cat\":\"";
+  write_escaped(out, cat);
+  out << "\",\"ph\":\"i\",\"s\":\"" << scope << "\",\"ts\":" << ts_us
+      << ",\"pid\":" << pid << ",\"tid\":" << tid << "}";
+}
+
+}  // namespace nestpar::simt::trace_json

@@ -33,6 +33,35 @@ class VirtualClock {
   double now_us_ = 0.0;
 };
 
+/// Fixed-interval sampling boundaries on the virtual timeline: 0, I, 2I, ...
+/// A discrete-event loop calls `next_due` before processing each event to
+/// drain every boundary at or before that event's time, so time-series
+/// sampled at the boundaries observe the state *between* events — which is
+/// constant — and the resulting series is a pure function of the event
+/// schedule, never of host timing. Interval 0 disables the sampler (no
+/// boundary is ever due).
+class TickSampler {
+ public:
+  TickSampler() = default;
+  /// Throws std::invalid_argument on a negative interval.
+  explicit TickSampler(double interval_us);
+
+  bool enabled() const { return interval_us_ > 0.0; }
+  double interval_us() const { return interval_us_; }
+
+  /// True while an unsampled boundary <= `now_us` remains; writes it to
+  /// `*tick_us` and advances past it. Call in a loop to drain:
+  /// ```cpp
+  ///   double tick;
+  ///   while (sampler.next_due(event.t, &tick)) sample_state_at(tick);
+  /// ```
+  bool next_due(double now_us, double* tick_us);
+
+ private:
+  double interval_us_ = 0.0;
+  std::uint64_t next_index_ = 0;  ///< Boundary index; tick = index * interval.
+};
+
 /// A per-request latency budget on the virtual timeline. A request admitted
 /// at `arrival_us` with budget `budget_us` expires at `expiry_us()`;
 /// deadline checks are pure reads of the clock, so the same run always

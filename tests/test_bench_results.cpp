@@ -134,6 +134,181 @@ TEST(BenchResults, KeyIncludesParams) {
   EXPECT_EQ(a.key(), b.key());
 }
 
+// ---------------------------------------------------------------------------
+// SERVE documents (schema v2): round-trip, wall-derived rejection,
+// back-compat, and the observability-metric gating in compare_serve.
+
+using nestpar::bench::compare_serve;
+using nestpar::bench::kMinServeSchemaVersion;
+using nestpar::bench::kServeSchemaVersion;
+using nestpar::bench::parse_serve_json;
+using nestpar::bench::ServeRecord;
+using nestpar::bench::ServeSeries;
+using nestpar::bench::to_serve_json;
+
+SuiteResult sample_serve_result() {
+  SuiteResult r;
+  r.suite = "serve_latency";
+  r.figure = "— (serving extension)";
+  ServeRecord rec;
+  rec.scenario = "steady";
+  rec.params["qps"] = 8000;
+  rec.params["shards"] = 3;
+  rec.submitted = 80;
+  rec.ok = 78;
+  rec.expired = 1;
+  rec.shed = 1;
+  rec.attempts = 85;
+  rec.retries = 7;
+  rec.batches = 40;
+  rec.makespan_us = 10500.0;
+  rec.qps_ok = 7428.5;
+  rec.p50_us = 250.0;
+  rec.p95_us = 380.0;
+  rec.p99_us = 410.0;
+  rec.mean_us = 280.0;
+  rec.max_us = 410.0;
+  rec.p99_queue_us = 200.0;
+  rec.p99_batch_us = 5.0;
+  rec.p99_exec_us = 195.0;
+  rec.p99_retry_us = 10.0;
+  rec.extra["deadline_budget_burn"] = 0.12;
+  rec.volatile_extra["wall_elapsed_ms"] = 12.5;
+  ServeSeries s;
+  s.name = "shard0/queue_depth";
+  s.unit = "queries";
+  s.points = {{0.0, 0.0}, {1000.0, 2.0}, {2000.0, 1.0}};
+  rec.telemetry.push_back(s);
+  r.serve.push_back(std::move(rec));
+  return r;
+}
+
+TEST(ServeResults, V2RoundTripPreservesObservabilityFields) {
+  const SuiteResult original = sample_serve_result();
+  const SuiteResult parsed = parse_serve_json(to_serve_json(original));
+  ASSERT_EQ(parsed.serve.size(), 1u);
+  const ServeRecord& r = parsed.serve[0];
+  EXPECT_EQ(r.p99_queue_us, 200.0);
+  EXPECT_EQ(r.p99_batch_us, 5.0);
+  EXPECT_EQ(r.p99_exec_us, 195.0);
+  EXPECT_EQ(r.p99_retry_us, 10.0);
+  EXPECT_EQ(r.extra.at("deadline_budget_burn"), 0.12);
+  EXPECT_EQ(r.volatile_extra.at("wall_elapsed_ms"), 12.5);
+  ASSERT_EQ(r.telemetry.size(), 1u);
+  EXPECT_EQ(r.telemetry[0].name, "shard0/queue_depth");
+  EXPECT_EQ(r.telemetry[0].unit, "queries");
+  ASSERT_EQ(r.telemetry[0].points.size(), 3u);
+  EXPECT_EQ(r.telemetry[0].points[1].first, 1000.0);
+  EXPECT_EQ(r.telemetry[0].points[1].second, 2.0);
+  // And the document is byte-stable through a round trip.
+  EXPECT_EQ(to_serve_json(original), to_serve_json(parsed));
+}
+
+TEST(ServeResults, SerializerRejectsUnlabeledWallDerivedKeys) {
+  // Unlike the BENCH serializer (which reroutes), the serve serializer
+  // throws: serve records are baseline-pinned, so a wall-derived key in a
+  // deterministic section is a bug at the call site, not a salvage case.
+  SuiteResult r = sample_serve_result();
+  r.serve[0].extra["wall_elapsed_ms"] = 3.0;
+  EXPECT_THROW(to_serve_json(r), std::invalid_argument);
+
+  r = sample_serve_result();
+  r.serve[0].extra["ops_per_sec"] = 100.0;
+  EXPECT_THROW(to_serve_json(r), std::invalid_argument);
+
+  r = sample_serve_result();
+  r.serve[0].params["cpu_cores"] = 8.0;
+  EXPECT_THROW(to_serve_json(r), std::invalid_argument);
+
+  // The same names are fine under extra_volatile.
+  r = sample_serve_result();
+  r.serve[0].volatile_extra["ops_per_sec"] = 100.0;
+  EXPECT_NO_THROW(to_serve_json(r));
+}
+
+TEST(ServeResults, ParsesV1DocumentsWithoutNewSections) {
+  // A v1 file (no p99_split/extra/telemetry) must still parse, with the new
+  // fields reading back zero/empty.
+  const std::string v1 =
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"generator\": \"nestpar_bench\",\n"
+      "  \"kind\": \"serve\",\n"
+      "  \"suite\": \"serve_latency\",\n"
+      "  \"figure\": \"x\",\n"
+      "  \"records\": [\n"
+      "    {\"scenario\": \"steady\",\n"
+      "     \"params\": {\"qps\": 8000},\n"
+      "     \"submitted\": 10, \"ok\": 10, \"expired\": 0, \"shed\": 0, "
+      "\"wrong\": 0,\n"
+      "     \"attempts\": 10, \"retries\": 0, \"hedges\": 0, \"batches\": 5, "
+      "\"probes\": 0,\n"
+      "     \"breaker_trips\": 0, \"faults_injected\": 0, \"degraded\": 0,\n"
+      "     \"makespan_us\": 1000, \"qps_ok\": 10000,\n"
+      "     \"p50_us\": 100, \"p95_us\": 150, \"p99_us\": 160, "
+      "\"mean_us\": 110, \"max_us\": 160}\n"
+      "  ]\n}\n";
+  const SuiteResult parsed = parse_serve_json(v1);
+  ASSERT_EQ(parsed.serve.size(), 1u);
+  EXPECT_EQ(parsed.serve[0].p99_queue_us, 0.0);
+  EXPECT_TRUE(parsed.serve[0].extra.empty());
+  EXPECT_TRUE(parsed.serve[0].telemetry.empty());
+
+  // Out-of-range versions still reject.
+  std::string bad = v1;
+  const std::string needle = "\"schema_version\": 1";
+  bad.replace(bad.find(needle), needle.size(), "\"schema_version\": 999");
+  EXPECT_THROW(parse_serve_json(bad), std::runtime_error);
+  EXPECT_GE(kServeSchemaVersion, kMinServeSchemaVersion);
+}
+
+TEST(ServeCompare, P99SplitGrowthIsARegression) {
+  const SuiteResult baseline = sample_serve_result();
+  SuiteResult current = baseline;
+  current.serve[0].p99_queue_us *= 1.5;  // Tail moved into queueing.
+  const CompareReport report =
+      compare_serve(baseline, current, CompareOptions{});
+  EXPECT_TRUE(report.has_regression());
+  bool found = false;
+  for (const auto& d : report.deltas) {
+    if (d.metric == "p99_queue_us") found = d.regression;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeCompare, TelemetryDriftIsTwoSided) {
+  const SuiteResult baseline = sample_serve_result();
+
+  // Mean moving *down* is still a regression: the series is deterministic,
+  // so any drift means the schedule changed.
+  SuiteResult current = baseline;
+  for (auto& p : current.serve[0].telemetry[0].points) p.second *= 0.5;
+  CompareReport report = compare_serve(baseline, current, CompareOptions{});
+  EXPECT_TRUE(report.has_regression());
+  bool improvement = false;
+  for (const auto& d : report.deltas) improvement |= d.improvement;
+  EXPECT_FALSE(improvement) << "two-sided metrics have no improvements";
+
+  // A dropped series diffs its sample count against zero.
+  current = baseline;
+  current.serve[0].telemetry.clear();
+  report = compare_serve(baseline, current, CompareOptions{});
+  EXPECT_TRUE(report.has_regression());
+  bool samples = false;
+  for (const auto& d : report.deltas) {
+    if (d.metric == "telemetry/shard0/queue_depth/samples") {
+      samples = d.regression;
+      EXPECT_EQ(d.current, 0.0);
+    }
+  }
+  EXPECT_TRUE(samples);
+
+  // Unchanged telemetry produces no deltas at all.
+  report = compare_serve(baseline, baseline, CompareOptions{});
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_TRUE(report.deltas.empty());
+}
+
 TEST(BenchCompare, FlagsInjectedCycleRegression) {
   const SuiteResult baseline = sample_result();
   SuiteResult current = baseline;

@@ -149,6 +149,59 @@ TEST(CircuitBreaker, HalfOpenProbeDecidesRecovery) {
   EXPECT_EQ(br.transitions().size(), 5u);
 }
 
+// The full recovery cycle, pinned by transition *timestamps*: trip at the
+// faulting sample, probe only after the cooldown elapses, close at the
+// probe's success time — and a failed half-open probe re-trips with a fresh
+// cooldown anchored at the failure, not the original trip.
+TEST(CircuitBreaker, TransitionTimestampsThroughRecoveryCycle) {
+  serve::BreakerConfig bc;
+  bc.window = 8;
+  bc.min_samples = 2;
+  bc.trip_threshold = 0.5;
+  bc.cooldown_us = 500.0;
+  serve::CircuitBreaker br(bc);
+
+  br.record_attempt(true, 10.0);
+  ASSERT_TRUE(br.record_attempt(true, 25.0));  // Trip at t=25.
+  EXPECT_EQ(br.open_until_us(), 525.0);
+
+  // Half-open exactly when asked after the cooldown boundary.
+  EXPECT_FALSE(br.try_begin_probe(524.0));
+  ASSERT_TRUE(br.try_begin_probe(526.0));
+
+  // Failed probe: re-trip at the probe's own failure time, new cooldown
+  // anchored there.
+  ASSERT_TRUE(br.record_attempt(true, 530.0));
+  EXPECT_EQ(br.state(), serve::BreakerState::kOpen);
+  EXPECT_EQ(br.open_until_us(), 1030.0);
+  EXPECT_EQ(br.trips(), 2);
+
+  // Second probe succeeds: closed at the success time.
+  ASSERT_TRUE(br.try_begin_probe(1031.0));
+  EXPECT_FALSE(br.record_attempt(false, 1040.0));
+  EXPECT_EQ(br.state(), serve::BreakerState::kClosed);
+
+  const auto& ts = br.transitions();
+  ASSERT_EQ(ts.size(), 5u);
+  // closed->open @25, open->half @526, half->open @530, open->half @1031,
+  // half->closed @1040.
+  EXPECT_EQ(ts[0].from, serve::BreakerState::kClosed);
+  EXPECT_EQ(ts[0].to, serve::BreakerState::kOpen);
+  EXPECT_EQ(ts[0].time_us, 25.0);
+  EXPECT_EQ(ts[1].from, serve::BreakerState::kOpen);
+  EXPECT_EQ(ts[1].to, serve::BreakerState::kHalfOpen);
+  EXPECT_EQ(ts[1].time_us, 526.0);
+  EXPECT_EQ(ts[2].from, serve::BreakerState::kHalfOpen);
+  EXPECT_EQ(ts[2].to, serve::BreakerState::kOpen);
+  EXPECT_EQ(ts[2].time_us, 530.0);
+  EXPECT_EQ(ts[3].from, serve::BreakerState::kOpen);
+  EXPECT_EQ(ts[3].to, serve::BreakerState::kHalfOpen);
+  EXPECT_EQ(ts[3].time_us, 1031.0);
+  EXPECT_EQ(ts[4].from, serve::BreakerState::kHalfOpen);
+  EXPECT_EQ(ts[4].to, serve::BreakerState::kClosed);
+  EXPECT_EQ(ts[4].time_us, 1040.0);
+}
+
 TEST(Batcher, FullBatchDispatchesImmediately) {
   serve::ServeConfig cfg = tiny_config();
   cfg.batch_max = 4;
@@ -329,6 +382,10 @@ void expect_same_stats(const serve::ServeStats& a, const serve::ServeStats& b) {
   EXPECT_EQ(a.mean_us, b.mean_us);
   EXPECT_EQ(a.max_us, b.max_us);
   EXPECT_EQ(a.qps_ok, b.qps_ok);
+  EXPECT_EQ(a.p99_queue_us, b.p99_queue_us);
+  EXPECT_EQ(a.p99_batch_us, b.p99_batch_us);
+  EXPECT_EQ(a.p99_exec_us, b.p99_exec_us);
+  EXPECT_EQ(a.p99_retry_us, b.p99_retry_us);
 }
 
 void expect_same_completions(const std::vector<serve::Completion>& a,
@@ -342,6 +399,10 @@ void expect_same_completions(const std::vector<serve::Completion>& a,
     EXPECT_EQ(a[i].hedged, b[i].hedged) << "completion " << i;
     EXPECT_EQ(a[i].finish_us, b[i].finish_us) << "completion " << i;
     EXPECT_EQ(a[i].latency_us, b[i].latency_us) << "completion " << i;
+    EXPECT_EQ(a[i].queue_us, b[i].queue_us) << "completion " << i;
+    EXPECT_EQ(a[i].batch_us, b[i].batch_us) << "completion " << i;
+    EXPECT_EQ(a[i].exec_us, b[i].exec_us) << "completion " << i;
+    EXPECT_EQ(a[i].retry_us, b[i].retry_us) << "completion " << i;
   }
 }
 

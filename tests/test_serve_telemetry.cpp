@@ -1,0 +1,417 @@
+// Observability of the serving layer: the tick sampler, the telemetry
+// registry, latency attribution, and the request-span trace export. The
+// contract under test is that every artifact is a pure function of
+// (config, workload, pool) — traces and time-series must come out
+// byte-identical across host engines (chaos included) and must not perturb
+// the run they observe: trace-on and trace-off runs produce identical stats
+// and completions. Export structure is validated by parsing the trace back
+// with the same bench JSON parser the results pipeline uses.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "src/serve/pool.h"
+#include "src/serve/server.h"
+#include "src/serve/telemetry.h"
+#include "src/serve/trace.h"
+#include "src/simt/exec_policy.h"
+#include "src/simt/fault.h"
+#include "src/simt/virtual_clock.h"
+
+namespace simt = nestpar::simt;
+namespace serve = nestpar::serve;
+namespace bench = nestpar::bench;
+
+namespace {
+
+constexpr simt::ExecPolicy kSerial{simt::ExecMode::kSerial, 0};
+constexpr simt::ExecPolicy kParallel{simt::ExecMode::kParallel, 4};
+
+serve::PoolSpec tiny_pool_spec() {
+  serve::PoolSpec p;
+  p.num_graphs = 3;
+  p.base_nodes = 256;
+  p.scale = 0.2;
+  p.seed = 0x5e12e;
+  return p;
+}
+
+serve::ServeConfig tiny_config() {
+  serve::ServeConfig cfg;
+  cfg.num_shards = 3;
+  cfg.queue_capacity = 6;
+  cfg.seed = 2026;
+  cfg.faults = simt::FaultConfig{};
+  return cfg;
+}
+
+/// Run once and export the trace (spans + telemetry) to a string.
+std::string run_and_export(const serve::ServeConfig& cfg,
+                           const serve::SubgraphPool& pool, int requests,
+                           double qps, const simt::ExecPolicy& policy,
+                           serve::ServeStats* stats_out = nullptr) {
+  const std::vector<serve::Request> w =
+      serve::make_open_loop_workload(pool, cfg, requests, qps);
+  serve::Server server(cfg, pool, policy);
+  const serve::ServeStats s = server.run(w);
+  if (stats_out != nullptr) *stats_out = s;
+  std::ostringstream os;
+  serve::write_serve_trace(os, server.tracer(), &server.telemetry(),
+                           cfg.num_shards);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TickSampler
+
+TEST(TickSampler, DisabledAtZeroInterval) {
+  simt::TickSampler s(0.0);
+  EXPECT_FALSE(s.enabled());
+  double tick = -1.0;
+  EXPECT_FALSE(s.next_due(1e9, &tick));
+}
+
+TEST(TickSampler, RejectsNegativeInterval) {
+  EXPECT_THROW(simt::TickSampler(-1.0), std::invalid_argument);
+}
+
+TEST(TickSampler, EmitsEveryBoundaryUpToNow) {
+  simt::TickSampler s(100.0);
+  ASSERT_TRUE(s.enabled());
+  std::vector<double> ticks;
+  double t = 0.0;
+  while (s.next_due(250.0, &t)) ticks.push_back(t);
+  EXPECT_EQ(ticks, (std::vector<double>{0.0, 100.0, 200.0}));
+  // Nothing new until the next boundary...
+  EXPECT_FALSE(s.next_due(299.0, &t));
+  // ...and an exact boundary hit is due (inclusive).
+  ASSERT_TRUE(s.next_due(300.0, &t));
+  EXPECT_EQ(t, 300.0);
+  EXPECT_FALSE(s.next_due(300.0, &t));
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry registry
+
+TEST(Telemetry, DisabledRegistryDropsAppends) {
+  serve::Telemetry t(0.0);
+  EXPECT_FALSE(t.enabled());
+  t.append("a", "u", 1.0, 2.0);
+  EXPECT_TRUE(t.series().empty());
+}
+
+TEST(Telemetry, KeepsPointsTimeSortedOnInsert) {
+  serve::Telemetry t(1.0);
+  // Event-driven appends can arrive out of time order (a batch turn runs
+  // ahead of the next event's clock); the series must still read back
+  // time-sorted, with ties keeping append order.
+  t.append("s", "u", 10.0, 1.0);
+  t.append("s", "u", 5.0, 2.0);
+  t.append("s", "u", 10.0, 3.0);
+  t.append("s", "u", 7.0, 4.0);
+  ASSERT_EQ(t.series().size(), 1u);
+  const serve::TimeSeries& s = t.series()[0];
+  ASSERT_EQ(s.points.size(), 4u);
+  EXPECT_EQ(s.points[0].t_us, 5.0);
+  EXPECT_EQ(s.points[1].t_us, 7.0);
+  EXPECT_EQ(s.points[2].t_us, 10.0);
+  EXPECT_EQ(s.points[2].value, 1.0);  // tie keeps append order
+  EXPECT_EQ(s.points[3].t_us, 10.0);
+  EXPECT_EQ(s.points[3].value, 3.0);
+}
+
+TEST(Telemetry, ServerSeriesAreDeterministic) {
+  const serve::SubgraphPool pool(tiny_pool_spec());
+  serve::ServeConfig cfg = tiny_config();
+  cfg.metrics_interval_us = 500.0;
+  const std::vector<serve::Request> w =
+      serve::make_open_loop_workload(pool, cfg, 60, 5000.0);
+
+  serve::Server a(cfg, pool, kSerial);
+  serve::Server b(cfg, pool, kSerial);
+  a.run(w);
+  b.run(w);
+
+  const auto& sa = a.telemetry().series();
+  const auto& sb = b.telemetry().series();
+  ASSERT_FALSE(sa.empty());
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].name, sb[i].name);
+    ASSERT_EQ(sa[i].points.size(), sb[i].points.size()) << sa[i].name;
+    for (std::size_t j = 0; j < sa[i].points.size(); ++j) {
+      EXPECT_EQ(sa[i].points[j].t_us, sb[i].points[j].t_us) << sa[i].name;
+      EXPECT_EQ(sa[i].points[j].value, sb[i].points[j].value) << sa[i].name;
+    }
+  }
+
+  // The expected gauge tracks exist, sampled on the fixed tick grid.
+  std::set<std::string> names;
+  for (const serve::TimeSeries& s : sa) names.insert(s.name);
+  EXPECT_TRUE(names.count("shard0/queue_depth"));
+  EXPECT_TRUE(names.count("shard0/inflight"));
+  EXPECT_TRUE(names.count("shard0/breaker"));
+  EXPECT_TRUE(names.count("requests/ok"));
+  for (const serve::TimeSeries& s : sa) {
+    if (s.name.find("queue_depth") == std::string::npos) continue;
+    for (std::size_t j = 0; j < s.points.size(); ++j) {
+      EXPECT_EQ(s.points[j].t_us, 500.0 * static_cast<double>(j)) << s.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Latency attribution
+
+TEST(ServeAttribution, SharesTileEachCompletionsLifetime) {
+  const serve::SubgraphPool pool(tiny_pool_spec());
+  serve::ServeConfig cfg = tiny_config();
+  cfg.faults = simt::FaultConfig::parse("launch=0.05,host=0.08,seed=42");
+  const std::vector<serve::Request> w =
+      serve::make_open_loop_workload(pool, cfg, 80, 6000.0);
+  serve::Server server(cfg, pool, kSerial);
+  const serve::ServeStats s = server.run(w);
+  EXPECT_GT(s.retries, 0u) << "chaos too weak to exercise retry attribution";
+
+  for (const serve::Completion& c : server.completions()) {
+    const double sum = c.queue_us + c.batch_us + c.exec_us + c.retry_us;
+    EXPECT_NEAR(sum, c.latency_us, 1e-6 * std::max(1.0, c.latency_us))
+        << "request " << c.id << " (" << serve::to_string(c.status) << ")";
+    EXPECT_GE(c.queue_us, 0.0);
+    EXPECT_GE(c.batch_us, 0.0);
+    EXPECT_GE(c.exec_us, 0.0);
+    EXPECT_GE(c.retry_us, 0.0);
+  }
+}
+
+TEST(ServeAttribution, P99SplitSumsToP99) {
+  const serve::SubgraphPool pool(tiny_pool_spec());
+  serve::ServeConfig cfg = tiny_config();
+  const std::vector<serve::Request> w =
+      serve::make_open_loop_workload(pool, cfg, 60, 8000.0);
+  serve::Server server(cfg, pool, kSerial);
+  const serve::ServeStats s = server.run(w);
+  ASSERT_GT(s.ok, 0u);
+  EXPECT_NEAR(s.p99_queue_us + s.p99_batch_us + s.p99_exec_us + s.p99_retry_us,
+              s.p99_us, 1e-6 * std::max(1.0, s.p99_us));
+}
+
+// ---------------------------------------------------------------------------
+// Observer effect: tracing and metrics must not change the run.
+
+TEST(ServeTrace, TraceOnDoesNotPerturbTheRun) {
+  const serve::SubgraphPool pool(tiny_pool_spec());
+  serve::ServeConfig off = tiny_config();
+  serve::ServeConfig on = off;
+  on.trace = true;
+  on.metrics_interval_us = 250.0;
+  const std::vector<serve::Request> w =
+      serve::make_open_loop_workload(pool, off, 60, 5000.0);
+
+  serve::Server s_off(off, pool, kSerial);
+  serve::Server s_on(on, pool, kSerial);
+  const serve::ServeStats a = s_off.run(w);
+  const serve::ServeStats b = s_on.run(w);
+
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.qps_ok, b.qps_ok);
+  ASSERT_EQ(s_off.completions().size(), s_on.completions().size());
+  for (std::size_t i = 0; i < s_off.completions().size(); ++i) {
+    EXPECT_EQ(s_off.completions()[i].finish_us,
+              s_on.completions()[i].finish_us);
+    EXPECT_EQ(s_off.completions()[i].status, s_on.completions()[i].status);
+  }
+  // Trace-off runs record nothing at all.
+  EXPECT_TRUE(s_off.tracer().spans().empty());
+  EXPECT_FALSE(s_off.telemetry().enabled());
+  EXPECT_FALSE(s_on.tracer().spans().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Trace export structure
+
+class ParsedTrace {
+ public:
+  explicit ParsedTrace(const std::string& text) : doc_(bench::parse_json(text)) {
+    const bench::JsonObject& root = doc_.object();
+    const auto it = root.find("traceEvents");
+    if (it == root.end() || !it->second.is_array()) {
+      throw std::runtime_error("trace has no traceEvents array");
+    }
+    for (const bench::JsonValue& ev : it->second.array()) {
+      events_.push_back(&ev.object());
+    }
+  }
+
+  std::size_t count_phase(const std::string& ph) const {
+    std::size_t n = 0;
+    for (const bench::JsonObject* ev : events_) {
+      if (str(*ev, "ph") == ph) ++n;
+    }
+    return n;
+  }
+
+  static std::string str(const bench::JsonObject& obj, const std::string& k) {
+    const auto it = obj.find(k);
+    return it != obj.end() && it->second.is_string() ? it->second.string()
+                                                     : std::string();
+  }
+  static double num(const bench::JsonObject& obj, const std::string& k) {
+    const auto it = obj.find(k);
+    return it != obj.end() && it->second.is_number() ? it->second.number()
+                                                     : -1.0;
+  }
+
+  const std::vector<const bench::JsonObject*>& events() const {
+    return events_;
+  }
+
+ private:
+  bench::JsonValue doc_;
+  std::vector<const bench::JsonObject*> events_;
+};
+
+TEST(ServeTrace, ExportRoundTripsStructurally) {
+  const serve::SubgraphPool pool(tiny_pool_spec());
+  serve::ServeConfig cfg = tiny_config();
+  cfg.trace = true;
+  cfg.metrics_interval_us = 1000.0;
+  serve::ServeStats stats;
+  const std::string text =
+      run_and_export(cfg, pool, 60, 5000.0, kSerial, &stats);
+  const ParsedTrace trace(text);
+
+  // Async begin/end balance, per (cat, id).
+  std::map<std::pair<std::string, double>, int> open;
+  for (const bench::JsonObject* ev : trace.events()) {
+    const std::string ph = ParsedTrace::str(*ev, "ph");
+    if (ph == "b") {
+      ++open[{ParsedTrace::str(*ev, "cat"), ParsedTrace::num(*ev, "id")}];
+    } else if (ph == "e") {
+      --open[{ParsedTrace::str(*ev, "cat"), ParsedTrace::num(*ev, "id")}];
+    }
+  }
+  for (const auto& [key, n] : open) {
+    EXPECT_EQ(n, 0) << "unbalanced async span id " << key.second;
+  }
+
+  // One X slice per execution attempt with sane bounds, on a shard row.
+  std::size_t exec_slices = 0;
+  for (const bench::JsonObject* ev : trace.events()) {
+    if (ParsedTrace::str(*ev, "ph") != "X") continue;
+    ++exec_slices;
+    EXPECT_EQ(ParsedTrace::str(*ev, "cat"), "serve-shard");
+    EXPECT_GE(ParsedTrace::num(*ev, "dur"), 0.0);
+    EXPECT_GE(ParsedTrace::num(*ev, "tid"), 1.0);
+  }
+  EXPECT_EQ(exec_slices, stats.attempts);
+
+  // A flow pair and a terminal marker per Ok completion; counters exist for
+  // the telemetry tracks; metadata names the process and every row.
+  EXPECT_EQ(trace.count_phase("s"), stats.ok);
+  EXPECT_EQ(trace.count_phase("f"), stats.ok);
+  EXPECT_GT(trace.count_phase("C"), 0u);
+  EXPECT_EQ(trace.count_phase("M"),
+            1u + 1u + static_cast<std::size_t>(cfg.num_shards));
+}
+
+TEST(ServeTrace, FlowLinksTheWinningAttempt) {
+  const serve::SubgraphPool pool(tiny_pool_spec());
+  serve::ServeConfig cfg = tiny_config();
+  cfg.trace = true;
+  cfg.faults = simt::FaultConfig::parse("launch=0.05,host=0.10,seed=42");
+  const std::vector<serve::Request> w =
+      serve::make_open_loop_workload(pool, cfg, 80, 6000.0);
+  serve::Server server(cfg, pool, kSerial);
+  const serve::ServeStats s = server.run(w);
+  EXPECT_GT(s.hedges, 0u) << "chaos too weak to force hedged attempts";
+
+  std::ostringstream os;
+  serve::write_serve_trace(os, server.tracer(), nullptr, cfg.num_shards);
+  const ParsedTrace trace(os.str());
+
+  // For every Ok completion the flow must start on the winning attempt's
+  // exec slice: same request id, same timestamp window, on a shard row.
+  std::map<double, const bench::JsonObject*> starts;
+  for (const bench::JsonObject* ev : trace.events()) {
+    if (ParsedTrace::str(*ev, "ph") == "s") {
+      starts[ParsedTrace::num(*ev, "id")] = ev;
+    }
+  }
+  std::size_t checked = 0;
+  for (const serve::Completion& c : server.completions()) {
+    if (c.status != serve::RequestStatus::kOk) continue;
+    const auto it = starts.find(static_cast<double>(c.id));
+    ASSERT_NE(it, starts.end()) << "no flow start for Ok request " << c.id;
+    // The start sits on the shard row of the completing shard, inside the
+    // winning (final) attempt's execution.
+    EXPECT_EQ(ParsedTrace::num(*it->second, "tid"),
+              static_cast<double>(1 + c.shard))
+        << "request " << c.id;
+    EXPECT_LE(ParsedTrace::num(*it->second, "ts"), c.finish_us)
+        << "request " << c.id;
+    ++checked;
+  }
+  EXPECT_EQ(checked, s.ok);
+
+  // The winning attempt arg on each matched exec slice equals the
+  // completion's attempt count.
+  std::map<std::uint64_t, int> attempts_by_request;
+  for (const serve::Completion& c : server.completions()) {
+    if (c.status == serve::RequestStatus::kOk) {
+      attempts_by_request[c.id] = c.attempts;
+    }
+  }
+  for (const bench::JsonObject* ev : trace.events()) {
+    if (ParsedTrace::str(*ev, "ph") != "s") continue;
+    const auto req = static_cast<std::uint64_t>(ParsedTrace::num(*ev, "id"));
+    ASSERT_TRUE(attempts_by_request.count(req));
+  }
+}
+
+TEST(ServeTrace, ByteIdenticalAcrossEnginesCleanAndChaos) {
+  const serve::SubgraphPool pool(tiny_pool_spec());
+  serve::ServeConfig cfg = tiny_config();
+  cfg.trace = true;
+  cfg.metrics_interval_us = 500.0;
+
+  EXPECT_EQ(run_and_export(cfg, pool, 60, 5000.0, kSerial),
+            run_and_export(cfg, pool, 60, 5000.0, kParallel));
+
+  cfg.faults = simt::FaultConfig::parse("launch=0.05,host=0.08,seed=42");
+  serve::ServeStats chaos_stats;
+  const std::string serial =
+      run_and_export(cfg, pool, 80, 6000.0, kSerial, &chaos_stats);
+  EXPECT_GT(chaos_stats.retries, 0u);
+  EXPECT_EQ(serial, run_and_export(cfg, pool, 80, 6000.0, kParallel));
+}
+
+TEST(ServeTrace, SpanKindNamesAreStable) {
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kRequest), "request");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kQueue), "queue");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kBatch), "batch");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kExec), "exec");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kBackoff), "backoff");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kAdmit), "admit");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kVerify), "verify");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kOk), "ok");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kExpired), "expired");
+  EXPECT_EQ(serve::to_string(serve::SpanKind::kShed), "shed");
+}
+
+TEST(ServeConfigValidation, RejectsNegativeMetricsInterval) {
+  serve::ServeConfig cfg = tiny_config();
+  cfg.metrics_interval_us = -5.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Structural validator for nestpar observability artifacts.
+
+Checks a Chrome/Perfetto trace-event file (from `nestpar_serve --trace` or
+the simulator's trace export) and/or a SERVE_*.json results file for the
+invariants the tooling relies on:
+
+trace file
+  - parses as JSON with a top-level "traceEvents" array
+  - async begin/end ("b"/"e") events balance per (cat, id, pid)
+  - complete ("X") slices carry a non-negative duration
+  - flow starts ("s") pair with flow ends ("f") per (cat, id)
+  - event timestamps are non-negative
+
+serve results file
+  - every record satisfies ok + expired + shed == submitted
+  - p99_split shares sum to p99_us within rounding tolerance
+  - telemetry series timestamps are non-decreasing
+
+Usage:
+  check_trace.py [--trace FILE] [--serve FILE]
+
+Exit status: 0 when every check passes, 1 with a problem listing otherwise,
+2 on usage/IO errors. No third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_trace(path, problems):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.append(f"{path}: not readable/parsable JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append(f"{path}: missing 'traceEvents' array")
+        return
+
+    async_open = {}  # (cat, id, pid) -> open count
+    flows = {}  # (cat, id) -> [starts, ends]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"{path}: event #{i} is not an object")
+            continue
+        ph = ev.get("ph")
+        ts = ev.get("ts")
+        if ts is not None and ts < 0:
+            problems.append(f"{path}: event #{i} ({ph}) has negative ts {ts}")
+        if ph == "b" or ph == "e":
+            key = (ev.get("cat"), ev.get("id"), ev.get("pid"))
+            n = async_open.get(key, 0) + (1 if ph == "b" else -1)
+            if n < 0:
+                problems.append(
+                    f"{path}: async end without begin for cat={key[0]} "
+                    f"id={key[1]} (event #{i})")
+                n = 0
+            async_open[key] = n
+        elif ph == "X":
+            dur = ev.get("dur")
+            if dur is None or dur < 0:
+                problems.append(
+                    f"{path}: X slice '{ev.get('name')}' (event #{i}) has "
+                    f"missing/negative dur {dur}")
+        elif ph == "s" or ph == "f":
+            key = (ev.get("cat"), ev.get("id"))
+            entry = flows.setdefault(key, [0, 0])
+            entry[0 if ph == "s" else 1] += 1
+
+    for (cat, aid, pid), n in sorted(
+            async_open.items(), key=lambda kv: str(kv[0])):
+        if n != 0:
+            problems.append(
+                f"{path}: {n} unclosed async span(s) for cat={cat} id={aid} "
+                f"pid={pid}")
+    for (cat, fid), (starts, ends) in sorted(
+            flows.items(), key=lambda kv: str(kv[0])):
+        if starts != ends:
+            problems.append(
+                f"{path}: flow cat={cat} id={fid} has {starts} start(s) but "
+                f"{ends} end(s)")
+
+
+def check_serve(path, problems):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.append(f"{path}: not readable/parsable JSON: {e}")
+        return
+    records = doc.get("records")
+    if not isinstance(records, list):
+        problems.append(f"{path}: missing 'records' array")
+        return
+    for rec in records:
+        name = rec.get("scenario", "?")
+        ok = rec.get("ok", 0)
+        expired = rec.get("expired", 0)
+        shed = rec.get("shed", 0)
+        submitted = rec.get("submitted", 0)
+        if ok + expired + shed != submitted:
+            problems.append(
+                f"{path}: scenario '{name}': ok+expired+shed = "
+                f"{ok + expired + shed} != submitted {submitted}")
+        split = rec.get("p99_split")
+        if split is not None:
+            total = sum(split.get(k, 0.0)
+                        for k in ("queue", "batch", "exec", "retry"))
+            p99 = rec.get("p99_us", 0.0)
+            # The four shares tile the p99 request's lifetime; allow
+            # accumulated float rounding proportional to magnitude.
+            tol = max(1e-6 * max(abs(p99), 1.0), 1e-6)
+            if abs(total - p99) > tol:
+                problems.append(
+                    f"{path}: scenario '{name}': p99_split sums to {total} "
+                    f"but p99_us is {p99}")
+        for series in rec.get("telemetry", []):
+            pts = series.get("points", [])
+            # Non-decreasing, not strictly increasing: distinct shards can
+            # legitimately sample at the same virtual instant.
+            for a, b in zip(pts, pts[1:]):
+                if b[0] < a[0]:
+                    problems.append(
+                        f"{path}: scenario '{name}': series "
+                        f"'{series.get('name')}' timestamps out of order "
+                        f"at t={b[0]}")
+                    break
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="validate nestpar trace/serve artifacts")
+    ap.add_argument("--trace", action="append", default=[],
+                    help="trace-event JSON file to check (repeatable)")
+    ap.add_argument("--serve", action="append", default=[],
+                    help="SERVE_*.json results file to check (repeatable)")
+    args = ap.parse_args()
+    if not args.trace and not args.serve:
+        ap.error("nothing to check: pass --trace and/or --serve")
+
+    problems = []
+    for path in args.trace:
+        check_trace(path, problems)
+    for path in args.serve:
+        check_serve(path, problems)
+
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        print(f"{len(problems)} problem(s) found", file=sys.stderr)
+        return 1
+    total = len(args.trace) + len(args.serve)
+    print(f"ok: {total} file(s) validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

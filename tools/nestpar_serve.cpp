@@ -8,10 +8,18 @@
 //                 [--batch=N] [--linger-us=X] [--deadline-us=X]
 //                 [--attempts=N] [--no-hedge] [--tmpl=NAME] [--graphs=N]
 //                 [--scale=F] [--seed=N] [--faults=SPEC] [--completions]
+//                 [--trace=FILE] [--metrics] [--metrics-interval-us=X]
+//
+// --trace writes the run's request spans (plus telemetry counters) as a
+// Chrome/Perfetto trace-event file; --metrics appends a latency-attribution
+// report to stdout. Both are pure observers: with the flags absent, stdout
+// is byte-identical to earlier builds.
 //
 // Exit codes: 0 success (all queries terminal, zero wrong results),
 // 1 verification or accounting failure, 2 usage error.
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -19,6 +27,7 @@
 #include "bench/bench_util.h"
 #include "src/serve/pool.h"
 #include "src/serve/server.h"
+#include "src/serve/trace.h"
 #include "src/simt/exec_policy.h"
 #include "src/simt/log.h"
 
@@ -46,7 +55,75 @@ constexpr const char* kUsage =
     "  --seed=N         workload seed (default 2026)\n"
     "  --faults=SPEC    fault injection (NESTPAR_FAULTS syntax; default from\n"
     "                   the environment)\n"
-    "  --completions    also print one line per completed request";
+    "  --completions    also print one line per completed request\n"
+    "  --trace=FILE     write request spans + telemetry as a Chrome/Perfetto\n"
+    "                   trace-event JSON file\n"
+    "  --metrics        print latency attribution: slowest requests with\n"
+    "                   phase split, per-shard utilization, SLO attainment\n"
+    "  --metrics-interval-us=X  telemetry sampling tick in virtual us\n"
+    "                   (default 1000; used by --trace and --metrics)";
+
+/// Append the --metrics report: where the slow requests spent their time,
+/// how busy each shard was, and how the run did against its deadline SLO.
+void print_metrics(const serve::Server& server, const serve::ServeStats& s,
+                   double deadline_us) {
+  std::printf("\nlatency attribution (slowest requests):\n");
+  std::printf("  %8s %-8s %10s %10s %10s %10s %10s\n", "request", "status",
+              "latency", "queue", "batch", "exec", "retry");
+  std::vector<const serve::Completion*> by_latency;
+  by_latency.reserve(server.completions().size());
+  for (const serve::Completion& c : server.completions()) {
+    by_latency.push_back(&c);
+  }
+  std::sort(by_latency.begin(), by_latency.end(),
+            [](const serve::Completion* a, const serve::Completion* b) {
+              if (a->latency_us != b->latency_us) {
+                return a->latency_us > b->latency_us;
+              }
+              return a->id < b->id;  // deterministic tie-break
+            });
+  const std::size_t top = std::min<std::size_t>(5, by_latency.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const serve::Completion& c = *by_latency[i];
+    std::printf("  #%7llu %-8s %9.0fus %9.0fus %9.0fus %9.0fus %9.0fus\n",
+                static_cast<unsigned long long>(c.id),
+                std::string(serve::to_string(c.status)).c_str(), c.latency_us,
+                c.queue_us, c.batch_us, c.exec_us, c.retry_us);
+  }
+  std::printf("  p99 split: queue=%.0fus batch=%.0fus exec=%.0fus "
+              "retry=%.0fus (p99=%.0fus)\n",
+              s.p99_queue_us, s.p99_batch_us, s.p99_exec_us, s.p99_retry_us,
+              s.p99_us);
+
+  std::printf("\nshard utilization (busy / makespan):\n");
+  for (const serve::Shard& sh : server.shards()) {
+    const double frac =
+        s.makespan_us > 0.0 ? sh.counters().busy_us / s.makespan_us : 0.0;
+    std::printf("  shard %d: %6.1f%% (%.0f us busy)\n", sh.id(), frac * 100.0,
+                sh.counters().busy_us);
+  }
+
+  double burn_sum = 0.0;
+  std::uint64_t burn_n = 0;
+  for (const serve::Completion& c : server.completions()) {
+    if (c.status == serve::RequestStatus::kOk && deadline_us > 0.0) {
+      burn_sum += c.latency_us / deadline_us;
+      ++burn_n;
+    }
+  }
+  const double attained =
+      s.submitted > 0
+          ? static_cast<double>(s.ok) / static_cast<double>(s.submitted)
+          : 0.0;
+  std::printf("\nSLO attainment: %.1f%% ok (%llu/%llu)", attained * 100.0,
+              static_cast<unsigned long long>(s.ok),
+              static_cast<unsigned long long>(s.submitted));
+  if (burn_n > 0) {
+    std::printf(", mean deadline-budget burn %.1f%% over Ok",
+                burn_sum / static_cast<double>(burn_n) * 100.0);
+  }
+  std::printf("\n");
+}
 
 int run(const bench::Args& args) {
   const auto requests = static_cast<int>(args.get_int("requests", 200));
@@ -65,6 +142,16 @@ int run(const bench::Args& args) {
   const std::string faults_spec = args.get_string("faults", "");
   cfg.faults = faults_spec.empty() ? simt::FaultConfig::from_env()
                                    : simt::FaultConfig::parse(faults_spec);
+
+  const std::string trace_path = args.get_string("trace", "");
+  const bool want_metrics = args.get_flag("metrics");
+  cfg.trace = !trace_path.empty();
+  // Telemetry sampling is a pure observer; enable it only when an output
+  // surface (trace counters or the metrics report) will consume it, so a
+  // plain run stays byte-for-byte what it always was.
+  if (cfg.trace || want_metrics) {
+    cfg.metrics_interval_us = args.get_double("metrics-interval-us", 1000.0);
+  }
 
   serve::PoolSpec pspec;
   pspec.num_graphs = static_cast<int>(args.get_int("graphs", 4));
@@ -121,6 +208,20 @@ int run(const bench::Args& args) {
                   std::string(serve::to_string(t.from)).c_str(),
                   std::string(serve::to_string(t.to)).c_str());
     }
+  }
+
+  if (want_metrics) print_metrics(server, s, cfg.deadline_us);
+
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path, std::ios::binary);
+    if (!f) {
+      simt::log::error("error: cannot open trace file '%s'\n",
+                       trace_path.c_str());
+      return 1;
+    }
+    serve::write_serve_trace(f, server.tracer(), &server.telemetry(),
+                             cfg.num_shards);
+    std::printf("\nwrote trace: %s\n", trace_path.c_str());
   }
 
   if (args.get_flag("completions")) {

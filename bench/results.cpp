@@ -262,6 +262,33 @@ std::string to_serve_json(const SuiteResult& result) {
            ", \"batch\": " + json_num(r.p99_batch_us) +
            ", \"exec\": " + json_num(r.p99_exec_us) +
            ", \"retry\": " + json_num(r.p99_retry_us) + "}";
+    // Schema v3: device-cost attribution. Gated on the run having attributed
+    // anything, so producers without attribution emit v2-shaped records.
+    if (r.launches_total != 0 || r.device_cycles_total != 0.0 ||
+        r.fault_device_cycles_total != 0.0) {
+      out += ",\n     \"device_cycles_total\": " +
+             json_num(r.device_cycles_total) +
+             ", \"fault_device_cycles_total\": " +
+             json_num(r.fault_device_cycles_total) +
+             ", \"launches_total\": " + json_num(r.launches_total);
+    }
+    if (!r.tenants.empty()) {
+      out += ",\n     \"tenants\": [";
+      for (std::size_t ti = 0; ti < r.tenants.size(); ++ti) {
+        const ServeTenant& t = r.tenants[ti];
+        out += ti == 0 ? "\n" : ",\n";
+        out += "      {\"tenant\": " +
+               json_num(static_cast<std::uint64_t>(t.tenant)) +
+               ", \"requests\": " + json_num(t.requests) +
+               ", \"ok\": " + json_num(t.ok) +
+               ", \"launches\": " + json_num(t.launches) +
+               ", \"retries\": " + json_num(t.retries) +
+               ", \"device_cycles\": " + json_num(t.device_cycles) +
+               ", \"fault_device_cycles\": " +
+               json_num(t.fault_device_cycles) + "}";
+      }
+      out += "\n     ]";
+    }
     reject_wall_derived(r, r.params, "params");
     reject_wall_derived(r, r.extra, "extra");
     if (!r.extra.empty()) {
@@ -356,6 +383,40 @@ SuiteResult parse_serve_json(const std::string& text) {
     r.p99_batch_us = split_val("batch");
     r.p99_exec_us = split_val("exec");
     r.p99_retry_us = split_val("retry");
+    // Schema v3 sections; absent in v1/v2 files (read back zero/empty).
+    const auto opt_num = [&rec](const char* k) {
+      const auto it = rec.find(k);
+      if (it == rec.end()) return 0.0;
+      if (!it->second.is_number()) {
+        throw std::runtime_error("serve JSON '" + std::string(k) +
+                                 "' is not a number");
+      }
+      return it->second.number();
+    };
+    r.device_cycles_total = opt_num("device_cycles_total");
+    r.fault_device_cycles_total = opt_num("fault_device_cycles_total");
+    r.launches_total = static_cast<std::uint64_t>(opt_num("launches_total"));
+    const auto tenants = rec.find("tenants");
+    if (tenants != rec.end()) {
+      if (!tenants->second.is_array()) {
+        throw std::runtime_error("serve JSON 'tenants' is not an array");
+      }
+      for (const JsonValue& tv : tenants->second.array()) {
+        if (!tv.is_object()) {
+          throw std::runtime_error("serve JSON tenant is not an object");
+        }
+        const JsonObject& tobj = tv.object();
+        ServeTenant t;
+        t.tenant = static_cast<std::uint32_t>(require_num(tobj, "tenant"));
+        t.requests = static_cast<std::uint64_t>(require_num(tobj, "requests"));
+        t.ok = static_cast<std::uint64_t>(require_num(tobj, "ok"));
+        t.launches = static_cast<std::uint64_t>(require_num(tobj, "launches"));
+        t.retries = static_cast<std::uint64_t>(require_num(tobj, "retries"));
+        t.device_cycles = require_num(tobj, "device_cycles");
+        t.fault_device_cycles = require_num(tobj, "fault_device_cycles");
+        r.tenants.push_back(t);
+      }
+    }
     r.extra = num_map(rec, "extra");
     r.volatile_extra = num_map(rec, "extra_volatile");
     const auto telemetry = rec.find("telemetry");
@@ -983,6 +1044,49 @@ CompareReport compare_serve(const SuiteResult& baseline,
                 c.p99_exec_us, +1, opt.threshold);
     diff_metric(report, suite, key, "p99_retry_us", b.p99_retry_us,
                 c.p99_retry_us, +1, opt.threshold);
+    // Device-cost attribution (schema v3): total modeled device cycles and
+    // launches are pure functions of the schedule, so they gate two-sided —
+    // any drift means the scheduled work changed. Per-tenant rollups match
+    // by tenant id; a tenant the current run dropped diffs against zero.
+    diff_metric(report, suite, key, "device_cycles_total",
+                b.device_cycles_total, c.device_cycles_total, 0,
+                opt.threshold);
+    diff_metric(report, suite, key, "fault_device_cycles_total",
+                b.fault_device_cycles_total, c.fault_device_cycles_total, 0,
+                opt.threshold);
+    diff_metric(report, suite, key, "launches_total",
+                static_cast<double>(b.launches_total),
+                static_cast<double>(c.launches_total), 0, opt.threshold);
+    for (const ServeTenant& bt : b.tenants) {
+      const ServeTenant* ct = nullptr;
+      for (const ServeTenant& cand : c.tenants) {
+        if (cand.tenant == bt.tenant) {
+          ct = &cand;
+          break;
+        }
+      }
+      const ServeTenant zero{bt.tenant, 0, 0, 0, 0, 0.0, 0.0};
+      const ServeTenant& cv = ct ? *ct : zero;
+      const std::string prefix =
+          "tenant/" + std::to_string(bt.tenant) + "/";
+      diff_metric(report, suite, key, prefix + "requests",
+                  static_cast<double>(bt.requests),
+                  static_cast<double>(cv.requests), 0, opt.threshold);
+      diff_metric(report, suite, key, prefix + "ok",
+                  static_cast<double>(bt.ok), static_cast<double>(cv.ok), 0,
+                  opt.threshold);
+      diff_metric(report, suite, key, prefix + "launches",
+                  static_cast<double>(bt.launches),
+                  static_cast<double>(cv.launches), 0, opt.threshold);
+      diff_metric(report, suite, key, prefix + "retries",
+                  static_cast<double>(bt.retries),
+                  static_cast<double>(cv.retries), 0, opt.threshold);
+      diff_metric(report, suite, key, prefix + "device_cycles",
+                  bt.device_cycles, cv.device_cycles, 0, opt.threshold);
+      diff_metric(report, suite, key, prefix + "fault_device_cycles",
+                  bt.fault_device_cycles, cv.fault_device_cycles, 0,
+                  opt.threshold);
+    }
     // Telemetry series rollups, two-sided: the series are pure functions of
     // the schedule, so any drift (up or down) in sample count, peak, or mean
     // flags a behavioral change. A series the current run dropped entirely

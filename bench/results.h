@@ -95,9 +95,11 @@ struct Measurement {
 /// serving runtime's per-scenario outcome records — request counts by
 /// terminal status, retry/hedge/breaker activity, and latency percentiles.
 /// v2 added the p99 latency-attribution split, optional extra/extra_volatile
-/// maps, and optional telemetry time-series; v1 files still parse (the new
-/// sections read back zero/empty).
-inline constexpr int kServeSchemaVersion = 2;
+/// maps, and optional telemetry time-series; v3 added device-cost
+/// attribution (total modeled device cycles, launch counts, and per-tenant
+/// usage rollups). v1/v2 files still parse (the new sections read back
+/// zero/empty).
+inline constexpr int kServeSchemaVersion = 3;
 
 /// Oldest serve schema `parse_serve_json` still accepts.
 inline constexpr int kMinServeSchemaVersion = 1;
@@ -123,6 +125,21 @@ struct ServeSeries {
     for (const auto& [t, v] : points) sum += v;
     return sum / static_cast<double>(points.size());
   }
+};
+
+/// Per-tenant device-cost rollup as carried in a SERVE record (schema v3):
+/// the bench-side mirror of serve::TenantUsage. Cycles are modeled device
+/// cycles attributed to the tenant's completed requests by the scheduler's
+/// conservation-exact tiling (simt::attribute_cycles), so the comparator can
+/// gate "which tenant burns the device" exactly like any other metric.
+struct ServeTenant {
+  std::uint32_t tenant = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t launches = 0;
+  std::uint64_t retries = 0;
+  double device_cycles = 0.0;
+  double fault_device_cycles = 0.0;
 };
 
 /// One serving-scenario record: the deterministic outcome of one Server run
@@ -163,6 +180,18 @@ struct ServeRecord {
   double p99_batch_us = 0.0;
   double p99_exec_us = 0.0;
   double p99_retry_us = 0.0;
+
+  /// Device-cost attribution (schema v3; serialized only when the run
+  /// attributed anything, so records from builds without attribution stay
+  /// byte-identical). `device_cycles_total` is the exact fold of every
+  /// completion's attributed cycles in completion order — the conservation
+  /// invariant the comparator and tools/check_trace.py both re-verify.
+  double device_cycles_total = 0.0;
+  double fault_device_cycles_total = 0.0;
+  std::uint64_t launches_total = 0;
+
+  /// Per-tenant usage rollups (schema v3; serialized when non-empty).
+  std::vector<ServeTenant> tenants;
 
   /// Informational metrics (serialized when non-empty, never compared).
   /// Unlike the BENCH serializer — which silently reroutes — the serve

@@ -71,7 +71,28 @@ bench::ServeRecord to_record(const serve::ServeStats& s) {
   r.p99_batch_us = s.p99_batch_us;
   r.p99_exec_us = s.p99_exec_us;
   r.p99_retry_us = s.p99_retry_us;
+  r.device_cycles_total = s.device_cycles_total;
+  r.fault_device_cycles_total = s.fault_device_cycles_total;
+  r.launches_total = s.launches_total;
   return r;
+}
+
+std::vector<bench::ServeTenant> to_tenants(
+    const std::vector<serve::TenantUsage>& usage) {
+  std::vector<bench::ServeTenant> out;
+  out.reserve(usage.size());
+  for (const serve::TenantUsage& u : usage) {
+    bench::ServeTenant t;
+    t.tenant = u.tenant;
+    t.requests = u.requests;
+    t.ok = u.ok;
+    t.launches = u.launches;
+    t.retries = u.retries;
+    t.device_cycles = u.device_cycles;
+    t.fault_device_cycles = u.fault_device_cycles;
+    out.push_back(t);
+  }
+  return out;
 }
 
 int run(const bench::Args& args, bench::SuiteResult& out) {
@@ -87,6 +108,7 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
   cfg.max_attempts = static_cast<int>(args.get_int("attempts", 3));
   cfg.hedge = !args.get_flag("no-hedge");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  cfg.num_tenants = static_cast<int>(args.get_int("tenants", 4));
   // Observability knobs. The interval is deliberately NOT a record param:
   // changing how often we *observe* must never re-key a record, and the
   // series themselves are gated per-name by the comparator.
@@ -129,6 +151,7 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
                       bench::fmt(stats.qps_ok, 0)});
 
     bench::ServeRecord rec = to_record(stats);
+    rec.tenants = to_tenants(server.tenant_usage());
     rec.telemetry = to_series(server.telemetry());
     rec.scenario = sc.name;
     rec.params["requests"] = requests;
@@ -139,6 +162,7 @@ int run(const bench::Args& args, bench::SuiteResult& out) {
     rec.params["deadline_us"] = cfg.deadline_us;
     rec.params["attempts"] = cfg.max_attempts;
     rec.params["hedge"] = cfg.hedge ? 1.0 : 0.0;
+    rec.params["tenants"] = cfg.num_tenants;
     rec.params["scale"] = pspec.scale;
     rec.params["graphs"] = pspec.num_graphs;
     rec.params["fault_launch"] = cfg.faults.device_launch_rate;
@@ -175,7 +199,8 @@ const bench::Registration reg{{
         "usage: serve_latency [--requests=N] [--qps=Q] [--shards=N]\n"
         "  [--queue=N] [--batch=N] [--linger-us=X] [--deadline-us=X]\n"
         "  [--attempts=N] [--no-hedge] [--tmpl=NAME] [--graphs=N]\n"
-        "  [--scale=F] [--seed=N] [--metrics-interval-us=X] [--faults=SPEC]\n"
+        "  [--scale=F] [--seed=N] [--tenants=N] [--metrics-interval-us=X]\n"
+        "  [--faults=SPEC]\n"
         "  [--out=DIR]\n"
         "  --requests=N     queries per scenario (default 400)\n"
         "  --qps=Q          steady arrival rate (overload runs 8x; def 3000)\n"
@@ -190,6 +215,7 @@ const bench::Registration reg{{
         "  --graphs=N       subgraph pool size (default 4)\n"
         "  --scale=F        subgraph size scale (default 1.0)\n"
         "  --seed=N         workload seed (default 2026)\n"
+        "  --tenants=N      tenants the workload spreads over (default 4)\n"
         "  --metrics-interval-us=X  telemetry sampling tick in virtual us\n"
         "                   (default 1000; 0 disables the series)\n"
         "  --faults=SPEC    fault injection (NESTPAR_FAULTS syntax; default\n"

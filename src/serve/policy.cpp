@@ -30,6 +30,7 @@ void ServeConfig::validate() const {
   }
   if (breaker.cooldown_us <= 0.0) bad("breaker.cooldown_us must be > 0");
   if (pagerank_iterations < 1) bad("pagerank_iterations must be >= 1");
+  if (num_tenants < 1) bad("num_tenants must be >= 1");
   if (metrics_interval_us < 0.0) bad("metrics_interval_us must be >= 0");
   loop_params.validate();
 }

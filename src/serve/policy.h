@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/nested/templates.h"
@@ -52,6 +53,12 @@ struct ServeConfig {
 
   std::uint64_t seed = 2026;  ///< Workload/placement seed.
 
+  /// Tenants the synthetic workload spreads requests over (uniformly, from
+  /// seed-derived hash bits that leave every other workload field
+  /// untouched). Per-tenant device-cost rollups key on this; 1 collapses
+  /// the rollup to a single row.
+  int num_tenants = 4;
+
   /// Observability (PR 9). Both default off so an unconfigured run is
   /// byte-identical to pre-observability builds; neither influences a single
   /// scheduling decision — they read the timeline, never steer it.
@@ -63,6 +70,10 @@ struct ServeConfig {
   /// Record per-request typed spans (admission/queue/batch/exec/backoff/
   /// terminal) for Perfetto export via write_serve_trace.
   bool trace = false;
+  /// Ring cap for the span recorder: at most this many retained spans,
+  /// evicting whole oldest-request span trees when exceeded. 0 = unbounded
+  /// (the default; short benchmark runs keep everything).
+  std::size_t trace_max_spans = 0;
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "src/simt/virtual_clock.h"
@@ -36,6 +37,7 @@ struct Request {
   QueryKind kind = QueryKind::kSssp;
   std::uint32_t graph_id = 0;  ///< SubgraphPool entry index.
   std::uint32_t source = 0;    ///< SSSP source node (ignored otherwise).
+  std::uint32_t tenant = 0;    ///< Owning tenant (< ServeConfig::num_tenants).
   simt::Deadline deadline;     ///< arrival_us + budget_us.
 };
 
@@ -51,6 +53,20 @@ struct Completion {
   bool hedged = false;      ///< A retry was re-dispatched to a sibling shard.
   bool correct = false;     ///< Ok only: result matched the serial reference.
   std::uint64_t faults_seen = 0;  ///< Injected faults across all attempts.
+  std::uint32_t tenant = 0;       ///< Copied from the request.
+  std::uint64_t launches = 0;     ///< Grids run across all attempts.
+
+  /// Device-cost attribution (cross-layer tracing): modeled device cycles
+  /// this request's attempts burned, folded in attempt order from the
+  /// scheduler's per-grid attribution (simt::attribute_cycles). Conservation
+  /// is bit-exact: folding completions' device_cycles in completion order
+  /// reproduces ServeStats::device_cycles_total to the last bit.
+  double device_cycles = 0.0;
+  double fault_device_cycles = 0.0;  ///< Share burned on the fault path.
+
+  /// Critical-path verdict of the final attempt's launch subgraph
+  /// ("compute-bound", "launch-bound", ...; empty when no attempt ran).
+  std::string verdict;
 
   /// Latency attribution: where the request's lifetime went. The four
   /// shares tile [arrival, finish] exactly (up to floating-point rounding):

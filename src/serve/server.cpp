@@ -54,6 +54,13 @@ std::vector<Request> make_open_loop_workload(const SubgraphPool& pool,
     q.graph_id = static_cast<std::uint32_t>(
         (h2 >> 8) % static_cast<std::uint64_t>(pool.size()));
     q.source = pool.pick_source(q.graph_id, h2 >> 16);
+    // Tenant from an independent re-mix of h2: adding tenancy leaves the
+    // arrival schedule, kind mix, and graph/source picks byte-identical.
+    q.tenant = cfg.num_tenants <= 1
+                   ? 0
+                   : static_cast<std::uint32_t>(
+                         simt::fault_mix(h2 ^ 0x7e4a7c159e3779b9ull) %
+                         static_cast<std::uint64_t>(cfg.num_tenants));
     q.deadline.arrival_us = t;
     q.deadline.budget_us = cfg.deadline_us;
     out.push_back(q);
@@ -65,7 +72,7 @@ Server::Server(const ServeConfig& cfg, const SubgraphPool& pool,
                const simt::ExecPolicy& policy)
     : cfg_(cfg),
       pool_(&pool),
-      tracer_(cfg.trace),
+      tracer_(cfg.trace, cfg.trace_max_spans),
       telemetry_(cfg.metrics_interval_us < 0.0 ? 0.0
                                                : cfg.metrics_interval_us),
       sampler_(cfg.metrics_interval_us < 0.0 ? 0.0 : cfg.metrics_interval_us) {
@@ -100,10 +107,20 @@ void Server::complete(std::uint64_t idx, RequestStatus status, double t,
   c.hedged = q.hedged;
   c.correct = correct;
   c.faults_seen = q.faults_seen;
+  c.tenant = q.req.tenant;
   c.queue_us = q.queue_us;
   c.batch_us = q.batch_us;
   c.exec_us = q.exec_us;
   c.retry_us = q.retry_us;
+  c.device_cycles = q.device_cycles;
+  c.fault_device_cycles = q.fault_device_cycles;
+  c.launches = q.launches;
+  c.verdict = q.verdict;
+  // Conservation fold: completion-processing order, so re-folding the
+  // completions list reproduces the total bit-for-bit.
+  stats_.device_cycles_total += q.device_cycles;
+  stats_.fault_device_cycles_total += q.fault_device_cycles;
+  stats_.launches_total += q.launches;
   completions_.push_back(c);
   switch (status) {
     case RequestStatus::kOk: ++stats_.ok; break;
@@ -232,6 +249,8 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
     s.queue().pop_front();
     leave_queue(batch.back(), now, s.id());
   }
+  // Batch identity for cross-layer tracing: the global dispatch ordinal.
+  const std::uint64_t batch_id = stats_.batches;
   ++stats_.batches;
   s.note_batch();
   if (probe) ++stats_.probes;
@@ -250,8 +269,8 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
     // The query's turn starts now: everything since dispatch was batch
     // serialization wait (zero for the head of the batch).
     q.batch_us += t - now;
-    tracer_.record(
-        ServeSpan{q.req.id, SpanKind::kBatch, now, t, s.id(), 0, false, 0});
+    tracer_.record(ServeSpan{q.req.id, SpanKind::kBatch, now, t, s.id(), 0,
+                             false, 0, batch_id});
     if (telemetry_.enabled() && q.req.deadline.budget_us > 0.0) {
       telemetry_.append("deadline/budget_frac", "fraction", t,
                         q.req.deadline.remaining_us(t) /
@@ -267,11 +286,21 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
       ++q.attempts;
       ++stats_.attempts;
       const double exec_begin = t;
-      const AttemptResult ar = s.run_query(q.req, attempt_seq_++);
+      const std::uint64_t aseq = attempt_seq_++;
+      const AttemptResult ar = s.run_query(q.req, aseq, batch_id);
       t += ar.exec_us;
       q.exec_us += ar.exec_us;
+      q.device_cycles += ar.device_cycles;
+      q.fault_device_cycles += ar.fault_device_cycles;
+      q.launches += ar.launches;
+      if (!ar.verdict.empty()) q.verdict = ar.verdict;
       tracer_.record(ServeSpan{q.req.id, SpanKind::kExec, exec_begin, t,
-                               s.id(), q.attempts, ar.ok, ar.launches});
+                               s.id(), q.attempts, ar.ok, ar.launches,
+                               batch_id});
+      if (tracer_.enabled() && !ar.slices.empty()) {
+        tracer_.record_grids(q.req.id, q.req.tenant, batch_id, s.id(),
+                             q.attempts, aseq, exec_begin, ar.slices);
+      }
       q.faults_seen += ar.faults_injected;
       stats_.faults_injected += ar.faults_injected;
       stats_.degraded += ar.degraded;
@@ -328,8 +357,8 @@ void Server::dispatch_batch(Shard& s, double now, bool probe) {
     for (const std::uint64_t idx : leftover) {
       QueryState& q = states_[idx];
       q.batch_us += t - now;
-      tracer_.record(
-          ServeSpan{q.req.id, SpanKind::kBatch, now, t, s.id(), 0, false, 0});
+      tracer_.record(ServeSpan{q.req.id, SpanKind::kBatch, now, t, s.id(), 0,
+                               false, 0, batch_id});
     }
     for (const std::uint64_t idx : s.queue()) {
       leave_queue(idx, t, s.id());
@@ -445,6 +474,32 @@ void Server::finalize_stats() {
       break;
     }
   }
+  // Per-tenant rollup, folded in completion-processing order (deterministic;
+  // the fold order matters only for the doubles' last bits). Rows sorted by
+  // tenant id for stable output.
+  std::vector<std::int64_t> slot(static_cast<std::size_t>(cfg_.num_tenants),
+                                 -1);
+  for (const Completion& c : completions_) {
+    const auto tix = static_cast<std::size_t>(c.tenant);
+    if (slot[tix] < 0) {
+      slot[tix] = static_cast<std::int64_t>(tenants_.size());
+      TenantUsage u;
+      u.tenant = c.tenant;
+      tenants_.push_back(u);
+    }
+    TenantUsage& u = tenants_[static_cast<std::size_t>(slot[tix])];
+    ++u.requests;
+    if (c.status == RequestStatus::kOk) ++u.ok;
+    u.launches += c.launches;
+    u.retries += c.attempts > 1 ? static_cast<std::uint64_t>(c.attempts - 1)
+                                : 0;
+    u.device_cycles += c.device_cycles;
+    u.fault_device_cycles += c.fault_device_cycles;
+  }
+  std::sort(tenants_.begin(), tenants_.end(),
+            [](const TenantUsage& a, const TenantUsage& b) {
+              return a.tenant < b.tenant;
+            });
 }
 
 }  // namespace nestpar::serve

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <queue>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/serve/pool.h"
@@ -51,6 +52,27 @@ struct ServeStats {
   double p99_batch_us = 0.0;
   double p99_exec_us = 0.0;
   double p99_retry_us = 0.0;
+
+  /// Total modeled device cycles attributed to requests: the fold, in
+  /// completion-processing order, of every completion's device_cycles.
+  /// Bit-exact conservation by construction — re-folding the completions
+  /// list reproduces this value to the last bit (tested, and re-verified by
+  /// tools/check_trace.py against the exported artifacts).
+  double device_cycles_total = 0.0;
+  double fault_device_cycles_total = 0.0;  ///< Same fold, fault-path share.
+  std::uint64_t launches_total = 0;  ///< Grids run across all attempts.
+};
+
+/// Per-tenant device-cost rollup ("who is burning the device?"). Folded in
+/// completion-processing order; rows sorted by tenant id.
+struct TenantUsage {
+  std::uint32_t tenant = 0;
+  std::uint64_t requests = 0;  ///< Completions (any terminal status).
+  std::uint64_t ok = 0;
+  std::uint64_t launches = 0;  ///< Grids its requests ran.
+  std::uint64_t retries = 0;   ///< Attempts beyond the first, per request.
+  double device_cycles = 0.0;
+  double fault_device_cycles = 0.0;  ///< Cycles burned on the fault path.
 };
 
 /// Nearest-rank percentile over an ascending-sorted sample (q in (0, 1]).
@@ -88,6 +110,8 @@ class Server {
 
   /// Terminal records, one per request, in completion-processing order.
   const std::vector<Completion>& completions() const { return completions_; }
+  /// Per-tenant cost rollup, sorted by tenant id (valid after run()).
+  const std::vector<TenantUsage>& tenant_usage() const { return tenants_; }
   const std::vector<Shard>& shards() const { return shards_; }
   const simt::VirtualClock& clock() const { return clock_; }
   /// Span recorder (populated when cfg.trace; see write_serve_trace).
@@ -130,6 +154,11 @@ class Server {
     double batch_us = 0.0;
     double exec_us = 0.0;
     double retry_us = 0.0;
+    // Device-cost accumulators, folded in attempt order.
+    double device_cycles = 0.0;
+    double fault_device_cycles = 0.0;
+    std::uint64_t launches = 0;
+    std::string verdict;  ///< Critical-path verdict of the last attempt.
   };
 
   void push_event(double t, EvKind kind, std::uint64_t arg, int shard);
@@ -160,6 +189,7 @@ class Server {
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
   std::vector<QueryState> states_;
   std::vector<Completion> completions_;
+  std::vector<TenantUsage> tenants_;
   ServeStats stats_;
   std::uint64_t event_seq_ = 0;
   std::uint64_t attempt_seq_ = 0;

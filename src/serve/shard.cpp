@@ -42,9 +42,14 @@ Shard::Shard(int id, const ServeConfig& cfg, const SubgraphPool& pool,
       pool_(&pool),
       policy_(policy),
       dev_(std::make_unique<simt::Device>()),
-      breaker_(cfg.breaker) {}
+      breaker_(cfg.breaker) {
+  // Unified trace export needs per-grid timed slices; off otherwise so the
+  // hot path allocates nothing extra (tracing off stays byte-invisible).
+  dev_->set_collect_slices(cfg.trace);
+}
 
-AttemptResult Shard::run_query(const Request& q, std::uint64_t attempt_seq) {
+AttemptResult Shard::run_query(const Request& q, std::uint64_t attempt_seq,
+                               std::uint64_t batch_id) {
   // Fresh fault decisions per (shard, attempt): see class comment.
   simt::FaultConfig fc = cfg_->faults;
   fc.seed = simt::fault_mix(
@@ -55,6 +60,14 @@ AttemptResult Shard::run_query(const Request& q, std::uint64_t attempt_seq) {
 
   AttemptResult out;
   simt::Session s = dev_->session(policy_);
+  // Cross-layer provenance: every grid this attempt records — consolidated
+  // child grids included — is stamped with (request, batch, tenant). Today a
+  // session serves one query, so the ambient context has a single member;
+  // the attribution machinery underneath handles multi-member grids.
+  simt::TraceContext ctx;
+  ctx.batch_id = batch_id;
+  ctx.members.push_back(simt::TraceMember{q.id, q.tenant, 1.0});
+  s.set_trace_context(ctx);
   try {
     switch (q.kind) {
       case QueryKind::kSssp: {
@@ -91,11 +104,22 @@ AttemptResult Shard::run_query(const Request& q, std::uint64_t attempt_seq) {
   }
   // The timing pass covers whatever was recorded before a refusal too: a
   // failed attempt's partial work still spends modeled time.
-  const simt::RunReport rep = s.report();
+  simt::RunReport rep = s.report();
   out.exec_us = rep.total_us;
   out.launches = rep.aggregate.host_launches + rep.aggregate.device_launches;
   out.faults_injected = rep.robustness.faults_injected;
   out.degraded = rep.robustness.degraded;
+  // Per-attempt device-cost attribution. One member per session today, so
+  // the fold over per_request is the attempt's whole attributed total.
+  for (const simt::RequestCycles& rc : rep.attribution.per_request) {
+    out.device_cycles += rc.cycles;
+    out.fault_device_cycles += rc.fault_cycles;
+  }
+  if (rep.grids > 0) {
+    out.verdict =
+        std::string(to_string(classify_bottleneck(rep.critical_path.total)));
+  }
+  out.slices = std::move(rep.slices);
 
   ++counters_.attempts;
   if (!out.ok) ++counters_.failed_attempts;

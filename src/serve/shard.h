@@ -21,6 +21,16 @@ struct AttemptResult {
   std::uint64_t faults_injected = 0;
   std::uint64_t degraded = 0;  ///< Template-level inline degradations.
   simt::SimtError error = simt::SimtError::kOk;
+  /// Device cycles this attempt's context-stamped grids burned (the fold of
+  /// the attempt's per-grid attribution, bit-exact per attempt), and the
+  /// share charged to the fault path.
+  double device_cycles = 0.0;
+  double fault_device_cycles = 0.0;
+  /// Critical-path verdict of this attempt's launch subgraph.
+  std::string verdict;
+  /// Timed grid slices for unified trace export (only when cfg.trace; times
+  /// are µs relative to the attempt's session start).
+  std::vector<simt::GridSlice> slices;
 };
 
 /// Lifetime counters one shard accumulates (reported per shard by the CLI,
@@ -64,10 +74,14 @@ class Shard {
   double pending_linger_us() const { return pending_linger_us_; }
   void set_pending_linger(double t_us) { pending_linger_us_ = t_us; }
 
-  /// Execute one attempt of `q` now. Catches the fault model's transient
-  /// launch refusals (SimtException) and reports them as a failed attempt —
-  /// the partial work's modeled time still counts against the timeline.
-  AttemptResult run_query(const Request& q, std::uint64_t attempt_seq);
+  /// Execute one attempt of `q` now, as part of dispatch batch `batch_id`.
+  /// Catches the fault model's transient launch refusals (SimtException) and
+  /// reports them as a failed attempt — the partial work's modeled time still
+  /// counts against the timeline. The (request, batch, tenant) trace context
+  /// is installed on the fresh session so every grid the attempt records —
+  /// consolidated child grids included — carries its provenance.
+  AttemptResult run_query(const Request& q, std::uint64_t attempt_seq,
+                          std::uint64_t batch_id);
 
  private:
   int id_;

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/serve/request.h"
 #include "src/serve/telemetry.h"
+#include "src/simt/device.h"
 
 namespace nestpar::serve {
 
@@ -36,7 +40,9 @@ std::string_view to_string(SpanKind k);
 /// `attempt` the 1-based execution attempt for kExec/kBackoff and the
 /// *winning* attempt for terminal markers, `flag` is kExec's "attempt ok" /
 /// kVerify's "correct" / kRequest's "hedged", and `aux` carries kExec's
-/// simulated launch count (kAdmit: queue depth after enqueue).
+/// simulated launch count (kAdmit: queue depth after enqueue). `batch` is
+/// the dispatch-batch ordinal for kBatch/kExec (0 elsewhere) — the join key
+/// down to the scheduled-grid tier.
 struct ServeSpan {
   std::uint64_t request = 0;  ///< Request id.
   SpanKind kind = SpanKind::kRequest;
@@ -46,6 +52,28 @@ struct ServeSpan {
   int attempt = 0;
   bool flag = false;
   std::uint64_t aux = 0;
+  std::uint64_t batch = 0;
+};
+
+/// One scheduled grid of one execution attempt, re-based to the serving
+/// run's virtual timeline (the attempt's session starts at the exec span's
+/// begin). The device-cost tier of the unified trace: request spans join to
+/// these via (request, attempt) and to siblings via `batch`.
+struct GridEvent {
+  std::uint64_t request = 0;
+  std::uint32_t tenant = 0;
+  std::uint64_t batch = 0;
+  std::uint64_t attempt_seq = 0;  ///< Global attempt ordinal (unique).
+  int shard = 0;
+  int attempt = 0;                ///< 1-based per-request attempt.
+  std::uint32_t node = 0;         ///< Launch-graph node id within the attempt.
+  std::int64_t parent = -1;       ///< Parent node id (-1 for host grids).
+  std::uint32_t stream = 0;
+  bool device_origin = false;
+  std::string name;
+  double start_us = 0.0;          ///< Absolute virtual time.
+  double dur_us = 0.0;
+  double cycles = 0.0;            ///< Busy cycles (schedule end - start).
 };
 
 /// Span recorder for one serving run. Off by default: a disabled tracer
@@ -54,29 +82,55 @@ struct ServeSpan {
 /// pre-tracer builds. Recording order is the server's deterministic
 /// event-processing order, which is what makes exported traces
 /// byte-identical across host engines, chaos included.
+///
+/// Ring cap: `max_spans` (0 = unbounded) bounds memory on long runs. When a
+/// record would exceed the cap, the tracer evicts *whole requests* — every
+/// span and grid event of the request owning the oldest retained span — so
+/// the surviving spans always form complete, well-formed trees (no dangling
+/// ends, no flow arrows into evicted slices).
 class ServeTracer {
  public:
   ServeTracer() = default;
-  explicit ServeTracer(bool enabled) : enabled_(enabled) {}
+  explicit ServeTracer(bool enabled, std::size_t max_spans = 0)
+      : enabled_(enabled), max_spans_(max_spans) {}
 
   bool enabled() const { return enabled_; }
   void record(const ServeSpan& span) {
-    if (enabled_) spans_.push_back(span);
+    if (!enabled_) return;
+    if (max_spans_ > 0 && spans_.size() >= max_spans_) evict_oldest_request();
+    spans_.push_back(span);
   }
+  /// Attach one attempt's scheduled-grid slices, re-based from session time
+  /// to the run timeline (`exec_begin_us` + slice start).
+  void record_grids(std::uint64_t request, std::uint32_t tenant,
+                    std::uint64_t batch, int shard, int attempt,
+                    std::uint64_t attempt_seq, double exec_begin_us,
+                    const std::vector<simt::GridSlice>& slices);
+
   const std::vector<ServeSpan>& spans() const { return spans_; }
+  const std::vector<GridEvent>& grids() const { return grids_; }
+  /// Requests/spans dropped by ring-cap eviction (0 when unbounded).
+  std::uint64_t evicted_requests() const { return evicted_requests_; }
+  std::uint64_t evicted_spans() const { return evicted_spans_; }
 
  private:
+  void evict_oldest_request();
+
   bool enabled_ = false;
+  std::size_t max_spans_ = 0;
   std::vector<ServeSpan> spans_;
+  std::vector<GridEvent> grids_;
+  std::uint64_t evicted_requests_ = 0;
+  std::uint64_t evicted_spans_ = 0;
 };
 
 /// Export one run's spans (plus optional telemetry counter tracks) as Chrome
 /// trace-event JSON, Perfetto-compatible with the simulator traces from
-/// src/simt/trace_export.cpp:
-///  - row 0 ("requests"): nested async spans per request — request/queue/
-///    batch/exec/backoff phases share the request id and nest by timestamp —
-///    plus instant markers for admit/verify/terminal events;
-///  - rows 1..num_shards ("shard N"): one complete slice per execution
+/// src/simt/trace_export.cpp (shared layout: simt/trace_json.h):
+///  - pid 1 row 0 ("requests"): nested async spans per request — request/
+///    queue/batch/exec/backoff phases share the request id and nest by
+///    timestamp — plus instant markers for admit/verify/terminal events;
+///  - pid 1 rows 1..num_shards ("shard N"): one complete slice per execution
 ///    attempt, with attempt number, outcome, and simulated launch count in
 ///    the args (the serve-side mirror of the per-grid tracks);
 ///  - a flow arrow per Ok completion from the *winning* execution attempt's
@@ -84,7 +138,20 @@ class ServeTracer {
 ///    under hedging this is what shows which attempt won;
 ///  - one counter track per telemetry series (when `telemetry` is non-null
 ///    and enabled).
+///
+/// When the tracer carries grid events (cfg.trace turns on per-grid slice
+/// collection), the export becomes the *unified* cross-layer timeline:
+///  - pid 2 + s ("device N"): every scheduled grid of every attempt as a
+///    complete slice on its stream's row, stamped with request/tenant/batch;
+///  - flow arrows chaining request -> batch (batch span to exec slice),
+///    exec -> each host grid, and parent grid -> consolidated child grid;
+///  - when `completions` is non-null, one "device_cycles" attribution record
+///    (cat "serve-attribution") listing each completion's attributed cycles
+///    in completion order with round-trip precision, plus their fold as
+///    `total` — the conservation invariant tools/check_trace.py re-verifies
+///    bit-exactly.
 void write_serve_trace(std::ostream& out, const ServeTracer& tracer,
-                       const Telemetry* telemetry, int num_shards);
+                       const Telemetry* telemetry, int num_shards,
+                       const std::vector<Completion>* completions = nullptr);
 
 }  // namespace nestpar::serve

@@ -164,6 +164,27 @@ RunReport Device::report() {
     rep.aggregate += node.metrics;
   }
   rep.robustness += rep.aggregate.robustness;
+
+  rep.attribution = attribute_cycles(graph, sched);
+  if (collect_slices_) {
+    const DeviceSpec& spec = recorder_.spec();
+    rep.slices.reserve(graph.nodes.size());
+    for (const KernelNode& node : graph.nodes) {
+      GridSlice s;
+      s.node = node.id;
+      s.parent = node.parent_kernel;
+      s.stream = node.stream;
+      s.origin = node.origin;
+      s.name = node.name;
+      s.start_us = spec.cycles_to_us(sched.node_start[node.id]);
+      s.dur_us = spec.cycles_to_us(sched.node_end[node.id] -
+                                   sched.node_start[node.id]);
+      s.cycles = sched.node_end[node.id] - sched.node_start[node.id];
+      s.batch_id = node.batch_id;
+      s.members = node.requesters;
+      rep.slices.push_back(std::move(s));
+    }
+  }
   return rep;
 }
 

@@ -29,6 +29,22 @@ struct SessionOptions {
   bool profile = false;
 };
 
+/// One scheduled grid with its timed placement, exported (opt-in, see
+/// Device::set_collect_slices) for unified serve+device trace timelines.
+/// Times are microseconds relative to the session's time zero.
+struct GridSlice {
+  std::uint32_t node = 0;           ///< Launch-graph node id.
+  std::int64_t parent = -1;         ///< Parent node id (-1 for host grids).
+  std::uint32_t stream = 0;
+  LaunchOrigin origin = LaunchOrigin::kHost;
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  double cycles = 0.0;              ///< Busy cycles (end - start).
+  std::uint64_t batch_id = kNoBatchId;
+  std::vector<TraceMember> members; ///< Requesters stamped on the node.
+};
+
 /// Per-kernel-name summary in a run report.
 struct KernelReport {
   std::string name;
@@ -54,6 +70,12 @@ struct RunReport {
   /// retries, and template degradations — device-side counters plus
   /// host-launch faults. All-zero (except launches_attempted) by default.
   RobustnessCounters robustness;
+  /// Per-request device-cost attribution over context-stamped grids (empty
+  /// when nothing carried a serve context — all bench/profiling paths).
+  CycleAttribution attribution;
+  /// Timed grid slices for unified trace export; filled only when the
+  /// device's collect_slices switch is on (serving layer with --trace).
+  std::vector<GridSlice> slices;
 
   /// Lookup a kernel summary by name; throws if absent.
   const KernelReport& kernel(const std::string& name) const;
@@ -155,6 +177,19 @@ class Device {
   /// Discard the recorded session.
   void reset();
 
+  /// Ambient serving-layer context for subsequent launches (see
+  /// Recorder::set_trace_context). Cleared when a new Session opens.
+  void set_trace_context(const TraceContext& ctx) {
+    recorder_.set_trace_context(ctx);
+  }
+  void clear_trace_context() { recorder_.clear_trace_context(); }
+
+  /// When on, report() also exports per-grid timed slices
+  /// (RunReport::slices) for unified trace timelines. Off by default; purely
+  /// additive output, no modeled effect. Survives sessions and reset().
+  void set_collect_slices(bool on) { collect_slices_ = on; }
+  bool collect_slices() const { return collect_slices_; }
+
   /// Engine policy for subsequent launches. Takes effect immediately; the
   /// thread pool is created lazily and kept across sessions.
   void set_exec_policy(const ExecPolicy& policy);
@@ -178,6 +213,7 @@ class Device {
   ExecPolicy policy_;
   std::unique_ptr<ThreadPool> pool_;
   bool session_active_ = false;
+  bool collect_slices_ = false;
 };
 
 /// RAII recording session on a Device. Construction starts a fresh
@@ -219,6 +255,12 @@ class Session {
     dev_->stream_wait(stream, event);
   }
   void synchronize() { dev_->synchronize(); }
+
+  /// Serving-layer provenance for everything launched after this call (the
+  /// fresh session starts with no context).
+  void set_trace_context(const TraceContext& ctx) {
+    dev_->set_trace_context(ctx);
+  }
 
   void prof_counter(std::string_view track, double value) {
     dev_->prof_counter(track, value);

@@ -5,6 +5,8 @@
 #include <functional>
 #include <string>
 
+#include "src/simt/trace_context.h"
+
 namespace nestpar::simt {
 
 class BlockCtx;
@@ -44,6 +46,11 @@ struct LaunchConfig {
   /// aggregated_descriptor_service_us).
   int aggregated_descriptors = 0;
   std::string name = "kernel";    ///< Label used for per-kernel metrics.
+  /// Serving-layer provenance for this specific launch. When inactive (the
+  /// default) the recorder stamps its ambient context instead; filling it
+  /// lets a batcher attribute one consolidated grid to several requesters.
+  /// Pure metadata: never read by the functional or timing pass.
+  TraceContext trace;
 };
 
 /// Wrap a per-lane body as a (single-phase) block kernel.

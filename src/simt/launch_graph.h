@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/simt/metrics.h"
+#include "src/simt/trace_context.h"
 
 namespace nestpar::simt {
 
@@ -75,6 +76,12 @@ struct KernelNode {
   /// Count of atomic ops hitting this kernel's hottest atomic address;
   /// models device-wide atomic serialization (hotspot drain).
   std::uint64_t hottest_atomic_ops = 0;
+  /// Serving-layer provenance: which dispatch batch caused this grid
+  /// (kNoBatchId outside the serving layer) and the member queries that
+  /// contributed work. Device launches inherit their parent's context.
+  /// Pure metadata — the timing pass never reads it.
+  std::uint64_t batch_id = kNoBatchId;
+  std::vector<TraceMember> requesters;
   /// Functional-pass metrics for this grid (timing pass adds occupancy).
   Metrics metrics;
 };

@@ -455,6 +455,7 @@ void Recorder::reset() {
   events_.clear();
   pending_waits_.clear();
   deferred_.clear();
+  trace_ctx_ = TraceContext{};
   drain_rng_.seed(0x9e3779b97f4a7c15ull);
 }
 
@@ -495,6 +496,13 @@ std::uint32_t Recorder::create_host_node(const LaunchConfig& cfg,
   node.aggregated_descriptors = cfg.aggregated_descriptors;
   node.stream = stream;
   node.seq = seq_++;
+  // Serving-layer provenance: an explicit per-launch context wins over the
+  // recorder's ambient one (metadata only — no modeled effect either way).
+  const TraceContext& ctx = cfg.trace.active() ? cfg.trace : trace_ctx_;
+  if (ctx.active()) {
+    node.batch_id = ctx.batch_id;
+    node.requesters = ctx.members;
+  }
   graph_.nodes.push_back(std::move(node));
   return graph_.nodes.back().id;
 }
@@ -660,6 +668,19 @@ void Recorder::merge_grid(std::uint32_t node_id,
           static_cast<std::uint32_t>(node.parent_kernel), ln.parent_block,
           ln.stream_slot);
       node.seq = seq_++;
+      // Provenance: an explicit per-launch context wins; otherwise the child
+      // inherits its parent grid's stamp (already merged — parents precede
+      // children in DFS creation order), which transitively carries the
+      // ambient serve context down through consolidated child grids.
+      if (ln.cfg.trace.active()) {
+        node.batch_id = ln.cfg.trace.batch_id;
+        node.requesters = ln.cfg.trace.members;
+      } else {
+        const KernelNode& parent =
+            graph_.nodes[static_cast<std::size_t>(node.parent_kernel)];
+        node.batch_id = parent.batch_id;
+        node.requesters = parent.requesters;
+      }
       node.metrics = ln.metrics;
       node.hottest_atomic_ops = ln.hottest_atomic_ops;
       node.blocks = std::move(ln.blocks);

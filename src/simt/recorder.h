@@ -87,6 +87,14 @@ class Recorder {
   void set_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* pool() const { return pool_; }
 
+  /// Ambient serving-layer context stamped onto every node recorded while it
+  /// is active (LaunchConfig::trace overrides it per launch). Cleared by
+  /// reset(), so each serve attempt re-installs it on its fresh session.
+  /// Pure metadata: modeled cycles and functional results are unaffected.
+  void set_trace_context(const TraceContext& ctx) { trace_ctx_ = ctx; }
+  void clear_trace_context() { trace_ctx_ = TraceContext{}; }
+  const TraceContext& trace_context() const { return trace_ctx_; }
+
   void reset();
 
  private:
@@ -108,6 +116,7 @@ class Recorder {
   FaultInjector injector_;
   RobustnessCounters host_robustness_;
   std::uint64_t host_attempt_seq_ = 0;
+  TraceContext trace_ctx_;
   LaunchGraph graph_;
   /// Fire-and-forget device launches awaiting the post-grid drain.
   std::vector<std::pair<std::uint32_t, Kernel>> deferred_;

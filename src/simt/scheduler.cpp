@@ -1,6 +1,7 @@
 #include "src/simt/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -484,6 +485,81 @@ ScheduleResult Scheduler::run() {
 
 ScheduleResult schedule(const DeviceSpec& spec, LaunchGraph& graph) {
   return Scheduler(spec, graph).run();
+}
+
+std::vector<double> split_cycles(double total,
+                                 const std::vector<TraceMember>& members) {
+  std::vector<double> shares(members.size(), 0.0);
+  if (members.empty()) return shares;
+  if (members.size() == 1) {
+    shares[0] = total;
+    return shares;
+  }
+  double weight_sum = 0.0;
+  for (const TraceMember& m : members) {
+    if (std::isfinite(m.weight) && m.weight > 0.0) weight_sum += m.weight;
+  }
+  // Proportional shares for all but the last member; the last member takes
+  // the exact complement of the running fold so the member-order fold
+  // reproduces `total` bit-for-bit.
+  double acc = 0.0;
+  const std::size_t last = members.size() - 1;
+  for (std::size_t i = 0; i < last; ++i) {
+    const double w = (std::isfinite(members[i].weight) && members[i].weight > 0.0)
+                         ? members[i].weight
+                         : 0.0;
+    const double frac = weight_sum > 0.0
+                            ? w / weight_sum
+                            : 1.0 / static_cast<double>(members.size());
+    shares[i] = total * frac;
+    acc += shares[i];
+  }
+  double rem = total - acc;
+  // acc + fl(total - acc) can round away from `total` when magnitudes differ;
+  // nudge by ulps until the fold lands exactly. Terminates in at most a few
+  // steps and is fully deterministic.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  while (acc + rem < total) rem = std::nextafter(rem, kInf);
+  while (acc + rem > total) rem = std::nextafter(rem, -kInf);
+  shares[last] = rem;
+  return shares;
+}
+
+CycleAttribution attribute_cycles(const LaunchGraph& graph,
+                                  const ScheduleResult& sched) {
+  CycleAttribution out;
+  // request id -> slot in out.per_request; insertion keyed later by sort.
+  std::unordered_map<std::uint64_t, std::size_t> slot;
+  for (const KernelNode& node : graph.nodes) {
+    if (node.batch_id == kNoBatchId || node.requesters.empty()) continue;
+    const double busy = sched.node_end[node.id] - sched.node_start[node.id];
+    const double fault = node.metrics.fault_cycles;
+    const std::vector<double> shares = split_cycles(busy, node.requesters);
+    const std::vector<double> fault_shares =
+        split_cycles(fault, node.requesters);
+    for (std::size_t i = 0; i < node.requesters.size(); ++i) {
+      const TraceMember& m = node.requesters[i];
+      const auto [it, inserted] = slot.emplace(m.request, out.per_request.size());
+      if (inserted) {
+        RequestCycles rc;
+        rc.request = m.request;
+        rc.tenant = m.tenant;
+        out.per_request.push_back(rc);
+      }
+      RequestCycles& rc = out.per_request[it->second];
+      rc.cycles += shares[i];
+      rc.fault_cycles += fault_shares[i];
+      ++rc.grids;
+    }
+    out.attributed_cycles += busy;
+    out.attributed_fault_cycles += fault;
+    ++out.attributed_grids;
+  }
+  std::sort(out.per_request.begin(), out.per_request.end(),
+            [](const RequestCycles& a, const RequestCycles& b) {
+              return a.request < b.request;
+            });
+  return out;
 }
 
 }  // namespace nestpar::simt

@@ -52,4 +52,44 @@ struct ScheduleResult {
 /// Side effect: fills the occupancy fields of each node's Metrics.
 ScheduleResult schedule(const DeviceSpec& spec, LaunchGraph& graph);
 
+/// Device cycles attributed to one requester across every grid it was a
+/// member of (see TraceMember). `cycles` is the fold, in node-id order, of
+/// this request's per-grid shares; `fault_cycles` tiles each grid's modeled
+/// fault overhead the same way.
+struct RequestCycles {
+  std::uint64_t request = 0;
+  std::uint32_t tenant = 0;
+  std::uint64_t grids = 0;        ///< Grids this request contributed to.
+  double cycles = 0.0;
+  double fault_cycles = 0.0;
+};
+
+/// Proportional device-cost attribution over a scheduled session.
+///
+/// Each context-stamped grid's busy cycles (node_end - node_start) are tiled
+/// across its members proportionally to TraceMember::weight. Conservation is
+/// bit-exact per grid by construction: the last member receives the exact
+/// floating-point complement (nudged by ulps so the member-order fold equals
+/// the grid's busy cycles to the last bit). Grids without a context
+/// (kNoBatchId) are ignored.
+struct CycleAttribution {
+  /// Fold of every attributed grid's busy cycles, in node-id order. For
+  /// single-member grids this equals the fold of the member shares, so each
+  /// serve attempt's per-request total conserves bit-exactly.
+  double attributed_cycles = 0.0;
+  double attributed_fault_cycles = 0.0;
+  std::uint64_t attributed_grids = 0;
+  std::vector<RequestCycles> per_request;  ///< Sorted by request id.
+};
+
+CycleAttribution attribute_cycles(const LaunchGraph& graph,
+                                  const ScheduleResult& sched);
+
+/// Split `total` across `members` proportionally to weight, bit-exactly:
+/// the returned shares fold (left to right) to exactly `total`. Non-positive
+/// or non-finite weights are treated as zero; if no weight is positive the
+/// split is uniform. Exposed for tests; attribute_cycles uses it per grid.
+std::vector<double> split_cycles(double total,
+                                 const std::vector<TraceMember>& members);
+
 }  // namespace nestpar::simt

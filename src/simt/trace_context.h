@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nestpar::simt {
+
+/// Sentinel batch id meaning "no serving-layer context attached".
+inline constexpr std::uint64_t kNoBatchId = ~std::uint64_t{0};
+
+/// One requester that contributed work to a grid. A plain launch has one
+/// member; a consolidated grid that aggregates descriptors from several
+/// queries lists one member per query, weighted by the work items each
+/// contributed. Weights are relative — the attribution pass normalizes them
+/// per grid (attribute_cycles, scheduler.h).
+struct TraceMember {
+  std::uint64_t request = 0;  ///< Serving-layer request id.
+  std::uint32_t tenant = 0;   ///< Owning tenant of that request.
+  double weight = 1.0;        ///< Contributed work items (relative share).
+};
+
+/// Serving-layer provenance propagated into the launch graph. The serving
+/// layer installs one per attempt as the recorder's ambient context
+/// (Recorder::set_trace_context); individual launches may override it by
+/// filling LaunchConfig::trace — e.g. a batcher stamping a consolidated grid
+/// with every member query. Grids recorded while no context is active (all
+/// bench/profiling paths) carry kNoBatchId and stay byte-identical to
+/// pre-context artifacts.
+struct TraceContext {
+  std::uint64_t batch_id = kNoBatchId;
+  std::vector<TraceMember> members;
+
+  bool active() const { return batch_id != kNoBatchId; }
+};
+
+}  // namespace nestpar::simt

@@ -11,6 +11,7 @@ namespace nestpar::simt {
 
 namespace {
 
+using trace_json::kSimPid;
 using trace_json::write_escaped;
 
 /// Timestamp for a launch-graph watermark (see CounterSample::node): the
@@ -30,7 +31,8 @@ void write_fault_instant(std::ostream& out, const char* name,
                          std::uint64_t count, const KernelNode& node,
                          double ts_us) {
   out << ",{\"name\":\"" << name << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":"
-      << "\"g\",\"ts\":" << ts_us << ",\"pid\":0,\"tid\":" << node.stream
+      << "\"g\",\"ts\":" << ts_us << ",\"pid\":" << trace_json::kSimPid
+      << ",\"tid\":" << node.stream
       << ",\"args\":{\"kernel\":\"";
   write_escaped(out, node.name);
   out << "\",\"count\":" << count << "}}";
@@ -62,12 +64,24 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
         << (node.origin == LaunchOrigin::kHost ? "host-launch"
                                                : "device-launch")
         << "\",\"ph\":\"X\",\"ts\":" << start_us << ",\"dur\":" << dur_us
-        << ",\"pid\":0,\"tid\":" << node.stream << ",\"args\":{"
+        << ",\"pid\":" << kSimPid
+        << ",\"tid\":" << node.stream << ",\"args\":{"
         << "\"grid_blocks\":" << node.grid_blocks
         << ",\"block_threads\":" << node.block_threads
         << ",\"nest_depth\":" << node.nest_depth
         << ",\"atomics\":" << node.metrics.atomic_ops << ",\"warp_eff\":"
-        << node.metrics.warp_execution_efficiency() << "}}";
+        << node.metrics.warp_execution_efficiency();
+    // Serving-layer provenance, only when stamped (context-free sessions —
+    // every bench/profiling path — emit byte-identical traces).
+    if (node.batch_id != kNoBatchId) {
+      out << ",\"batch\":" << node.batch_id << ",\"requests\":[";
+      for (std::size_t i = 0; i < node.requesters.size(); ++i) {
+        if (i != 0) out << ",";
+        out << node.requesters[i].request;
+      }
+      out << "]";
+    }
+    out << "}}";
   }
 
   // Profiling extension (gated so profile-off traces are byte-identical to
@@ -80,12 +94,13 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
     for (const CounterSample& c : snap.counters) {
       out << ",";
       trace_json::write_counter(out, c.track,
-                                watermark_us(spec, sched, c.node), 0, c.value);
+                                watermark_us(spec, sched, c.node), kSimPid,
+                                c.value);
     }
     for (const InstantSample& e : snap.instants) {
       out << ",";
       trace_json::write_instant(out, e.name, e.cat, "g",
-                                watermark_us(spec, sched, e.node), 0, 0);
+                                watermark_us(spec, sched, e.node), kSimPid, 0);
     }
     for (const KernelNode& node : graph.nodes) {
       const RobustnessCounters& rb = node.metrics.robustness;
@@ -120,11 +135,12 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
       out << ",";
       trace_json::write_flow_start(
           out, "launch", "launch", node.id,
-          spec.cycles_to_us(sched.node_issued[node.id]), 0, parent.stream);
+          spec.cycles_to_us(sched.node_issued[node.id]), kSimPid,
+          parent.stream);
       out << ",";
       trace_json::write_flow_end(out, "launch", "launch", node.id,
                                  spec.cycles_to_us(sched.node_start[node.id]),
-                                 0, node.stream);
+                                 kSimPid, node.stream);
     }
 
     // Critical-path track: a dedicated row (tid one past the stream rows)
@@ -132,7 +148,7 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
     // its edge category. Zero-duration stream-wait markers are skipped.
     const std::uint32_t crit_tid = graph.num_streams;
     out << ",";
-    trace_json::write_thread_name(out, 0, crit_tid, "critical path");
+    trace_json::write_thread_name(out, kSimPid, crit_tid, "critical path");
     const CritPath crit = analyze_critical_path(graph, sched);
     for (const CritSegment& seg : crit.chain) {
       if (seg.cycles <= 0.0) continue;
@@ -140,7 +156,7 @@ void write_chrome_trace(std::ostream& out, const Device& dev) {
           << "\",\"cat\":\"critical-path\",\"ph\":\"X\",\"ts\":"
           << spec.cycles_to_us(seg.begin)
           << ",\"dur\":" << spec.cycles_to_us(seg.cycles)
-          << ",\"pid\":0,\"tid\":" << crit_tid << ",\"args\":{\"kernel\":\"";
+          << ",\"pid\":" << kSimPid << ",\"tid\":" << crit_tid << ",\"args\":{\"kernel\":\"";
       write_escaped(out, seg.kernel);
       out << "\",\"cycles\":" << seg.cycles << "}}";
     }

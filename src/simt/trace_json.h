@@ -1,5 +1,6 @@
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -14,6 +15,54 @@
 /// format the exporters have always used), so extracting these helpers
 /// changed no output byte.
 namespace nestpar::simt::trace_json {
+
+/// Shared Perfetto process layout. Both exporters — and the unified
+/// serve+device timeline — agree on these, so any combination of trace files
+/// opens in one Perfetto window without row collisions, with shards and
+/// streams named consistently:
+///  - pid 0: the simulator's own timeline (one row per stream, plus the
+///    critical-path row at tid = num_streams);
+///  - pid 1: the serving layer (row 0 = per-request async spans, row 1 + s =
+///    shard s's execution slices);
+///  - pid 2 + s: shard s's simulated device (one row per stream), used by
+///    the unified export's scheduled-grid slices.
+inline constexpr int kSimPid = 0;
+inline constexpr int kServePid = 1;
+inline constexpr int kDevicePidBase = 2;
+inline constexpr std::uint32_t kServeRequestsTid = 0;
+
+inline std::uint32_t serve_shard_tid(int shard) {
+  return 1 + static_cast<std::uint32_t>(shard < 0 ? 0 : shard);
+}
+inline int device_pid(int shard) {
+  return kDevicePidBase + (shard < 0 ? 0 : shard);
+}
+inline std::string serve_shard_track_name(int shard) {
+  return "shard " + std::to_string(shard);
+}
+inline std::string device_process_name(int shard) {
+  return "device " + std::to_string(shard);
+}
+inline std::string stream_track_name(std::uint32_t stream) {
+  return "stream " + std::to_string(stream);
+}
+
+/// Metadata event naming a trace process (the per-pid group title).
+inline void write_process_name(std::ostream& out, int pid,
+                               const std::string& name) {
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+/// Shortest round-trip decimal for a double (std::to_chars), for args a
+/// validator re-parses bit-exactly — e.g. the per-request device-cycle
+/// conservation records. Ordinary timestamps keep streaming through
+/// `operator<<`; this is only for values whose exact bits matter.
+inline void write_exact(std::ostream& out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.write(buf, res.ptr - buf);
+}
 
 /// Minimal JSON string escaping (event names are mostly library-controlled,
 /// but a user-provided kernel name must not break the file).

@@ -262,6 +262,113 @@ TEST(ServeResults, ParsesV1DocumentsWithoutNewSections) {
   EXPECT_GE(kServeSchemaVersion, kMinServeSchemaVersion);
 }
 
+SuiteResult sample_serve_result_v3() {
+  SuiteResult r = sample_serve_result();
+  ServeRecord& rec = r.serve[0];
+  rec.device_cycles_total = 2522737.25;
+  rec.fault_device_cycles_total = 1204.5;
+  rec.launches_total = 538;
+  nestpar::bench::ServeTenant t0;
+  t0.tenant = 0;
+  t0.requests = 41;
+  t0.ok = 40;
+  t0.launches = 300;
+  t0.retries = 3;
+  t0.device_cycles = 1500000.125;
+  t0.fault_device_cycles = 1000.25;
+  nestpar::bench::ServeTenant t1;
+  t1.tenant = 2;
+  t1.requests = 39;
+  t1.ok = 38;
+  t1.launches = 238;
+  t1.retries = 4;
+  t1.device_cycles = 1022737.125;
+  t1.fault_device_cycles = 204.25;
+  rec.tenants = {t0, t1};
+  return r;
+}
+
+TEST(ServeResults, V3RoundTripPreservesAttributionFields) {
+  const SuiteResult original = sample_serve_result_v3();
+  const SuiteResult parsed = parse_serve_json(to_serve_json(original));
+  ASSERT_EQ(parsed.serve.size(), 1u);
+  const ServeRecord& r = parsed.serve[0];
+  // Doubles survive bit-exactly: json_num serializes with round-trip
+  // precision, which is what lets the comparator gate attributed cycles
+  // with zero threshold slack.
+  EXPECT_EQ(r.device_cycles_total, 2522737.25);
+  EXPECT_EQ(r.fault_device_cycles_total, 1204.5);
+  EXPECT_EQ(r.launches_total, 538u);
+  ASSERT_EQ(r.tenants.size(), 2u);
+  EXPECT_EQ(r.tenants[0].tenant, 0u);
+  EXPECT_EQ(r.tenants[0].requests, 41u);
+  EXPECT_EQ(r.tenants[0].ok, 40u);
+  EXPECT_EQ(r.tenants[0].launches, 300u);
+  EXPECT_EQ(r.tenants[0].retries, 3u);
+  EXPECT_EQ(r.tenants[0].device_cycles, 1500000.125);
+  EXPECT_EQ(r.tenants[0].fault_device_cycles, 1000.25);
+  EXPECT_EQ(r.tenants[1].tenant, 2u);
+  EXPECT_EQ(to_serve_json(original), to_serve_json(parsed));
+}
+
+TEST(ServeResults, RecordsWithoutAttributionStayV2Shaped) {
+  // A producer that never attributed anything must emit no v3 keys at all,
+  // so pre-attribution consumers and byte-diff tooling see nothing new.
+  const std::string doc = to_serve_json(sample_serve_result());
+  EXPECT_EQ(doc.find("device_cycles_total"), std::string::npos);
+  EXPECT_EQ(doc.find("\"tenants\""), std::string::npos);
+  const SuiteResult parsed = parse_serve_json(doc);
+  EXPECT_EQ(parsed.serve[0].device_cycles_total, 0.0);
+  EXPECT_EQ(parsed.serve[0].launches_total, 0u);
+  EXPECT_TRUE(parsed.serve[0].tenants.empty());
+}
+
+TEST(ServeCompare, TenantDriftIsTwoSided) {
+  const SuiteResult baseline = sample_serve_result_v3();
+
+  // Cycles moving *down* for a tenant is still a regression: attribution is
+  // deterministic, so drift either way means the schedule changed.
+  SuiteResult current = baseline;
+  current.serve[0].tenants[0].device_cycles *= 0.9;
+  CompareReport report = compare_serve(baseline, current, CompareOptions{});
+  EXPECT_TRUE(report.has_regression());
+  bool found = false;
+  for (const auto& d : report.deltas) {
+    if (d.metric == "tenant/0/device_cycles") {
+      found = d.regression;
+      EXPECT_FALSE(d.improvement);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // A tenant the current run dropped diffs against zero.
+  current = baseline;
+  current.serve[0].tenants.erase(current.serve[0].tenants.begin() + 1);
+  report = compare_serve(baseline, current, CompareOptions{});
+  bool dropped = false;
+  for (const auto& d : report.deltas) {
+    if (d.metric == "tenant/2/requests") {
+      dropped = d.regression;
+      EXPECT_EQ(d.current, 0.0);
+    }
+  }
+  EXPECT_TRUE(dropped);
+
+  // Total device cycles gate two-sided as well.
+  current = baseline;
+  current.serve[0].device_cycles_total *= 1.1;
+  report = compare_serve(baseline, current, CompareOptions{});
+  bool total = false;
+  for (const auto& d : report.deltas) {
+    if (d.metric == "device_cycles_total") total = d.regression;
+  }
+  EXPECT_TRUE(total);
+
+  // Identical records: no deltas.
+  report = compare_serve(baseline, baseline, CompareOptions{});
+  EXPECT_TRUE(report.deltas.empty());
+}
+
 TEST(ServeCompare, P99SplitGrowthIsARegression) {
   const SuiteResult baseline = sample_serve_result();
   SuiteResult current = baseline;

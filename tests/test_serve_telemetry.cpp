@@ -97,6 +97,40 @@ TEST(TickSampler, EmitsEveryBoundaryUpToNow) {
   EXPECT_FALSE(s.next_due(300.0, &t));
 }
 
+TEST(TickSampler, DefaultConstructedIsDisabled) {
+  simt::TickSampler s;
+  EXPECT_FALSE(s.enabled());
+  double tick = -1.0;
+  EXPECT_FALSE(s.next_due(0.0, &tick));
+  EXPECT_EQ(tick, -1.0);  // output untouched when nothing is due
+}
+
+TEST(TickSampler, EventExactlyOnFirstBoundaryIsDue) {
+  // The zeroth boundary is t=0: an event at exactly 0.0 must drain it, and
+  // only it.
+  simt::TickSampler s(50.0);
+  double tick = -1.0;
+  ASSERT_TRUE(s.next_due(0.0, &tick));
+  EXPECT_EQ(tick, 0.0);
+  EXPECT_FALSE(s.next_due(0.0, &tick));
+}
+
+TEST(TickSampler, BoundaryHitAfterLongGapDrainsEveryTick) {
+  // A long quiet period followed by an event landing *exactly* on a
+  // boundary: every skipped boundary drains, the exact hit included, and
+  // the next call is not due.
+  simt::TickSampler s(100.0);
+  std::vector<double> ticks;
+  double t = 0.0;
+  while (s.next_due(500.0, &t)) ticks.push_back(t);
+  EXPECT_EQ(ticks,
+            (std::vector<double>{0.0, 100.0, 200.0, 300.0, 400.0, 500.0}));
+  EXPECT_FALSE(s.next_due(500.0, &t));
+  // Time never rewinds for the sampler either: an earlier now yields
+  // nothing new.
+  EXPECT_FALSE(s.next_due(450.0, &t));
+}
+
 // ---------------------------------------------------------------------------
 // Telemetry registry
 
@@ -304,23 +338,42 @@ TEST(ServeTrace, ExportRoundTripsStructurally) {
     EXPECT_EQ(n, 0) << "unbalanced async span id " << key.second;
   }
 
-  // One X slice per execution attempt with sane bounds, on a shard row.
+  // One serve-shard X slice per execution attempt with sane bounds, on a
+  // shard row. The unified export adds serve-grid slices on device rows;
+  // those must carry their provenance args but are not attempt slices.
   std::size_t exec_slices = 0;
+  std::size_t grid_slices = 0;
   for (const bench::JsonObject* ev : trace.events()) {
     if (ParsedTrace::str(*ev, "ph") != "X") continue;
-    ++exec_slices;
-    EXPECT_EQ(ParsedTrace::str(*ev, "cat"), "serve-shard");
+    const std::string cat = ParsedTrace::str(*ev, "cat");
     EXPECT_GE(ParsedTrace::num(*ev, "dur"), 0.0);
+    if (cat == "serve-grid") {
+      ++grid_slices;
+      continue;
+    }
+    ++exec_slices;
+    EXPECT_EQ(cat, "serve-shard");
     EXPECT_GE(ParsedTrace::num(*ev, "tid"), 1.0);
   }
   EXPECT_EQ(exec_slices, stats.attempts);
+  EXPECT_GT(grid_slices, 0u);
 
-  // A flow pair and a terminal marker per Ok completion; counters exist for
-  // the telemetry tracks; metadata names the process and every row.
-  EXPECT_EQ(trace.count_phase("s"), stats.ok);
-  EXPECT_EQ(trace.count_phase("f"), stats.ok);
+  // A winning-attempt flow pair and a terminal marker per Ok completion
+  // (the grid/dispatch flows use their own categories); counters exist for
+  // the telemetry tracks; metadata names at least the serve process and
+  // every shard row (device rows add more).
+  std::size_t win_starts = 0;
+  std::size_t win_ends = 0;
+  for (const bench::JsonObject* ev : trace.events()) {
+    if (ParsedTrace::str(*ev, "cat") != "serve-flow") continue;
+    const std::string ph = ParsedTrace::str(*ev, "ph");
+    if (ph == "s") ++win_starts;
+    if (ph == "f") ++win_ends;
+  }
+  EXPECT_EQ(win_starts, stats.ok);
+  EXPECT_EQ(win_ends, stats.ok);
   EXPECT_GT(trace.count_phase("C"), 0u);
-  EXPECT_EQ(trace.count_phase("M"),
+  EXPECT_GE(trace.count_phase("M"),
             1u + 1u + static_cast<std::size_t>(cfg.num_shards));
 }
 
@@ -343,7 +396,8 @@ TEST(ServeTrace, FlowLinksTheWinningAttempt) {
   // exec slice: same request id, same timestamp window, on a shard row.
   std::map<double, const bench::JsonObject*> starts;
   for (const bench::JsonObject* ev : trace.events()) {
-    if (ParsedTrace::str(*ev, "ph") == "s") {
+    if (ParsedTrace::str(*ev, "ph") == "s" &&
+        ParsedTrace::str(*ev, "cat") == "serve-flow") {
       starts[ParsedTrace::num(*ev, "id")] = ev;
     }
   }
@@ -372,7 +426,10 @@ TEST(ServeTrace, FlowLinksTheWinningAttempt) {
     }
   }
   for (const bench::JsonObject* ev : trace.events()) {
-    if (ParsedTrace::str(*ev, "ph") != "s") continue;
+    if (ParsedTrace::str(*ev, "ph") != "s" ||
+        ParsedTrace::str(*ev, "cat") != "serve-flow") {
+      continue;
+    }
     const auto req = static_cast<std::uint64_t>(ParsedTrace::num(*ev, "id"));
     ASSERT_TRUE(attempts_by_request.count(req));
   }

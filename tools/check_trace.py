@@ -12,10 +12,22 @@ trace file
   - flow starts ("s") pair with flow ends ("f") per (cat, id)
   - event timestamps are non-negative
 
+unified cross-layer trace (when the file carries serve-grid slices)
+  - every "serve-grid" device slice is stamped with its dispatch batch id
+    (args.batch) and originating request (args.request)
+  - every flow start/end lands inside a slice or span on its (pid, tid) row —
+    no arrows into thin air, including after ring-cap eviction
+  - the "serve-attribution" record's per-request cycles sum *bit-exactly*
+    (left-to-right, same fold order as the producer) to its total — the
+    conservation invariant: attributed cycles == scheduled cycles
+
 serve results file
   - every record satisfies ok + expired + shed == submitted
   - p99_split shares sum to p99_us within rounding tolerance
   - telemetry series timestamps are non-decreasing
+  - per-tenant rollups (schema v3): tenant ok counts sum to the record's ok,
+    tenant device cycles sum to device_cycles_total within float-regrouping
+    tolerance, and every tenant's fault cycles stay within its total
 
 Usage:
   check_trace.py [--trace FILE] [--serve FILE]
@@ -43,6 +55,13 @@ def check_trace(path, problems):
 
     async_open = {}  # (cat, id, pid) -> open count
     flows = {}  # (cat, id) -> [starts, ends]
+    # Slice/span intervals per (pid, tid) row, for flow-anchor checks; async
+    # spans are paired begin-to-end per (cat, id, pid) in file order.
+    intervals = {}  # (pid, tid) -> [(begin, end)]
+    async_stack = {}  # (cat, id, pid) -> [(begin_ts, tid)]
+    flow_events = []  # (index, ph, pid, tid, ts, cat, id)
+    grid_slices = 0
+    attribution = None
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             problems.append(f"{path}: event #{i} is not an object")
@@ -60,16 +79,41 @@ def check_trace(path, problems):
                     f"id={key[1]} (event #{i})")
                 n = 0
             async_open[key] = n
+            stack = async_stack.setdefault(key, [])
+            if ph == "b":
+                stack.append((ts, ev.get("tid")))
+            elif stack:
+                begin_ts, tid = stack.pop()
+                row = intervals.setdefault((ev.get("pid"), tid), [])
+                row.append((begin_ts, ts))
         elif ph == "X":
             dur = ev.get("dur")
             if dur is None or dur < 0:
                 problems.append(
                     f"{path}: X slice '{ev.get('name')}' (event #{i}) has "
                     f"missing/negative dur {dur}")
+            else:
+                row = intervals.setdefault((ev.get("pid"), ev.get("tid")), [])
+                row.append((ts, ts + dur))
+            if ev.get("cat") == "serve-grid":
+                grid_slices += 1
+                args = ev.get("args", {})
+                if "batch" not in args:
+                    problems.append(
+                        f"{path}: serve-grid slice '{ev.get('name')}' "
+                        f"(event #{i}) has no args.batch")
+                if "request" not in args:
+                    problems.append(
+                        f"{path}: serve-grid slice '{ev.get('name')}' "
+                        f"(event #{i}) has no args.request")
         elif ph == "s" or ph == "f":
             key = (ev.get("cat"), ev.get("id"))
             entry = flows.setdefault(key, [0, 0])
             entry[0 if ph == "s" else 1] += 1
+            flow_events.append((i, ph, ev.get("pid"), ev.get("tid"), ts,
+                                ev.get("cat"), ev.get("id")))
+        elif ph == "i" and ev.get("cat") == "serve-attribution":
+            attribution = (i, ev.get("args", {}))
 
     for (cat, aid, pid), n in sorted(
             async_open.items(), key=lambda kv: str(kv[0])):
@@ -83,6 +127,40 @@ def check_trace(path, problems):
             problems.append(
                 f"{path}: flow cat={cat} id={fid} has {starts} start(s) but "
                 f"{ends} end(s)")
+
+    # Unified-trace checks: only when the file carries the cross-layer tier.
+    if grid_slices > 0:
+        # Every flow endpoint must bind inside a real slice/span on its row
+        # ("bp":"e" binding) — an arrow into thin air means a producer bug or
+        # an eviction that left a dangling reference.
+        for i, ph, pid, tid, ts, cat, fid in flow_events:
+            row = intervals.get((pid, tid), [])
+            if not any(b <= ts <= e for b, e in row):
+                problems.append(
+                    f"{path}: flow {ph} cat={cat} id={fid} (event #{i}) at "
+                    f"ts={ts} lands outside every slice on pid={pid} "
+                    f"tid={tid}")
+        if attribution is not None:
+            i, args = attribution
+            per_request = args.get("per_request")
+            total = args.get("total")
+            if not isinstance(per_request, list) or total is None:
+                problems.append(
+                    f"{path}: serve-attribution event #{i} is missing "
+                    f"per_request/total")
+            else:
+                # Bit-exact by construction: the producer folds the same
+                # doubles in the same (completion) order and serializes with
+                # round-trip precision, so Python's left-to-right float sum
+                # must reproduce the total identically — no tolerance.
+                acc = 0.0
+                for entry in per_request:
+                    acc += entry[2]
+                if acc != total:
+                    problems.append(
+                        f"{path}: attribution conservation violated: "
+                        f"per-request cycles sum to {acc!r} but total is "
+                        f"{total!r}")
 
 
 def check_serve(path, problems):
@@ -118,6 +196,31 @@ def check_serve(path, problems):
                 problems.append(
                     f"{path}: scenario '{name}': p99_split sums to {total} "
                     f"but p99_us is {p99}")
+        tenants = rec.get("tenants")
+        if tenants is not None:
+            t_ok = sum(t.get("ok", 0) for t in tenants)
+            if t_ok != ok:
+                problems.append(
+                    f"{path}: scenario '{name}': tenant ok counts sum to "
+                    f"{t_ok} but record ok is {ok}")
+            cycles_total = rec.get("device_cycles_total", 0.0)
+            t_cycles = sum(t.get("device_cycles", 0.0) for t in tenants)
+            # Per-tenant folds regroup the same per-completion doubles, so
+            # only float-regrouping error is allowed (the completion-order
+            # fold itself is checked bit-exactly against the trace).
+            tol = max(1e-9 * max(abs(cycles_total), 1.0), 1e-9)
+            if abs(t_cycles - cycles_total) > tol:
+                problems.append(
+                    f"{path}: scenario '{name}': tenant device cycles sum "
+                    f"to {t_cycles!r} but device_cycles_total is "
+                    f"{cycles_total!r}")
+            for t in tenants:
+                if t.get("fault_device_cycles", 0.0) > \
+                        t.get("device_cycles", 0.0) + 1e-9:
+                    problems.append(
+                        f"{path}: scenario '{name}': tenant "
+                        f"{t.get('tenant')} fault cycles exceed its device "
+                        f"cycles")
         for series in rec.get("telemetry", []):
             pts = series.get("points", [])
             # Non-decreasing, not strictly increasing: distinct shards can

@@ -7,13 +7,18 @@
 //   nestpar_serve [--requests=N] [--qps=Q] [--shards=N] [--queue=N]
 //                 [--batch=N] [--linger-us=X] [--deadline-us=X]
 //                 [--attempts=N] [--no-hedge] [--tmpl=NAME] [--graphs=N]
-//                 [--scale=F] [--seed=N] [--faults=SPEC] [--completions]
-//                 [--trace=FILE] [--metrics] [--metrics-interval-us=X]
+//                 [--scale=F] [--seed=N] [--num-tenants=N] [--faults=SPEC]
+//                 [--completions] [--trace=FILE] [--metrics] [--tenants]
+//                 [--json] [--metrics-interval-us=X]
 //
-// --trace writes the run's request spans (plus telemetry counters) as a
-// Chrome/Perfetto trace-event file; --metrics appends a latency-attribution
-// report to stdout. Both are pure observers: with the flags absent, stdout
-// is byte-identical to earlier builds.
+// --trace writes the run's unified cross-layer trace (request spans, per-grid
+// device slices, telemetry counters, and the per-request device-cycle
+// attribution record) as a Chrome/Perfetto trace-event file; --metrics
+// appends a latency-attribution report to stdout; --tenants appends the
+// per-tenant device-cost rollup. All are pure observers: with the flags
+// absent, stdout is byte-identical to earlier builds. --json replaces the
+// human report with one machine-readable JSON document (stable field order,
+// round-trip number formatting) for scripting and CI gates.
 //
 // Exit codes: 0 success (all queries terminal, zero wrong results),
 // 1 verification or accounting failure, 2 usage error.
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/json.h"
 #include "src/serve/pool.h"
 #include "src/serve/server.h"
 #include "src/serve/trace.h"
@@ -39,7 +45,8 @@ constexpr const char* kUsage =
     "usage: nestpar_serve [--requests=N] [--qps=Q] [--shards=N] [--queue=N]\n"
     "  [--batch=N] [--linger-us=X] [--deadline-us=X] [--attempts=N]\n"
     "  [--no-hedge] [--tmpl=NAME] [--graphs=N] [--scale=F] [--seed=N]\n"
-    "  [--faults=SPEC] [--completions]\n"
+    "  [--num-tenants=N] [--faults=SPEC] [--completions] [--tenants]\n"
+    "  [--json]\n"
     "  --requests=N     queries to serve (default 200)\n"
     "  --qps=Q          open-loop arrival rate (default 3000)\n"
     "  --shards=N       simulated devices (default 4)\n"
@@ -53,13 +60,20 @@ constexpr const char* kUsage =
     "  --graphs=N       subgraph pool size (default 4)\n"
     "  --scale=F        subgraph size scale (default 0.5)\n"
     "  --seed=N         workload seed (default 2026)\n"
+    "  --num-tenants=N  tenants the workload spreads over (default 4)\n"
     "  --faults=SPEC    fault injection (NESTPAR_FAULTS syntax; default from\n"
     "                   the environment)\n"
     "  --completions    also print one line per completed request\n"
-    "  --trace=FILE     write request spans + telemetry as a Chrome/Perfetto\n"
-    "                   trace-event JSON file\n"
+    "  --trace=FILE     write the unified cross-layer trace (request spans,\n"
+    "                   per-grid device slices, telemetry, attribution) as a\n"
+    "                   Chrome/Perfetto trace-event JSON file\n"
     "  --metrics        print latency attribution: slowest requests with\n"
-    "                   phase split, per-shard utilization, SLO attainment\n"
+    "                   phase split + bottleneck verdict, per-shard\n"
+    "                   utilization, SLO attainment\n"
+    "  --tenants        print the per-tenant device-cost rollup (requests,\n"
+    "                   launches, retries, attributed device cycles)\n"
+    "  --json           emit the run report as one JSON document instead of\n"
+    "                   the human tables (includes tenants + device cycles)\n"
     "  --metrics-interval-us=X  telemetry sampling tick in virtual us\n"
     "                   (default 1000; used by --trace and --metrics)";
 
@@ -68,8 +82,8 @@ constexpr const char* kUsage =
 void print_metrics(const serve::Server& server, const serve::ServeStats& s,
                    double deadline_us) {
   std::printf("\nlatency attribution (slowest requests):\n");
-  std::printf("  %8s %-8s %10s %10s %10s %10s %10s\n", "request", "status",
-              "latency", "queue", "batch", "exec", "retry");
+  std::printf("  %8s %-8s %10s %10s %10s %10s %10s  %s\n", "request", "status",
+              "latency", "queue", "batch", "exec", "retry", "verdict");
   std::vector<const serve::Completion*> by_latency;
   by_latency.reserve(server.completions().size());
   for (const serve::Completion& c : server.completions()) {
@@ -85,10 +99,11 @@ void print_metrics(const serve::Server& server, const serve::ServeStats& s,
   const std::size_t top = std::min<std::size_t>(5, by_latency.size());
   for (std::size_t i = 0; i < top; ++i) {
     const serve::Completion& c = *by_latency[i];
-    std::printf("  #%7llu %-8s %9.0fus %9.0fus %9.0fus %9.0fus %9.0fus\n",
+    std::printf("  #%7llu %-8s %9.0fus %9.0fus %9.0fus %9.0fus %9.0fus  %s\n",
                 static_cast<unsigned long long>(c.id),
                 std::string(serve::to_string(c.status)).c_str(), c.latency_us,
-                c.queue_us, c.batch_us, c.exec_us, c.retry_us);
+                c.queue_us, c.batch_us, c.exec_us, c.retry_us,
+                c.verdict.empty() ? "-" : c.verdict.c_str());
   }
   std::printf("  p99 split: queue=%.0fus batch=%.0fus exec=%.0fus "
               "retry=%.0fus (p99=%.0fus)\n",
@@ -125,6 +140,94 @@ void print_metrics(const serve::Server& server, const serve::ServeStats& s,
   std::printf("\n");
 }
 
+/// Append the --tenants report: who burned the device. Cycles are modeled
+/// device cycles attributed to each tenant's completed requests by the
+/// scheduler's conservation-exact tiling; the per-tenant column sums to the
+/// run's device_cycles_total (up to float regrouping across tenants).
+void print_tenants(const serve::Server& server, const serve::ServeStats& s) {
+  std::printf("\nper-tenant device cost:\n");
+  std::printf("  %6s %8s %6s %8s %7s %16s %14s %6s\n", "tenant", "requests",
+              "ok", "launches", "retries", "device-cycles", "fault-cycles",
+              "share");
+  for (const serve::TenantUsage& t : server.tenant_usage()) {
+    const double share =
+        s.device_cycles_total > 0.0 ? t.device_cycles / s.device_cycles_total
+                                    : 0.0;
+    std::printf("  %6u %8llu %6llu %8llu %7llu %16.0f %14.0f %5.1f%%\n",
+                t.tenant, static_cast<unsigned long long>(t.requests),
+                static_cast<unsigned long long>(t.ok),
+                static_cast<unsigned long long>(t.launches),
+                static_cast<unsigned long long>(t.retries), t.device_cycles,
+                t.fault_device_cycles, share * 100.0);
+  }
+  std::printf("  total: %.0f device cycles over %llu launches "
+              "(%.0f fault-burned)\n",
+              s.device_cycles_total,
+              static_cast<unsigned long long>(s.launches_total),
+              s.fault_device_cycles_total);
+}
+
+/// The --json report: the whole run outcome as one machine-readable document
+/// (stable field order; round-trip number formatting via bench::json_num, so
+/// attributed cycles survive a parse bit-exactly).
+void print_json(const serve::Server& server, const serve::ServeStats& s,
+                const serve::ServeConfig& cfg, int requests, double qps) {
+  using bench::json_num;
+  std::string out;
+  out += "{\n";
+  out += "  \"generator\": \"nestpar_serve\",\n";
+  out += "  \"config\": {\"requests\": " + json_num(std::uint64_t(requests)) +
+         ", \"qps\": " + json_num(qps) +
+         ", \"shards\": " + json_num(std::uint64_t(cfg.num_shards)) +
+         ", \"num_tenants\": " + json_num(std::uint64_t(cfg.num_tenants)) +
+         ", \"chaos\": " + (cfg.faults.enabled() ? "true" : "false") + "},\n";
+  out += "  \"outcome\": {\"submitted\": " + json_num(s.submitted) +
+         ", \"ok\": " + json_num(s.ok) +
+         ", \"expired\": " + json_num(s.expired) +
+         ", \"shed\": " + json_num(s.shed) +
+         ", \"wrong\": " + json_num(s.wrong) + "},\n";
+  out += "  \"activity\": {\"attempts\": " + json_num(s.attempts) +
+         ", \"retries\": " + json_num(s.retries) +
+         ", \"hedges\": " + json_num(s.hedges) +
+         ", \"batches\": " + json_num(s.batches) +
+         ", \"probes\": " + json_num(s.probes) +
+         ", \"breaker_trips\": " + json_num(s.breaker_trips) +
+         ", \"faults_injected\": " + json_num(s.faults_injected) +
+         ", \"degraded\": " + json_num(s.degraded) + "},\n";
+  out += "  \"latency_us\": {\"p50\": " + json_num(s.p50_us) +
+         ", \"p95\": " + json_num(s.p95_us) +
+         ", \"p99\": " + json_num(s.p99_us) +
+         ", \"mean\": " + json_num(s.mean_us) +
+         ", \"max\": " + json_num(s.max_us) +
+         ", \"p99_split\": {\"queue\": " + json_num(s.p99_queue_us) +
+         ", \"batch\": " + json_num(s.p99_batch_us) +
+         ", \"exec\": " + json_num(s.p99_exec_us) +
+         ", \"retry\": " + json_num(s.p99_retry_us) + "}},\n";
+  out += "  \"throughput\": {\"qps_ok\": " + json_num(s.qps_ok) +
+         ", \"makespan_us\": " + json_num(s.makespan_us) + "},\n";
+  out += "  \"device\": {\"cycles_total\": " + json_num(s.device_cycles_total) +
+         ", \"fault_cycles_total\": " +
+         json_num(s.fault_device_cycles_total) +
+         ", \"launches_total\": " + json_num(s.launches_total) + "},\n";
+  out += "  \"tenants\": [";
+  const std::vector<serve::TenantUsage>& tenants = server.tenant_usage();
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const serve::TenantUsage& t = tenants[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"tenant\": " + json_num(std::uint64_t(t.tenant)) +
+           ", \"requests\": " + json_num(t.requests) +
+           ", \"ok\": " + json_num(t.ok) +
+           ", \"launches\": " + json_num(t.launches) +
+           ", \"retries\": " + json_num(t.retries) +
+           ", \"device_cycles\": " + json_num(t.device_cycles) +
+           ", \"fault_device_cycles\": " + json_num(t.fault_device_cycles) +
+           "}";
+  }
+  out += tenants.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  std::fputs(out.c_str(), stdout);
+}
+
 int run(const bench::Args& args) {
   const auto requests = static_cast<int>(args.get_int("requests", 200));
   const double qps = args.get_double("qps", 3000.0);
@@ -138,6 +241,7 @@ int run(const bench::Args& args) {
   cfg.max_attempts = static_cast<int>(args.get_int("attempts", 3));
   cfg.hedge = !args.get_flag("no-hedge");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  cfg.num_tenants = static_cast<int>(args.get_int("num-tenants", 4));
   cfg.tmpl = nested::parse_loop_template(args.get_string("tmpl", "cons-grid"));
   const std::string faults_spec = args.get_string("faults", "");
   cfg.faults = faults_spec.empty() ? simt::FaultConfig::from_env()
@@ -145,6 +249,8 @@ int run(const bench::Args& args) {
 
   const std::string trace_path = args.get_string("trace", "");
   const bool want_metrics = args.get_flag("metrics");
+  const bool want_tenants = args.get_flag("tenants");
+  const bool want_json = args.get_flag("json");
   cfg.trace = !trace_path.empty();
   // Telemetry sampling is a pure observer; enable it only when an output
   // surface (trace counters or the metrics report) will consume it, so a
@@ -163,6 +269,22 @@ int run(const bench::Args& args) {
       serve::make_open_loop_workload(pool, cfg, requests, qps);
   serve::Server server(cfg, pool, simt::ExecPolicy::from_env());
   const serve::ServeStats s = server.run(workload);
+
+  if (want_json) {
+    print_json(server, s, cfg, requests, qps);
+    if (!trace_path.empty()) {
+      std::ofstream f(trace_path, std::ios::binary);
+      if (!f) {
+        simt::log::error("error: cannot open trace file '%s'\n",
+                         trace_path.c_str());
+        return 1;
+      }
+      serve::write_serve_trace(f, server.tracer(), &server.telemetry(),
+                               cfg.num_shards, &server.completions());
+    }
+    if (s.wrong > 0 || s.ok + s.expired + s.shed != s.submitted) return 1;
+    return 0;
+  }
 
   std::printf("serving run: %d requests at %.0f qps over %d shard(s), "
               "template %s%s\n",
@@ -211,6 +333,7 @@ int run(const bench::Args& args) {
   }
 
   if (want_metrics) print_metrics(server, s, cfg.deadline_us);
+  if (want_tenants) print_tenants(server, s);
 
   if (!trace_path.empty()) {
     std::ofstream f(trace_path, std::ios::binary);
@@ -220,7 +343,7 @@ int run(const bench::Args& args) {
       return 1;
     }
     serve::write_serve_trace(f, server.tracer(), &server.telemetry(),
-                             cfg.num_shards);
+                             cfg.num_shards, &server.completions());
     std::printf("\nwrote trace: %s\n", trace_path.c_str());
   }
 
